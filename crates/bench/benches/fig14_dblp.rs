@@ -1,0 +1,35 @@
+//! Criterion version of Fig. 14: the three DBLP guards vs the baseline
+//! queries, one slice size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmorph_bench::harness::{exist_query, prepare, run_guard_on, StoreKind};
+use xmorph_datagen::DblpConfig;
+
+fn bench_fig14(c: &mut Criterion) {
+    let xml = DblpConfig::with_approx_bytes(400_000).generate();
+    let prep = prepare(&xml, StoreKind::Memory);
+    let mut group = c.benchmark_group("fig14_dblp");
+    group.sample_size(10);
+    for (name, guard) in [
+        ("small", "MORPH author"),
+        ("medium", "MORPH author [title [year]]"),
+        ("large", "MORPH dblp [author [title [year [pages] url]]]"),
+    ] {
+        group.bench_function(format!("xmorph_{name}"), |b| {
+            b.iter(|| run_guard_on(&prep, guard))
+        });
+    }
+    group.bench_function("baseline_small", |b| {
+        b.iter(|| {
+            exist_query(
+                &xml,
+                r#"for $a in doc("doc.xml")/dblp/*/author return <author>{string($a)}</author>"#,
+                StoreKind::Memory,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion version of Fig. 15: deep vs bushy target shapes over the
+//! three datasets — render throughput should be shape-independent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmorph_bench::harness::{prepare, run_guard_on, StoreKind};
+use xmorph_datagen::{DblpConfig, NasaConfig, XmarkConfig};
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_shape");
+    group.sample_size(10);
+
+    let nasa = NasaConfig::with_approx_bytes(300_000).generate();
+    let nasa_prep = prepare(&nasa, StoreKind::Memory);
+    group.bench_function("nasa_deep", |b| {
+        b.iter(|| run_guard_on(&nasa_prep, "MORPH dataset [ reference [ source [ other ] ] ]"))
+    });
+    group.bench_function("nasa_bushy", |b| {
+        b.iter(|| run_guard_on(&nasa_prep, "MORPH dataset [ title identifier keywords ]"))
+    });
+
+    let dblp = DblpConfig::with_approx_bytes(300_000).generate();
+    let dblp_prep = prepare(&dblp, StoreKind::Memory);
+    group.bench_function("dblp_deep", |b| {
+        b.iter(|| run_guard_on(&dblp_prep, "MORPH author [ title [ year ] ]"))
+    });
+    group.bench_function("dblp_bushy", |b| {
+        b.iter(|| run_guard_on(&dblp_prep, "MORPH article [ author title year ]"))
+    });
+
+    let xmark = XmarkConfig::with_factor(0.02).generate();
+    let xmark_prep = prepare(&xmark, StoreKind::Memory);
+    group.bench_function("xmark_deep", |b| {
+        b.iter(|| run_guard_on(&xmark_prep, "MORPH people [ person [ address [ city ] ] ]"))
+    });
+    group.bench_function("xmark_bushy", |b| {
+        b.iter(|| run_guard_on(&xmark_prep, "MORPH item [ name location quantity ]"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

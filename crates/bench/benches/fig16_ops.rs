@@ -1,0 +1,30 @@
+//! Criterion version of Fig. 16: each operation composed with the same
+//! MORPH must cost effectively the same.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmorph_bench::harness::{prepare, run_guard_on, StoreKind};
+use xmorph_datagen::XmarkConfig;
+
+const BASE: &str = "MORPH person [ name emailaddress ]";
+
+fn bench_fig16(c: &mut Criterion) {
+    let xml = XmarkConfig::with_factor(0.03).generate();
+    let prep = prepare(&xml, StoreKind::Memory);
+    let mut group = c.benchmark_group("fig16_ops");
+    group.sample_size(10);
+    let ops: Vec<(&str, String)> = vec![
+        ("morph", BASE.to_string()),
+        ("mutate", format!("{BASE} | MUTATE emailaddress [ name ]")),
+        ("translate", format!("{BASE} | TRANSLATE person -> user")),
+        ("new", format!("{BASE} | MUTATE (NEW contact) [ emailaddress ]")),
+        ("clone", format!("{BASE} | MUTATE person [ CLONE name ]")),
+        ("drop", format!("{BASE} | MUTATE (DROP emailaddress)")),
+    ];
+    for (name, guard) in &ops {
+        group.bench_function(*name, |b| b.iter(|| run_guard_on(&prep, guard)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig16);
+criterion_main!(benches);

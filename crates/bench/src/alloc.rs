@@ -1,0 +1,59 @@
+//! A counting global allocator.
+//!
+//! The paper's Fig. 13 charts available memory (via `vmstat`) while a
+//! transformation runs. We instrument the process directly: binaries that
+//! want the chart install [`CountingAlloc`] as their global allocator and
+//! sample [`allocated_bytes`] — *more* precise than host-level vmstat for
+//! the claim being made (the JVM grabbing memory early vs our streaming
+//! pipeline's flat usage).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A `System`-backed allocator that tracks live and peak bytes.
+pub struct CountingAlloc;
+
+// SAFETY: delegates to `System`, only adding relaxed counter updates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let now = ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        ALLOCATED.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let now =
+                    ALLOCATED.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                        - layout.size();
+                PEAK.fetch_max(now, Ordering::Relaxed);
+            } else {
+                ALLOCATED.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Bytes currently allocated (0 unless [`CountingAlloc`] is installed).
+pub fn allocated_bytes() -> usize {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// Peak bytes ever allocated.
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}

@@ -1,0 +1,50 @@
+//! Figure 10: cost of a whole-document transformation (`MUTATE site`)
+//! vs XMark document size, against the eXist-style baseline's
+//! best-case dump, plus the per-factor shred times the paper reports in
+//! the surrounding text.
+//!
+//! Default scale keeps factor 0.1 ≈ 1.1 MB (one tenth of the paper's
+//! absolute sizes); pass `--scale 10` for paper-sized documents.
+
+use xmorph_bench::harness::{exist_dump, run_morph, StoreKind};
+use xmorph_bench::table::{mb, secs, Table};
+use xmorph_datagen::XmarkConfig;
+
+fn main() {
+    let scale = xmorph_bench::parse_scale();
+    let factors = [0.1, 0.2, 0.3, 0.4, 0.5];
+    println!(
+        "Fig. 10 — transformation cost vs data size (XMark, MUTATE site; scale {scale})\n"
+    );
+    let mut table = Table::new(&[
+        "factor",
+        "input MB",
+        "types",
+        "shred s",
+        "xmorph compile s",
+        "xmorph render s",
+        "exist dump s",
+        "output MB",
+    ]);
+    for &factor in &factors {
+        let xml = XmarkConfig::with_factor(factor * scale).generate();
+        let run = run_morph(&xml, "MUTATE site", StoreKind::TempFile);
+        let (_, exist_secs, _) = exist_dump(&xml, "site", StoreKind::TempFile);
+        table.row(&[
+            format!("{factor:.1}"),
+            mb(run.input_bytes),
+            run.types.to_string(),
+            secs(run.shred),
+            secs(run.compile),
+            secs(run.render),
+            secs(exist_secs),
+            mb(run.output_bytes),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nPaper shape to check: render grows linearly with size; compile is a tiny,\n\
+         size-independent fraction (paper: ~20 ms, 0.002%); the baseline dump is faster\n\
+         than a full transformation (it is eXist's best case)."
+    );
+}

@@ -1,0 +1,110 @@
+//! Figure 15: effect of the target shape on transformation throughput.
+//!
+//! Three datasets (NASA-like, DBLP-like, XMark-like), each transformed to
+//! deep (skinny) and bushy target shapes in two sizes (small ≈ 4–6
+//! labels, large ≈ 9–12 labels). The paper's finding: throughput
+//! (elements/second) is steady across shapes within a dataset — only
+//! output size matters — with between-dataset differences tracking text
+//! density.
+
+use xmorph_bench::harness::{prepare, run_guard_on, PreparedDoc, StoreKind};
+use xmorph_bench::table::{mb, Table};
+use xmorph_datagen::{DblpConfig, NasaConfig, XmarkConfig};
+
+struct DatasetSpec {
+    name: &'static str,
+    xml: String,
+    guards: &'static [(&'static str, &'static str)],
+}
+
+const XMARK_GUARDS: &[(&str, &str)] = &[
+    ("deep-small", "MORPH people [ person [ address [ city ] ] ]"),
+    (
+        "deep-large",
+        "MORPH site [ people [ person [ address [ street city country zipcode ] name emailaddress phone ] ] ]",
+    ),
+    ("bushy-small", "MORPH item [ name location quantity ]"),
+    (
+        "bushy-large",
+        "MORPH person [ name emailaddress phone street city country zipcode education business @income ]",
+    ),
+];
+
+const DBLP_GUARDS: &[(&str, &str)] = &[
+    ("deep-small", "MORPH author [ title [ year ] ]"),
+    (
+        "deep-large",
+        "MORPH dblp [ author [ title [ year [ pages [ url ] ] journal volume ] ] ]",
+    ),
+    ("bushy-small", "MORPH article [ author title year ]"),
+    (
+        "bushy-large",
+        "MORPH article [ author title year pages url ee journal volume number ]",
+    ),
+];
+
+const NASA_GUARDS: &[(&str, &str)] = &[
+    ("deep-small", "MORPH dataset [ reference [ source [ other ] ] ]"),
+    (
+        "deep-large",
+        "MORPH datasets [ dataset [ reference [ source [ other [ title author [ lastName initial ] date [ year ] ] ] ] ] ]",
+    ),
+    ("bushy-small", "MORPH dataset [ title identifier keywords ]"),
+    (
+        "bushy-large",
+        "MORPH dataset [ title identifier altname keyword para field revision creationDate ]",
+    ),
+];
+
+fn main() {
+    let scale = xmorph_bench::parse_scale();
+    // Paper sizes: NASA 23 MB, DBLP 112 MB, XMark 55 MB. Default ≈ /20.
+    let datasets = vec![
+        DatasetSpec {
+            name: "nasa",
+            xml: NasaConfig::with_approx_bytes((23.0 / 20.0 * scale * 1e6) as usize).generate(),
+            guards: NASA_GUARDS,
+        },
+        DatasetSpec {
+            name: "dblp",
+            xml: DblpConfig::with_approx_bytes((112.0 / 20.0 * scale * 1e6) as usize).generate(),
+            guards: DBLP_GUARDS,
+        },
+        DatasetSpec {
+            name: "xmark",
+            xml: XmarkConfig { factor: 0.5 / 20.0 * scale, ..Default::default() }.generate(),
+            guards: XMARK_GUARDS,
+        },
+    ];
+
+    println!("Fig. 15 — throughput vs target shape (scale {scale})\n");
+    let mut table = Table::new(&[
+        "dataset",
+        "input MB",
+        "shape",
+        "render s",
+        "out elements",
+        "throughput elems/s",
+    ]);
+    for spec in &datasets {
+        let prep: PreparedDoc = prepare(&spec.xml, StoreKind::TempFile);
+        for (shape_name, guard) in spec.guards {
+            let (_, render, _, elements) = run_guard_on(&prep, guard);
+            let throughput = elements as f64 / render.as_secs_f64().max(1e-9);
+            table.row(&[
+                spec.name.to_string(),
+                mb(prep.input_bytes),
+                shape_name.to_string(),
+                format!("{:.3}", render.as_secs_f64()),
+                elements.to_string(),
+                format!("{throughput:.0}"),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nPaper shape to check: within a dataset, throughput stays roughly steady\n\
+         across deep/bushy and small/large target shapes; differences between datasets\n\
+         track element text size (larger text content ⇒ slower)."
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 16: cost of each kind of XMorph operation, COMPOSEd with a
+//! single fixed MORPH on the XMark dataset (same MORPH in every test so
+//! the output size matches). The paper's finding: operations compile
+//! into the target shape, so their run-time cost is effectively
+//! identical — renaming a label or adding a new one adds almost nothing.
+
+use xmorph_bench::harness::{prepare, run_guard_on, StoreKind};
+use xmorph_bench::table::{mb, secs, Table};
+use xmorph_datagen::XmarkConfig;
+
+const BASE: &str = "MORPH person [ name emailaddress ]";
+
+fn main() {
+    let scale = xmorph_bench::parse_scale();
+    let factor = 0.25 * scale;
+    let ops: Vec<(&str, String)> = vec![
+        ("morph", BASE.to_string()),
+        ("mutate", format!("{BASE} | MUTATE emailaddress [ name ]")),
+        ("translate", format!("{BASE} | TRANSLATE person -> user")),
+        ("new", format!("{BASE} | MUTATE (NEW contact) [ emailaddress ]")),
+        ("clone", format!("{BASE} | MUTATE person [ CLONE name ]")),
+        ("drop", format!("{BASE} | MUTATE (DROP emailaddress)")),
+        ("restrict", "MORPH (RESTRICT person [ emailaddress ]) [ name emailaddress ]".to_string()),
+    ];
+
+    println!("Fig. 16 — cost of XMorph operations composed with one MORPH (factor {factor})\n");
+    let xml = XmarkConfig::with_factor(factor).generate();
+    let prep = prepare(&xml, StoreKind::TempFile);
+    println!("(input {} MB, shredded in {} s)\n", mb(prep.input_bytes), secs(prep.shred));
+
+    let mut table =
+        Table::new(&["operation", "compile s", "render s", "total s", "output MB"]);
+    for (name, guard) in &ops {
+        let (compile, render, out_bytes, _) = run_guard_on(&prep, guard);
+        table.row(&[
+            name.to_string(),
+            secs(compile),
+            secs(render),
+            secs(compile + render),
+            mb(out_bytes),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nPaper shape to check: every operation costs effectively the same — the\n\
+         compile phase folds them all into one target shape before rendering."
+    );
+}

@@ -1,0 +1,80 @@
+//! Background sampling of I/O counters and memory while an experiment
+//! runs — the harness's `vmstat` (Figs. 11–13).
+
+use crossbeam::channel::{bounded, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xmorph_pagestore::{IoSnapshot, IoStats};
+
+/// One metric sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Time since the sampler started.
+    pub elapsed: Duration,
+    /// Cumulative I/O counters at this instant.
+    pub io: IoSnapshot,
+    /// Live allocated bytes (0 unless the counting allocator is
+    /// installed).
+    pub allocated: usize,
+}
+
+/// A running sampler thread.
+pub struct Sampler {
+    stop: Sender<()>,
+    handle: JoinHandle<Vec<Sample>>,
+}
+
+impl Sampler {
+    /// Start sampling `stats` every `interval`.
+    pub fn start(stats: IoStats, interval: Duration) -> Sampler {
+        let (stop, stop_rx) = bounded::<()>(1);
+        let handle = std::thread::spawn(move || {
+            let begin = Instant::now();
+            let mut samples = Vec::new();
+            loop {
+                samples.push(Sample {
+                    elapsed: begin.elapsed(),
+                    io: stats.snapshot(),
+                    allocated: crate::alloc::allocated_bytes(),
+                });
+                if stop_rx.recv_timeout(interval).is_ok() {
+                    // Final sample on stop.
+                    samples.push(Sample {
+                        elapsed: begin.elapsed(),
+                        io: stats.snapshot(),
+                        allocated: crate::alloc::allocated_bytes(),
+                    });
+                    return samples;
+                }
+            }
+        });
+        Sampler { stop, handle }
+    }
+
+    /// Stop and collect the samples.
+    pub fn finish(self) -> Vec<Sample> {
+        let _ = self.stop.send(());
+        self.handle.join().expect("sampler thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_collects_and_stops() {
+        let stats = IoStats::new();
+        let sampler = Sampler::start(stats.clone(), Duration::from_millis(5));
+        stats.record_read(3, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(25));
+        stats.record_write(2, Duration::from_millis(1));
+        let samples = sampler.finish();
+        assert!(samples.len() >= 3, "{}", samples.len());
+        let last = samples.last().unwrap();
+        assert_eq!(last.io.blocks_read, 3);
+        assert_eq!(last.io.blocks_written, 2);
+        // Elapsed is monotone.
+        assert!(samples.windows(2).all(|w| w[0].elapsed <= w[1].elapsed));
+    }
+}

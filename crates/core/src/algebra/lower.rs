@@ -1,0 +1,121 @@
+//! Lowering from the AST to the operator algebra.
+//!
+//! The paper translates programs to the algebra with an attribute grammar
+//! while parsing (§VIII); we keep the stages separate so the AST remains
+//! inspectable.
+
+use crate::algebra::{Op, POp};
+use crate::lang::ast::{Ast, Head, Item, Pattern};
+
+/// Lower a parsed guard to the algebra.
+pub fn lower(ast: &Ast) -> Op {
+    match ast {
+        Ast::Morph(p) => Op::Morph(lower_pattern(p)),
+        Ast::Mutate(p) => Op::Mutate(lower_pattern(p)),
+        Ast::Translate(d) => Op::Translate(d.clone()),
+        Ast::Compose(a, b) => Op::Compose(Box::new(lower(a)), Box::new(lower(b))),
+        Ast::Cast(mode, g) => Op::Cast(*mode, Box::new(lower(g))),
+        Ast::TypeFill(g) => Op::TypeFill(Box::new(lower(g))),
+    }
+}
+
+fn lower_pattern(p: &Pattern) -> POp {
+    if p.items.len() == 1 {
+        lower_item(&p.items[0])
+    } else {
+        POp::Siblings(p.items.iter().map(lower_item).collect())
+    }
+}
+
+fn lower_item(item: &Item) -> POp {
+    let mut head = match &item.head {
+        Head::Label(l) => POp::Type(l.clone()),
+        Head::Drop(p) => POp::Drop(Box::new(lower_pattern(p))),
+        Head::Restrict(p) => POp::Restrict(Box::new(lower_pattern(p))),
+        Head::New(l) => POp::New(l.clone()),
+        Head::Clone(p) => POp::Clone(Box::new(lower_pattern(p))),
+    };
+    // `[*]` / `[**]` wrap the head before children attach, so the copied
+    // children land on the same node the pattern children do.
+    if item.include_children {
+        head = POp::Children(Box::new(head));
+    }
+    if item.include_descendants {
+        head = POp::Descendants(Box::new(head));
+    }
+    if item.children.is_empty() {
+        head
+    } else {
+        POp::Closest {
+            parent: Box::new(head),
+            children: item.children.items.iter().map(lower_item).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+
+    fn lowered(src: &str) -> Op {
+        lower(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn paper_fig9_algebra_shape() {
+        // MORPH author [name publisher [name book [title price]]]
+        // lowers to nested closest operators (paper Fig. 9).
+        let op = lowered("MORPH author [name publisher [name book [title price]]]");
+        let printed = op.to_string();
+        assert_eq!(
+            printed,
+            "morph(closest(type(author); type(name), \
+             closest(type(publisher); type(name), \
+             closest(type(book); type(title), type(price)))))"
+        );
+    }
+
+    #[test]
+    fn compose_lowers_to_compose() {
+        let op = lowered("MORPH a | MUTATE b");
+        assert!(matches!(op, Op::Compose(_, _)));
+    }
+
+    #[test]
+    fn star_markers_wrap_head() {
+        let op = lowered("MORPH author [*]");
+        assert_eq!(op.to_string(), "morph(children(type(author)))");
+        let op = lowered("MORPH book [** title]");
+        assert_eq!(
+            op.to_string(),
+            "morph(closest(descendants(type(book)); type(title)))"
+        );
+    }
+
+    #[test]
+    fn constructs_lower() {
+        assert_eq!(
+            lowered("MUTATE (NEW scribe) [ author ]").to_string(),
+            "mutate(closest(new(scribe); type(author)))"
+        );
+        assert_eq!(
+            lowered("MUTATE author [ CLONE title ]").to_string(),
+            "mutate(closest(type(author); clone(type(title))))"
+        );
+        assert_eq!(
+            lowered("MUTATE (DROP name)").to_string(),
+            "mutate(drop(type(name)))"
+        );
+        assert_eq!(
+            lowered("MORPH (RESTRICT name [ author ]) [ title ]").to_string(),
+            "morph(closest(restrict(closest(type(name); type(author))); type(title)))"
+        );
+    }
+
+    #[test]
+    fn siblings_at_top_level() {
+        let op = lowered("MORPH a b c");
+        assert_eq!(op.to_string(), "morph([type(a) type(b) type(c)])");
+    }
+}

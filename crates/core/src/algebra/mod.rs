@@ -1,0 +1,121 @@
+//! The XMorph operator algebra (§VIII).
+//!
+//! Parsed guards are lowered to this algebra by an attribute-grammar-style
+//! walk ([`lower()`](lower::lower)); the semantic function ξ ([`crate::semantics`])
+//! interprets algebra trees. Operators mirror the paper's list: `compose`,
+//! `morph`, `mutate`, `translate`, `type`, `drop`, `closest`, `clone`,
+//! `new`, `restrict` (plus `children`/`descendants` for the `*`/`**`
+//! markers and the cast wrappers, which the paper treats as part of the
+//! type system).
+
+pub mod lower;
+pub mod optimize;
+pub mod typecheck;
+
+pub use lower::lower;
+pub use optimize::optimize;
+
+use crate::lang::ast::CastMode;
+use std::fmt;
+
+/// A guard-level operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `compose(Q, R)` — evaluate `Q`, pipe its shape into `R`.
+    Compose(Box<Op>, Box<Op>),
+    /// `morph(P)` — the output shape is exactly the pattern's meaning.
+    Morph(POp),
+    /// `mutate(P)` — rearrange the whole input shape per the pattern.
+    Mutate(POp),
+    /// `translate(D)` — rename types via the dictionary.
+    Translate(Vec<(String, String)>),
+    /// Cast wrapper: loosens typing enforcement for the inner guard.
+    Cast(CastMode, Box<Op>),
+    /// TYPE-FILL wrapper: unmatched labels become NEW types.
+    TypeFill(Box<Op>),
+}
+
+/// A pattern-level operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum POp {
+    /// `type(label)` — select the type(s) named by the label.
+    Type(String),
+    /// `closest(parent, children)` — build edges from the parent's roots
+    /// to each child fragment's closest roots (the `extend` of §VI).
+    Closest {
+        /// The parent fragment.
+        parent: Box<POp>,
+        /// Child fragments, in source order.
+        children: Vec<POp>,
+    },
+    /// Sibling fragments (juxtaposition in a pattern).
+    Siblings(Vec<POp>),
+    /// `children(P)` — `P` plus its source children (`[*]`).
+    Children(Box<POp>),
+    /// `descendants(P)` — `P` plus its entire source subtree (`[**]`).
+    Descendants(Box<POp>),
+    /// `drop(P)` — remove the matched types (inside `MUTATE`).
+    Drop(Box<POp>),
+    /// `restrict(P)` — keep the roots, demote the rest to a filter.
+    Restrict(Box<POp>),
+    /// `new(label)` — construct a brand-new type.
+    New(String),
+    /// `clone(P)` — duplicate the matched types as distinct types.
+    Clone(Box<POp>),
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Compose(a, b) => write!(f, "compose({a}, {b})"),
+            Op::Morph(p) => write!(f, "morph({p})"),
+            Op::Mutate(p) => write!(f, "mutate({p})"),
+            Op::Translate(d) => {
+                write!(f, "translate(")?;
+                for (i, (a, b)) in d.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}→{b}")?;
+                }
+                write!(f, ")")
+            }
+            Op::Cast(mode, g) => write!(f, "cast[{mode:?}]({g})"),
+            Op::TypeFill(g) => write!(f, "typefill({g})"),
+        }
+    }
+}
+
+impl fmt::Display for POp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            POp::Type(l) => write!(f, "type({l})"),
+            POp::Closest { parent, children } => {
+                write!(f, "closest({parent}; ")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            POp::Siblings(items) => {
+                write!(f, "[")?;
+                for (i, c) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+            POp::Children(p) => write!(f, "children({p})"),
+            POp::Descendants(p) => write!(f, "descendants({p})"),
+            POp::Drop(p) => write!(f, "drop({p})"),
+            POp::Restrict(p) => write!(f, "restrict({p})"),
+            POp::New(l) => write!(f, "new({l})"),
+            POp::Clone(p) => write!(f, "clone({p})"),
+        }
+    }
+}

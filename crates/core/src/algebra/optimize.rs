@@ -1,0 +1,155 @@
+//! Algebra simplification.
+//!
+//! The paper's §VIII runs a two-stage type analysis over the algebra tree
+//! "potentially reducing the cost of query evaluation"; in this
+//! implementation the type resolution itself happens during ξ (where the
+//! closest distances live), and this pass performs the purely structural
+//! simplifications that make the tree smaller before evaluation:
+//!
+//! * nested `Siblings` flatten into one list (and singletons unwrap);
+//! * stacked identical casts collapse (`CAST CAST g` → `CAST g`), and a
+//!   weak `CAST` absorbs the narrower casts beneath it;
+//! * nested `TYPE-FILL` collapses.
+
+use crate::algebra::{Op, POp};
+use crate::lang::ast::CastMode;
+
+/// Simplify an algebra tree. Semantics-preserving.
+pub fn optimize(op: Op) -> Op {
+    match op {
+        Op::Compose(a, b) => Op::Compose(Box::new(optimize(*a)), Box::new(optimize(*b))),
+        Op::Morph(p) => Op::Morph(optimize_pop(p)),
+        Op::Mutate(p) => Op::Mutate(optimize_pop(p)),
+        Op::Translate(d) => Op::Translate(d),
+        Op::Cast(mode, inner) => {
+            let inner = optimize(*inner);
+            match inner {
+                // CAST absorbs everything; identical casts collapse.
+                Op::Cast(inner_mode, g)
+                    if mode == CastMode::Weak || inner_mode == mode =>
+                {
+                    Op::Cast(mode.max_with(inner_mode), g)
+                }
+                other => Op::Cast(mode, Box::new(other)),
+            }
+        }
+        Op::TypeFill(inner) => {
+            let inner = optimize(*inner);
+            match inner {
+                Op::TypeFill(g) => Op::TypeFill(g),
+                other => Op::TypeFill(Box::new(other)),
+            }
+        }
+    }
+}
+
+impl CastMode {
+    /// The weaker (more permissive) of two cast modes, for collapsing
+    /// stacked casts. `Weak` admits everything.
+    fn max_with(self, other: CastMode) -> CastMode {
+        if self == CastMode::Weak || other == CastMode::Weak {
+            CastMode::Weak
+        } else {
+            // Identical by construction of the caller.
+            self
+        }
+    }
+}
+
+fn optimize_pop(p: POp) -> POp {
+    match p {
+        POp::Siblings(items) => {
+            let mut flat = Vec::new();
+            for item in items {
+                match optimize_pop(item) {
+                    POp::Siblings(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            if flat.len() == 1 {
+                flat.pop().expect("one element")
+            } else {
+                POp::Siblings(flat)
+            }
+        }
+        POp::Closest { parent, children } => POp::Closest {
+            parent: Box::new(optimize_pop(*parent)),
+            children: children
+                .into_iter()
+                .flat_map(|c| match optimize_pop(c) {
+                    POp::Siblings(inner) => inner,
+                    other => vec![other],
+                })
+                .collect(),
+        },
+        POp::Children(p) => POp::Children(Box::new(optimize_pop(*p))),
+        POp::Descendants(p) => POp::Descendants(Box::new(optimize_pop(*p))),
+        POp::Drop(p) => POp::Drop(Box::new(optimize_pop(*p))),
+        POp::Restrict(p) => POp::Restrict(Box::new(optimize_pop(*p))),
+        POp::Clone(p) => POp::Clone(Box::new(optimize_pop(*p))),
+        leaf @ (POp::Type(_) | POp::New(_)) => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::lower;
+    use crate::lang::parse;
+
+    fn opt(src: &str) -> String {
+        optimize(lower(&parse(src).unwrap())).to_string()
+    }
+
+    #[test]
+    fn nested_siblings_flatten() {
+        let p = POp::Siblings(vec![
+            POp::Siblings(vec![POp::Type("a".into()), POp::Type("b".into())]),
+            POp::Type("c".into()),
+        ]);
+        assert_eq!(optimize_pop(p).to_string(), "[type(a) type(b) type(c)]");
+    }
+
+    #[test]
+    fn singleton_siblings_unwrap() {
+        let p = POp::Siblings(vec![POp::Type("a".into())]);
+        assert_eq!(optimize_pop(p), POp::Type("a".into()));
+    }
+
+    #[test]
+    fn stacked_identical_casts_collapse() {
+        assert_eq!(
+            opt("CAST-NARROWING CAST-NARROWING MORPH a"),
+            "cast[Narrowing](morph(type(a)))"
+        );
+    }
+
+    #[test]
+    fn weak_cast_absorbs() {
+        assert_eq!(opt("CAST CAST-WIDENING MORPH a"), "cast[Weak](morph(type(a)))");
+    }
+
+    #[test]
+    fn distinct_casts_stay_stacked() {
+        // CAST-NARROWING over CAST-WIDENING admits both classes; the
+        // stack must be preserved (enforcement collects all wrappers).
+        assert_eq!(
+            opt("CAST-NARROWING CAST-WIDENING MORPH a"),
+            "cast[Narrowing](cast[Widening](morph(type(a))))"
+        );
+    }
+
+    #[test]
+    fn nested_type_fill_collapses() {
+        assert_eq!(
+            opt("TYPE-FILL TYPE-FILL MUTATE a"),
+            "typefill(mutate(type(a)))"
+        );
+    }
+
+    #[test]
+    fn structure_otherwise_preserved() {
+        let src = "MORPH author [ name book [ title ] ] | MUTATE (DROP name)";
+        assert_eq!(opt(src), lower(&parse(src).unwrap()).to_string());
+    }
+}

@@ -1,0 +1,103 @@
+//! Early label analysis over algebra trees.
+//!
+//! The paper's two-stage type analysis (§VIII) flows candidate type sets
+//! up the tree, resolves ambiguity at `closest` operators, and pushes the
+//! refined sets back down. In this implementation the up/down resolution
+//! happens during ξ evaluation (where the closest distances live); this
+//! module provides the *static* part: collecting every label a guard
+//! mentions, so mismatches can be reported before evaluation and the
+//! label-to-type report can be primed.
+
+use crate::algebra::{Op, POp};
+
+/// Every label mentioned by the guard, in evaluation order. `NEW` labels
+/// are excluded — they never need to match the source.
+pub fn collect_labels(op: &Op) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_op(op, &mut out);
+    out
+}
+
+fn collect_op(op: &Op, out: &mut Vec<String>) {
+    match op {
+        Op::Compose(a, b) => {
+            collect_op(a, out);
+            collect_op(b, out);
+        }
+        Op::Morph(p) | Op::Mutate(p) => collect_pop(p, out),
+        Op::Translate(d) => {
+            for (from, _) in d {
+                out.push(from.clone());
+            }
+        }
+        Op::Cast(_, g) | Op::TypeFill(g) => collect_op(g, out),
+    }
+}
+
+fn collect_pop(p: &POp, out: &mut Vec<String>) {
+    match p {
+        POp::Type(l) => out.push(l.clone()),
+        POp::Closest { parent, children } => {
+            collect_pop(parent, out);
+            for c in children {
+                collect_pop(c, out);
+            }
+        }
+        POp::Siblings(items) => {
+            for i in items {
+                collect_pop(i, out);
+            }
+        }
+        POp::Children(p) | POp::Descendants(p) | POp::Drop(p) | POp::Restrict(p)
+        | POp::Clone(p) => collect_pop(p, out),
+        POp::New(_) => {}
+    }
+}
+
+/// True when the guard contains a `TYPE-FILL` wrapper at any level above
+/// (or around) its core.
+pub fn has_type_fill(op: &Op) -> bool {
+    match op {
+        Op::TypeFill(_) => true,
+        Op::Cast(_, g) => has_type_fill(g),
+        Op::Compose(a, b) => has_type_fill(a) || has_type_fill(b),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::lower;
+    use crate::lang::parse;
+
+    fn labels(src: &str) -> Vec<String> {
+        collect_labels(&lower(&parse(src).unwrap()))
+    }
+
+    #[test]
+    fn labels_in_order() {
+        assert_eq!(
+            labels("MORPH author [ name book [ title ] ]"),
+            vec!["author", "name", "book", "title"]
+        );
+    }
+
+    #[test]
+    fn new_labels_excluded() {
+        assert_eq!(labels("MUTATE (NEW scribe) [ author ]"), vec!["author"]);
+    }
+
+    #[test]
+    fn translate_sources_included() {
+        assert_eq!(labels("TRANSLATE a -> b, c -> d"), vec!["a", "c"]);
+    }
+
+    #[test]
+    fn type_fill_detected() {
+        assert!(has_type_fill(&lower(
+            &parse("CAST-WIDENING (TYPE-FILL MUTATE a [ b ])").unwrap()
+        )));
+        assert!(!has_type_fill(&lower(&parse("MORPH a").unwrap())));
+    }
+}

@@ -1,0 +1,8 @@
+//! Potential information-loss analysis (§V): the predicted adorned shape,
+//! Theorems 1 and 2, and guard classification.
+
+pub mod loss;
+pub mod quantify;
+
+pub use loss::analyze_loss;
+pub use quantify::{quantify, QuantifiedLoss, TypeQuantity};

@@ -1,0 +1,72 @@
+//! Error type for XMorph guard parsing, analysis, and evaluation.
+
+use crate::report::GuardTyping;
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type MorphResult<T> = Result<T, MorphError>;
+
+/// An error raised while parsing, type-checking, or evaluating a guard.
+#[derive(Debug, Clone)]
+pub enum MorphError {
+    /// A syntax error in the guard program.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset into the guard text.
+        offset: usize,
+    },
+    /// A label in the guard matched no type in the source shape and
+    /// `TYPE-FILL` was not in effect — the paper's *type mismatch*.
+    TypeMismatch {
+        /// The unmatched label.
+        label: String,
+    },
+    /// The guard's typing class is not permitted by the active cast mode
+    /// (by default only strongly-typed guards run).
+    Rejected {
+        /// The class the analysis assigned.
+        typing: GuardTyping,
+        /// What the cast mode allowed.
+        allowed: &'static str,
+    },
+    /// The underlying XML was malformed.
+    Xml(xmorph_xml::XmlError),
+    /// The underlying storage engine failed.
+    Store(xmorph_pagestore::StoreError),
+    /// An internal invariant was violated (a bug).
+    Internal(&'static str),
+}
+
+impl fmt::Display for MorphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorphError::Parse { message, offset } => {
+                write!(f, "guard syntax error at byte {offset}: {message}")
+            }
+            MorphError::TypeMismatch { label } => {
+                write!(f, "type mismatch: label {label:?} matches no type in the source shape")
+            }
+            MorphError::Rejected { typing, allowed } => {
+                write!(f, "guard rejected: transformation is {typing}, but only {allowed} guards are allowed (add a CAST)")
+            }
+            MorphError::Xml(e) => write!(f, "XML error: {e}"),
+            MorphError::Store(e) => write!(f, "storage error: {e}"),
+            MorphError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MorphError {}
+
+impl From<xmorph_xml::XmlError> for MorphError {
+    fn from(e: xmorph_xml::XmlError) -> Self {
+        MorphError::Xml(e)
+    }
+}
+
+impl From<xmorph_pagestore::StoreError> for MorphError {
+    fn from(e: xmorph_pagestore::StoreError) -> Self {
+        MorphError::Store(e)
+    }
+}

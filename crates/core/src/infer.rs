@@ -1,0 +1,152 @@
+//! Guard inference — the paper's second future-work item (§X): *"whether
+//! a guard can be automatically generated from a query"* (their citation
+//! \[24\]).
+//!
+//! The idea: a query's path expressions *are* a shape specification. We
+//! take the set of rooted label paths a query navigates (extracted from
+//! an XQuery by `xmorph-xqlite`'s `query_shape_paths`, or supplied
+//! directly), merge them into a tree, and emit the `MORPH` guard whose
+//! target shape makes every path resolve. Descendant steps (`//x`)
+//! become direct children — shape-polymorphism means the guard can
+//! simply *make* the data look the way the query walks it.
+
+use std::collections::BTreeMap;
+
+/// A label-path trie used to merge query paths into one shape.
+#[derive(Debug, Default)]
+struct Trie {
+    children: BTreeMap<String, Trie>,
+}
+
+impl Trie {
+    fn insert(&mut self, path: &[String]) {
+        if let Some((first, rest)) = path.split_first() {
+            self.children.entry(first.clone()).or_default().insert(rest);
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        let mut first = true;
+        for (label, child) in &self.children {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            out.push_str(label);
+            if !child.children.is_empty() {
+                out.push_str(" [ ");
+                child.render(out);
+                out.push_str(" ]");
+            }
+        }
+    }
+}
+
+/// Build a `MORPH` guard from rooted label paths. Paths are sequences of
+/// element names as a query navigates them, e.g.
+/// `[["author", "name"], ["author", "book", "title"]]`. Returns `None`
+/// for an empty path set.
+///
+/// ```
+/// use xmorph_core::infer::guard_from_paths;
+///
+/// let guard = guard_from_paths(&[
+///     vec!["author".into(), "name".into()],
+///     vec!["author".into(), "book".into(), "title".into()],
+/// ]).unwrap();
+/// assert_eq!(guard, "MORPH author [ book [ title ] name ]");
+/// ```
+pub fn guard_from_paths(paths: &[Vec<String>]) -> Option<String> {
+    let mut trie = Trie::default();
+    let mut any = false;
+    for path in paths {
+        if !path.is_empty() {
+            trie.insert(path);
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut out = String::from("MORPH ");
+    trie.render(&mut out);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::Guard;
+
+    fn paths(specs: &[&str]) -> Vec<Vec<String>> {
+        specs
+            .iter()
+            .map(|s| s.split('/').map(|x| x.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn single_path() {
+        assert_eq!(
+            guard_from_paths(&paths(&["author/name"])).unwrap(),
+            "MORPH author [ name ]"
+        );
+    }
+
+    #[test]
+    fn merged_paths_share_prefixes() {
+        assert_eq!(
+            guard_from_paths(&paths(&["author/name", "author/book/title", "author/book/year"]))
+                .unwrap(),
+            "MORPH author [ book [ title year ] name ]"
+        );
+    }
+
+    #[test]
+    fn multiple_roots() {
+        assert_eq!(
+            guard_from_paths(&paths(&["author/name", "editor/name"])).unwrap(),
+            "MORPH author [ name ] editor [ name ]"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(guard_from_paths(&[]), None);
+        assert_eq!(guard_from_paths(&[vec![]]), None);
+    }
+
+    #[test]
+    fn duplicate_paths_deduplicate() {
+        assert_eq!(
+            guard_from_paths(&paths(&["a/b", "a/b", "a"])).unwrap(),
+            "MORPH a [ b ]"
+        );
+    }
+
+    #[test]
+    fn inferred_guards_parse() {
+        for specs in [
+            vec!["author/name"],
+            vec!["author/name", "author/book/title"],
+            vec!["a/b/c/d", "a/x", "q"],
+        ] {
+            let guard = guard_from_paths(&paths(&specs)).unwrap();
+            Guard::parse(&guard).unwrap_or_else(|e| panic!("{guard}: {e}"));
+        }
+    }
+
+    #[test]
+    fn inferred_guard_runs_end_to_end() {
+        // The §I scenario, fully automatic: infer the guard from the
+        // query's paths, then transform book-rooted data.
+        let guard_text = guard_from_paths(&paths(&["author/name", "author/book/title"])).unwrap();
+        let guard = Guard::parse(&guard_text).unwrap();
+        let data = "<data>\
+            <book><title>X</title><author><name>Tim</name></author></book>\
+            </data>";
+        let out = guard.apply_to_str(data).unwrap();
+        assert!(out.xml.contains("<author>"), "{}", out.xml);
+        assert!(out.xml.contains("<book><title>X</title></book>"), "{}", out.xml);
+    }
+}

@@ -1,0 +1,180 @@
+//! Abstract syntax of XMorph 2.0 guards.
+
+use std::fmt;
+
+/// A complete guard program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// `MORPH shape` — the output uses *only* the types in the shape.
+    Morph(Pattern),
+    /// `MUTATE shape` — rearrange the entire source shape; unmentioned
+    /// types keep their relative positions.
+    Mutate(Pattern),
+    /// `TRANSLATE a -> b, c -> d` — rename types.
+    Translate(Vec<(String, String)>),
+    /// `g1 | g2` (or `COMPOSE g1, g2`) — pipe the first guard's shape
+    /// into the second.
+    Compose(Box<Ast>, Box<Ast>),
+    /// `CAST g` / `CAST-NARROWING g` / `CAST-WIDENING g` — loosen the
+    /// typing discipline for the wrapped guard.
+    Cast(CastMode, Box<Ast>),
+    /// `TYPE-FILL g` — labels matching no source type become NEW types
+    /// instead of raising a type mismatch.
+    TypeFill(Box<Ast>),
+}
+
+/// Which guard typings a `CAST` admits (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CastMode {
+    /// `CAST` — allow weakly-typed guards (anything but a mismatch).
+    Weak,
+    /// `CAST-NARROWING` — additionally allow narrowing guards.
+    Narrowing,
+    /// `CAST-WIDENING` — additionally allow widening guards.
+    Widening,
+}
+
+/// A shape pattern: a sequence of sibling items.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Pattern {
+    /// Sibling items, in source order.
+    pub items: Vec<Item>,
+}
+
+impl Pattern {
+    /// A pattern with a single item.
+    pub fn single(item: Item) -> Pattern {
+        Pattern { items: vec![item] }
+    }
+
+    /// True when no items (an empty `[ ]`).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// One pattern item: a head plus optional child pattern and
+/// children/descendants markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// What the item selects or constructs.
+    pub head: Head,
+    /// The bracketed child pattern (empty when absent).
+    pub children: Pattern,
+    /// `[*]` marker or `CHILDREN` keyword: include the source children.
+    pub include_children: bool,
+    /// `[**]` marker or `DESCENDANTS` keyword: include the source
+    /// subtree.
+    pub include_descendants: bool,
+    /// `!label` prefix. Parsed for §I's example guard; semantically a
+    /// plain label (the paper gives `!` no distinct semantics).
+    pub pinned: bool,
+}
+
+impl Item {
+    /// A bare-label item.
+    pub fn label(name: &str) -> Item {
+        Item {
+            head: Head::Label(name.to_string()),
+            children: Pattern::default(),
+            include_children: false,
+            include_descendants: false,
+            pinned: false,
+        }
+    }
+}
+
+/// The head of a pattern item.
+///
+/// Note on arity: the surface grammar gives `DROP`, `RESTRICT`, and
+/// `CLONE` a *single* item operand (every paper example is single), so
+/// the parser always builds singleton patterns here; the `Pattern` type
+/// is kept for programmatic construction, but multi-item operand
+/// patterns have no surface syntax and will not `Display`-round-trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Head {
+    /// A label selecting source types by name (possibly dotted).
+    Label(String),
+    /// `DROP shape` — remove the matched types (inside `MUTATE`).
+    Drop(Pattern),
+    /// `RESTRICT shape` — keep only the shape's root types, filtered to
+    /// instances that have closest matches for the rest of the shape.
+    Restrict(Pattern),
+    /// `NEW label` — introduce a brand-new type.
+    New(String),
+    /// `CLONE shape` — duplicate the matched types as distinct types.
+    Clone(Pattern),
+}
+
+impl fmt::Display for Ast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ast::Morph(p) => write!(f, "MORPH {p}"),
+            Ast::Mutate(p) => write!(f, "MUTATE {p}"),
+            Ast::Translate(renames) => {
+                write!(f, "TRANSLATE ")?;
+                for (i, (a, b)) in renames.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a} -> {b}")?;
+                }
+                Ok(())
+            }
+            // `|` right-associates and CAST binds loosest, so a compose
+            // whose LEFT operand is itself a compose/cast/typefill needs
+            // the keyword form to round-trip.
+            Ast::Compose(a, b) => match **a {
+                Ast::Compose(..) | Ast::Cast(..) | Ast::TypeFill(..) => {
+                    write!(f, "COMPOSE {a}, {b}")
+                }
+                _ => write!(f, "{a} | {b}"),
+            },
+            Ast::Cast(CastMode::Weak, g) => write!(f, "CAST ({g})"),
+            Ast::Cast(CastMode::Narrowing, g) => write!(f, "CAST-NARROWING ({g})"),
+            Ast::Cast(CastMode::Widening, g) => write!(f, "CAST-WIDENING ({g})"),
+            Ast::TypeFill(g) => write!(f, "TYPE-FILL ({g})"),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pinned {
+            write!(f, "!")?;
+        }
+        match &self.head {
+            Head::Label(l) => write!(f, "{l}")?,
+            Head::Drop(p) => write!(f, "(DROP {p})")?,
+            Head::Restrict(p) => write!(f, "(RESTRICT {p})")?,
+            Head::New(l) => write!(f, "(NEW {l})")?,
+            Head::Clone(p) => write!(f, "(CLONE {p})")?,
+        }
+        let mut inner: Vec<String> = Vec::new();
+        if self.include_children {
+            inner.push("*".to_string());
+        }
+        if self.include_descendants {
+            inner.push("**".to_string());
+        }
+        for item in &self.children.items {
+            inner.push(item.to_string());
+        }
+        if !inner.is_empty() {
+            write!(f, " [ {} ]", inner.join(" "))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,8 @@
+//! The XMorph 2.0 surface language (§III): lexer, AST, parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Ast, CastMode, Head, Item, Pattern};
+pub use parser::parse;

@@ -1,0 +1,68 @@
+//! # xmorph-core
+//!
+//! A full reproduction of **XMorph 2.0**, the shape-polymorphic XML
+//! transformation language of *Querying XML Data: As You Shape It*
+//! (Dyreson & Bhowmick, ICDE 2012).
+//!
+//! XMorph lets a query carry a *query guard*: a declarative description of
+//! the shape the query needs. Evaluating the guard (1) transforms the
+//! source data into that shape — whatever shape the source happens to have
+//! — and (2) statically classifies whether the transformation potentially
+//! loses or manufactures information, *before* touching the data.
+//!
+//! The crate mirrors the paper's architecture (Fig. 8):
+//!
+//! * [`model`] — the formal data model (§IV): root-path types, adorned
+//!   shapes with cardinalities, the closest graph and `typeDistance`.
+//! * [`lang`] — lexer, AST, and parser for the XMorph 2.0 surface syntax
+//!   (§III): `MORPH`, `MUTATE`, `DROP`, `TRANSLATE`, `RESTRICT`, `NEW`,
+//!   `CLONE`, `CHILDREN`/`[*]`, `DESCENDANTS`/`[**]`, `COMPOSE`/`|`, and
+//!   the `CAST-*` / `TYPE-FILL` type-enforcement wrappers.
+//! * [`algebra`] — the operator algebra programs compile to (§VIII).
+//! * [`semantics`] — the denotational shape-to-shape semantics ξ (§VI).
+//! * [`analysis`] — path cardinalities, the predicted adorned shape, and
+//!   the information-loss theorems (§V): inclusive / non-additive checks
+//!   and the narrowing/widening/strong/weak guard classification.
+//! * [`store`] — the shredder and shredded document tables (`Nodes`,
+//!   `TypeToSequence`, `AdornedShapes`) over `xmorph-pagestore`, plus the
+//!   exact data-backed `typeDistance`.
+//! * [`render`] — the Render algorithm (§VII): Dewey-prefix closest joins,
+//!   streaming document-order output.
+//! * [`guard`] — the high-level [`Guard`] API tying it all together.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xmorph_core::Guard;
+//!
+//! // The paper's Figure 1(a): book-rooted data.
+//! let data = "<data>\
+//!   <book><title>X</title><author><name>Tim</name></author></book>\
+//!   <book><title>Y</title><author><name>Tim</name></author></book>\
+//! </data>";
+//!
+//! // A guard asking for author-rooted data.
+//! let guard = Guard::parse("MORPH author [ name book [ title ] ]").unwrap();
+//! let out = guard.apply_to_str(data).unwrap();
+//! assert!(out.xml.contains("<name>Tim</name>"));
+//! ```
+
+pub mod algebra;
+pub mod analysis;
+pub mod error;
+pub mod guard;
+pub mod infer;
+pub mod lang;
+pub mod model;
+pub mod render;
+pub mod report;
+pub mod semantics;
+pub mod store;
+
+pub use error::{MorphError, MorphResult};
+pub use guard::{Guard, GuardAnalysis, GuardOutput};
+pub use model::card::{Card, CardMax};
+pub use model::shape::AdornedShape;
+pub use model::types::{TypeId, TypeTable};
+pub use report::{GuardTyping, LabelReport, LossReport};
+pub use store::shredded::ShreddedDoc;

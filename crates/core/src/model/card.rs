@@ -1,0 +1,216 @@
+//! Cardinality ranges `n..m` adorning shape edges (Def. 3) and the
+//! saturating arithmetic used by path cardinalities (Def. 6).
+
+use std::fmt;
+
+/// Upper bound of a cardinality range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CardMax {
+    /// A finite maximum.
+    Finite(u64),
+    /// Unbounded (`*`): the paper's `m` when no finite bound holds.
+    Many,
+}
+
+impl CardMax {
+    fn mul(self, other: CardMax) -> CardMax {
+        match (self, other) {
+            // 0 absorbs even an unbounded factor: no parents ⇒ no children.
+            (CardMax::Finite(0), _) | (_, CardMax::Finite(0)) => CardMax::Finite(0),
+            (CardMax::Many, _) | (_, CardMax::Many) => CardMax::Many,
+            (CardMax::Finite(a), CardMax::Finite(b)) => match a.checked_mul(b) {
+                Some(v) => CardMax::Finite(v),
+                None => CardMax::Many,
+            },
+        }
+    }
+}
+
+impl PartialOrd for CardMax {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CardMax {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (CardMax::Many, CardMax::Many) => std::cmp::Ordering::Equal,
+            (CardMax::Many, _) => std::cmp::Ordering::Greater,
+            (_, CardMax::Many) => std::cmp::Ordering::Less,
+            (CardMax::Finite(a), CardMax::Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+/// A cardinality range `min..max`: for an edge `(t, u)`, the minimum and
+/// maximum number of `u`-children under any `t`-parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Card {
+    /// Minimum count.
+    pub min: u64,
+    /// Maximum count.
+    pub max: CardMax,
+}
+
+impl Card {
+    /// The range `n..m`.
+    pub fn new(min: u64, max: CardMax) -> Card {
+        Card { min, max }
+    }
+
+    /// The exact range `n..n`.
+    pub fn exactly(n: u64) -> Card {
+        Card { min: n, max: CardMax::Finite(n) }
+    }
+
+    /// `1..1` — the multiplicative identity (and the paper's "up the
+    /// shape" cardinality).
+    pub fn one() -> Card {
+        Card::exactly(1)
+    }
+
+    /// `0..0` — the leaf-boundary edge cardinality.
+    pub fn zero() -> Card {
+        Card::exactly(0)
+    }
+
+    /// `min..*`.
+    pub fn at_least(min: u64) -> Card {
+        Card { min, max: CardMax::Many }
+    }
+
+    /// Pointwise product — how cardinalities compose along a path
+    /// (Def. 6): `pathCard = (n1·…·nk) .. (m1·…·mk)`. Also available as
+    /// the `*` operator.
+    #[allow(clippy::should_implement_trait)] // std::ops::Mul is implemented below; the named form reads better at call sites
+    pub fn mul(self, other: Card) -> Card {
+        Card { min: self.min.saturating_mul(other.min), max: self.max.mul(other.max) }
+    }
+
+    /// True when the minimum is zero (some parent has no such child).
+    pub fn min_is_zero(self) -> bool {
+        self.min == 0
+    }
+
+    /// Widen this range to contain `other` (used when merging parallel
+    /// paths or clones).
+    pub fn union(self, other: Card) -> Card {
+        Card { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Encode as 17 bytes for persistence.
+    pub fn to_bytes(self) -> [u8; 17] {
+        let mut out = [0u8; 17];
+        out[..8].copy_from_slice(&self.min.to_le_bytes());
+        match self.max {
+            CardMax::Finite(m) => {
+                out[8] = 0;
+                out[9..17].copy_from_slice(&m.to_le_bytes());
+            }
+            CardMax::Many => out[8] = 1,
+        }
+        out
+    }
+
+    /// Inverse of [`Card::to_bytes`].
+    pub fn from_bytes(b: &[u8]) -> Option<Card> {
+        if b.len() < 17 {
+            return None;
+        }
+        let min = u64::from_le_bytes(b[..8].try_into().ok()?);
+        let max = match b[8] {
+            0 => CardMax::Finite(u64::from_le_bytes(b[9..17].try_into().ok()?)),
+            1 => CardMax::Many,
+            _ => return None,
+        };
+        Some(Card { min, max })
+    }
+}
+
+impl std::ops::Mul for Card {
+    type Output = Card;
+
+    fn mul(self, rhs: Card) -> Card {
+        Card::mul(self, rhs)
+    }
+}
+
+impl fmt::Display for Card {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            CardMax::Finite(m) => write!(f, "{}..{}", self.min, m),
+            CardMax::Many => write!(f, "{}..*", self.min),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Card::exactly(1).to_string(), "1..1");
+        assert_eq!(Card::new(1, CardMax::Finite(2)).to_string(), "1..2");
+        assert_eq!(Card::at_least(0).to_string(), "0..*");
+    }
+
+    #[test]
+    fn one_is_identity() {
+        let c = Card::new(2, CardMax::Finite(5));
+        assert_eq!(c.mul(Card::one()), c);
+        assert_eq!(Card::one().mul(c), c);
+    }
+
+    #[test]
+    fn zero_absorbs() {
+        let c = Card::new(2, CardMax::Many);
+        let z = Card::zero();
+        assert_eq!(c.mul(z), Card::zero());
+    }
+
+    #[test]
+    fn zero_min_propagates() {
+        // 0..2 × 1..3 = 0..6 — minimum zero survives multiplication.
+        let a = Card::new(0, CardMax::Finite(2));
+        let b = Card::new(1, CardMax::Finite(3));
+        assert_eq!(a.mul(b), Card::new(0, CardMax::Finite(6)));
+    }
+
+    #[test]
+    fn many_propagates_unless_zeroed() {
+        let many = Card::at_least(1);
+        let two = Card::exactly(2);
+        assert_eq!(many.mul(two), Card::new(2, CardMax::Many));
+        assert_eq!(many.mul(Card::zero()), Card::zero());
+    }
+
+    #[test]
+    fn overflow_saturates_to_many() {
+        let big = Card::exactly(u64::MAX / 2);
+        let r = big.mul(Card::exactly(4));
+        assert_eq!(r.max, CardMax::Many);
+    }
+
+    #[test]
+    fn max_ordering() {
+        assert!(CardMax::Finite(5) < CardMax::Many);
+        assert!(CardMax::Finite(5) < CardMax::Finite(6));
+        assert_eq!(CardMax::Many.max(CardMax::Finite(9)), CardMax::Many);
+    }
+
+    #[test]
+    fn union_widens() {
+        let a = Card::new(1, CardMax::Finite(2));
+        let b = Card::new(0, CardMax::Finite(7));
+        assert_eq!(a.union(b), Card::new(0, CardMax::Finite(7)));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        for c in [Card::one(), Card::zero(), Card::at_least(3), Card::new(2, CardMax::Finite(9))] {
+            assert_eq!(Card::from_bytes(&c.to_bytes()), Some(c));
+        }
+    }
+}

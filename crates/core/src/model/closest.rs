@@ -1,0 +1,219 @@
+//! The closest graph (Def. 1) and closest relation (Def. 2).
+//!
+//! The closest graph relates every pair of vertices whose tree distance
+//! equals the *type distance* — the minimum distance over all vertex
+//! pairs of those two types. This module materializes the graph for
+//! in-memory documents (O(n²), used by examples, tests, and the
+//! theorem-validation property tests; the renderer never materializes it,
+//! exactly as §VII prescribes) and computes the exact, data-backed
+//! `typeDistance`.
+
+use crate::model::types::{TypeId, TypeTable};
+use std::collections::{BTreeMap, BTreeSet};
+use xmorph_xml::dewey::Dewey;
+use xmorph_xml::dom::Document;
+
+/// A materialized closest graph over Dewey-identified vertices. Edges are
+/// undirected and stored with endpoints ordered (`a < b`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClosestGraph {
+    /// All vertices.
+    pub vertices: BTreeSet<Dewey>,
+    /// Undirected closest edges, endpoints ordered.
+    pub edges: BTreeSet<(Dewey, Dewey)>,
+}
+
+impl ClosestGraph {
+    /// Closest-graph subset (Def. 5): `self ⊆ other` iff both the vertex
+    /// and edge sets are subsets.
+    pub fn is_subset_of(&self, other: &ClosestGraph) -> bool {
+        self.vertices.is_subset(&other.vertices) && self.edges.is_subset(&other.edges)
+    }
+
+    /// Number of closest edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges present in `self` but not `other` (diagnostics).
+    pub fn edges_missing_from(&self, other: &ClosestGraph) -> Vec<(Dewey, Dewey)> {
+        self.edges.difference(&other.edges).cloned().collect()
+    }
+}
+
+/// The typed vertex list of a document: each element (and attribute — but
+/// attributes are already elements in our model builders) with its type
+/// and Dewey number.
+pub fn typed_vertices(doc: &Document) -> (TypeTable, Vec<(Dewey, TypeId)>) {
+    let mut types = TypeTable::new();
+    let mut out = Vec::new();
+    for (node, dewey) in doc.dewey_map() {
+        let path = doc.root_path(node);
+        let id = types.intern(&path);
+        out.push((dewey.clone(), id));
+        // Attributes become child vertices `@name`, numbered after the
+        // element children (order does not affect distances).
+        for (i, (attr, _)) in doc.attrs(node).iter().enumerate() {
+            let mut apath = path.clone();
+            apath.push(format!("@{attr}"));
+            let aid = types.intern(&apath);
+            let ord = doc.children(node).count() as u32 + 1 + i as u32;
+            out.push((dewey.child(ord), aid));
+        }
+    }
+    (types, out)
+}
+
+/// Exact `typeDistance` for every pair of types present, computed by
+/// brute force over the vertex list — O(n²), small documents only.
+pub fn type_distances(vertices: &[(Dewey, TypeId)]) -> BTreeMap<(TypeId, TypeId), usize> {
+    let mut out: BTreeMap<(TypeId, TypeId), usize> = BTreeMap::new();
+    for (i, (da, ta)) in vertices.iter().enumerate() {
+        for (db, tb) in &vertices[i..] {
+            let d = da.distance(db);
+            let key = if ta <= tb { (*ta, *tb) } else { (*tb, *ta) };
+            match out.get_mut(&key) {
+                Some(best) => {
+                    if d < *best {
+                        *best = d;
+                    }
+                }
+                None => {
+                    out.insert(key, d);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Materialize the closest graph of a document (Defs. 1–2). Self-pairs
+/// (`v == v`) are excluded; distinct same-type pairs participate like any
+/// other pair.
+pub fn closest_graph(doc: &Document) -> ClosestGraph {
+    let (_, vertices) = typed_vertices(doc);
+    closest_graph_of(&vertices)
+}
+
+/// Materialize the closest graph of a typed vertex list.
+pub fn closest_graph_of(vertices: &[(Dewey, TypeId)]) -> ClosestGraph {
+    let dist = type_distances(vertices);
+    let mut graph = ClosestGraph::default();
+    for (d, _) in vertices {
+        graph.vertices.insert(d.clone());
+    }
+    for (i, (da, ta)) in vertices.iter().enumerate() {
+        for (db, tb) in &vertices[i + 1..] {
+            let key = if ta <= tb { (*ta, *tb) } else { (*tb, *ta) };
+            if da.distance(db) == dist[&key] {
+                let (x, y) = if da <= db { (da.clone(), db.clone()) } else { (db.clone(), da.clone()) };
+                graph.edges.insert((x, y));
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1a() -> Document {
+        Document::parse_str(
+            "<data>\
+               <book><title>X</title><author><name>Tim</name></author><publisher><name>W</name></publisher></book>\
+               <book><title>Y</title><author><name>Tim</name></author><publisher><name>V</name></publisher></book>\
+             </data>",
+        )
+        .unwrap()
+    }
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_closest_example() {
+        // §VII: publisher 1.1.3 is closest to title 1.1.1 (distance 2 =
+        // typeDistance) but not to title 1.2.1 (distance 4).
+        let g = closest_graph(&fig1a());
+        assert!(g.edges.contains(&(d("1.1.1"), d("1.1.3"))));
+        assert!(!g.edges.contains(&(d("1.1.3"), d("1.2.1"))));
+        assert!(!g.edges.contains(&(d("1.2.1"), d("1.1.3"))));
+    }
+
+    #[test]
+    fn parent_child_pairs_are_closest() {
+        let g = closest_graph(&fig1a());
+        // book 1.1 — title 1.1.1 at distance 1 = typeDistance(book,title).
+        assert!(g.edges.contains(&(d("1.1"), d("1.1.1"))));
+        // author 1.1.2 — name 1.1.2.1.
+        assert!(g.edges.contains(&(d("1.1.2"), d("1.1.2.1"))));
+    }
+
+    #[test]
+    fn same_type_pairs_never_closest() {
+        // Def. 2 ranges over all vertex pairs including v = w, so
+        // typeDistance(t, t) = 0; two *distinct* books at distance 2 are
+        // therefore never closest.
+        let g = closest_graph(&fig1a());
+        assert!(!g.edges.contains(&(d("1.1"), d("1.2"))));
+    }
+
+    #[test]
+    fn type_distance_exact_values() {
+        let (types, vertices) = typed_vertices(&fig1a());
+        let dist = type_distances(&vertices);
+        let find = |dotted: &str| {
+            let path: Vec<String> = dotted.split('.').map(|s| s.to_string()).collect();
+            types.lookup(&path).unwrap()
+        };
+        let title = find("data.book.title");
+        let publisher = find("data.book.publisher");
+        let author_name = find("data.book.author.name");
+        let key = |a: TypeId, b: TypeId| if a <= b { (a, b) } else { (b, a) };
+        assert_eq!(dist[&key(title, publisher)], 2);
+        assert_eq!(dist[&key(publisher, author_name)], 3);
+        assert_eq!(dist[&key(title, title)], 0);
+    }
+
+    #[test]
+    fn co_occurrence_failure_raises_distance() {
+        // author and editor never share a book, so their true distance is
+        // 4 (via <data>), not the guide distance 2 (via <book>).
+        let doc = Document::parse_str(
+            "<data><book><author/></book><book><editor/></book></data>",
+        )
+        .unwrap();
+        let (types, vertices) = typed_vertices(&doc);
+        let dist = type_distances(&vertices);
+        let author = types.lookup(&["data".into(), "book".into(), "author".into()]).unwrap();
+        let editor = types.lookup(&["data".into(), "book".into(), "editor".into()]).unwrap();
+        let key = if author <= editor { (author, editor) } else { (editor, author) };
+        assert_eq!(dist[&key], 4);
+        // The guide distance is the (wrong, here) lower bound.
+        assert_eq!(types.guide_distance(author, editor), Some(2));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let g = closest_graph(&fig1a());
+        let mut smaller = g.clone();
+        let first_edge = smaller.edges.iter().next().cloned().unwrap();
+        smaller.edges.remove(&first_edge);
+        assert!(smaller.is_subset_of(&g));
+        assert!(!g.is_subset_of(&smaller));
+        assert_eq!(g.edges_missing_from(&smaller), vec![first_edge]);
+    }
+
+    #[test]
+    fn attributes_join_the_graph() {
+        let doc = Document::parse_str(r#"<d><a id="7"><b/></a></d>"#).unwrap();
+        let (types, vertices) = typed_vertices(&doc);
+        assert!(types
+            .lookup(&["d".into(), "a".into(), "@id".into()])
+            .is_some());
+        // Vertices: d, a, b, @id.
+        assert_eq!(vertices.len(), 4);
+    }
+}

@@ -1,0 +1,7 @@
+//! The formal data model of §IV: types, cardinalities, adorned shapes,
+//! and the closest graph.
+
+pub mod card;
+pub mod closest;
+pub mod shape;
+pub mod types;

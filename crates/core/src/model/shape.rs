@@ -1,0 +1,454 @@
+//! Adorned shapes (Def. 3): the data guide of a collection, with each
+//! parent/child type edge adorned by a cardinality range.
+
+use crate::model::card::{Card, CardMax};
+use crate::model::types::{TypeId, TypeTable};
+use std::collections::HashMap;
+use std::fmt;
+use xmorph_xml::dom::Document;
+
+/// The adorned shape of a data collection: a forest over root-path types
+/// where the edge into each type `u` carries `n..m` — the minimum and
+/// maximum number of `u`-children under any parent instance.
+#[derive(Debug, Clone)]
+pub struct AdornedShape {
+    types: TypeTable,
+    /// Cardinality of the edge from `parent(t)` into `t` (indexed by
+    /// `TypeId`). Root types carry `1..1`.
+    edge_card: Vec<Card>,
+    /// Children of each type, in first-encounter order.
+    children: Vec<Vec<TypeId>>,
+    roots: Vec<TypeId>,
+    /// Instance count of each type in the collection.
+    counts: Vec<u64>,
+}
+
+impl AdornedShape {
+    /// Build the shape of a parsed document.
+    pub fn from_document(doc: &Document) -> AdornedShape {
+        let mut b = ShapeBuilder::new();
+        if let Some(root) = doc.root_element() {
+            build_rec(doc, root, &mut b);
+        }
+        b.finish()
+    }
+
+    /// Start an event-driven builder (used by the shredder).
+    pub fn builder() -> ShapeBuilder {
+        ShapeBuilder::new()
+    }
+
+    /// The interned type table.
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// Cardinality of the edge from `t`'s parent into `t`.
+    pub fn card(&self, t: TypeId) -> Card {
+        self.edge_card[t.index()]
+    }
+
+    /// Child types of `t`.
+    pub fn children(&self, t: TypeId) -> &[TypeId] {
+        &self.children[t.index()]
+    }
+
+    /// Root types (no incoming edge) — the paper's `roots(S)`.
+    pub fn roots(&self) -> &[TypeId] {
+        &self.roots
+    }
+
+    /// All types — the paper's `types(S)`.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> {
+        self.types.ids()
+    }
+
+    /// Number of instances of `t` in the collection.
+    pub fn instance_count(&self, t: TypeId) -> u64 {
+        self.counts[t.index()]
+    }
+
+    /// Total number of vertices in the collection.
+    pub fn total_instances(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Override the cardinality of `t`'s incoming edge — used by tests to
+    /// model hypotheticals (the paper's "suppose the name of an author is
+    /// optional" example in §V-B).
+    pub fn set_card(&mut self, t: TypeId, card: Card) {
+        self.edge_card[t.index()] = card;
+    }
+
+    /// Path cardinality (Def. 6): from `t` to `s`, travel up from `t` to
+    /// the least common ancestor (`1..1` per step) and multiply the edge
+    /// cardinalities going down to `s`. Returns `None` when the two types
+    /// share no root.
+    pub fn path_card(&self, t: TypeId, s: TypeId) -> Option<Card> {
+        let lcp = self.types.common_prefix_len(t, s);
+        if lcp == 0 {
+            return None;
+        }
+        // Walk from `s` up to the LCA, multiplying edge cards.
+        let mut card = Card::one();
+        let mut cur = s;
+        while self.types.dewey_len(cur) > lcp {
+            card = card.mul(self.card(cur));
+            cur = self.types.parent(cur).expect("above-LCA type has a parent");
+        }
+        Some(card)
+    }
+
+    /// Serialize (type table + cards + counts).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let tbytes = self.types.to_bytes();
+        out.extend_from_slice(&(tbytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&tbytes);
+        for i in 0..self.types.len() {
+            out.extend_from_slice(&self.edge_card[i].to_bytes());
+            out.extend_from_slice(&self.counts[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`AdornedShape::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<AdornedShape> {
+        let tlen = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+        let types = TypeTable::from_bytes(bytes.get(4..4 + tlen)?)?;
+        let mut off = 4 + tlen;
+        let mut edge_card = Vec::with_capacity(types.len());
+        let mut counts = Vec::with_capacity(types.len());
+        for _ in 0..types.len() {
+            edge_card.push(Card::from_bytes(bytes.get(off..off + 17)?)?);
+            off += 17;
+            counts.push(u64::from_le_bytes(bytes.get(off..off + 8)?.try_into().ok()?));
+            off += 8;
+        }
+        Some(Self::assemble(types, edge_card, counts))
+    }
+
+    fn assemble(types: TypeTable, edge_card: Vec<Card>, counts: Vec<u64>) -> AdornedShape {
+        let mut children: Vec<Vec<TypeId>> = vec![Vec::new(); types.len()];
+        let mut roots = Vec::new();
+        for id in types.ids() {
+            match types.parent(id) {
+                Some(p) => children[p.index()].push(id),
+                None => roots.push(id),
+            }
+        }
+        AdornedShape { types, edge_card, children, roots, counts }
+    }
+}
+
+impl fmt::Display for AdornedShape {
+    /// Pretty-print the shape tree with cardinalities, matching the
+    /// paper's Figure 5 presentation, e.g.:
+    /// ```text
+    /// data
+    ///   book 1..2
+    ///     title 1..1
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(
+            shape: &AdornedShape,
+            t: TypeId,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            for _ in 0..depth {
+                write!(f, "  ")?;
+            }
+            if depth == 0 {
+                writeln!(f, "{}", shape.types.name(t))?;
+            } else {
+                writeln!(f, "{} {}", shape.types.name(t), shape.card(t))?;
+            }
+            for &c in shape.children(t) {
+                rec(shape, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        for &r in &self.roots {
+            rec(self, r, 0, f)?;
+        }
+        Ok(())
+    }
+}
+
+fn build_rec(doc: &Document, node: xmorph_xml::NodeId, b: &mut ShapeBuilder) {
+    b.open(doc.name(node));
+    for (attr, _) in doc.attrs(node) {
+        b.attribute(attr);
+    }
+    for child in doc.children(node) {
+        build_rec(doc, child, b);
+    }
+    b.close();
+}
+
+struct Frame {
+    type_id: TypeId,
+    child_counts: HashMap<TypeId, u64>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct EdgeStat {
+    /// Number of parent instances with at least one such child.
+    parents_with: u64,
+    min_nonzero: u64,
+    max: u64,
+}
+
+/// Event-driven shape builder: `open`/`attribute`/`close` mirror a SAX
+/// stream. The same builder serves DOM construction and the streaming
+/// shredder.
+pub struct ShapeBuilder {
+    types: TypeTable,
+    stack: Vec<Frame>,
+    edges: HashMap<TypeId, EdgeStat>,
+    counts: HashMap<TypeId, u64>,
+    roots: Vec<TypeId>,
+}
+
+impl Default for ShapeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShapeBuilder {
+    /// Fresh builder.
+    pub fn new() -> ShapeBuilder {
+        ShapeBuilder {
+            types: TypeTable::new(),
+            stack: Vec::new(),
+            edges: HashMap::new(),
+            counts: HashMap::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Enter an element named `name`; returns its type.
+    pub fn open(&mut self, name: &str) -> TypeId {
+        let type_id = match self.stack.last() {
+            Some(frame) => {
+                let parent = frame.type_id;
+                self.types.intern_child(parent, name)
+            }
+            None => {
+                let id = self.types.intern(&[name.to_string()]);
+                if !self.roots.contains(&id) {
+                    self.roots.push(id);
+                }
+                id
+            }
+        };
+        if let Some(frame) = self.stack.last_mut() {
+            *frame.child_counts.entry(type_id).or_insert(0) += 1;
+        }
+        *self.counts.entry(type_id).or_insert(0) += 1;
+        self.stack.push(Frame { type_id, child_counts: HashMap::new() });
+        type_id
+    }
+
+    /// Record an attribute vertex on the currently open element. Typed as
+    /// a child with name `@attr` (paper §IV counts attributes as
+    /// vertices).
+    pub fn attribute(&mut self, name: &str) -> TypeId {
+        let id = self.open(&format!("@{name}"));
+        self.close();
+        id
+    }
+
+    /// Leave the current element, folding its child counts into the edge
+    /// statistics.
+    pub fn close(&mut self) {
+        let frame = self.stack.pop().expect("close without open");
+        for (child_type, count) in frame.child_counts {
+            let stat = self.edges.entry(child_type).or_default();
+            stat.parents_with += 1;
+            stat.max = stat.max.max(count);
+            stat.min_nonzero =
+                if stat.parents_with == 1 { count } else { stat.min_nonzero.min(count) };
+        }
+    }
+
+    /// Current type on top of the stack (for the shredder).
+    pub fn current_type(&self) -> Option<TypeId> {
+        self.stack.last().map(|f| f.type_id)
+    }
+
+    /// The (partially built) type table.
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// Finalize into an [`AdornedShape`]. Panics if elements remain open.
+    pub fn finish(self) -> AdornedShape {
+        assert!(self.stack.is_empty(), "finish() with open elements");
+        let n = self.types.len();
+        let mut edge_card = vec![Card::one(); n];
+        let mut counts = vec![0u64; n];
+        for id in self.types.ids() {
+            counts[id.index()] = self.counts.get(&id).copied().unwrap_or(0);
+            if let Some(parent) = self.types.parent(id) {
+                let stat = self.edges.get(&id).copied().unwrap_or_default();
+                let parent_instances = self.counts.get(&parent).copied().unwrap_or(0);
+                let min = if stat.parents_with < parent_instances { 0 } else { stat.min_nonzero };
+                edge_card[id.index()] = Card::new(min, CardMax::Finite(stat.max));
+            }
+        }
+        AdornedShape::assemble(self.types, edge_card, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 1(a).
+    fn fig1a() -> Document {
+        Document::parse_str(
+            "<data>\
+               <book><title>X</title><author><name>Tim</name></author><publisher><name>W</name></publisher></book>\
+               <book><title>Y</title><author><name>Tim</name></author><publisher><name>V</name></publisher></book>\
+             </data>",
+        )
+        .unwrap()
+    }
+
+    /// Paper Figure 1(c): normalized, author-grouped.
+    fn fig1c() -> Document {
+        Document::parse_str(
+            "<data>\
+               <author><name>Tim</name>\
+                 <book><title>X</title><publisher><name>W</name></publisher></book>\
+                 <book><title>Y</title><publisher><name>V</name></publisher></book>\
+               </author>\
+             </data>",
+        )
+        .unwrap()
+    }
+
+    fn ty(shape: &AdornedShape, dotted: &str) -> TypeId {
+        let path: Vec<String> = dotted.split('.').map(|s| s.to_string()).collect();
+        shape.types().lookup(&path).unwrap_or_else(|| panic!("no type {dotted}"))
+    }
+
+    #[test]
+    fn fig1a_shape_cards() {
+        let shape = AdornedShape::from_document(&fig1a());
+        // Two books under one data: 2..2.
+        assert_eq!(shape.card(ty(&shape, "data.book")), Card::exactly(2));
+        // Each book has exactly one title/author/publisher.
+        assert_eq!(shape.card(ty(&shape, "data.book.title")), Card::one());
+        assert_eq!(shape.card(ty(&shape, "data.book.author.name")), Card::one());
+        assert_eq!(shape.instance_count(ty(&shape, "data.book")), 2);
+    }
+
+    #[test]
+    fn fig1c_shape_cards() {
+        let shape = AdornedShape::from_document(&fig1c());
+        // One author, two books under it: 1..2? No — the single author has
+        // exactly two books, so min = max = 2.
+        assert_eq!(shape.card(ty(&shape, "data.author.book")), Card::exactly(2));
+        assert_eq!(shape.card(ty(&shape, "data.author")), Card::one());
+    }
+
+    #[test]
+    fn optional_child_gets_min_zero() {
+        let doc = Document::parse_str(
+            "<d><a><x/></a><a/><a><x/><x/></a></d>",
+        )
+        .unwrap();
+        let shape = AdornedShape::from_document(&doc);
+        let x = ty(&shape, "d.a.x");
+        // One of the three <a> parents has no <x>: min 0, max 2.
+        assert_eq!(shape.card(x), Card::new(0, CardMax::Finite(2)));
+    }
+
+    #[test]
+    fn attributes_become_typed_vertices() {
+        let doc = Document::parse_str(r#"<d><a id="1"/><a id="2"/></d>"#).unwrap();
+        let shape = AdornedShape::from_document(&doc);
+        let at = ty(&shape, "d.a.@id");
+        assert_eq!(shape.card(at), Card::one());
+        assert_eq!(shape.instance_count(at), 2);
+    }
+
+    #[test]
+    fn roots_and_children() {
+        let shape = AdornedShape::from_document(&fig1a());
+        assert_eq!(shape.roots().len(), 1);
+        let data = shape.roots()[0];
+        assert_eq!(shape.types().name(data), "data");
+        let kids: Vec<&str> =
+            shape.children(data).iter().map(|&c| shape.types().name(c)).collect();
+        assert_eq!(kids, vec!["book"]);
+    }
+
+    #[test]
+    fn path_card_down() {
+        let shape = AdornedShape::from_document(&fig1a());
+        let data = ty(&shape, "data");
+        let name = ty(&shape, "data.book.author.name");
+        // data → book (2..2) → author (1..1) → name (1..1) = 2..2.
+        assert_eq!(shape.path_card(data, name), Some(Card::exactly(2)));
+    }
+
+    #[test]
+    fn path_card_up_is_one() {
+        let shape = AdornedShape::from_document(&fig1a());
+        let name = ty(&shape, "data.book.author.name");
+        let data = ty(&shape, "data");
+        assert_eq!(shape.path_card(name, data), Some(Card::one()));
+    }
+
+    #[test]
+    fn path_card_across() {
+        let shape = AdornedShape::from_document(&fig1a());
+        let title = ty(&shape, "data.book.title");
+        let pubname = ty(&shape, "data.book.publisher.name");
+        // LCA is book; down to publisher.name: 1..1 × 1..1 = 1..1.
+        assert_eq!(shape.path_card(title, pubname), Some(Card::one()));
+    }
+
+    #[test]
+    fn path_card_same_type() {
+        let shape = AdornedShape::from_document(&fig1a());
+        let title = ty(&shape, "data.book.title");
+        assert_eq!(shape.path_card(title, title), Some(Card::one()));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let shape = AdornedShape::from_document(&fig1a());
+        let back = AdornedShape::from_bytes(&shape.to_bytes()).unwrap();
+        assert_eq!(back.types().len(), shape.types().len());
+        for id in shape.type_ids() {
+            assert_eq!(back.card(id), shape.card(id));
+            assert_eq!(back.instance_count(id), shape.instance_count(id));
+        }
+        assert_eq!(back.roots(), shape.roots());
+    }
+
+    #[test]
+    fn display_is_indented_tree() {
+        let shape = AdornedShape::from_document(&fig1a());
+        let s = shape.to_string();
+        assert!(s.starts_with("data\n"), "{s}");
+        assert!(s.contains("  book 2..2\n"), "{s}");
+        assert!(s.contains("    title 1..1\n"), "{s}");
+    }
+
+    #[test]
+    fn builder_counts_instances() {
+        let shape = AdornedShape::from_document(&fig1c());
+        assert_eq!(shape.instance_count(ty(&shape, "data.author.book")), 2);
+        assert_eq!(shape.instance_count(ty(&shape, "data.author.book.title")), 2);
+        // data(1) + author(1) + name(1) + book(2) + title(2) +
+        // publisher(2) + publisher.name(2) = 11 vertices.
+        assert_eq!(shape.total_instances(), 11);
+    }
+}

@@ -1,0 +1,533 @@
+//! The Render algorithm.
+//!
+//! Implements §VII's efficient strategy: closest joins are *pipelined
+//! sort-merge* joins. Every type's instances are stored sorted in
+//! document order, parents are visited in document order, so each target
+//! edge keeps one monotone cursor ([`ClosestCursor`]) over the child
+//! type's sequence — the whole transformation is a single pass over the
+//! source lists, producing output in document order, streaming node by
+//! node.
+
+use crate::error::MorphResult;
+use crate::model::types::TypeId;
+use crate::semantics::shape::{SId, Shape};
+use crate::store::shredded::{ClosestCursor, ShreddedDoc};
+use std::collections::HashMap;
+use xmorph_xml::dewey::Dewey;
+use xmorph_xml::writer::StreamWriter;
+
+/// Options controlling rendering.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Name of the synthetic document element wrapping the output
+    /// (`None` emits the instance stream bare — only well-formed when
+    /// exactly one instance renders).
+    pub wrapper: Option<String>,
+    /// Tag every rendered element with a `data-src` attribute holding
+    /// its source Dewey number. Used by the theorem-validation tests to
+    /// map output vertices back to source vertices.
+    pub tag_source: bool,
+    /// Use the pipelined sort-merge closest joins of §VII (default).
+    /// `false` falls back to one B+tree prefix probe per parent — the
+    /// naive strategy the paper's sort-merge remark improves on; kept
+    /// for the ablation benchmark and cross-checking.
+    pub pipelined: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { wrapper: Some("result".to_string()), tag_source: false, pipelined: true }
+    }
+}
+
+/// Where a rendered element anchors its closest joins: the nearest
+/// enclosing *source-backed* instance.
+#[derive(Clone, Copy)]
+struct Anchor<'d> {
+    dewey: &'d Dewey,
+    type_id: TypeId,
+}
+
+/// Render the target shape against a shredded document.
+pub fn render(doc: &ShreddedDoc, target: &Shape, opts: &RenderOptions) -> MorphResult<String> {
+    let mut out = String::new();
+    render_with(doc, target, opts, |chunk| {
+        out.push_str(chunk);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Streaming render into an [`std::io::Write`] sink — the paper's §VIII
+/// mitigation: "stream the transformed data into a streaming XQuery
+/// evaluation engine". Output leaves the process in document order,
+/// flushed after every root instance, so peak memory is one instance
+/// subtree rather than the whole result.
+pub fn render_to_writer(
+    doc: &ShreddedDoc,
+    target: &Shape,
+    opts: &RenderOptions,
+    sink: &mut dyn std::io::Write,
+) -> MorphResult<()> {
+    render_with(doc, target, opts, |chunk| {
+        sink.write_all(chunk.as_bytes())
+            .map_err(|_| crate::error::MorphError::Internal("sink write failed"))
+    })
+}
+
+/// Core render loop: emits chunks (one per root instance, plus the
+/// wrapper tags) to `emit`.
+fn render_with(
+    doc: &ShreddedDoc,
+    target: &Shape,
+    opts: &RenderOptions,
+    mut emit: impl FnMut(&str) -> MorphResult<()>,
+) -> MorphResult<()> {
+    let mut renderer = Renderer { doc, target, opts, cursors: HashMap::new() };
+    let mut w = StreamWriter::with_capacity(4096);
+    if let Some(wrapper) = &opts.wrapper {
+        w.start(wrapper);
+    }
+    for &root in &target.roots {
+        renderer.render_root_streaming(root, &mut w, &mut emit)?;
+    }
+    if opts.wrapper.is_some() {
+        w.end();
+    }
+    emit(&w.finish())?;
+    Ok(())
+}
+
+struct Renderer<'a> {
+    doc: &'a ShreddedDoc,
+    target: &'a Shape,
+    opts: &'a RenderOptions,
+    /// One pipelined join cursor per (target node, anchor type) edge.
+    cursors: HashMap<(SId, TypeId), ClosestCursor<'a>>,
+}
+
+impl<'a> Renderer<'a> {
+    /// Render all instances of a root, draining the writer to `emit`
+    /// after each instance so output streams in document order.
+    fn render_root_streaming(
+        &mut self,
+        root: SId,
+        w: &mut StreamWriter,
+        emit: &mut impl FnMut(&str) -> MorphResult<()>,
+    ) -> MorphResult<()> {
+        match self.target.nodes[root].base {
+            Some(t) => {
+                for (dewey, text) in self.doc.scan_type(t) {
+                    self.render_instance(root, &dewey, t, &text, w)?;
+                    emit(&w.drain())?;
+                }
+            }
+            None => {
+                self.render_new(root, None, w)?;
+                emit(&w.drain())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pull the closest children of `anchor` for target edge `node`
+    /// through the edge's pipelined cursor. Returns an owned group (the
+    /// recursion below re-enters the cursor map).
+    fn joined(&mut self, node: SId, anchor: Anchor<'_>, child_type: TypeId) -> Vec<(Dewey, String)> {
+        if !self.opts.pipelined {
+            return self.doc.closest_children(anchor.dewey, anchor.type_id, child_type);
+        }
+        let key = (node, anchor.type_id);
+        let mut cursor = match self.cursors.remove(&key) {
+            Some(c) => c,
+            None => match self.doc.closest_cursor(anchor.type_id, child_type) {
+                Some(c) => c,
+                None => return Vec::new(),
+            },
+        };
+        let group = cursor.group_for(anchor.dewey).to_vec();
+        self.cursors.insert(key, cursor);
+        group
+    }
+
+    /// Render one instance of a source-backed target node.
+    fn render_instance(
+        &mut self,
+        node: SId,
+        dewey: &Dewey,
+        type_id: TypeId,
+        text: &str,
+        w: &mut StreamWriter,
+    ) -> MorphResult<()> {
+        let anchor = Anchor { dewey, type_id };
+        // RESTRICT: the instance must have a closest match for every
+        // filter.
+        for &f in &self.target.nodes[node].filters {
+            if !self.passes_filter(f, anchor) {
+                return Ok(());
+            }
+        }
+        let name = self.target.nodes[node].name.clone();
+        let is_attr = name.starts_with('@');
+        if is_attr {
+            // An attribute type promoted to an element: strip the '@'.
+            w.start(name.trim_start_matches('@'));
+        } else {
+            w.start(&name);
+        }
+        // Attribute children first (they must precede content).
+        let children: Vec<SId> = self.target.nodes[node].children.clone();
+        for &c in &children {
+            let cname = self.target.nodes[c].name.clone();
+            if cname.starts_with('@') {
+                if let Some(ct) = self.target.nodes[c].base {
+                    for (_, value) in self.joined(c, anchor, ct) {
+                        w.attr(cname.trim_start_matches('@'), &value);
+                    }
+                }
+            }
+        }
+        if self.opts.tag_source {
+            w.attr("data-src", &dewey.to_string());
+        }
+        w.text(text);
+        for &c in &children {
+            if !self.target.nodes[c].name.starts_with('@') {
+                self.render_child(c, anchor, w)?;
+            }
+        }
+        w.end();
+        Ok(())
+    }
+
+    /// Render a child target node relative to an anchored parent
+    /// instance.
+    fn render_child(&mut self, node: SId, anchor: Anchor<'_>, w: &mut StreamWriter) -> MorphResult<()> {
+        match self.target.nodes[node].base {
+            Some(ct) => {
+                for (dewey, text) in self.joined(node, anchor, ct) {
+                    self.render_instance(node, &dewey, ct, &text, w)?;
+                }
+                Ok(())
+            }
+            None => self.render_new(node, Some(anchor), w),
+        }
+    }
+
+    /// Render a NEW target node.
+    ///
+    /// Paper-guided interpretation (the paper leaves NEW rendering
+    /// implicit; see DESIGN.md): a NEW node instantiates once per
+    /// instance of its first source-backed child — "wraps each author in
+    /// a scribe" — with the other children joined relative to that
+    /// instance. With an enclosing anchor but no source-backed child, it
+    /// instantiates once per parent instance; as a childless root it
+    /// renders a single empty element.
+    fn render_new(
+        &mut self,
+        node: SId,
+        anchor: Option<Anchor<'_>>,
+        w: &mut StreamWriter,
+    ) -> MorphResult<()> {
+        let name = self.target.nodes[node].name.clone();
+        let children: Vec<SId> = self.target.nodes[node].children.clone();
+        let primary = children
+            .iter()
+            .copied()
+            .find(|&c| self.target.nodes[c].base.is_some());
+        match primary {
+            Some(primary_child) => {
+                let pt = self.target.nodes[primary_child].base.expect("source-backed child");
+                let instances = match anchor {
+                    Some(a) => self.joined(primary_child, a, pt),
+                    None => self.doc.scan_type(pt),
+                };
+                for (dewey, text) in instances {
+                    w.start(&name);
+                    self.render_instance(primary_child, &dewey, pt, &text, w)?;
+                    let inner = Anchor { dewey: &dewey, type_id: pt };
+                    for &c in &children {
+                        if c != primary_child {
+                            self.render_child(c, inner, w)?;
+                        }
+                    }
+                    w.end();
+                }
+            }
+            None => {
+                // No source-backed child: one wrapper (per parent
+                // instance — the caller already iterates parents).
+                w.start(&name);
+                if let Some(a) = anchor {
+                    for &c in &children {
+                        self.render_child(c, a, w)?;
+                    }
+                } else {
+                    for &c in &children {
+                        if self.target.nodes[c].base.is_none() {
+                            self.render_new(c, None, w)?;
+                        }
+                    }
+                }
+                w.end();
+            }
+        }
+        Ok(())
+    }
+
+    /// Recursive RESTRICT filter check: some closest instance of the
+    /// filter type exists and itself satisfies the filter's children.
+    /// (Filters use direct prefix-scan joins: they probe out of document
+    /// order, so the pipelined cursors do not apply.)
+    fn passes_filter(&self, filter: SId, anchor: Anchor<'_>) -> bool {
+        let Some(ft) = self.target.nodes[filter].base else {
+            // A NEW filter can never match data.
+            return false;
+        };
+        let candidates = self.doc.closest_children(anchor.dewey, anchor.type_id, ft);
+        candidates.iter().any(|(dewey, _)| {
+            let inner = Anchor { dewey, type_id: ft };
+            self.target.nodes[filter]
+                .children
+                .iter()
+                .chain(self.target.nodes[filter].filters.iter())
+                .all(|&g| self.passes_filter(g, inner))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::lower;
+    use crate::lang::parse;
+    use crate::semantics::eval::{eval_guard, EvalCtx};
+    use xmorph_pagestore::Store;
+
+    const FIG1A: &str = "<data>\
+        <book><title>X</title><author><name>Tim</name></author><publisher><name>W</name></publisher></book>\
+        <book><title>Y</title><author><name>Tim</name></author><publisher><name>V</name></publisher></book>\
+        </data>";
+
+    const FIG1B: &str = "<data>\
+        <publisher><name>W</name><book><title>X</title><author><name>Tim</name></author></book></publisher>\
+        <publisher><name>V</name><book><title>Y</title><author><name>Tim</name></author></book></publisher>\
+        </data>";
+
+    fn run(guard: &str, xml: &str) -> String {
+        let store = Store::in_memory();
+        let doc = ShreddedDoc::shred_str(&store, xml).unwrap();
+        let src = Shape::from_adorned(doc.shape());
+        let mut ctx = EvalCtx::new(&doc);
+        let op = lower(&parse(guard).unwrap());
+        let tgt = eval_guard(&op, &src, &mut ctx).unwrap();
+        render(&doc, &tgt, &RenderOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn paper_fig2_shape_from_fig1a() {
+        // The §I guard on Fig 1(a): authors with their name and books.
+        let out = run("MORPH author [ name book [ title ] ]", FIG1A);
+        assert_eq!(
+            out,
+            "<result>\
+             <author><name>Tim</name><book><title>X</title></book></author>\
+             <author><name>Tim</name><book><title>Y</title></book></author>\
+             </result>"
+        );
+    }
+
+    #[test]
+    fn fig1a_and_fig1b_transform_identically() {
+        // "Data instances (a) and (b) are (logically) transformed to the
+        // same instance" (§I, Fig. 2).
+        let guard = "MORPH author [ name book [ title ] ]";
+        assert_eq!(run(guard, FIG1A), run(guard, FIG1B));
+    }
+
+    #[test]
+    fn morph_root_only() {
+        let out = run("MORPH title", FIG1A);
+        assert_eq!(out, "<result><title>X</title><title>Y</title></result>");
+    }
+
+    #[test]
+    fn children_marker_renders_source_children() {
+        let out = run("MORPH book [*]", FIG1A);
+        assert!(out.contains("<book><title>X</title><author/><publisher/></book>"), "{out}");
+    }
+
+    #[test]
+    fn descendants_marker_renders_subtrees() {
+        let out = run("MORPH book [**]", FIG1A);
+        assert!(
+            out.contains("<book><title>X</title><author><name>Tim</name></author><publisher><name>W</name></publisher></book>"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn new_wraps_each_primary_child() {
+        // "wraps each author in a scribe".
+        let out = run("MORPH (NEW scribe) [ author [ name ] ]", FIG1A);
+        assert_eq!(
+            out,
+            "<result>\
+             <scribe><author><name>Tim</name></author></scribe>\
+             <scribe><author><name>Tim</name></author></scribe>\
+             </result>"
+        );
+    }
+
+    #[test]
+    fn restrict_filters_instances() {
+        let xml = "<d><book><award>w</award><title>A</title></book><book><title>B</title></book></d>";
+        let out = run("CAST-NARROWING MORPH (RESTRICT book [ award ]) [ title ]", xml);
+        assert_eq!(out, "<result><book><title>A</title></book></result>");
+    }
+
+    #[test]
+    fn restrict_shows_only_root_type() {
+        // The filter type itself must not render.
+        let xml = "<d><book><award>w</award><title>A</title></book></d>";
+        let out = run("MORPH (RESTRICT book [ award ]) [ title ]", xml);
+        assert!(!out.contains("award"), "{out}");
+    }
+
+    #[test]
+    fn translate_renames_output_elements() {
+        let out = run("MORPH author [ name ] | TRANSLATE author -> writer", FIG1A);
+        assert!(out.contains("<writer><name>Tim</name></writer>"), "{out}");
+        assert!(!out.contains("<author>"), "{out}");
+    }
+
+    #[test]
+    fn widening_guard_duplicates_titles() {
+        // §I Fig. 3 on instance (c): titles duplicated near publishers.
+        let fig1c = "<data><author><name>Tim</name>\
+            <book><title>X</title><publisher><name>W</name></publisher></book>\
+            <book><title>Y</title><publisher><name>V</name></publisher></book>\
+            </author></data>";
+        let out = run(
+            "CAST-WIDENING MORPH author [ !title name publisher [ name ] ]",
+            fig1c,
+        );
+        // The single author gathers both titles and both publishers.
+        assert_eq!(out.matches("<title>").count(), 2, "{out}");
+        assert_eq!(out.matches("<publisher>").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn attribute_type_renders_as_attribute() {
+        let xml = r#"<d><item id="7"><v>x</v></item><item id="8"><v>y</v></item></d>"#;
+        let out = run("MORPH item [ @id v ]", xml);
+        assert_eq!(
+            out,
+            r#"<result><item id="7"><v>x</v></item><item id="8"><v>y</v></item></result>"#
+        );
+    }
+
+    #[test]
+    fn attribute_promoted_to_element() {
+        // Morphing the attribute type to the root renders it as an
+        // element (the '@' is stripped).
+        let xml = r#"<d><item id="7"/></d>"#;
+        let out = run("MORPH @id", xml);
+        assert_eq!(out, "<result><id>7</id></result>");
+    }
+
+    #[test]
+    fn tag_source_option() {
+        let store = Store::in_memory();
+        let doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let src = Shape::from_adorned(doc.shape());
+        let mut ctx = EvalCtx::new(&doc);
+        let op = lower(&parse("MORPH title").unwrap());
+        let tgt = eval_guard(&op, &src, &mut ctx).unwrap();
+        let out = render(
+            &doc,
+            &tgt,
+            &RenderOptions { wrapper: Some("r".into()), tag_source: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.contains(r#"<title data-src="1.1.1">X</title>"#), "{out}");
+    }
+
+    #[test]
+    fn text_content_is_escaped() {
+        let xml = "<d><m>a &lt; b &amp; c</m></d>";
+        let out = run("MORPH m", xml);
+        assert!(out.contains("a &lt; b &amp; c"), "{out}");
+    }
+
+    #[test]
+    fn streaming_render_matches_buffered() {
+        let store = Store::in_memory();
+        let doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let src = Shape::from_adorned(doc.shape());
+        let mut ctx = EvalCtx::new(&doc);
+        let op = lower(&parse("MORPH author [ name book [ title ] ]").unwrap());
+        let tgt = eval_guard(&op, &src, &mut ctx).unwrap();
+        let buffered = render(&doc, &tgt, &RenderOptions::default()).unwrap();
+        let mut sink: Vec<u8> = Vec::new();
+        render_to_writer(&doc, &tgt, &RenderOptions::default(), &mut sink).unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), buffered);
+    }
+
+    #[test]
+    fn streaming_render_empty_result() {
+        let store = Store::in_memory();
+        let doc = ShreddedDoc::shred_str(&store, "<d><a/></d>").unwrap();
+        let src = Shape::from_adorned(doc.shape());
+        let mut ctx = EvalCtx::new(&doc);
+        // RESTRICT that matches nothing yields an empty (self-closed)
+        // wrapper.
+        let op = lower(&parse("CAST MORPH a").unwrap());
+        let tgt = eval_guard(&op, &src, &mut ctx).unwrap();
+        let mut sink: Vec<u8> = Vec::new();
+        render_to_writer(&doc, &tgt, &RenderOptions::default(), &mut sink).unwrap();
+        let out = String::from_utf8(sink).unwrap();
+        assert_eq!(out, "<result><a/></result>");
+    }
+
+    #[test]
+    fn output_reparses_as_xml() {
+        let out = run("MORPH author [ name book [ title publisher [ name ] ] ]", FIG1B);
+        let doc = xmorph_xml::dom::Document::parse_str(&out).unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()), "result");
+    }
+
+    #[test]
+    fn duplicated_fragments_get_separate_cursors() {
+        // Two books share a publisher name prefix group: rendering must
+        // revisit the same child group for siblings (group cache) and
+        // advance correctly across parents (monotone cursor).
+        let xml = "<d>\
+            <book><t>A</t><t>B</t><p>1</p></book>\
+            <book><t>C</t><p>2</p></book>\
+            <book><p>3</p></book>\
+            </d>";
+        let out = run("MORPH p [ t ]", xml);
+        assert_eq!(
+            out,
+            "<result><p>1<t>A</t><t>B</t></p><p>2<t>C</t></p><p>3</p></result>"
+        );
+    }
+
+    #[test]
+    fn deep_join_chain_streams() {
+        // A three-level chain exercises nested cursors on one pass.
+        let xml = "<lib>\
+            <shelf><row><slot>a</slot><slot>b</slot></row></shelf>\
+            <shelf><row><slot>c</slot></row><row><slot>d</slot></row></shelf>\
+            </lib>";
+        let out = run("MORPH shelf [ row [ slot ] ]", xml);
+        assert_eq!(
+            out,
+            "<result>\
+             <shelf><row><slot>a</slot><slot>b</slot></row></shelf>\
+             <shelf><row><slot>c</slot></row><row><slot>d</slot></row></shelf>\
+             </result>"
+        );
+    }
+}

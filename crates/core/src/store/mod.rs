@@ -1,0 +1,6 @@
+//! The XMorph data store (paper Fig. 8): the shredder and the shredded
+//! document tables over `xmorph-pagestore`.
+
+pub mod shredded;
+
+pub use shredded::ShreddedDoc;

@@ -1,0 +1,550 @@
+//! Shredding XML into storage tables, and the data-backed operations the
+//! renderer needs: exact `typeDistance` and the Dewey-prefix closest join.
+//!
+//! The paper's architecture (Fig. 8) shreds documents into BerkeleyDB
+//! tables; ours land in `xmorph-pagestore` trees:
+//!
+//! * **`nodes`** — Dewey key → (type id, direct text). The paper's
+//!   `Nodes` table.
+//! * **`typeseq`** — (type id, Dewey) key → direct text. The paper's
+//!   `TypeToSequence`/`GroupedSequence` tables folded into one: a scan
+//!   with a `(type, prefix)` key prefix *is* the grouped sequence that
+//!   feeds a closest join, and carrying the text in the value lets the
+//!   renderer stream output from a single scan.
+//! * **`meta`** — the serialized adorned shape (`AdornedShapes` table).
+//!
+//! Shredding is streaming: one pass over the SAX-style event stream with
+//! O(depth) memory, exactly like the paper's Xerces-based shredder.
+
+use crate::error::{MorphError, MorphResult};
+use crate::model::shape::AdornedShape;
+use crate::model::types::{TypeId, TypeTable};
+use crate::semantics::eval::DistOracle;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use xmorph_pagestore::{Store, Tree};
+use xmorph_xml::dewey::Dewey;
+use xmorph_xml::reader::{XmlEvent, XmlReader};
+
+/// A shredded XML document: storage tables plus the in-memory adorned
+/// shape (which is tiny relative to the data, as the paper notes —
+/// "prior to rendering, only the adorned shapes ... are needed").
+pub struct ShreddedDoc {
+    nodes: Tree,
+    typeseq: Tree,
+    shape: AdornedShape,
+    /// Exact typeDistance cache (the co-occurrence scan is linear; each
+    /// pair is computed at most once per document).
+    dist_cache: Mutex<HashMap<(TypeId, TypeId), Option<usize>>>,
+}
+
+impl std::fmt::Debug for ShreddedDoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShreddedDoc")
+            .field("types", &self.shape.types().len())
+            .finish_non_exhaustive()
+    }
+}
+
+const META_SHAPE_KEY: &[u8] = b"shape";
+
+fn typeseq_key(t: TypeId, dewey: &Dewey) -> Vec<u8> {
+    let mut k = Vec::with_capacity(4 + dewey.len() * 4);
+    k.extend_from_slice(&t.0.to_be_bytes());
+    k.extend_from_slice(&dewey.encode());
+    k
+}
+
+fn node_value(t: TypeId, text: &str) -> Vec<u8> {
+    let mut v = Vec::with_capacity(4 + text.len());
+    v.extend_from_slice(&t.0.to_le_bytes());
+    v.extend_from_slice(text.as_bytes());
+    v
+}
+
+fn parse_node_value(v: &[u8]) -> Option<(TypeId, String)> {
+    let t = TypeId(u32::from_le_bytes(v.get(..4)?.try_into().ok()?));
+    let text = String::from_utf8(v.get(4..)?.to_vec()).ok()?;
+    Some((t, text))
+}
+
+impl ShreddedDoc {
+    /// Shred an XML document (as text) into the store.
+    pub fn shred_str(store: &Store, xml: &str) -> MorphResult<ShreddedDoc> {
+        let nodes = store.open_tree("nodes")?;
+        let typeseq = store.open_tree("typeseq")?;
+        let meta = store.open_tree("meta")?;
+
+        let mut builder = AdornedShape::builder();
+        let mut reader = XmlReader::new(xml);
+
+        struct Frame {
+            dewey: Dewey,
+            type_id: TypeId,
+            next_ordinal: u32,
+            text: String,
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+
+        loop {
+            match reader.next_event()? {
+                XmlEvent::StartElement { name, attrs } => {
+                    let type_id = builder.open(&name);
+                    let dewey = match stack.last_mut() {
+                        Some(parent) => {
+                            parent.next_ordinal += 1;
+                            parent.dewey.child(parent.next_ordinal)
+                        }
+                        None => Dewey::root(),
+                    };
+                    let mut frame =
+                        Frame { dewey, type_id, next_ordinal: 0, text: String::new() };
+                    // Attributes become child vertices, numbered first.
+                    for (aname, avalue) in &attrs {
+                        let at = builder.attribute(aname);
+                        frame.next_ordinal += 1;
+                        let ad = frame.dewey.child(frame.next_ordinal);
+                        nodes.insert(&ad.encode(), &node_value(at, avalue))?;
+                        typeseq.insert(&typeseq_key(at, &ad), avalue.as_bytes())?;
+                    }
+                    stack.push(frame);
+                }
+                XmlEvent::Text(t) => {
+                    if let Some(frame) = stack.last_mut() {
+                        frame.text.push_str(&t);
+                    }
+                }
+                XmlEvent::EndElement { .. } => {
+                    let frame = stack.pop().expect("balanced events");
+                    builder.close();
+                    let text = frame.text.trim();
+                    nodes.insert(&frame.dewey.encode(), &node_value(frame.type_id, text))?;
+                    typeseq.insert(&typeseq_key(frame.type_id, &frame.dewey), text.as_bytes())?;
+                }
+                XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
+                XmlEvent::Eof => break,
+            }
+        }
+        let shape = builder.finish();
+        meta.insert(META_SHAPE_KEY, &shape.to_bytes())?;
+        Ok(ShreddedDoc { nodes, typeseq, shape, dist_cache: Mutex::new(HashMap::new()) })
+    }
+
+    /// Open an already-shredded document from its store.
+    pub fn open(store: &Store) -> MorphResult<ShreddedDoc> {
+        let nodes = store.open_tree("nodes")?;
+        let typeseq = store.open_tree("typeseq")?;
+        let meta = store.open_tree("meta")?;
+        let bytes = meta
+            .get(META_SHAPE_KEY)?
+            .ok_or(MorphError::Internal("store holds no shredded document"))?;
+        let shape = AdornedShape::from_bytes(&bytes)
+            .ok_or(MorphError::Internal("corrupt adorned shape"))?;
+        Ok(ShreddedDoc { nodes, typeseq, shape, dist_cache: Mutex::new(HashMap::new()) })
+    }
+
+    /// The document's adorned shape.
+    pub fn shape(&self) -> &AdornedShape {
+        &self.shape
+    }
+
+    /// The document's type table.
+    pub fn types(&self) -> &TypeTable {
+        self.shape.types()
+    }
+
+    /// Number of instances of a type.
+    pub fn instance_count(&self, t: TypeId) -> u64 {
+        self.shape.instance_count(t)
+    }
+
+    /// Direct text of a node.
+    pub fn node_text(&self, dewey: &Dewey) -> MorphResult<Option<String>> {
+        Ok(self
+            .nodes
+            .get(&dewey.encode())?
+            .and_then(|v| parse_node_value(&v))
+            .map(|(_, text)| text))
+    }
+
+    /// Type of a node.
+    pub fn node_type(&self, dewey: &Dewey) -> MorphResult<Option<TypeId>> {
+        Ok(self
+            .nodes
+            .get(&dewey.encode())?
+            .and_then(|v| parse_node_value(&v))
+            .map(|(t, _)| t))
+    }
+
+    /// All instances of a type, in document order, with their direct
+    /// text.
+    pub fn scan_type(&self, t: TypeId) -> Vec<(Dewey, String)> {
+        self.typeseq
+            .scan_prefix(&t.0.to_be_bytes())
+            .filter_map(|(k, v)| {
+                let dewey = Dewey::decode(&k[4..])?;
+                let text = String::from_utf8(v).ok()?;
+                Some((dewey, text))
+            })
+            .collect()
+    }
+
+    /// Exact `typeDistance` (Def. 2): the minimum tree distance over all
+    /// instance pairs, found by scanning candidate least-common-ancestor
+    /// levels from the deepest shared path prefix upward and checking
+    /// *co-occurrence* (two instances sharing a Dewey prefix of that
+    /// length) with a sorted-merge scan. Cached per pair.
+    pub fn type_distance_exact(&self, a: TypeId, b: TypeId) -> Option<usize> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&hit) = self.dist_cache.lock().unwrap().get(&key) {
+            return hit;
+        }
+        let result = self.compute_distance(key.0, key.1);
+        self.dist_cache.lock().unwrap().insert(key, result);
+        result
+    }
+
+    fn compute_distance(&self, a: TypeId, b: TypeId) -> Option<usize> {
+        let types = self.shape.types();
+        if self.instance_count(a) == 0 || self.instance_count(b) == 0 {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        let la = types.dewey_len(a);
+        let lb = types.dewey_len(b);
+        let k = types.common_prefix_len(a, b);
+        for level in (1..=k).rev() {
+            if self.co_occur(a, b, level) {
+                return Some(la + lb - 2 * level);
+            }
+        }
+        None
+    }
+
+    /// Do some instance of `a` and some instance of `b` share a Dewey
+    /// prefix of `level` components? Sorted-merge over the two type
+    /// sequences comparing `level × 4` key bytes.
+    fn co_occur(&self, a: TypeId, b: TypeId, level: usize) -> bool {
+        let plen = level * 4;
+        let mut ia = self.typeseq.scan_prefix(&a.0.to_be_bytes());
+        let mut ib = self.typeseq.scan_prefix(&b.0.to_be_bytes());
+        let mut ka = ia.next().map(|(k, _)| k[4..].to_vec());
+        let mut kb = ib.next().map(|(k, _)| k[4..].to_vec());
+        while let (Some(x), Some(y)) = (&ka, &kb) {
+            let px = &x[..plen.min(x.len())];
+            let py = &y[..plen.min(y.len())];
+            match px.cmp(py) {
+                std::cmp::Ordering::Equal => {
+                    // Same prefix — but for an ancestor/descendant pair the
+                    // prefix must be fully present in both.
+                    if px.len() == plen && py.len() == plen {
+                        return true;
+                    }
+                    // One of the keys is shorter than the level: advance it.
+                    if px.len() < plen {
+                        ka = ia.next().map(|(k, _)| k[4..].to_vec());
+                    } else {
+                        kb = ib.next().map(|(k, _)| k[4..].to_vec());
+                    }
+                }
+                std::cmp::Ordering::Less => ka = ia.next().map(|(k, _)| k[4..].to_vec()),
+                std::cmp::Ordering::Greater => kb = ib.next().map(|(k, _)| k[4..].to_vec()),
+            }
+        }
+        false
+    }
+
+    /// The closest join (§VII): instances of `child_type` closest to the
+    /// given `parent` instance. Since all instances of a type share one
+    /// depth, closest pairs are exactly the pairs agreeing on the first
+    /// `L = (dewey(parent) + dewey(child) − typeDistance)/2` components —
+    /// a single prefix scan, streaming in document order.
+    pub fn closest_children(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Vec<(Dewey, String)> {
+        let Some(d) = self.type_distance_exact(parent_type, child_type) else {
+            return Vec::new();
+        };
+        let types = self.shape.types();
+        let lp = types.dewey_len(parent_type);
+        let lc = types.dewey_len(child_type);
+        debug_assert_eq!(parent.len(), lp);
+        let l = (lp + lc).saturating_sub(d) / 2;
+        let prefix = parent.prefix(l);
+        let mut key = Vec::with_capacity(4 + prefix.len() * 4);
+        key.extend_from_slice(&child_type.0.to_be_bytes());
+        key.extend_from_slice(&prefix.encode());
+        self.typeseq
+            .scan_prefix(&key)
+            .filter_map(|(k, v)| {
+                let dewey = Dewey::decode(&k[4..])?;
+                let text = String::from_utf8(v).ok()?;
+                Some((dewey, text))
+            })
+            .collect()
+    }
+
+    /// A streaming sort-merge cursor over the closest join (§VII's
+    /// pipelined implementation): callers ask for the closest
+    /// `child_type` instances of successive parent instances *in
+    /// document order*, and the cursor advances monotonically through the
+    /// child type's sequence — one scan per target edge, O(n) instead of
+    /// one B+tree descent per parent. Returns `None` when the two types
+    /// are unrelated in the data.
+    pub fn closest_cursor(
+        &self,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<ClosestCursor<'_>> {
+        let d = self.type_distance_exact(parent_type, child_type)?;
+        let types = self.shape.types();
+        let lp = types.dewey_len(parent_type);
+        let lc = types.dewey_len(child_type);
+        let l = (lp + lc).saturating_sub(d) / 2;
+        let iter = self.typeseq.scan_prefix(&child_type.0.to_be_bytes());
+        Some(ClosestCursor {
+            iter,
+            pending: None,
+            primed: false,
+            group_prefix: None,
+            group: Vec::new(),
+            prefix_bytes: l * 4,
+        })
+    }
+
+    /// Does the parent instance have at least one closest `child_type`
+    /// instance? (Existence check for RESTRICT filters.)
+    pub fn has_closest_child(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> bool {
+        !self.closest_children(parent, parent_type, child_type).is_empty()
+    }
+}
+
+/// The pipelined closest-join cursor (see
+/// [`ShreddedDoc::closest_cursor`]). Requests must come in
+/// non-decreasing parent (document) order; the last group is cached so
+/// several parents sharing one join prefix all see it.
+pub struct ClosestCursor<'a> {
+    iter: xmorph_pagestore::btree::RangeIter<'a>,
+    /// The next not-yet-grouped entry: (dewey bytes, text).
+    pending: Option<(Vec<u8>, String)>,
+    primed: bool,
+    group_prefix: Option<Vec<u8>>,
+    group: Vec<(Dewey, String)>,
+    prefix_bytes: usize,
+}
+
+impl<'a> ClosestCursor<'a> {
+    fn advance(&mut self) {
+        self.pending = self.iter.next().and_then(|(k, v)| {
+            let dewey_bytes = k[4..].to_vec();
+            let text = String::from_utf8(v).ok()?;
+            Some((dewey_bytes, text))
+        });
+    }
+
+    /// The closest children of `parent`. The returned slice is valid
+    /// until the next call. Parents must be presented in non-decreasing
+    /// document order.
+    pub fn group_for(&mut self, parent: &Dewey) -> &[(Dewey, String)] {
+        if !self.primed {
+            self.advance();
+            self.primed = true;
+        }
+        let encoded = parent.encode();
+        let want = &encoded[..self.prefix_bytes.min(encoded.len())];
+        if self.group_prefix.as_deref() == Some(want) {
+            return &self.group;
+        }
+        self.group.clear();
+        self.group_prefix = Some(want.to_vec());
+        // Skip entries before the requested prefix.
+        while let Some((bytes, _)) = &self.pending {
+            let kp = &bytes[..self.prefix_bytes.min(bytes.len())];
+            if kp < want {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        // Collect the matching group (entries must carry the full
+        // prefix; shorter keys are ancestors, impossible here since all
+        // instances of a type share one depth ≥ the join level).
+        while let Some((bytes, text)) = &self.pending {
+            let kp = &bytes[..self.prefix_bytes.min(bytes.len())];
+            if kp == want && bytes.len() >= self.prefix_bytes {
+                if let Some(d) = Dewey::decode(bytes) {
+                    self.group.push((d, text.clone()));
+                }
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        &self.group
+    }
+}
+
+impl DistOracle for ShreddedDoc {
+    fn type_distance(&self, a: TypeId, b: TypeId) -> Option<usize> {
+        self.type_distance_exact(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1A: &str = "<data>\
+        <book><title>X</title><author><name>Tim</name></author><publisher><name>W</name></publisher></book>\
+        <book><title>Y</title><author><name>Tim</name></author><publisher><name>V</name></publisher></book>\
+        </data>";
+
+    fn shredded(xml: &str) -> ShreddedDoc {
+        let store = Store::in_memory();
+        ShreddedDoc::shred_str(&store, xml).unwrap()
+    }
+
+    fn ty(doc: &ShreddedDoc, dotted: &str) -> TypeId {
+        let path: Vec<String> = dotted.split('.').map(|s| s.to_string()).collect();
+        doc.types().lookup(&path).unwrap_or_else(|| panic!("no type {dotted}"))
+    }
+
+    #[test]
+    fn shred_builds_shape_and_counts() {
+        let doc = shredded(FIG1A);
+        assert_eq!(doc.instance_count(ty(&doc, "data.book")), 2);
+        assert_eq!(doc.instance_count(ty(&doc, "data.book.author.name")), 2);
+    }
+
+    #[test]
+    fn scan_type_in_document_order() {
+        let doc = shredded(FIG1A);
+        let titles = doc.scan_type(ty(&doc, "data.book.title"));
+        assert_eq!(titles.len(), 2);
+        assert_eq!(titles[0].0.to_string(), "1.1.1");
+        assert_eq!(titles[0].1, "X");
+        assert_eq!(titles[1].0.to_string(), "1.2.1");
+        assert_eq!(titles[1].1, "Y");
+    }
+
+    #[test]
+    fn node_text_lookup() {
+        let doc = shredded(FIG1A);
+        assert_eq!(doc.node_text(&"1.1.2.1".parse().unwrap()).unwrap().as_deref(), Some("Tim"));
+        assert_eq!(doc.node_text(&"1.9".parse().unwrap()).unwrap(), None);
+    }
+
+    #[test]
+    fn exact_type_distance() {
+        let doc = shredded(FIG1A);
+        let title = ty(&doc, "data.book.title");
+        let publisher = ty(&doc, "data.book.publisher");
+        let pub_name = ty(&doc, "data.book.publisher.name");
+        assert_eq!(doc.type_distance_exact(title, publisher), Some(2));
+        assert_eq!(doc.type_distance_exact(title, pub_name), Some(3));
+        assert_eq!(doc.type_distance_exact(title, title), Some(0));
+    }
+
+    #[test]
+    fn co_occurrence_failure_detected() {
+        // authors and editors never share a book: distance 4, not 2.
+        let doc = shredded("<data><book><author>a</author></book><book><editor>e</editor></book></data>");
+        let author = ty(&doc, "data.book.author");
+        let editor = ty(&doc, "data.book.editor");
+        assert_eq!(doc.type_distance_exact(author, editor), Some(4));
+    }
+
+    #[test]
+    fn ancestor_descendant_distance() {
+        let doc = shredded(FIG1A);
+        let book = ty(&doc, "data.book");
+        let pub_name = ty(&doc, "data.book.publisher.name");
+        assert_eq!(doc.type_distance_exact(book, pub_name), Some(2));
+    }
+
+    #[test]
+    fn closest_join_matches_paper_example() {
+        // §VII: publisher 1.1.3 joins title 1.1.1 (shared 2-prefix), not
+        // 1.2.1.
+        let doc = shredded(FIG1A);
+        let publisher = ty(&doc, "data.book.publisher");
+        let title = ty(&doc, "data.book.title");
+        let joined = doc.closest_children(&"1.1.3".parse().unwrap(), publisher, title);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].0.to_string(), "1.1.1");
+        assert_eq!(joined[0].1, "X");
+    }
+
+    #[test]
+    fn closest_join_author_names() {
+        // §VII's first join: author nodes pick up their name children.
+        let doc = shredded(FIG1A);
+        let author = ty(&doc, "data.book.author");
+        let name = ty(&doc, "data.book.author.name");
+        let joined = doc.closest_children(&"1.1.2".parse().unwrap(), author, name);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].0.to_string(), "1.1.2.1");
+    }
+
+    #[test]
+    fn closest_join_upward() {
+        // Joining from title up to author: distance 2 via the book.
+        let doc = shredded(FIG1A);
+        let title = ty(&doc, "data.book.title");
+        let author = ty(&doc, "data.book.author");
+        let joined = doc.closest_children(&"1.1.1".parse().unwrap(), title, author);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].0.to_string(), "1.1.2");
+    }
+
+    #[test]
+    fn attributes_are_stored_vertices() {
+        let store = Store::in_memory();
+        let doc =
+            ShreddedDoc::shred_str(&store, r#"<d><a id="7">x</a><a id="8">y</a></d>"#).unwrap();
+        let at = ty(&doc, "d.a.@id");
+        let vals = doc.scan_type(at);
+        assert_eq!(vals.len(), 2);
+        assert_eq!(vals[0].1, "7");
+        assert_eq!(vals[1].1, "8");
+    }
+
+    #[test]
+    fn reopen_from_store() {
+        let store = Store::in_memory();
+        {
+            ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        }
+        let doc = ShreddedDoc::open(&store).unwrap();
+        assert_eq!(doc.instance_count(ty(&doc, "data.book")), 2);
+        let titles = doc.scan_type(ty(&doc, "data.book.title"));
+        assert_eq!(titles.len(), 2);
+    }
+
+    #[test]
+    fn has_closest_child_existence() {
+        let doc = shredded("<d><book><award>w</award><title>A</title></book><book><title>B</title></book></d>");
+        let book = ty(&doc, "d.book");
+        let award = ty(&doc, "d.book.award");
+        assert!(doc.has_closest_child(&"1.1".parse().unwrap(), book, award));
+        assert!(!doc.has_closest_child(&"1.2".parse().unwrap(), book, award));
+    }
+
+    #[test]
+    fn mixed_text_is_trimmed_direct_text() {
+        let doc = shredded("<d><a> hi <b>skip</b></a></d>");
+        let a = ty(&doc, "d.a");
+        let scans = doc.scan_type(a);
+        assert_eq!(scans[0].1, "hi");
+    }
+}

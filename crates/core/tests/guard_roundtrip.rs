@@ -1,0 +1,99 @@
+//! Property test: every guard AST the grammar can express survives a
+//! `Display → parse` round trip unchanged — printer and parser agree on
+//! the whole language.
+
+use proptest::prelude::*;
+use xmorph_core::lang::ast::{Ast, CastMode, Head, Item, Pattern};
+use xmorph_core::lang::parse;
+
+fn label() -> impl Strategy<Value = String> {
+    // Labels exercising bare, dotted, and attribute forms.
+    prop_oneof![
+        "[a-z]{1,6}",
+        "[a-z]{1,4}\\.[a-z]{1,4}",
+        "@[a-z]{1,5}",
+    ]
+}
+
+fn item(depth: u32) -> BoxedStrategy<Item> {
+    let head = if depth == 0 {
+        prop_oneof![
+            label().prop_map(Head::Label),
+            label().prop_map(Head::New),
+        ]
+        .boxed()
+    } else {
+        // DROP/RESTRICT/CLONE take a single item in the surface grammar.
+        let single = item(depth - 1).prop_map(Pattern::single);
+        prop_oneof![
+            4 => label().prop_map(Head::Label),
+            1 => label().prop_map(Head::New),
+            1 => single.clone().prop_map(Head::Drop),
+            1 => single.clone().prop_map(Head::Restrict),
+            1 => single.prop_map(Head::Clone),
+        ]
+        .boxed()
+    };
+    let children = if depth == 0 {
+        Just(Pattern::default()).boxed()
+    } else {
+        prop_oneof![
+            2 => Just(Pattern::default()),
+            1 => pattern(depth - 1),
+        ]
+        .boxed()
+    };
+    (head, children, any::<bool>(), any::<bool>(), any::<bool>())
+        .prop_map(|(head, children, inc_c, inc_d, pinned)| Item {
+            head,
+            children,
+            include_children: inc_c,
+            include_descendants: inc_d,
+            pinned,
+        })
+        .boxed()
+}
+
+fn pattern(depth: u32) -> BoxedStrategy<Pattern> {
+    prop::collection::vec(item(depth), 1..4)
+        .prop_map(|items| Pattern { items })
+        .boxed()
+}
+
+fn ast(depth: u32) -> BoxedStrategy<Ast> {
+    let core = prop_oneof![
+        3 => pattern(2).prop_map(Ast::Morph),
+        2 => pattern(2).prop_map(Ast::Mutate),
+        1 => prop::collection::vec((label(), label()), 1..3).prop_map(Ast::Translate),
+    ];
+    if depth == 0 {
+        core.boxed()
+    } else {
+        let inner = ast(depth - 1);
+        prop_oneof![
+            4 => core,
+            1 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ast::Compose(Box::new(a), Box::new(b))),
+            1 => inner.clone().prop_map(|g| Ast::Cast(CastMode::Weak, Box::new(g))),
+            1 => inner.clone().prop_map(|g| Ast::Cast(CastMode::Narrowing, Box::new(g))),
+            1 => inner.clone().prop_map(|g| Ast::Cast(CastMode::Widening, Box::new(g))),
+            1 => inner.prop_map(|g| Ast::TypeFill(Box::new(g))),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_round_trip(guard in ast(2)) {
+        let printed = guard.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed guard failed to parse: {printed}\n{e}"));
+        // Display again: printing must be a fixpoint (the reparsed tree
+        // may differ in formatting-irrelevant ways, but its printing
+        // must match).
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+}

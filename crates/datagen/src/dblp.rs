@@ -1,0 +1,197 @@
+//! A DBLP-flavoured bibliography generator.
+//!
+//! DBLP.xml is flat and wide: a `dblp` root with millions of shallow
+//! publication records, each carrying `author+`, `title`, `year`, and a
+//! handful of optional fields. The paper slices DBLP at 134–518 MB for
+//! Fig. 14 and uses its author/title/year paths for the three
+//! transformation sizes; this generator reproduces exactly that profile
+//! with Zipf-skewed author reuse.
+
+use crate::text;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmorph_xml::writer::StreamWriter;
+
+/// Configuration for the DBLP-like generator.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of publication records.
+    pub records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig { records: 1000, seed: 11 }
+    }
+}
+
+/// Record kinds with DBLP-ish proportions.
+const KINDS: &[(&str, u32)] =
+    &[("inproceedings", 50), ("article", 35), ("proceedings", 5), ("book", 5), ("phdthesis", 5)];
+
+/// Venue name fragments.
+const VENUES: &[&str] = &[
+    "ICDE", "VLDB", "SIGMOD", "EDBT", "CIKM", "WWW", "TODS", "TKDE", "Inf. Syst.", "DKE",
+];
+
+impl DblpConfig {
+    /// A config sized to approximately `bytes` of output (records
+    /// average ≈ 330 bytes, mirroring DBLP's density).
+    pub fn with_approx_bytes(bytes: usize) -> Self {
+        DblpConfig { records: (bytes / 330).max(1), ..Default::default() }
+    }
+
+    /// Generate the document.
+    pub fn generate(&self) -> String {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        // Author pool scales sub-linearly like real DBLP.
+        let pool: Vec<String> = (0..(self.records / 3).clamp(8, 40_000))
+            .map(|_| text::person_name(&mut rng))
+            .collect();
+        let mut w = StreamWriter::with_capacity(self.records * 340);
+        w.start("dblp");
+        for i in 0..self.records {
+            record(&mut w, &mut rng, &pool, i);
+        }
+        w.end();
+        w.finish()
+    }
+}
+
+fn pick_kind(rng: &mut SmallRng) -> &'static str {
+    let total: u32 = KINDS.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.random_range(0..total);
+    for (kind, weight) in KINDS {
+        if roll < *weight {
+            return kind;
+        }
+        roll -= weight;
+    }
+    KINDS[0].0
+}
+
+fn simple(w: &mut StreamWriter, name: &str, value: &str) {
+    w.start(name);
+    w.text(value);
+    w.end();
+}
+
+fn record(w: &mut StreamWriter, rng: &mut SmallRng, pool: &[String], i: usize) {
+    let kind = pick_kind(rng);
+    w.start(kind);
+    w.attr("key", &format!("{kind}/x/{i}"));
+    w.attr("mdate", "2011-01-11");
+    let nauthors = match kind {
+        "phdthesis" => 1,
+        "proceedings" => rng.random_range(1..3usize),
+        _ => rng.random_range(1..5usize),
+    };
+    for _ in 0..nauthors {
+        simple(w, "author", &pool[text::zipf_index(rng, pool.len())]);
+    }
+    simple(w, "title", &text::sentence(rng, 4, 12));
+    let year = rng.random_range(1970..2012u32);
+    match kind {
+        "article" => {
+            simple(w, "journal", VENUES[rng.random_range(5..VENUES.len())]);
+            simple(w, "volume", &rng.random_range(1..40u32).to_string());
+            if rng.random_range(0..2u32) == 0 {
+                simple(w, "number", &rng.random_range(1..12u32).to_string());
+            }
+        }
+        "inproceedings" => {
+            simple(
+                w,
+                "booktitle",
+                &format!("{} {}", VENUES[rng.random_range(0..5)], year),
+            );
+        }
+        "book" | "proceedings" => {
+            simple(w, "publisher", "Springer");
+            if rng.random_range(0..2u32) == 0 {
+                simple(w, "isbn", &format!("3-540-{:05}-{}", rng.random_range(0..99999u32), rng.random_range(0..10u32)));
+            }
+        }
+        "phdthesis" => simple(w, "school", "Utah State University"),
+        _ => {}
+    }
+    let lo = rng.random_range(1..400u32);
+    simple(w, "pages", &format!("{lo}-{}", lo + rng.random_range(5..25u32)));
+    simple(w, "year", &year.to_string());
+    if rng.random_range(0..3u32) > 0 {
+        simple(w, "url", &format!("db/{kind}/{i}.html"));
+    }
+    if rng.random_range(0..3u32) == 0 {
+        simple(w, "ee", &format!("https://doi.org/10.0/{i}"));
+    }
+    w.end();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmorph_xml::dom::Document;
+
+    #[test]
+    fn well_formed_and_rooted_at_dblp() {
+        let xml = DblpConfig { records: 200, ..Default::default() }.generate();
+        let doc = Document::parse_str(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), "dblp");
+        assert_eq!(doc.children(root).count(), 200);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = DblpConfig { records: 50, ..Default::default() }.generate();
+        let b = DblpConfig { records: 50, ..Default::default() }.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_record_has_core_fields() {
+        let xml = DblpConfig { records: 100, ..Default::default() }.generate();
+        let doc = Document::parse_str(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        for rec in doc.children(root) {
+            assert!(doc.child_named(rec, "author").is_some(), "{}", doc.name(rec));
+            assert!(doc.child_named(rec, "title").is_some());
+            assert!(doc.child_named(rec, "year").is_some());
+            assert!(doc.child_named(rec, "pages").is_some());
+        }
+    }
+
+    #[test]
+    fn approx_bytes_sizing() {
+        let cfg = DblpConfig::with_approx_bytes(200_000);
+        let len = cfg.generate().len();
+        assert!(len > 100_000 && len < 400_000, "{len}");
+    }
+
+    #[test]
+    fn author_reuse_is_skewed() {
+        use std::collections::HashMap;
+        let xml = DblpConfig { records: 500, ..Default::default() }.generate();
+        let doc = Document::parse_str(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for rec in doc.children(root) {
+            for a in doc.children_named(rec, "author") {
+                *counts.entry(doc.deep_text(a)).or_insert(0) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max >= 10, "top author only {max} papers — no skew?");
+    }
+
+    #[test]
+    fn mixed_record_kinds() {
+        let xml = DblpConfig { records: 300, ..Default::default() }.generate();
+        assert!(xml.contains("<article "));
+        assert!(xml.contains("<inproceedings "));
+        assert!(xml.contains("<journal>"));
+        assert!(xml.contains("<booktitle>"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # xmorph-datagen
+//!
+//! Deterministic synthetic workload generators for the XMorph 2.0
+//! benchmark harness. The paper's experiments (§IX) use three datasets we
+//! cannot redistribute; each generator reproduces the *structural
+//! profile* the corresponding experiment depends on (see DESIGN.md §4):
+//!
+//! * [`xmark`] — an auction `site` document in the mold of the XMark
+//!   benchmark: six region subtrees, categories with recursive
+//!   `parlist`/`listitem` markup, people with nested profiles, open and
+//!   closed auctions. Scaled by a *factor*, sizes growing linearly,
+//!   hundreds of distinct root-path types (Figs. 10–13, 15, 16).
+//! * [`dblp`] — a flat-and-wide bibliography like DBLP.xml: millions of
+//!   shallow publication records (Figs. 14, 15).
+//! * [`nasa`] — astronomy `dataset` records with the deep
+//!   reference/history nesting of the NASA XML corpus (Fig. 15).
+//!
+//! All generators are seeded and deterministic: the same config yields
+//! byte-identical documents on every platform.
+
+pub mod dblp;
+pub mod nasa;
+pub mod text;
+pub mod xmark;
+
+pub use dblp::DblpConfig;
+pub use nasa::NasaConfig;
+pub use xmark::XmarkConfig;

@@ -1,0 +1,189 @@
+//! A NASA-astronomy-flavoured dataset generator.
+//!
+//! The public NASA XML corpus (astronomical datasets converted from
+//! legacy flat files) is the third dataset of the paper's Fig. 15
+//! "effect of target shape" experiment. Its signature is deep,
+//! reference-heavy nesting with long text fields — quite different text
+//! density from both XMark and DBLP, which is exactly what that
+//! experiment varies.
+
+use crate::text;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmorph_xml::writer::StreamWriter;
+
+/// Configuration for the NASA-like generator.
+#[derive(Debug, Clone)]
+pub struct NasaConfig {
+    /// Number of `dataset` records.
+    pub datasets: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NasaConfig {
+    fn default() -> Self {
+        NasaConfig { datasets: 100, seed: 23 }
+    }
+}
+
+impl NasaConfig {
+    /// A config sized to approximately `bytes` (datasets average
+    /// ≈ 1.5 KB).
+    pub fn with_approx_bytes(bytes: usize) -> Self {
+        NasaConfig { datasets: (bytes / 1500).max(1), ..Default::default() }
+    }
+
+    /// Generate the document.
+    pub fn generate(&self) -> String {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut w = StreamWriter::with_capacity(self.datasets * 1600);
+        w.start("datasets");
+        for i in 0..self.datasets {
+            dataset(&mut w, &mut rng, i);
+        }
+        w.end();
+        w.finish()
+    }
+}
+
+fn simple(w: &mut StreamWriter, name: &str, value: &str) {
+    w.start(name);
+    w.text(value);
+    w.end();
+}
+
+fn author(w: &mut StreamWriter, rng: &mut SmallRng) {
+    w.start("author");
+    w.start("lastName");
+    w.text(text::LAST_NAMES[rng.random_range(0..text::LAST_NAMES.len())]);
+    w.end();
+    w.start("initial");
+    w.text(&text::FIRST_NAMES[rng.random_range(0..text::FIRST_NAMES.len())][..1]);
+    w.end();
+    w.end();
+}
+
+fn date(w: &mut StreamWriter, rng: &mut SmallRng, name: &str) {
+    w.start(name);
+    simple(w, "year", &rng.random_range(1950..2000u32).to_string());
+    simple(w, "month", &rng.random_range(1..13u32).to_string());
+    simple(w, "day", &rng.random_range(1..29u32).to_string());
+    w.end();
+}
+
+fn dataset(w: &mut StreamWriter, rng: &mut SmallRng, i: usize) {
+    w.start("dataset");
+    w.attr("subject", "astronomy");
+    w.attr("xmlns:xlink", "http://www.w3.org/XML/XLink/0.9");
+    simple(w, "identifier", &format!("J_AZh_{}_{}", rng.random_range(40..80u32), i));
+    for _ in 0..rng.random_range(0..3u32) {
+        simple(w, "altname", &format!("{} {}", text::word(rng).to_uppercase(), i));
+    }
+    simple(w, "title", &text::sentence(rng, 6, 14));
+    // Reference: the deep chain dataset/reference/source/other/...
+    w.start("reference");
+    w.start("source");
+    w.start("other");
+    simple(w, "title", &text::sentence(rng, 4, 9));
+    for _ in 0..rng.random_range(1..4u32) {
+        author(w, rng);
+    }
+    simple(w, "name", &format!("Astron. Zh. {}", rng.random_range(30..70u32)));
+    simple(w, "publisher", "NASA Astronomical Data Center");
+    simple(w, "city", "Greenbelt");
+    date(w, rng, "date");
+    w.end();
+    w.end();
+    w.end();
+    w.start("keywords");
+    w.attr("parentListURL", "http://heasarc.gsfc.nasa.gov");
+    for _ in 0..rng.random_range(2..6u32) {
+        simple(w, "keyword", text::word(rng));
+    }
+    w.end();
+    w.start("descriptions");
+    w.start("description");
+    for _ in 0..rng.random_range(1..4u32) {
+        simple(w, "para", &text::sentence(rng, 20, 45));
+    }
+    w.end();
+    w.end();
+    w.start("history");
+    date(w, rng, "creationDate");
+    w.start("revisions");
+    for _ in 0..rng.random_range(1..3u32) {
+        w.start("revision");
+        date(w, rng, "revisionDate");
+        author(w, rng);
+        simple(w, "description", &text::sentence(rng, 8, 18));
+        w.end();
+    }
+    w.end();
+    w.end();
+    w.start("tableHead");
+    w.start("fields");
+    for _ in 0..rng.random_range(3..9u32) {
+        w.start("field");
+        simple(w, "name", text::word(rng));
+        if rng.random_range(0..2u32) == 0 {
+            simple(w, "definition", &text::sentence(rng, 5, 12));
+        }
+        w.end();
+    }
+    w.end();
+    w.end();
+    w.end(); // dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmorph_xml::dom::Document;
+
+    #[test]
+    fn well_formed() {
+        let xml = NasaConfig { datasets: 20, ..Default::default() }.generate();
+        let doc = Document::parse_str(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), "datasets");
+        assert_eq!(doc.children(root).count(), 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = NasaConfig { datasets: 10, ..Default::default() }.generate();
+        let b = NasaConfig { datasets: 10, ..Default::default() }.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deep_reference_chain_exists() {
+        let xml = NasaConfig { datasets: 5, ..Default::default() }.generate();
+        let doc = Document::parse_str(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        let ds = doc.children(root).next().unwrap();
+        let reference = doc.child_named(ds, "reference").unwrap();
+        let source = doc.child_named(reference, "source").unwrap();
+        let other = doc.child_named(source, "other").unwrap();
+        assert!(doc.child_named(other, "author").is_some());
+        let date = doc.child_named(other, "date").unwrap();
+        assert!(doc.child_named(date, "year").is_some());
+    }
+
+    #[test]
+    fn text_heavier_than_dblp() {
+        // Fig. 15 relies on differing text density across datasets.
+        let nasa = NasaConfig { datasets: 50, ..Default::default() }.generate();
+        let nasa_doc = Document::parse_str(&nasa).unwrap();
+        let per_elem = nasa.len() as f64 / nasa_doc.element_count() as f64;
+        assert!(per_elem > 25.0, "bytes/element {per_elem}");
+    }
+
+    #[test]
+    fn approx_sizing() {
+        let cfg = NasaConfig::with_approx_bytes(150_000);
+        let len = cfg.generate().len();
+        assert!(len > 75_000 && len < 320_000, "{len}");
+    }
+}

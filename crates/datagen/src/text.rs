@@ -1,0 +1,136 @@
+//! Deterministic filler-text generation shared by the generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The word pool (a Shakespeare-flavoured list in XMark tradition).
+pub const WORDS: &[&str] = &[
+    "against", "ancient", "battle", "beneath", "castle", "crown", "daggers", "dawn", "dream",
+    "empire", "falcon", "fortune", "gilded", "glory", "harbor", "honest", "island", "journey",
+    "kingdom", "lantern", "marble", "midnight", "noble", "ocean", "palace", "quarrel", "raven",
+    "river", "shadow", "silver", "sword", "tempest", "throne", "thunder", "valley", "whisper",
+    "winter", "wonder", "ambition", "banner", "citadel", "destiny", "ember", "frontier",
+    "garland", "horizon", "ivory", "jubilee", "keystone", "legacy",
+];
+
+/// First names for people/authors.
+pub const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edgar", "Frances", "Grace", "Hedy", "Ivan",
+    "John", "Katherine", "Leslie", "Margaret", "Niklaus", "Ole", "Peter", "Radia", "Stephen",
+    "Tim",
+];
+
+/// Last names for people/authors.
+pub const LAST_NAMES: &[&str] = &[
+    "Allen", "Backus", "Codd", "Dijkstra", "Engelbart", "Floyd", "Gray", "Hamilton", "Hopper",
+    "Iverson", "Johnson", "Knuth", "Lamport", "Liskov", "McCarthy", "Naur", "Perlis", "Ritchie",
+    "Stonebraker", "Turing",
+];
+
+/// Country names for addresses.
+pub const COUNTRIES: &[&str] = &[
+    "United States", "Singapore", "Germany", "Japan", "Brazil", "Kenya", "Australia", "Norway",
+    "India", "Canada",
+];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "Logan", "Singapore", "Berlin", "Kyoto", "Recife", "Nairobi", "Perth", "Bergen", "Chennai",
+    "Halifax",
+];
+
+/// A random word.
+pub fn word(rng: &mut SmallRng) -> &'static str {
+    WORDS[rng.random_range(0..WORDS.len())]
+}
+
+/// `n` random words joined by spaces.
+pub fn words(rng: &mut SmallRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 8);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(word(rng));
+    }
+    out
+}
+
+/// A sentence of `lo..hi` words with a capital and a period.
+pub fn sentence(rng: &mut SmallRng, lo: usize, hi: usize) -> String {
+    let n = rng.random_range(lo..=hi);
+    let mut s = words(rng, n);
+    if let Some(first) = s.get_mut(0..1) {
+        first.make_ascii_uppercase();
+    }
+    s.push('.');
+    s
+}
+
+/// A full person name.
+pub fn person_name(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.random_range(0..LAST_NAMES.len())]
+    )
+}
+
+/// A Zipf-flavoured index into `0..n`: low indices are much more likely,
+/// giving the author-reuse skew of real bibliographies.
+pub fn zipf_index(rng: &mut SmallRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let u: f64 = rng.random_range(0.0001..1.0f64);
+    // Inverse-power transform (exponent ~1.2).
+    let x = (u.powf(-0.45) - 1.0) / (0.0001f64.powf(-0.45) - 1.0);
+    ((x * n as f64) as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn deterministic_words() {
+        let a = words(&mut rng(), 10);
+        let b = words(&mut rng(), 10);
+        assert_eq!(a, b);
+        assert_eq!(a.split(' ').count(), 10);
+    }
+
+    #[test]
+    fn sentence_shape() {
+        let s = sentence(&mut rng(), 3, 6);
+        assert!(s.ends_with('.'));
+        assert!(s.chars().next().unwrap().is_uppercase());
+        let n = s.split(' ').count();
+        assert!((3..=6).contains(&n), "{s}");
+    }
+
+    #[test]
+    fn person_names_come_from_pools() {
+        let name = person_name(&mut rng());
+        let (first, last) = name.split_once(' ').unwrap();
+        assert!(FIRST_NAMES.contains(&first));
+        assert!(LAST_NAMES.contains(&last));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut r = rng();
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            let i = zipf_index(&mut r, 100);
+            counts[i] += 1;
+        }
+        // Head indices dominate the tail.
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(head > tail * 3, "head {head} tail {tail}");
+    }
+}

@@ -1,0 +1,1095 @@
+//! A slotted-page B+tree with variable-length keys and values.
+//!
+//! ## Page layouts (all pages are [`crate::PAGE_SIZE`] bytes)
+//!
+//! **Leaf** (`tag = 1`)
+//! ```text
+//! 0      1        3            5           13       16
+//! [tag] [nkeys:u16] [cell_start:u16] [next_leaf:u64] [pad] [slots: u16 × nkeys] ... cells
+//! cell = [flags:u8][klen:u16][vlen:u32][key][value | overflow_head:u64]
+//! ```
+//! Cells are allocated from the page end downward; the slot array (sorted
+//! by key) grows upward. `flags & 1` means the value lives in an overflow
+//! chain and the cell body holds the 8-byte head page id, with `vlen`
+//! giving the total value length.
+//!
+//! **Interior** (`tag = 2`)
+//! ```text
+//! [tag] [nkeys:u16] [cell_start:u16] [leftmost_child:u64] [pad] [slots] ... cells
+//! cell = [klen:u16][child:u64][key]
+//! ```
+//! `leftmost_child` covers keys `< key[0]`; `child[i]` covers
+//! `[key[i], key[i+1])`.
+//!
+//! **Overflow** (`tag = 3`): `[tag][next:u64][len:u16][data...]`.
+//!
+//! ## Behavioural notes
+//!
+//! * Replacing or deleting a value abandons its overflow chain (space is
+//!   leaked until the file is rebuilt). The XMorph workload is
+//!   write-once/read-many, so reclamation is deliberately out of scope.
+//! * Deletion removes the slot without rebalancing; underfull pages are
+//!   permitted, searches and scans remain correct.
+//! * Range scans materialize one leaf at a time, so a scan does not hold
+//!   pool pages pinned. Mutating the tree during a scan is unsupported.
+
+use crate::buffer::BufferPool;
+use crate::error::{StoreError, StoreResult};
+use crate::pager::PageId;
+use crate::PAGE_SIZE;
+use std::ops::Bound;
+
+/// Maximum key length in bytes.
+pub const MAX_KEY_LEN: usize = 512;
+
+/// Values whose cell would exceed this many bytes spill to overflow pages.
+const MAX_CELL: usize = 1000;
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERIOR: u8 = 2;
+const TAG_OVERFLOW: u8 = 3;
+
+const HDR: usize = 16;
+const NIL: PageId = 0;
+
+const FLAG_OVERFLOW: u8 = 1;
+
+const OVERFLOW_HDR: usize = 11;
+const OVERFLOW_DATA: usize = PAGE_SIZE - OVERFLOW_HDR;
+
+// ---- little-endian helpers over raw pages ----
+
+fn get_u16(p: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([p[off], p[off + 1]])
+}
+
+fn put_u16(p: &mut [u8], off: usize, v: u16) {
+    p[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(p: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(p[off..off + 4].try_into().unwrap())
+}
+
+fn put_u32(p: &mut [u8], off: usize, v: u32) {
+    p[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(p: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(p[off..off + 8].try_into().unwrap())
+}
+
+fn put_u64(p: &mut [u8], off: usize, v: u64) {
+    p[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn tag(p: &[u8]) -> u8 {
+    p[0]
+}
+
+fn nkeys(p: &[u8]) -> usize {
+    get_u16(p, 1) as usize
+}
+
+fn set_nkeys(p: &mut [u8], n: usize) {
+    put_u16(p, 1, n as u16)
+}
+
+fn cell_start(p: &[u8]) -> usize {
+    get_u16(p, 3) as usize
+}
+
+fn set_cell_start(p: &mut [u8], v: usize) {
+    put_u16(p, 3, v as u16)
+}
+
+fn slot(p: &[u8], i: usize) -> usize {
+    get_u16(p, HDR + 2 * i) as usize
+}
+
+fn set_slot(p: &mut [u8], i: usize, off: usize) {
+    put_u16(p, HDR + 2 * i, off as u16)
+}
+
+fn init_leaf(p: &mut [u8]) {
+    p[..HDR].fill(0);
+    p[0] = TAG_LEAF;
+    set_cell_start(p, PAGE_SIZE);
+}
+
+fn init_interior(p: &mut [u8]) {
+    p[..HDR].fill(0);
+    p[0] = TAG_INTERIOR;
+    set_cell_start(p, PAGE_SIZE);
+}
+
+fn next_leaf(p: &[u8]) -> PageId {
+    get_u64(p, 5)
+}
+
+fn set_next_leaf(p: &mut [u8], id: PageId) {
+    put_u64(p, 5, id)
+}
+
+fn leftmost_child(p: &[u8]) -> PageId {
+    get_u64(p, 5)
+}
+
+fn set_leftmost_child(p: &mut [u8], id: PageId) {
+    put_u64(p, 5, id)
+}
+
+// ---- leaf cells ----
+
+/// Parsed view of a leaf cell.
+struct LeafCell {
+    key_start: usize,
+    klen: usize,
+    vlen: usize,
+    overflow: bool,
+}
+
+fn leaf_cell(p: &[u8], off: usize) -> LeafCell {
+    let flags = p[off];
+    let klen = get_u16(p, off + 1) as usize;
+    let vlen = get_u32(p, off + 3) as usize;
+    LeafCell { key_start: off + 7, klen, vlen, overflow: flags & FLAG_OVERFLOW != 0 }
+}
+
+fn leaf_cell_key(p: &[u8], off: usize) -> &[u8] {
+    let c = leaf_cell(p, off);
+    &p[c.key_start..c.key_start + c.klen]
+}
+
+/// On-page size of a leaf cell holding `klen`/`stored_vlen` bytes.
+fn leaf_cell_size(klen: usize, stored_vlen: usize) -> usize {
+    7 + klen + stored_vlen
+}
+
+// ---- interior cells ----
+
+fn interior_cell_key(p: &[u8], off: usize) -> &[u8] {
+    let klen = get_u16(p, off) as usize;
+    &p[off + 10..off + 10 + klen]
+}
+
+fn interior_cell_child(p: &[u8], off: usize) -> PageId {
+    get_u64(p, off + 2)
+}
+
+fn interior_cell_size(klen: usize) -> usize {
+    10 + klen
+}
+
+/// Free bytes between the slot array and the cell area.
+fn free_space(p: &[u8]) -> usize {
+    cell_start(p) - (HDR + 2 * nkeys(p))
+}
+
+/// Binary search the slot array. `Ok(i)` = exact match at slot `i`;
+/// `Err(i)` = the key would sort at slot `i`.
+fn search_slots(p: &[u8], key: &[u8], get_key: fn(&[u8], usize) -> &[u8]) -> Result<usize, usize> {
+    let n = nkeys(p);
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = get_key(p, slot(p, mid));
+        match k.cmp(key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// A B+tree rooted at a page, operating through a buffer pool. The root
+/// page id may change on splits; [`BTree::root`] reports the current one.
+#[derive(Debug)]
+pub struct BTree<'a> {
+    pool: &'a BufferPool,
+    root: PageId,
+}
+
+/// Result of a recursive insert: `Some((separator, new_right_page))` when
+/// the child split.
+type SplitInfo = Option<(Vec<u8>, PageId)>;
+
+impl<'a> BTree<'a> {
+    /// Create an empty tree (allocates one leaf page).
+    pub fn create(pool: &'a BufferPool) -> StoreResult<Self> {
+        let root = pool.allocate()?;
+        pool.write_with(root, init_leaf)?;
+        Ok(BTree { pool, root })
+    }
+
+    /// Open an existing tree at `root`.
+    pub fn open(pool: &'a BufferPool, root: PageId) -> Self {
+        BTree { pool, root }
+    }
+
+    /// Current root page id.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Insert or replace. Returns `true` if the key was new.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> StoreResult<bool> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(StoreError::KeyTooLarge(key.len()));
+        }
+        // Spill large values to an overflow chain first.
+        let inline: Vec<u8>;
+        let (stored, flags, vlen) = if leaf_cell_size(key.len(), value.len()) > MAX_CELL {
+            let head = self.write_overflow(value)?;
+            inline = head.to_le_bytes().to_vec();
+            (&inline[..], FLAG_OVERFLOW, value.len())
+        } else {
+            (value, 0u8, value.len())
+        };
+        let (was_new, split) = self.insert_rec(self.root, key, stored, flags, vlen)?;
+        if let Some((sep, right)) = split {
+            let old_root = self.root;
+            let new_root = self.pool.allocate()?;
+            self.pool.write_with(new_root, |p| {
+                init_interior(p);
+                set_leftmost_child(p, old_root);
+            })?;
+            self.interior_insert_cell(new_root, &sep, right)?;
+            self.root = new_root;
+        }
+        Ok(was_new)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            enum Next {
+                Child(PageId),
+                Found(Option<Vec<u8>>, Option<(PageId, usize)>),
+            }
+            let next = self.pool.read_with(page, |p| {
+                if tag(p) == TAG_INTERIOR {
+                    Next::Child(child_for_key(p, key))
+                } else {
+                    match search_slots(p, key, leaf_cell_key) {
+                        Ok(i) => {
+                            let off = slot(p, i);
+                            let c = leaf_cell(p, off);
+                            if c.overflow {
+                                let head = get_u64(p, c.key_start + c.klen);
+                                Next::Found(None, Some((head, c.vlen)))
+                            } else {
+                                let v =
+                                    p[c.key_start + c.klen..c.key_start + c.klen + c.vlen].to_vec();
+                                Next::Found(Some(v), None)
+                            }
+                        }
+                        Err(_) => Next::Found(None, None),
+                    }
+                }
+            })?;
+            match next {
+                Next::Child(c) => page = c,
+                Next::Found(v, None) => return Ok(v),
+                Next::Found(_, Some((head, total))) => {
+                    return Ok(Some(self.read_overflow(head, total)?))
+                }
+            }
+        }
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &[u8]) -> StoreResult<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Remove a key. Returns `true` if it was present. Pages are not
+    /// rebalanced (see module docs).
+    pub fn delete(&mut self, key: &[u8]) -> StoreResult<bool> {
+        let mut page = self.root;
+        loop {
+            enum Next {
+                Child(PageId),
+                Done(bool),
+            }
+            let next = self.pool.write_with(page, |p| {
+                if tag(p) == TAG_INTERIOR {
+                    Next::Child(child_for_key(p, key))
+                } else {
+                    match search_slots(p, key, leaf_cell_key) {
+                        Ok(i) => {
+                            remove_slot(p, i);
+                            Next::Done(true)
+                        }
+                        Err(_) => Next::Done(false),
+                    }
+                }
+            })?;
+            match next {
+                Next::Child(c) => page = c,
+                Next::Done(found) => return Ok(found),
+            }
+        }
+    }
+
+    /// Ordered scan of `[start, end)` style bounds over (key, value) pairs.
+    pub fn range(
+        &self,
+        start: Bound<&[u8]>,
+        end: Bound<Vec<u8>>,
+    ) -> StoreResult<RangeIter<'a>> {
+        // Find the first leaf/slot at or after `start`.
+        let start_key: &[u8] = match start {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => &[],
+        };
+        let mut page = self.root;
+        loop {
+            let (is_leaf, child) = self.pool.read_with(page, |p| {
+                if tag(p) == TAG_INTERIOR {
+                    (false, child_for_key(p, start_key))
+                } else {
+                    (true, NIL)
+                }
+            })?;
+            if is_leaf {
+                break;
+            }
+            page = child;
+        }
+        let mut iter = RangeIter {
+            pool: self.pool,
+            leaf: page,
+            buffered: Vec::new(),
+            pos: 0,
+            end,
+            error: None,
+        };
+        iter.fill_from_leaf()?;
+        // Skip entries before the start bound.
+        while let Some(k) = iter.peek_key() {
+            let skip = match start {
+                Bound::Included(s) => k < s,
+                Bound::Excluded(s) => k <= s,
+                Bound::Unbounded => false,
+            };
+            if !skip {
+                break;
+            }
+            iter.pos += 1;
+            if iter.pos >= iter.buffered.len() {
+                iter.advance_leaf()?;
+                if iter.leaf == NIL && iter.buffered.is_empty() {
+                    break;
+                }
+            }
+        }
+        Ok(iter)
+    }
+
+    /// Number of entries — O(n), full scan.
+    pub fn len(&self) -> StoreResult<usize> {
+        let mut n = 0;
+        let mut iter = self.range(Bound::Unbounded, Bound::Unbounded)?;
+        while iter.next_entry()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// True when the tree holds no entries — O(1) on the first leaf.
+    pub fn is_empty(&self) -> StoreResult<bool> {
+        let mut iter = self.range(Bound::Unbounded, Bound::Unbounded)?;
+        Ok(iter.next_entry()?.is_none())
+    }
+
+    // ---- internals ----
+
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        key: &[u8],
+        stored: &[u8],
+        flags: u8,
+        vlen: usize,
+    ) -> StoreResult<(bool, SplitInfo)> {
+        let is_interior = self.pool.read_with(page, |p| tag(p) == TAG_INTERIOR)?;
+        if is_interior {
+            let child = self.pool.read_with(page, |p| child_for_key(p, key))?;
+            let (was_new, split) = self.insert_rec(child, key, stored, flags, vlen)?;
+            if let Some((sep, right)) = split {
+                let own_split = self.interior_insert_cell(page, &sep, right)?;
+                return Ok((was_new, own_split));
+            }
+            return Ok((was_new, None));
+        }
+        // Leaf insert.
+        let cell_size = leaf_cell_size(key.len(), stored.len());
+        let (fits, was_new) = self.pool.write_with(page, |p| {
+            match search_slots(p, key, leaf_cell_key) {
+                Ok(i) => {
+                    // Replace: drop the old slot, then insert fresh below.
+                    remove_slot(p, i);
+                    if free_or_compact(p, cell_size + 2) {
+                        leaf_insert_at(p, i, key, stored, flags, vlen);
+                        (true, false)
+                    } else {
+                        (false, false)
+                    }
+                }
+                Err(i) => {
+                    if free_or_compact(p, cell_size + 2) {
+                        leaf_insert_at(p, i, key, stored, flags, vlen);
+                        (true, true)
+                    } else {
+                        (false, true)
+                    }
+                }
+            }
+        })?;
+        if fits {
+            return Ok((was_new, None));
+        }
+        // Split the leaf, then retry the insert into the proper half.
+        let (sep, right) = self.split_leaf(page)?;
+        let target = if key < sep.as_slice() { page } else { right };
+        let ok = self.pool.write_with(target, |p| {
+            let i = match search_slots(p, key, leaf_cell_key) {
+                Ok(i) => {
+                    remove_slot(p, i);
+                    i
+                }
+                Err(i) => i,
+            };
+            if free_or_compact(p, cell_size + 2) {
+                leaf_insert_at(p, i, key, stored, flags, vlen);
+                true
+            } else {
+                false
+            }
+        })?;
+        if !ok {
+            return Err(StoreError::Corrupt("cell does not fit even after split"));
+        }
+        Ok((was_new, Some((sep, right))))
+    }
+
+    /// Split a full leaf; returns (separator, right page id).
+    fn split_leaf(&mut self, page: PageId) -> StoreResult<(Vec<u8>, PageId)> {
+        let right = self.pool.allocate()?;
+        // Copy out all cells, split by half the bytes.
+        let (cells, old_next) = self.pool.read_with(page, |p| {
+            let mut cells: Vec<Vec<u8>> = Vec::with_capacity(nkeys(p));
+            for i in 0..nkeys(p) {
+                let off = slot(p, i);
+                let c = leaf_cell(p, off);
+                let stored = if c.overflow { 8 } else { c.vlen };
+                cells.push(p[off..off + leaf_cell_size(c.klen, stored)].to_vec());
+            }
+            (cells, next_leaf(p))
+        })?;
+        let total: usize = cells.iter().map(|c| c.len() + 2).sum();
+        let mut acc = 0usize;
+        let mut cut = cells.len() / 2; // fallback for uniform cells
+        for (i, c) in cells.iter().enumerate() {
+            acc += c.len() + 2;
+            if acc > total / 2 {
+                cut = i + 1;
+                break;
+            }
+        }
+        cut = cut.clamp(1, cells.len() - 1);
+        let sep = {
+            let c = &cells[cut];
+            let klen = get_u16(c, 1) as usize;
+            c[7..7 + klen].to_vec()
+        };
+        let (left_cells, right_cells) = cells.split_at(cut);
+        self.pool.write_with(page, |p| {
+            init_leaf(p);
+            set_next_leaf(p, right);
+            rebuild_leaf(p, left_cells);
+        })?;
+        self.pool.write_with(right, |p| {
+            init_leaf(p);
+            set_next_leaf(p, old_next);
+            rebuild_leaf(p, right_cells);
+        })?;
+        Ok((sep, right))
+    }
+
+    /// Insert a (separator, child) cell into an interior page, splitting
+    /// it if necessary.
+    fn interior_insert_cell(
+        &mut self,
+        page: PageId,
+        sep: &[u8],
+        child: PageId,
+    ) -> StoreResult<SplitInfo> {
+        let size = interior_cell_size(sep.len());
+        let ok = self.pool.write_with(page, |p| {
+            let i = match search_slots(p, sep, interior_cell_key) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            if free_or_compact(p, size + 2) {
+                interior_insert_at(p, i, sep, child);
+                true
+            } else {
+                false
+            }
+        })?;
+        if ok {
+            return Ok(None);
+        }
+        // Split the interior page: promote the middle key.
+        let right = self.pool.allocate()?;
+        let cells = self.pool.read_with(page, |p| {
+            let mut cells: Vec<Vec<u8>> = Vec::with_capacity(nkeys(p));
+            for i in 0..nkeys(p) {
+                let off = slot(p, i);
+                let klen = get_u16(p, off) as usize;
+                cells.push(p[off..off + interior_cell_size(klen)].to_vec());
+            }
+            cells
+        })?;
+        let mid = cells.len() / 2;
+        let promoted_key = {
+            let c = &cells[mid];
+            let klen = get_u16(c, 0) as usize;
+            c[10..10 + klen].to_vec()
+        };
+        let promoted_child = get_u64(&cells[mid], 2);
+        let left_cells = &cells[..mid];
+        let right_cells = &cells[mid + 1..];
+        self.pool.write_with(page, |p| {
+            let lm = leftmost_child(p);
+            init_interior(p);
+            set_leftmost_child(p, lm);
+            rebuild_interior(p, left_cells);
+        })?;
+        self.pool.write_with(right, |p| {
+            init_interior(p);
+            set_leftmost_child(p, promoted_child);
+            rebuild_interior(p, right_cells);
+        })?;
+        // Now insert the pending cell into the proper half.
+        let target = if sep < promoted_key.as_slice() { page } else { right };
+        let ok = self.pool.write_with(target, |p| {
+            let i = match search_slots(p, sep, interior_cell_key) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            if free_or_compact(p, size + 2) {
+                interior_insert_at(p, i, sep, child);
+                true
+            } else {
+                false
+            }
+        })?;
+        if !ok {
+            return Err(StoreError::Corrupt("interior cell does not fit after split"));
+        }
+        Ok(Some((promoted_key, right)))
+    }
+
+    /// Write `value` into a chain of overflow pages; returns the head.
+    fn write_overflow(&mut self, value: &[u8]) -> StoreResult<PageId> {
+        let mut chunks: Vec<&[u8]> = value.chunks(OVERFLOW_DATA).collect();
+        if chunks.is_empty() {
+            chunks.push(&[]);
+        }
+        let pages: Vec<PageId> = (0..chunks.len())
+            .map(|_| self.pool.allocate())
+            .collect::<StoreResult<_>>()?;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = pages.get(i + 1).copied().unwrap_or(NIL);
+            self.pool.write_with(pages[i], |p| {
+                p[0] = TAG_OVERFLOW;
+                put_u64(p, 1, next);
+                put_u16(p, 9, chunk.len() as u16);
+                p[OVERFLOW_HDR..OVERFLOW_HDR + chunk.len()].copy_from_slice(chunk);
+            })?;
+        }
+        Ok(pages[0])
+    }
+
+    fn read_overflow(&self, head: PageId, total: usize) -> StoreResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(total);
+        let mut page = head;
+        while page != NIL && out.len() < total {
+            let (next, chunk) = self.pool.read_with(page, |p| {
+                if tag(p) != TAG_OVERFLOW {
+                    return (NIL, None);
+                }
+                let len = get_u16(p, 9) as usize;
+                (get_u64(p, 1), Some(p[OVERFLOW_HDR..OVERFLOW_HDR + len].to_vec()))
+            })?;
+            match chunk {
+                Some(c) => out.extend_from_slice(&c),
+                None => return Err(StoreError::Corrupt("broken overflow chain")),
+            }
+            page = next;
+        }
+        if out.len() != total {
+            return Err(StoreError::Corrupt("overflow chain shorter than recorded length"));
+        }
+        Ok(out)
+    }
+}
+
+/// Interior routing: child page covering `key`.
+fn child_for_key(p: &[u8], key: &[u8]) -> PageId {
+    match search_slots(p, key, interior_cell_key) {
+        Ok(i) => interior_cell_child(p, slot(p, i)),
+        Err(0) => leftmost_child(p),
+        Err(i) => interior_cell_child(p, slot(p, i - 1)),
+    }
+}
+
+/// Remove slot `i` (cell bytes become garbage until compaction).
+fn remove_slot(p: &mut [u8], i: usize) {
+    let n = nkeys(p);
+    for j in i..n - 1 {
+        let v = slot(p, j + 1);
+        set_slot(p, j, v);
+    }
+    set_nkeys(p, n - 1);
+}
+
+/// Ensure at least `needed` free bytes, compacting the page if garbage
+/// would make room. Returns false if the cell simply cannot fit.
+fn free_or_compact(p: &mut [u8], needed: usize) -> bool {
+    if free_space(p) >= needed {
+        return true;
+    }
+    // Compute live bytes; compact if that would help.
+    let n = nkeys(p);
+    let is_leaf = tag(p) == TAG_LEAF;
+    let mut cells: Vec<Vec<u8>> = Vec::with_capacity(n);
+    let mut live = 0usize;
+    for i in 0..n {
+        let off = slot(p, i);
+        let size = if is_leaf {
+            let c = leaf_cell(p, off);
+            let stored = if c.overflow { 8 } else { c.vlen };
+            leaf_cell_size(c.klen, stored)
+        } else {
+            let klen = get_u16(p, off) as usize;
+            interior_cell_size(klen)
+        };
+        live += size + 2;
+        cells.push(p[off..off + size].to_vec());
+    }
+    if PAGE_SIZE - HDR - live < needed {
+        return false;
+    }
+    if is_leaf {
+        let nl = next_leaf(p);
+        init_leaf(p);
+        set_next_leaf(p, nl);
+        rebuild_leaf(p, &cells);
+    } else {
+        let lm = leftmost_child(p);
+        init_interior(p);
+        set_leftmost_child(p, lm);
+        rebuild_interior(p, &cells);
+    }
+    free_space(p) >= needed
+}
+
+/// Append raw leaf cells (already sorted) into a freshly initialized leaf.
+fn rebuild_leaf(p: &mut [u8], cells: &[Vec<u8>]) {
+    for (i, cell) in cells.iter().enumerate() {
+        let start = cell_start(p) - cell.len();
+        p[start..start + cell.len()].copy_from_slice(cell);
+        set_cell_start(p, start);
+        set_slot(p, i, start);
+    }
+    set_nkeys(p, cells.len());
+}
+
+fn rebuild_interior(p: &mut [u8], cells: &[Vec<u8>]) {
+    for (i, cell) in cells.iter().enumerate() {
+        let start = cell_start(p) - cell.len();
+        p[start..start + cell.len()].copy_from_slice(cell);
+        set_cell_start(p, start);
+        set_slot(p, i, start);
+    }
+    set_nkeys(p, cells.len());
+}
+
+/// Insert a leaf cell at slot `i`. Caller must have ensured space.
+fn leaf_insert_at(p: &mut [u8], i: usize, key: &[u8], stored: &[u8], flags: u8, vlen: usize) {
+    let size = leaf_cell_size(key.len(), stored.len());
+    let start = cell_start(p) - size;
+    p[start] = flags;
+    put_u16(p, start + 1, key.len() as u16);
+    put_u32(p, start + 3, vlen as u32);
+    p[start + 7..start + 7 + key.len()].copy_from_slice(key);
+    p[start + 7 + key.len()..start + size].copy_from_slice(stored);
+    set_cell_start(p, start);
+    let n = nkeys(p);
+    for j in (i..n).rev() {
+        let v = slot(p, j);
+        set_slot(p, j + 1, v);
+    }
+    set_slot(p, i, start);
+    set_nkeys(p, n + 1);
+}
+
+fn interior_insert_at(p: &mut [u8], i: usize, key: &[u8], child: PageId) {
+    let size = interior_cell_size(key.len());
+    let start = cell_start(p) - size;
+    put_u16(p, start, key.len() as u16);
+    put_u64(p, start + 2, child);
+    p[start + 10..start + 10 + key.len()].copy_from_slice(key);
+    set_cell_start(p, start);
+    let n = nkeys(p);
+    for j in (i..n).rev() {
+        let v = slot(p, j);
+        set_slot(p, j + 1, v);
+    }
+    set_slot(p, i, start);
+    set_nkeys(p, n + 1);
+}
+
+/// An ordered iterator over key/value pairs. Buffered one leaf at a time.
+pub struct RangeIter<'a> {
+    pool: &'a BufferPool,
+    leaf: PageId,
+    buffered: Vec<(Vec<u8>, StoredValue)>,
+    pos: usize,
+    end: Bound<Vec<u8>>,
+    error: Option<StoreError>,
+}
+
+enum StoredValue {
+    Inline(Vec<u8>),
+    Overflow { head: PageId, total: usize },
+}
+
+impl<'a> RangeIter<'a> {
+    fn peek_key(&self) -> Option<&[u8]> {
+        self.buffered.get(self.pos).map(|(k, _)| k.as_slice())
+    }
+
+    /// Buffer the current leaf's cells (keys + stored value descriptors).
+    fn fill_from_leaf(&mut self) -> StoreResult<()> {
+        self.buffered.clear();
+        self.pos = 0;
+        if self.leaf == NIL {
+            return Ok(());
+        }
+        let entries = self.pool.read_with(self.leaf, |p| {
+            let mut out = Vec::with_capacity(nkeys(p));
+            for i in 0..nkeys(p) {
+                let off = slot(p, i);
+                let c = leaf_cell(p, off);
+                let key = p[c.key_start..c.key_start + c.klen].to_vec();
+                let val = if c.overflow {
+                    StoredValue::Overflow {
+                        head: get_u64(p, c.key_start + c.klen),
+                        total: c.vlen,
+                    }
+                } else {
+                    StoredValue::Inline(
+                        p[c.key_start + c.klen..c.key_start + c.klen + c.vlen].to_vec(),
+                    )
+                };
+                out.push((key, val));
+            }
+            out
+        })?;
+        self.buffered = entries;
+        Ok(())
+    }
+
+    fn advance_leaf(&mut self) -> StoreResult<()> {
+        if self.leaf == NIL {
+            self.buffered.clear();
+            return Ok(());
+        }
+        let next = self.pool.read_with(self.leaf, next_leaf)?;
+        self.leaf = next;
+        self.fill_from_leaf()?;
+        // Skip empty leaves (possible after heavy deletion).
+        while self.leaf != NIL && self.buffered.is_empty() {
+            let next = self.pool.read_with(self.leaf, next_leaf)?;
+            self.leaf = next;
+            self.fill_from_leaf()?;
+        }
+        Ok(())
+    }
+
+    /// Pull the next entry, resolving overflow values.
+    pub fn next_entry(&mut self) -> StoreResult<Option<(Vec<u8>, Vec<u8>)>> {
+        loop {
+            if self.pos >= self.buffered.len() {
+                if self.leaf == NIL {
+                    return Ok(None);
+                }
+                self.advance_leaf()?;
+                if self.buffered.is_empty() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            let (key, val) = &self.buffered[self.pos];
+            let past_end = match &self.end {
+                Bound::Included(e) => key.as_slice() > e.as_slice(),
+                Bound::Excluded(e) => key.as_slice() >= e.as_slice(),
+                Bound::Unbounded => false,
+            };
+            if past_end {
+                return Ok(None);
+            }
+            let key = key.clone();
+            let value = match val {
+                StoredValue::Inline(v) => v.clone(),
+                StoredValue::Overflow { head, total } => {
+                    let tree = BTree { pool: self.pool, root: NIL };
+                    tree.read_overflow(*head, *total)?
+                }
+            };
+            self.pos += 1;
+            return Ok(Some((key, value)));
+        }
+    }
+}
+
+impl<'a> Iterator for RangeIter<'a> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    /// Iterator sugar over [`RangeIter::next_entry`]; I/O errors stop the
+    /// iteration and are stashed in the iterator (see [`RangeIter::error`]).
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_entry() {
+            Ok(e) => e,
+            Err(err) => {
+                self.error = Some(err);
+                None
+            }
+        }
+    }
+}
+
+impl<'a> RangeIter<'a> {
+    /// An I/O error encountered by the `Iterator` impl, if any.
+    pub fn error(&self) -> Option<&StoreError> {
+        self.error.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+    use crate::stats::IoStats;
+    use crate::storage::MemStorage;
+
+    fn pool() -> BufferPool {
+        let pager = Pager::new(Box::new(MemStorage::new()), IoStats::new()).unwrap();
+        BufferPool::new(pager, 64)
+    }
+
+    #[test]
+    fn insert_get_single() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        assert!(t.insert(b"k", b"v").unwrap());
+        assert_eq!(t.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        assert_eq!(t.get(b"missing").unwrap(), None);
+    }
+
+    #[test]
+    fn replace_value() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        assert!(t.insert(b"k", b"v1").unwrap());
+        assert!(!t.insert(b"k", b"v2").unwrap());
+        assert_eq!(t.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn many_inserts_split_and_survive() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        let n = 5000u32;
+        for i in 0..n {
+            let k = format!("key-{:08}", i * 7919 % n);
+            let v = format!("value-{i}");
+            t.insert(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        assert_ne!(t.root(), 1, "root must have split");
+        for i in 0..n {
+            let k = format!("key-{:08}", i);
+            assert!(t.get(k.as_bytes()).unwrap().is_some(), "missing {k}");
+        }
+        assert_eq!(t.len().unwrap(), n as usize);
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_complete() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        for i in (0..1000u32).rev() {
+            t.insert(format!("{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let keys: Vec<Vec<u8>> = t
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys.len(), 1000);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn bounded_range_scan() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        for i in 0..100u32 {
+            t.insert(format!("{i:03}").as_bytes(), b"x").unwrap();
+        }
+        let got: Vec<String> = t
+            .range(
+                Bound::Included(b"010".as_slice()),
+                Bound::Excluded(b"015".to_vec()),
+            )
+            .unwrap()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        assert_eq!(got, vec!["010", "011", "012", "013", "014"]);
+    }
+
+    #[test]
+    fn prefix_style_scan() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        t.insert(b"a/1", b"").unwrap();
+        t.insert(b"a/2", b"").unwrap();
+        t.insert(b"b/1", b"").unwrap();
+        let got: Vec<Vec<u8>> = t
+            .range(Bound::Included(b"a/".as_slice()), Bound::Excluded(b"a0".to_vec()))
+            .unwrap()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(got, vec![b"a/1".to_vec(), b"a/2".to_vec()]);
+    }
+
+    #[test]
+    fn large_values_use_overflow() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        let big = vec![7u8; 100_000];
+        t.insert(b"big", &big).unwrap();
+        t.insert(b"small", b"s").unwrap();
+        assert_eq!(t.get(b"big").unwrap().unwrap(), big);
+        // Overflow values also come back through scans.
+        let all: Vec<(Vec<u8>, Vec<u8>)> =
+            t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        assert_eq!(all[0].1.len(), 100_000);
+        assert_eq!(all[1].1, b"s");
+    }
+
+    #[test]
+    fn empty_value_ok() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        t.insert(b"k", b"").unwrap();
+        assert_eq!(t.get(b"k").unwrap().as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn delete_removes_and_scan_skips() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        for i in 0..50u32 {
+            t.insert(format!("{i:02}").as_bytes(), b"x").unwrap();
+        }
+        assert!(t.delete(b"25").unwrap());
+        assert!(!t.delete(b"25").unwrap());
+        assert_eq!(t.get(b"25").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 49);
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        for i in 0..500u32 {
+            t.insert(&i.to_be_bytes(), b"v").unwrap();
+        }
+        for i in 0..500u32 {
+            assert!(t.delete(&i.to_be_bytes()).unwrap());
+        }
+        assert!(t.is_empty().unwrap());
+        for i in 0..500u32 {
+            t.insert(&i.to_be_bytes(), b"v2").unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 500);
+        assert_eq!(t.get(&42u32.to_be_bytes()).unwrap().as_deref(), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn key_too_large_rejected() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        let k = vec![1u8; MAX_KEY_LEN + 1];
+        assert!(matches!(t.insert(&k, b"v"), Err(StoreError::KeyTooLarge(_))));
+    }
+
+    #[test]
+    fn max_len_key_accepted() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        let k = vec![1u8; MAX_KEY_LEN];
+        t.insert(&k, b"v").unwrap();
+        assert!(t.contains(&k).unwrap());
+    }
+
+    #[test]
+    fn interleaved_sizes_force_varied_splits() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        for i in 0..800u32 {
+            let k = format!("k{:06}", i);
+            let v = vec![b'v'; (i as usize % 500) + 1];
+            t.insert(k.as_bytes(), &v).unwrap();
+        }
+        for i in 0..800u32 {
+            let k = format!("k{:06}", i);
+            let v = t.get(k.as_bytes()).unwrap().unwrap();
+            assert_eq!(v.len(), (i as usize % 500) + 1);
+        }
+    }
+
+    #[test]
+    fn sequential_and_reverse_insert_orders() {
+        for reverse in [false, true] {
+            let pool = pool();
+            let mut t = BTree::create(&pool).unwrap();
+            let mut ids: Vec<u32> = (0..2000).collect();
+            if reverse {
+                ids.reverse();
+            }
+            for i in ids {
+                t.insert(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            let keys: Vec<Vec<u8>> = t
+                .range(Bound::Unbounded, Bound::Unbounded)
+                .unwrap()
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(keys.len(), 2000);
+            assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

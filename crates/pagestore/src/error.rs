@@ -1,0 +1,46 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Result alias used throughout the crate.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// An error raised by the storage engine.
+#[derive(Debug, Clone)]
+pub enum StoreError {
+    /// An underlying I/O failure. `Arc`-wrapped so the error stays `Clone`.
+    Io(Arc<io::Error>),
+    /// The file is not a pagestore database (bad magic / version).
+    BadDatabase(String),
+    /// A key exceeded [`crate::btree::MAX_KEY_LEN`].
+    KeyTooLarge(usize),
+    /// The table catalog is full (too many named trees).
+    CatalogFull,
+    /// A tree name exceeded the catalog slot width.
+    NameTooLong(String),
+    /// Internal invariant violation — indicates a bug or corruption.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::BadDatabase(m) => write!(f, "not a pagestore database: {m}"),
+            StoreError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds the maximum"),
+            StoreError::CatalogFull => write!(f, "table catalog is full"),
+            StoreError::NameTooLong(n) => write!(f, "tree name {n:?} is too long"),
+            StoreError::Corrupt(m) => write!(f, "database corruption: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(Arc::new(e))
+    }
+}

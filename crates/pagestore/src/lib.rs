@@ -1,0 +1,47 @@
+//! # xmorph-pagestore
+//!
+//! A from-scratch, page-based embedded storage engine. In the XMorph 2.0
+//! paper the interpreter shreds XML into BerkeleyDB Java Edition tables
+//! (`Nodes`, `TypeToSequence`, `GroupedSequence`, `AdornedShapes` — paper
+//! Fig. 8); this crate is that substrate.
+//!
+//! Architecture, bottom-up:
+//!
+//! * [`storage`] — a byte-addressed backing device: a real file
+//!   ([`storage::FileStorage`]) or memory ([`storage::MemStorage`]).
+//! * [`stats`] — cumulative I/O instrumentation (block counts and wall
+//!   time spent blocked on I/O). The Figure 11/12 experiment harness reads
+//!   these counters the way the paper read `vmstat`.
+//! * [`pager`] — fixed-size page allocation and transfer, with a meta page
+//!   holding the table catalog.
+//! * [`buffer`] — an LRU buffer pool with write-back of dirty pages.
+//! * [`btree`] — a slotted-page B+tree with variable-length keys and
+//!   values, overflow chains for large values, and ordered range scans.
+//! * [`store`] — the public façade: a [`Store`] of named [`Tree`]s.
+//!
+//! ```
+//! use xmorph_pagestore::Store;
+//!
+//! let store = Store::in_memory();
+//! let tree = store.open_tree("nodes").unwrap();
+//! tree.insert(b"1.1", b"book").unwrap();
+//! tree.insert(b"1.2", b"book").unwrap();
+//! assert_eq!(tree.get(b"1.1").unwrap().as_deref(), Some(&b"book"[..]));
+//! assert_eq!(tree.range(..).count(), 2);
+//! ```
+
+pub mod btree;
+pub mod buffer;
+pub mod error;
+pub mod pager;
+pub mod stats;
+pub mod storage;
+pub mod store;
+
+pub use error::{StoreError, StoreResult};
+pub use stats::{IoSnapshot, IoStats};
+pub use store::{Store, Tree};
+
+/// Size of every page, in bytes. 4 KiB matches the usual filesystem block
+/// size, so one page transfer ≈ one "block" in the Figure 11 sense.
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,300 @@
+//! Page allocation and transfer over a [`Storage`] device.
+//!
+//! Page 0 is the meta page: magic, version, page count, and the table
+//! catalog (name → root page for each named tree). All other pages belong
+//! to B+trees or overflow chains.
+
+use crate::error::{StoreError, StoreResult};
+use crate::stats::IoStats;
+use crate::storage::Storage;
+use crate::PAGE_SIZE;
+use std::time::Instant;
+
+/// Identifier of a page: its index within the database file.
+pub type PageId = u64;
+
+/// The meta page id.
+pub const META_PAGE: PageId = 0;
+
+const MAGIC: &[u8; 8] = b"XMPHSTO1";
+
+/// Maximum number of named trees in the catalog.
+pub const MAX_TREES: usize = 64;
+
+/// Maximum tree name length in bytes.
+pub const MAX_NAME_LEN: usize = 40;
+
+/// A catalog entry: a named tree and its current root page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Tree name (UTF-8, at most [`MAX_NAME_LEN`] bytes).
+    pub name: String,
+    /// Root page of the tree's B+tree.
+    pub root: PageId,
+}
+
+/// Pager: page-granular reads and writes plus allocation, with I/O
+/// accounting.
+pub struct Pager {
+    storage: Box<dyn Storage>,
+    stats: IoStats,
+    page_count: u64,
+    catalog: Vec<CatalogEntry>,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("page_count", &self.page_count)
+            .field("catalog", &self.catalog)
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Wrap a device. If the device is empty a fresh meta page is
+    /// written; otherwise the existing meta page is validated and loaded.
+    pub fn new(mut storage: Box<dyn Storage>, stats: IoStats) -> StoreResult<Self> {
+        if storage.is_empty()? {
+            let mut pager = Pager { storage, stats, page_count: 1, catalog: Vec::new() };
+            pager.write_meta()?;
+            Ok(pager)
+        } else {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            let start = Instant::now();
+            storage.read_at(0, &mut buf)?;
+            stats.record_read(1, start.elapsed());
+            if &buf[0..8] != MAGIC {
+                return Err(StoreError::BadDatabase("bad magic".into()));
+            }
+            let page_count = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            let ntrees = u16::from_le_bytes(buf[16..18].try_into().unwrap()) as usize;
+            if ntrees > MAX_TREES {
+                return Err(StoreError::BadDatabase("catalog count out of range".into()));
+            }
+            let mut catalog = Vec::with_capacity(ntrees);
+            let mut off = 24;
+            for _ in 0..ntrees {
+                let root = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                let nlen = buf[off + 8] as usize;
+                if nlen > MAX_NAME_LEN {
+                    return Err(StoreError::BadDatabase("catalog name too long".into()));
+                }
+                let name = String::from_utf8(buf[off + 9..off + 9 + nlen].to_vec())
+                    .map_err(|_| StoreError::BadDatabase("catalog name not UTF-8".into()))?;
+                catalog.push(CatalogEntry { name, root });
+                off += 9 + MAX_NAME_LEN;
+            }
+            Ok(Pager { storage, stats, page_count, catalog })
+        }
+    }
+
+    /// I/O counters shared with the owning store.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Number of allocated pages (including the meta page).
+    pub fn page_count(&self) -> u64 {
+        self.page_count
+    }
+
+    /// The catalog entries.
+    pub fn catalog(&self) -> &[CatalogEntry] {
+        &self.catalog
+    }
+
+    /// Find a tree's root page.
+    pub fn tree_root(&self, name: &str) -> Option<PageId> {
+        self.catalog.iter().find(|e| e.name == name).map(|e| e.root)
+    }
+
+    /// Register a tree (or update its root) and persist the catalog.
+    pub fn set_tree_root(&mut self, name: &str, root: PageId) -> StoreResult<()> {
+        if name.len() > MAX_NAME_LEN {
+            return Err(StoreError::NameTooLong(name.to_string()));
+        }
+        if let Some(e) = self.catalog.iter_mut().find(|e| e.name == name) {
+            e.root = root;
+        } else {
+            if self.catalog.len() >= MAX_TREES {
+                return Err(StoreError::CatalogFull);
+            }
+            self.catalog.push(CatalogEntry { name: name.to_string(), root });
+        }
+        self.write_meta()
+    }
+
+    fn write_meta(&mut self) -> StoreResult<()> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..8].copy_from_slice(MAGIC);
+        buf[8..16].copy_from_slice(&self.page_count.to_le_bytes());
+        buf[16..18].copy_from_slice(&(self.catalog.len() as u16).to_le_bytes());
+        let mut off = 24;
+        for e in &self.catalog {
+            buf[off..off + 8].copy_from_slice(&e.root.to_le_bytes());
+            buf[off + 8] = e.name.len() as u8;
+            buf[off + 9..off + 9 + e.name.len()].copy_from_slice(e.name.as_bytes());
+            off += 9 + MAX_NAME_LEN;
+        }
+        self.write_page_raw(META_PAGE, &buf)
+    }
+
+    /// Allocate a fresh page and return its id. The page contents on the
+    /// device are undefined until first written.
+    pub fn allocate(&mut self) -> StoreResult<PageId> {
+        let id = self.page_count;
+        self.page_count += 1;
+        // Persisting the count lazily would lose allocations on crash; we
+        // accept writing the meta page on every allocation burst instead
+        // of per allocation by deferring to `flush`. The in-memory count
+        // is authoritative while the store is open.
+        Ok(id)
+    }
+
+    /// Read a page into `buf` (must be `PAGE_SIZE` long).
+    pub fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> StoreResult<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let start = Instant::now();
+        self.storage.read_at(id * PAGE_SIZE as u64, buf)?;
+        self.stats.record_read(1, start.elapsed());
+        Ok(())
+    }
+
+    /// Write a page from `buf` (must be `PAGE_SIZE` long).
+    pub fn write_page_raw(&mut self, id: PageId, buf: &[u8]) -> StoreResult<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let start = Instant::now();
+        self.storage.write_at(id * PAGE_SIZE as u64, buf)?;
+        self.stats.record_write(1, start.elapsed());
+        Ok(())
+    }
+
+    /// Persist the meta page (page count + catalog) and sync the device.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        self.write_meta()?;
+        self.storage.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn mem_pager() -> Pager {
+        Pager::new(Box::new(MemStorage::new()), IoStats::new()).unwrap()
+    }
+
+    #[test]
+    fn fresh_device_gets_meta_page() {
+        let p = mem_pager();
+        assert_eq!(p.page_count(), 1);
+        assert!(p.catalog().is_empty());
+    }
+
+    #[test]
+    fn allocate_monotonic() {
+        let mut p = mem_pager();
+        assert_eq!(p.allocate().unwrap(), 1);
+        assert_eq!(p.allocate().unwrap(), 2);
+        assert_eq!(p.page_count(), 3);
+    }
+
+    #[test]
+    fn page_round_trip() {
+        let mut p = mem_pager();
+        let id = p.allocate().unwrap();
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 42;
+        page[PAGE_SIZE - 1] = 7;
+        p.write_page_raw(id, &page).unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        p.read_page(id, &mut back).unwrap();
+        assert_eq!(page, back);
+    }
+
+    #[test]
+    fn catalog_round_trip_through_reopen() {
+        let mut device = MemStorage::new();
+        {
+            let mut p = Pager::new(Box::new(std::mem::take(&mut device)), IoStats::new()).unwrap();
+            p.set_tree_root("nodes", 7).unwrap();
+            p.set_tree_root("shapes", 9).unwrap();
+            p.set_tree_root("nodes", 11).unwrap(); // update
+            p.flush().unwrap();
+            // Steal the device back out through a raw write/read cycle:
+            // MemStorage cannot be recovered from Box<dyn>, so emulate by
+            // re-reading the meta page bytes below with a fresh pager over
+            // a file instead.
+        }
+        // File-based persistence check.
+        let dir = std::env::temp_dir().join(format!("pagestore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog-roundtrip.db");
+        {
+            let fs = crate::storage::FileStorage::create(&path).unwrap();
+            let mut p = Pager::new(Box::new(fs), IoStats::new()).unwrap();
+            p.set_tree_root("nodes", 7).unwrap();
+            p.set_tree_root("shapes", 9).unwrap();
+            p.set_tree_root("nodes", 11).unwrap();
+            p.flush().unwrap();
+        }
+        {
+            let fs = crate::storage::FileStorage::open(&path).unwrap();
+            let p = Pager::new(Box::new(fs), IoStats::new()).unwrap();
+            assert_eq!(p.tree_root("nodes"), Some(11));
+            assert_eq!(p.tree_root("shapes"), Some(9));
+            assert_eq!(p.tree_root("missing"), None);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn io_stats_counted() {
+        let stats = IoStats::new();
+        let mut p = Pager::new(Box::new(MemStorage::new()), stats.clone()).unwrap();
+        let id = p.allocate().unwrap();
+        let page = vec![0u8; PAGE_SIZE];
+        p.write_page_raw(id, &page).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(id, &mut buf).unwrap();
+        let snap = stats.snapshot();
+        assert!(snap.blocks_written >= 2); // meta + data page
+        assert!(snap.blocks_read >= 1);
+    }
+
+    #[test]
+    fn name_too_long_rejected() {
+        let mut p = mem_pager();
+        let long = "x".repeat(MAX_NAME_LEN + 1);
+        assert!(matches!(
+            p.set_tree_root(&long, 1),
+            Err(StoreError::NameTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn catalog_capacity_enforced() {
+        let mut p = mem_pager();
+        for i in 0..MAX_TREES {
+            p.set_tree_root(&format!("t{i}"), i as u64).unwrap();
+        }
+        assert!(matches!(
+            p.set_tree_root("one-more", 99),
+            Err(StoreError::CatalogFull)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut device = MemStorage::new();
+        device.write_at(0, b"NOTADATB").unwrap();
+        device.write_at(PAGE_SIZE as u64 - 1, &[0]).unwrap();
+        assert!(matches!(
+            Pager::new(Box::new(device), IoStats::new()),
+            Err(StoreError::BadDatabase(_))
+        ));
+    }
+}

@@ -1,0 +1,171 @@
+//! Cumulative I/O instrumentation.
+//!
+//! The paper's §IX uses `vmstat` to chart cumulative block I/O (Fig. 11)
+//! and the CPU's I/O-wait percentage (Fig. 12) while a transformation
+//! runs. We instrument at the pager level instead: every page transfer
+//! bumps a block counter and accumulates the wall time spent inside the
+//! read/write call. A sampling thread in the bench harness snapshots
+//! [`IoStats`] periodically to regenerate both figures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared, thread-safe I/O counters. Cheap to clone (reference-counted).
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
+    read_ns: AtomicU64,
+    write_ns: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Pages read from the backing device.
+    pub blocks_read: u64,
+    /// Pages written to the backing device.
+    pub blocks_written: u64,
+    /// Wall time spent inside device reads.
+    pub read_time: Duration,
+    /// Wall time spent inside device writes.
+    pub write_time: Duration,
+    /// Buffer-pool hits.
+    pub cache_hits: u64,
+    /// Buffer-pool misses (each miss implies a device read).
+    pub cache_misses: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Record a device read of `blocks` pages taking `elapsed` (public
+    /// so external harnesses can meter their own I/O paths).
+    pub fn record_read(&self, blocks: u64, elapsed: Duration) {
+        self.inner.blocks_read.fetch_add(blocks, Ordering::Relaxed);
+        self.inner
+            .read_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a device write of `blocks` pages taking `elapsed`.
+    pub fn record_write(&self, blocks: u64, elapsed: Duration) {
+        self.inner.blocks_written.fetch_add(blocks, Ordering::Relaxed);
+        self.inner
+            .write_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            blocks_read: self.inner.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.inner.blocks_written.load(Ordering::Relaxed),
+            read_time: Duration::from_nanos(self.inner.read_ns.load(Ordering::Relaxed)),
+            write_time: Duration::from_nanos(self.inner.write_ns.load(Ordering::Relaxed)),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl IoSnapshot {
+    /// Total pages transferred in either direction — the paper's
+    /// "cumulative block I/O" (Fig. 11).
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks_read + self.blocks_written
+    }
+
+    /// Total wall time spent blocked on the device.
+    pub fn io_time(&self) -> Duration {
+        self.read_time + self.write_time
+    }
+
+    /// The fraction of `elapsed` spent blocked on I/O — the paper's "wait
+    /// percentage" (Fig. 12). Clamped to `[0, 1]`.
+    pub fn wait_fraction(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.io_time().as_secs_f64() / elapsed.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Counter-wise difference (`self - earlier`), for interval plots.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            blocks_written: self.blocks_written - earlier.blocks_written,
+            read_time: self.read_time - earlier.read_time,
+            write_time: self.write_time - earlier.write_time,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(3, Duration::from_millis(5));
+        s.record_write(2, Duration::from_millis(7));
+        s.record_read(1, Duration::from_millis(1));
+        let snap = s.snapshot();
+        assert_eq!(snap.blocks_read, 4);
+        assert_eq!(snap.blocks_written, 2);
+        assert_eq!(snap.total_blocks(), 6);
+        assert_eq!(snap.io_time(), Duration::from_millis(13));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = IoStats::new();
+        let s2 = s.clone();
+        s2.record_read(1, Duration::ZERO);
+        assert_eq!(s.snapshot().blocks_read, 1);
+    }
+
+    #[test]
+    fn wait_fraction_bounds() {
+        let s = IoStats::new();
+        s.record_read(1, Duration::from_secs(2));
+        let snap = s.snapshot();
+        assert_eq!(snap.wait_fraction(Duration::from_secs(4)), 0.5);
+        assert_eq!(snap.wait_fraction(Duration::from_secs(1)), 1.0); // clamped
+        assert_eq!(snap.wait_fraction(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = IoStats::new();
+        s.record_read(5, Duration::from_millis(10));
+        let a = s.snapshot();
+        s.record_read(3, Duration::from_millis(4));
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.blocks_read, 3);
+        assert_eq!(d.read_time, Duration::from_millis(4));
+    }
+}

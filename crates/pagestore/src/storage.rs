@@ -1,0 +1,192 @@
+//! Byte-addressed backing devices for the pager.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A backing device: a flat, growable array of bytes. The pager performs
+/// page-aligned transfers only.
+pub trait Storage: Send {
+    /// Read exactly `buf.len()` bytes starting at `offset`. Reading past
+    /// the end of ever-written data yields zeroes.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Write all of `data` starting at `offset`, growing the device as
+    /// needed.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Flush buffered writes to the device.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Current device length in bytes.
+    fn len(&mut self) -> io::Result<u64>;
+
+    /// True when nothing has been written yet.
+    fn is_empty(&mut self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// File-backed storage.
+#[derive(Debug)]
+pub struct FileStorage {
+    file: File,
+}
+
+impl FileStorage {
+    /// Open (creating if absent) a database file.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileStorage { file })
+    }
+
+    /// Create a fresh database file, truncating any existing content.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStorage { file })
+    }
+}
+
+impl Storage for FileStorage {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let len = self.file.metadata()?.len();
+        if offset >= len {
+            buf.fill(0);
+            return Ok(());
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        let avail = (len - offset).min(buf.len() as u64) as usize;
+        self.file.read_exact(&mut buf[..avail])?;
+        buf[avail..].fill(0);
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+/// In-memory storage, for tests and ephemeral stores.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    data: Vec<u8>,
+}
+
+impl MemStorage {
+    /// Fresh empty memory device.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let off = offset as usize;
+        let end = off.saturating_add(buf.len()).min(self.data.len());
+        if off < self.data.len() {
+            let n = end - off;
+            buf[..n].copy_from_slice(&self.data[off..end]);
+            buf[n..].fill(0);
+        } else {
+            buf.fill(0);
+        }
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let off = offset as usize;
+        let end = off + data.len();
+        if end > self.data.len() {
+            self.data.resize(end, 0);
+        }
+        self.data[off..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.data.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(s: &mut dyn Storage) {
+        assert!(s.is_empty().unwrap());
+        s.write_at(0, b"hello").unwrap();
+        s.write_at(10, b"world").unwrap();
+        let mut buf = [0u8; 5];
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        s.read_at(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        // The gap reads as zeroes.
+        let mut gap = [9u8; 5];
+        s.read_at(5, &mut gap).unwrap();
+        assert_eq!(gap, [0u8; 5]);
+        // Reading past the end yields zeroes.
+        let mut tail = [9u8; 8];
+        s.read_at(12, &mut tail).unwrap();
+        assert_eq!(&tail[..3], b"rld");
+        assert_eq!(&tail[3..], &[0, 0, 0, 0, 0]);
+        assert_eq!(s.len().unwrap(), 15);
+        s.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_storage_semantics() {
+        exercise(&mut MemStorage::new());
+    }
+
+    #[test]
+    fn file_storage_semantics() {
+        let dir = std::env::temp_dir().join(format!("pagestore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("storage-semantics.db");
+        exercise(&mut FileStorage::create(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_storage_persists() {
+        let dir = std::env::temp_dir().join(format!("pagestore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("storage-persists.db");
+        {
+            let mut s = FileStorage::create(&path).unwrap();
+            s.write_at(0, b"persist me").unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            let mut buf = [0u8; 10];
+            s.read_at(0, &mut buf).unwrap();
+            assert_eq!(&buf, b"persist me");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

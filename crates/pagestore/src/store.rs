@@ -1,0 +1,319 @@
+//! The public façade: a [`Store`] of named [`Tree`]s.
+
+use crate::btree::{BTree, RangeIter};
+use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
+use crate::error::StoreResult;
+use crate::pager::{PageId, Pager};
+use crate::stats::{IoSnapshot, IoStats};
+use crate::storage::{FileStorage, MemStorage, Storage};
+use parking_lot::Mutex;
+use std::ops::{Bound, RangeBounds};
+use std::path::Path;
+use std::sync::Arc;
+
+/// An embedded key-value store holding named ordered trees — the
+/// reproduction's stand-in for BerkeleyDB JE.
+#[derive(Debug, Clone)]
+pub struct Store {
+    pool: Arc<BufferPool>,
+}
+
+impl Store {
+    /// An ephemeral in-memory store.
+    pub fn in_memory() -> Store {
+        Store::with_storage(Box::new(MemStorage::new()), IoStats::new(), DEFAULT_CAPACITY)
+            .expect("in-memory store cannot fail")
+    }
+
+    /// An in-memory store with explicit stats and buffer-pool capacity —
+    /// used by the benchmark harness to meter I/O behaviour.
+    pub fn in_memory_with(stats: IoStats, capacity: usize) -> Store {
+        Store::with_storage(Box::new(MemStorage::new()), stats, capacity)
+            .expect("in-memory store cannot fail")
+    }
+
+    /// Open (or create) a file-backed store at `path`.
+    pub fn open(path: &Path) -> StoreResult<Store> {
+        Store::with_storage(Box::new(FileStorage::open(path)?), IoStats::new(), DEFAULT_CAPACITY)
+    }
+
+    /// Create a fresh file-backed store, truncating any existing file.
+    pub fn create(path: &Path) -> StoreResult<Store> {
+        Store::with_storage(Box::new(FileStorage::create(path)?), IoStats::new(), DEFAULT_CAPACITY)
+    }
+
+    /// Create a fresh file-backed store with explicit stats and capacity.
+    pub fn create_with(path: &Path, stats: IoStats, capacity: usize) -> StoreResult<Store> {
+        Store::with_storage(Box::new(FileStorage::create(path)?), stats, capacity)
+    }
+
+    /// Wrap an arbitrary storage device.
+    pub fn with_storage(
+        storage: Box<dyn Storage>,
+        stats: IoStats,
+        capacity: usize,
+    ) -> StoreResult<Store> {
+        let pager = Pager::new(storage, stats)?;
+        Ok(Store { pool: Arc::new(BufferPool::new(pager, capacity)) })
+    }
+
+    /// Open a named tree, creating it if absent.
+    pub fn open_tree(&self, name: &str) -> StoreResult<Tree> {
+        let root = match self.pool.tree_root(name) {
+            Some(r) => r,
+            None => {
+                let t = BTree::create(&self.pool)?;
+                self.pool.set_tree_root(name, t.root())?;
+                t.root()
+            }
+        };
+        Ok(Tree {
+            pool: Arc::clone(&self.pool),
+            name: name.to_string(),
+            root: Arc::new(Mutex::new(root)),
+        })
+    }
+
+    /// Names of all trees in the catalog.
+    pub fn tree_names(&self) -> Vec<String> {
+        self.pool.tree_names()
+    }
+
+    /// Cumulative I/O counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.pool.io_snapshot()
+    }
+
+    /// Write back dirty pages and sync the device.
+    pub fn flush(&self) -> StoreResult<()> {
+        self.pool.flush()
+    }
+
+    /// Total allocated pages (a proxy for on-disk size).
+    pub fn page_count(&self) -> u64 {
+        self.pool.page_count()
+    }
+
+    /// Approximate on-disk size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.page_count() * crate::PAGE_SIZE as u64
+    }
+}
+
+/// A named, ordered key-value tree within a [`Store`].
+#[derive(Debug, Clone)]
+pub struct Tree {
+    pool: Arc<BufferPool>,
+    name: String,
+    root: Arc<Mutex<PageId>>,
+}
+
+impl Tree {
+    /// The tree's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Insert or replace; returns `true` if the key was new.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> StoreResult<bool> {
+        let mut root = self.root.lock();
+        let mut bt = BTree::open(&self.pool, *root);
+        let was_new = bt.insert(key, value)?;
+        if bt.root() != *root {
+            *root = bt.root();
+            self.pool.set_tree_root(&self.name, *root)?;
+        }
+        Ok(was_new)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        let root = *self.root.lock();
+        BTree::open(&self.pool, root).get(key)
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &[u8]) -> StoreResult<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Remove a key; returns `true` if it was present.
+    pub fn delete(&self, key: &[u8]) -> StoreResult<bool> {
+        let root = *self.root.lock();
+        BTree::open(&self.pool, root).delete(key)
+    }
+
+    /// Ordered scan over a key range. Accepts the usual range syntax:
+    /// `tree.range(..)`, `tree.range(a..b)`, `tree.range(a..=b)` with
+    /// `Vec<u8>` endpoints.
+    pub fn range<R: RangeBounds<Vec<u8>>>(&self, bounds: R) -> RangeIter<'_> {
+        let root = *self.root.lock();
+        let start_owned: Bound<Vec<u8>> = clone_bound(bounds.start_bound());
+        let end: Bound<Vec<u8>> = clone_bound(bounds.end_bound());
+        let start_ref: Bound<&[u8]> = match &start_owned {
+            Bound::Included(v) => Bound::Included(v.as_slice()),
+            Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        BTree::open(&self.pool, root)
+            .range(start_ref, end)
+            .expect("range scan setup failed")
+    }
+
+    /// Scan all keys beginning with `prefix`, in order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> RangeIter<'_> {
+        let root = *self.root.lock();
+        let end = match prefix_successor(prefix) {
+            Some(e) => Bound::Excluded(e),
+            None => Bound::Unbounded,
+        };
+        BTree::open(&self.pool, root)
+            .range(Bound::Included(prefix), end)
+            .expect("prefix scan setup failed")
+    }
+
+    /// Number of entries — O(n).
+    pub fn len(&self) -> StoreResult<usize> {
+        let root = *self.root.lock();
+        BTree::open(&self.pool, root).len()
+    }
+
+    /// True when empty — O(1).
+    pub fn is_empty(&self) -> StoreResult<bool> {
+        let root = *self.root.lock();
+        BTree::open(&self.pool, root).is_empty()
+    }
+}
+
+fn clone_bound(b: Bound<&Vec<u8>>) -> Bound<Vec<u8>> {
+    match b {
+        Bound::Included(v) => Bound::Included(v.clone()),
+        Bound::Excluded(v) => Bound::Excluded(v.clone()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// The smallest byte string greater than every string with this prefix,
+/// or `None` when the prefix is all `0xff`.
+fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(out);
+        }
+        out.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_tree_twice_shares_data() {
+        let store = Store::in_memory();
+        let a = store.open_tree("t").unwrap();
+        a.insert(b"k", b"v").unwrap();
+        let b = store.open_tree("t").unwrap();
+        assert_eq!(b.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn separate_trees_are_independent() {
+        let store = Store::in_memory();
+        let a = store.open_tree("a").unwrap();
+        let b = store.open_tree("b").unwrap();
+        a.insert(b"k", b"from-a").unwrap();
+        b.insert(b"k", b"from-b").unwrap();
+        assert_eq!(a.get(b"k").unwrap().as_deref(), Some(&b"from-a"[..]));
+        assert_eq!(b.get(b"k").unwrap().as_deref(), Some(&b"from-b"[..]));
+        assert_eq!(store.tree_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn root_split_visible_through_catalog() {
+        let store = Store::in_memory();
+        let t = store.open_tree("big").unwrap();
+        for i in 0..3000u32 {
+            t.insert(format!("{i:06}").as_bytes(), b"payload").unwrap();
+        }
+        // A second handle opened after the splits must see everything.
+        let t2 = store.open_tree("big").unwrap();
+        assert_eq!(t2.len().unwrap(), 3000);
+    }
+
+    #[test]
+    fn scan_prefix_works() {
+        let store = Store::in_memory();
+        let t = store.open_tree("t").unwrap();
+        for k in ["a/1", "a/2", "a/3", "b/1", "", "a"] {
+            t.insert(k.as_bytes(), b"").unwrap();
+        }
+        let got: Vec<String> = t
+            .scan_prefix(b"a/")
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        assert_eq!(got, vec!["a/1", "a/2", "a/3"]);
+        // Empty prefix scans everything.
+        assert_eq!(t.scan_prefix(b"").count(), 6);
+    }
+
+    #[test]
+    fn range_syntax_variants() {
+        let store = Store::in_memory();
+        let t = store.open_tree("t").unwrap();
+        for i in 0..10u8 {
+            t.insert(&[i], &[i]).unwrap();
+        }
+        assert_eq!(t.range(..).count(), 10);
+        assert_eq!(t.range(vec![3]..vec![7]).count(), 4);
+        assert_eq!(t.range(vec![3]..=vec![7]).count(), 5);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pagestore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persist.db");
+        {
+            let store = Store::create(&path).unwrap();
+            let t = store.open_tree("nodes").unwrap();
+            for i in 0..2000u32 {
+                t.insert(&i.to_be_bytes(), format!("node {i}").as_bytes()).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        {
+            let store = Store::open(&path).unwrap();
+            let t = store.open_tree("nodes").unwrap();
+            assert_eq!(t.len().unwrap(), 2000);
+            assert_eq!(
+                t.get(&1234u32.to_be_bytes()).unwrap().as_deref(),
+                Some(&b"node 1234"[..])
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prefix_successor_edges() {
+        assert_eq!(prefix_successor(b"ab"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_successor(&[0x01, 0xff]), Some(vec![0x02]));
+        assert_eq!(prefix_successor(&[0xff, 0xff]), None);
+        assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn io_snapshot_reports_traffic() {
+        let store = Store::in_memory();
+        let t = store.open_tree("t").unwrap();
+        for i in 0..5000u32 {
+            t.insert(&i.to_be_bytes(), &[0u8; 100]).unwrap();
+        }
+        store.flush().unwrap();
+        let snap = store.io_snapshot();
+        assert!(snap.blocks_written > 10, "expected real write traffic: {snap:?}");
+    }
+}

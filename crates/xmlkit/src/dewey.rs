@@ -1,0 +1,258 @@
+//! Dewey (prefix-based / dynamic level) node numbers.
+//!
+//! Each node in an XML tree is identified by the path of 1-based child
+//! ordinals from the root, e.g. `1.1.3` — exactly the numbering the paper
+//! uses in §VII. Dewey numbers give three things the XMorph renderer needs:
+//!
+//! 1. **Document order** — lexicographic component order, with a prefix
+//!    sorting before its extensions.
+//! 2. **Least common ancestor** — the longest common prefix of two numbers.
+//! 3. **Tree distance** — `len(a) + len(b) - 2 * lcp(a, b)`, which lets the
+//!    closest join test `distance(n, u) == typeDistance` by comparing
+//!    prefixes only.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Dewey number: the sequence of 1-based sibling ordinals from the root.
+/// The document root element is `[1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dewey(Vec<u32>);
+
+impl Dewey {
+    /// The root element's number, `1`.
+    pub fn root() -> Self {
+        Dewey(vec![1])
+    }
+
+    /// Build from explicit components. Panics if any component is zero
+    /// (ordinals are 1-based).
+    pub fn from_components(c: Vec<u32>) -> Self {
+        assert!(c.iter().all(|&x| x > 0), "Dewey components are 1-based");
+        Dewey(c)
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of components; the root has length 1. The node's depth
+    /// below the root is `len() - 1`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True only for the empty (virtual super-root) number.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The number of this node's `ordinal`-th child (1-based).
+    pub fn child(&self, ordinal: u32) -> Self {
+        assert!(ordinal > 0);
+        let mut c = self.0.clone();
+        c.push(ordinal);
+        Dewey(c)
+    }
+
+    /// The parent's number, or `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.0.len() <= 1 {
+            return None;
+        }
+        Some(Dewey(self.0[..self.0.len() - 1].to_vec()))
+    }
+
+    /// Length of the longest common prefix with `other` — the depth (in
+    /// components) of the least common ancestor.
+    pub fn lcp_len(&self, other: &Dewey) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The least common ancestor's Dewey number.
+    pub fn lca(&self, other: &Dewey) -> Dewey {
+        Dewey(self.0[..self.lcp_len(other)].to_vec())
+    }
+
+    /// Tree distance: number of edges on the path between the two nodes.
+    pub fn distance(&self, other: &Dewey) -> usize {
+        let l = self.lcp_len(other);
+        (self.0.len() - l) + (other.0.len() - l)
+    }
+
+    /// True if `self` is an ancestor of `other` (strictly).
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// True if `self` is `other` or an ancestor of it.
+    pub fn is_ancestor_or_self(&self, other: &Dewey) -> bool {
+        self.0.len() <= other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The prefix of the first `n` components.
+    pub fn prefix(&self, n: usize) -> Dewey {
+        Dewey(self.0[..n.min(self.0.len())].to_vec())
+    }
+
+    /// Order-preserving byte encoding: concatenated big-endian `u32`
+    /// components. Because every component occupies exactly four bytes,
+    /// lexicographic byte order equals Dewey document order, so the
+    /// encoding can serve directly as a B+tree key.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.0.len() * 4);
+        for &c in &self.0 {
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Dewey::encode`]. Returns `None` if the byte length is
+    /// not a multiple of four or any component is zero.
+    pub fn decode(bytes: &[u8]) -> Option<Dewey> {
+        if !bytes.len().is_multiple_of(4) {
+            return None;
+        }
+        let mut c = Vec::with_capacity(bytes.len() / 4);
+        for chunk in bytes.chunks_exact(4) {
+            let v = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            if v == 0 {
+                return None;
+            }
+            c.push(v);
+        }
+        Some(Dewey(c))
+    }
+}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dewey {
+    /// Document order: component-wise, prefix before extension. This is
+    /// exactly preorder (document) order for tree nodes.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Dewey {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut c = Vec::new();
+        for part in s.split('.') {
+            c.push(part.parse::<u32>()?);
+        }
+        Ok(Dewey(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in ["1", "1.1.3", "1.2.2.1"] {
+            assert_eq!(d(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn document_order() {
+        assert!(d("1") < d("1.1"));
+        assert!(d("1.1") < d("1.1.1"));
+        assert!(d("1.1.9") < d("1.2"));
+        assert!(d("1.2") < d("1.10")); // numeric, not string, comparison
+    }
+
+    #[test]
+    fn paper_example_distances() {
+        // Paper §VII: publisher 1.1.3 vs titles 1.1.1 and 1.2.1.
+        assert_eq!(d("1.1.3").distance(&d("1.1.1")), 2);
+        assert_eq!(d("1.1.3").distance(&d("1.2.1")), 4);
+    }
+
+    #[test]
+    fn lca_and_lcp() {
+        assert_eq!(d("1.1.3").lca(&d("1.1.1")), d("1.1"));
+        assert_eq!(d("1.1.3").lcp_len(&d("1.2.1")), 1);
+        assert_eq!(d("1.2").lca(&d("1.2")), d("1.2"));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        assert_eq!(Dewey::root().child(3), d("1.3"));
+        assert_eq!(d("1.3").parent(), Some(Dewey::root()));
+        assert_eq!(Dewey::root().parent(), None);
+    }
+
+    #[test]
+    fn ancestry() {
+        assert!(d("1.1").is_ancestor_of(&d("1.1.5")));
+        assert!(!d("1.1").is_ancestor_of(&d("1.2.5")));
+        assert!(!d("1.1").is_ancestor_of(&d("1.1")));
+        assert!(d("1.1").is_ancestor_or_self(&d("1.1")));
+    }
+
+    #[test]
+    fn encode_preserves_order() {
+        let all = ["1", "1.1", "1.1.1", "1.1.2", "1.2", "1.2.1", "1.10"];
+        let mut deweys: Vec<Dewey> = all.iter().map(|s| d(s)).collect();
+        deweys.sort();
+        let mut encoded: Vec<Vec<u8>> = deweys.iter().map(|x| x.encode()).collect();
+        let sorted = encoded.clone();
+        encoded.sort();
+        assert_eq!(encoded, sorted);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for s in ["1", "1.1.3", "1.2.2.1"] {
+            assert_eq!(Dewey::decode(&d(s).encode()), Some(d(s)));
+        }
+        assert_eq!(Dewey::decode(&[0, 0, 0]), None);
+        assert_eq!(Dewey::decode(&[0, 0, 0, 0]), None); // zero component
+    }
+
+    #[test]
+    fn distance_is_metric_on_samples() {
+        let pts = [d("1"), d("1.1"), d("1.1.1"), d("1.2"), d("1.2.3.4")];
+        for a in &pts {
+            assert_eq!(a.distance(a), 0);
+            for b in &pts {
+                assert_eq!(a.distance(b), b.distance(a));
+                for c in &pts {
+                    assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+                }
+            }
+        }
+    }
+}

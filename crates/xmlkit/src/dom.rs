@@ -1,0 +1,476 @@
+//! An arena-backed XML document tree.
+//!
+//! [`Document`] owns all nodes in two flat arenas (elements/texts) indexed
+//! by [`NodeId`]. It supports building documents programmatically (used by
+//! the workload generators), parsing from text, navigation, and Dewey
+//! numbering of elements (used by the closest-graph machinery in tests and
+//! examples).
+
+use crate::dewey::Dewey;
+use crate::error::XmlResult;
+use crate::reader::{XmlEvent, XmlReader};
+use crate::writer::{self, WriteStyle};
+
+/// Index of a node within its [`Document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with a name and attributes (in document order).
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attribute name/value pairs.
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// An XML document: a forest arena with a single root element.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl Document {
+    /// Create an empty document (no root yet).
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Parse a document from text. Whitespace-only text nodes between
+    /// elements are dropped (data-centric XML convention); comments and
+    /// processing instructions are skipped.
+    pub fn parse_str(input: &str) -> XmlResult<Document> {
+        let mut reader = XmlReader::new(input);
+        let mut doc = Document::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        loop {
+            match reader.next_event()? {
+                XmlEvent::StartElement { name, attrs } => {
+                    let id = match stack.last() {
+                        Some(&parent) => doc.append_element(parent, &name),
+                        None => doc.create_root(&name),
+                    };
+                    for (k, v) in attrs {
+                        doc.set_attr(id, &k, &v);
+                    }
+                    stack.push(id);
+                }
+                XmlEvent::EndElement { .. } => {
+                    stack.pop();
+                }
+                XmlEvent::Text(t) => {
+                    if let Some(&parent) = stack.last() {
+                        if !t.trim().is_empty() {
+                            doc.append_text(parent, &t);
+                        }
+                    }
+                }
+                XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
+                XmlEvent::Eof => break,
+            }
+        }
+        Ok(doc)
+    }
+
+    /// The root element, if the document is non-empty.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Number of nodes (elements + text nodes).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+
+    fn alloc(&mut self, kind: NodeKind, parent: Option<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, parent, children: Vec::new() });
+        id
+    }
+
+    /// Create the root element. Panics if a root already exists.
+    pub fn create_root(&mut self, name: &str) -> NodeId {
+        assert!(self.root.is_none(), "document already has a root");
+        let id = self.alloc(
+            NodeKind::Element { name: name.to_string(), attrs: Vec::new() },
+            None,
+        );
+        self.root = Some(id);
+        id
+    }
+
+    /// Append a child element to `parent` and return its id.
+    pub fn append_element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let id = self.alloc(
+            NodeKind::Element { name: name.to_string(), attrs: Vec::new() },
+            Some(parent),
+        );
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Append a text node to `parent` and return its id.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        let id = self.alloc(NodeKind::Text(text.to_string()), Some(parent));
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Set (or replace) an attribute on an element.
+    pub fn set_attr(&mut self, element: NodeId, name: &str, value: &str) {
+        match &mut self.nodes[element.index()].kind {
+            NodeKind::Element { attrs, .. } => {
+                if let Some(slot) = attrs.iter_mut().find(|(n, _)| n == name) {
+                    slot.1 = value.to_string();
+                } else {
+                    attrs.push((name.to_string(), value.to_string()));
+                }
+            }
+            NodeKind::Text(_) => panic!("set_attr on a text node"),
+        }
+    }
+
+    /// The node's payload.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Element name. Panics on text nodes.
+    pub fn name(&self, id: NodeId) -> &str {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Element { name, .. } => name,
+            NodeKind::Text(_) => panic!("name() on a text node"),
+        }
+    }
+
+    /// True if the node is an element.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Element { .. })
+    }
+
+    /// Attributes of an element (empty slice for text nodes).
+    pub fn attrs(&self, id: NodeId) -> &[(String, String)] {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Look up one attribute value.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attrs(id)
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The parent node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// All children (elements and text), in document order.
+    pub fn all_children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Child *elements*, in document order.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[id.index()]
+            .children
+            .iter()
+            .copied()
+            .filter(|c| self.is_element(*c))
+    }
+
+    /// Child elements with the given name.
+    pub fn children_named<'a>(
+        &'a self,
+        id: NodeId,
+        name: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(id).filter(move |&c| self.name(c) == name)
+    }
+
+    /// First child element with the given name.
+    pub fn child_named(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.children_named(id, name).next()
+    }
+
+    /// Directly contained text (concatenation of immediate text children).
+    pub fn direct_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for &c in self.all_children(id) {
+            if let NodeKind::Text(t) = &self.nodes[c.index()].kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// All text in the subtree, in document order (the XPath `string()`
+    /// value of the node).
+    pub fn deep_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element { .. } => {
+                for &c in self.all_children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Preorder (document-order) traversal of all element nodes.
+    pub fn descendant_elements(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if self.is_element(n) {
+                out.push(n);
+                // Push children in reverse so they pop in document order.
+                for &c in self.nodes[n.index()].children.iter().rev() {
+                    if self.is_element(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Depth of a node: the root element is at depth 0.
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Compute the Dewey number for an element: the root is `1`; the i-th
+    /// *element* child (1-based, counting only elements) extends the
+    /// parent's number. O(depth × fan-out); use [`Document::dewey_map`]
+    /// when numbering many nodes.
+    pub fn dewey(&self, id: NodeId) -> Dewey {
+        let mut comps: Vec<u32> = Vec::new();
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            let ordinal = self
+                .children(p)
+                .position(|c| c == cur)
+                .expect("child not found under its parent") as u32
+                + 1;
+            comps.push(ordinal);
+            cur = p;
+        }
+        comps.push(1); // the root component
+        comps.reverse();
+        Dewey::from_components(comps)
+    }
+
+    /// Dewey numbers for all element nodes, computed in one preorder pass.
+    /// Returns pairs in document order.
+    pub fn dewey_map(&self) -> Vec<(NodeId, Dewey)> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else {
+            return out;
+        };
+        let mut stack: Vec<(NodeId, Dewey)> = vec![(root, Dewey::root())];
+        while let Some((n, num)) = stack.pop() {
+            out.push((n, num.clone()));
+            let kids: Vec<NodeId> = self.children(n).collect();
+            for (i, &c) in kids.iter().enumerate().rev() {
+                stack.push((c, num.child(i as u32 + 1)));
+            }
+        }
+        out
+    }
+
+    /// Root path of element names from the root down to `id`, e.g.
+    /// `["dblp", "article", "author"]`. This is the paper's default
+    /// `typeOf` (§IV).
+    pub fn root_path(&self, id: NodeId) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            path.push(self.name(n).to_string());
+            cur = self.parent(n);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Serialize without any added whitespace.
+    pub fn serialize_compact(&self) -> String {
+        writer::serialize(self, WriteStyle::Compact)
+    }
+
+    /// Serialize a single node (and its subtree) compactly.
+    pub fn serialize_node(&self, id: NodeId) -> String {
+        writer::serialize_node(self, id)
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn serialize_pretty(&self) -> String {
+        writer::serialize(self, WriteStyle::Pretty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1(a) instance: books with repeated author info.
+    pub(crate) fn fig1a() -> Document {
+        Document::parse_str(
+            "<data>\
+               <book><title>X</title><author><name>Tim</name></author><publisher><name>W</name></publisher></book>\
+               <book><title>Y</title><author><name>Tim</name></author><publisher><name>V</name></publisher></book>\
+             </data>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_programmatically() {
+        let mut doc = Document::new();
+        let root = doc.create_root("data");
+        let book = doc.append_element(root, "book");
+        let title = doc.append_element(book, "title");
+        doc.append_text(title, "X");
+        doc.set_attr(book, "year", "2012");
+        assert_eq!(doc.serialize_compact(), r#"<data><book year="2012"><title>X</title></book></data>"#);
+    }
+
+    #[test]
+    fn parse_and_navigate() {
+        let doc = fig1a();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), "data");
+        let books: Vec<_> = doc.children_named(root, "book").collect();
+        assert_eq!(books.len(), 2);
+        let title = doc.child_named(books[0], "title").unwrap();
+        assert_eq!(doc.direct_text(title), "X");
+    }
+
+    #[test]
+    fn deep_text_concatenates() {
+        let doc = Document::parse_str("<a>x<b>y</b>z</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.deep_text(root), "xyz");
+        assert_eq!(doc.direct_text(root), "xz");
+    }
+
+    #[test]
+    fn dewey_numbers_match_paper() {
+        // Fig 1(a): book=1.1, title=1.1.1, author=1.1.2, name=1.1.2.1,
+        // publisher=1.1.3; second book=1.2 ...
+        let doc = fig1a();
+        let root = doc.root_element().unwrap();
+        let book1 = doc.children(root).next().unwrap();
+        assert_eq!(doc.dewey(book1).to_string(), "1.1");
+        let author = doc.child_named(book1, "author").unwrap();
+        assert_eq!(doc.dewey(author).to_string(), "1.1.2");
+        let name = doc.child_named(author, "name").unwrap();
+        assert_eq!(doc.dewey(name).to_string(), "1.1.2.1");
+        let publisher = doc.child_named(book1, "publisher").unwrap();
+        assert_eq!(doc.dewey(publisher).to_string(), "1.1.3");
+    }
+
+    #[test]
+    fn dewey_map_agrees_with_per_node() {
+        let doc = fig1a();
+        for (id, num) in doc.dewey_map() {
+            assert_eq!(doc.dewey(id), num);
+        }
+    }
+
+    #[test]
+    fn dewey_map_is_document_order() {
+        let doc = fig1a();
+        let nums: Vec<_> = doc.dewey_map().into_iter().map(|(_, d)| d).collect();
+        let mut sorted = nums.clone();
+        sorted.sort();
+        assert_eq!(nums, sorted);
+    }
+
+    #[test]
+    fn root_path_types() {
+        let doc = fig1a();
+        let root = doc.root_element().unwrap();
+        let book = doc.children(root).next().unwrap();
+        let author = doc.child_named(book, "author").unwrap();
+        assert_eq!(doc.root_path(author), vec!["data", "book", "author"]);
+    }
+
+    #[test]
+    fn descendant_elements_preorder() {
+        let doc = Document::parse_str("<a><b><c/></b><d/></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let names: Vec<_> = doc
+            .descendant_elements(root)
+            .into_iter()
+            .map(|n| doc.name(n).to_string())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = Document::parse_str("<a>\n  <b>x</b>\n</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.all_children(root).len(), 1);
+    }
+
+    #[test]
+    fn depth_matches_root_path() {
+        let doc = fig1a();
+        for (id, _) in doc.dewey_map() {
+            assert_eq!(doc.depth(id) + 1, doc.root_path(id).len());
+        }
+    }
+
+    #[test]
+    fn element_count_excludes_text() {
+        let doc = Document::parse_str("<a>x<b>y</b></a>").unwrap();
+        assert_eq!(doc.element_count(), 2);
+        assert_eq!(doc.node_count(), 4);
+    }
+}

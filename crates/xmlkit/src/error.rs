@@ -1,0 +1,110 @@
+//! Error type for XML parsing and serialization.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// An error raised while lexing, parsing, or serializing XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number of the error.
+    pub line: u32,
+    /// 1-based column (in bytes) of the error.
+    pub column: u32,
+}
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar { expected: &'static str, found: char },
+    /// `</b>` closed an element opened as `<a>`.
+    MismatchedTag { open: String, close: String },
+    /// A close tag with no matching open tag.
+    UnbalancedClose(String),
+    /// The document ended while elements were still open.
+    UnclosedElements(usize),
+    /// Text or markup found after the document element closed.
+    TrailingContent,
+    /// The document has no root element.
+    NoRootElement,
+    /// An entity reference that is neither predefined nor numeric.
+    UnknownEntity(String),
+    /// A numeric character reference that is not a valid scalar value.
+    InvalidCharRef(String),
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute(String),
+    /// A name token was empty or started with an invalid character.
+    InvalidName(String),
+    /// Input was not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: ErrorKind, offset: usize, line: u32, column: u32) -> Self {
+        XmlError { kind, offset, line, column }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            ErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
+            ErrorKind::UnexpectedChar { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            ErrorKind::MismatchedTag { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}>")
+            }
+            ErrorKind::UnbalancedClose(name) => write!(f, "close tag </{name}> has no open tag"),
+            ErrorKind::UnclosedElements(n) => write!(f, "{n} element(s) left open at end of input"),
+            ErrorKind::TrailingContent => write!(f, "content after the document element"),
+            ErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ErrorKind::UnknownEntity(e) => write!(f, "unknown entity reference &{e};"),
+            ErrorKind::InvalidCharRef(r) => write!(f, "invalid character reference &#{r};"),
+            ErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            ErrorKind::InvalidName(n) => write!(f, "invalid XML name {n:?}"),
+            ErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::new(
+            ErrorKind::UnexpectedEof("tag"),
+            10,
+            2,
+            5,
+        );
+        let s = e.to_string();
+        assert!(s.starts_with("2:5:"), "{s}");
+        assert!(s.contains("unexpected end of input"), "{s}");
+    }
+
+    #[test]
+    fn display_mismatched_tag() {
+        let e = XmlError::new(
+            ErrorKind::MismatchedTag { open: "a".into(), close: "b".into() },
+            0,
+            1,
+            1,
+        );
+        assert!(e.to_string().contains("</b>"));
+        assert!(e.to_string().contains("<a>"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # xmorph-xml
+//!
+//! A from-scratch XML toolkit built as the parsing substrate for the XMorph
+//! 2.0 reproduction (ICDE 2012, *Querying XML Data: As You Shape It*).
+//!
+//! The paper's implementation used the Xerces SAX parser; this crate provides
+//! the equivalent building blocks without external dependencies:
+//!
+//! * [`reader`] — a streaming pull parser producing [`reader::XmlEvent`]s,
+//!   the analogue of a SAX event stream. It handles elements, attributes,
+//!   text, CDATA, comments, processing instructions, and the five predefined
+//!   entities plus numeric character references.
+//! * [`dom`] — an arena-backed document tree ([`dom::Document`]) for
+//!   in-memory manipulation of small-to-medium documents.
+//! * [`dewey`] — prefix-based (Dewey / dynamic level) node numbers with the
+//!   least-common-ancestor and tree-distance reasoning the XMorph renderer
+//!   relies on (paper §VII).
+//! * [`writer`] — serialization back to XML text, compact or indented.
+//! * [`escape`] — entity escaping and unescaping.
+//!
+//! The parser is deliberately a *well-formedness* parser, not a validating
+//! one: DTDs are skipped, namespaces are treated as plain prefixed names.
+//! That matches what the paper's system needs — XMorph types elements by
+//! their root path, not by schema.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use xmorph_xml::dom::Document;
+//!
+//! let doc = Document::parse_str("<a><b>hi</b><b>ho</b></a>").unwrap();
+//! let root = doc.root_element().unwrap();
+//! assert_eq!(doc.name(root), "a");
+//! assert_eq!(doc.children(root).count(), 2);
+//! assert_eq!(doc.serialize_compact(), "<a><b>hi</b><b>ho</b></a>");
+//! ```
+
+pub mod dewey;
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod reader;
+pub mod writer;
+
+pub use dewey::Dewey;
+pub use dom::{Document, NodeId};
+pub use error::{XmlError, XmlResult};
+pub use reader::{XmlEvent, XmlReader};

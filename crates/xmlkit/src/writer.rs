@@ -1,0 +1,266 @@
+//! Serialization of [`Document`]s back to XML text.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+/// Output formatting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStyle {
+    /// No whitespace added between elements.
+    Compact,
+    /// Two-space indentation; elements with only text content stay on one
+    /// line.
+    Pretty,
+}
+
+/// Serialize a whole document.
+pub fn serialize(doc: &Document, style: WriteStyle) -> String {
+    let mut out = String::new();
+    if let Some(root) = doc.root_element() {
+        write_node(doc, root, style, 0, &mut out);
+        if style == WriteStyle::Pretty {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serialize a single node (and its subtree) without added whitespace.
+pub fn serialize_node(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, WriteStyle::Compact, 0, &mut out);
+    out
+}
+
+fn has_element_children(doc: &Document, id: NodeId) -> bool {
+    doc.all_children(id).iter().any(|&c| doc.is_element(c))
+}
+
+fn write_node(doc: &Document, id: NodeId, style: WriteStyle, indent: usize, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Element { name, attrs } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(v));
+                out.push('"');
+            }
+            let children = doc.all_children(id);
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let structural = style == WriteStyle::Pretty && has_element_children(doc, id);
+            for &c in children {
+                if structural {
+                    out.push('\n');
+                    for _ in 0..(indent + 1) * 2 {
+                        out.push(' ');
+                    }
+                }
+                write_node(doc, c, style, indent + 1, out);
+            }
+            if structural {
+                out.push('\n');
+                for _ in 0..indent * 2 {
+                    out.push(' ');
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+/// A streaming XML writer for producing large documents without building a
+/// DOM. Used by the renderer and the workload generators.
+#[derive(Debug)]
+pub struct StreamWriter {
+    out: String,
+    stack: Vec<String>,
+    /// True when the current element has had its `>` written.
+    open_tag_pending: bool,
+}
+
+impl Default for StreamWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamWriter {
+    /// Create a writer with an empty buffer.
+    pub fn new() -> Self {
+        StreamWriter { out: String::new(), stack: Vec::new(), open_tag_pending: false }
+    }
+
+    /// Create a writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        StreamWriter { out: String::with_capacity(cap), stack: Vec::new(), open_tag_pending: false }
+    }
+
+    fn close_pending(&mut self) {
+        if self.open_tag_pending {
+            self.out.push('>');
+            self.open_tag_pending = false;
+        }
+    }
+
+    /// Open an element.
+    pub fn start(&mut self, name: &str) {
+        self.close_pending();
+        self.out.push('<');
+        self.out.push_str(name);
+        self.stack.push(name.to_string());
+        self.open_tag_pending = true;
+    }
+
+    /// Add an attribute to the element just opened. Panics if called after
+    /// content has been written.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        assert!(self.open_tag_pending, "attr() must follow start()");
+        self.out.push(' ');
+        self.out.push_str(name);
+        self.out.push_str("=\"");
+        self.out.push_str(&escape_attr(value));
+        self.out.push('"');
+    }
+
+    /// Write escaped text content.
+    pub fn text(&mut self, t: &str) {
+        if t.is_empty() {
+            return;
+        }
+        self.close_pending();
+        self.out.push_str(&escape_text(t));
+    }
+
+    /// Close the most recently opened element.
+    pub fn end(&mut self) {
+        let name = self.stack.pop().expect("end() with no open element");
+        if self.open_tag_pending {
+            self.out.push_str("/>");
+            self.open_tag_pending = false;
+        } else {
+            self.out.push_str("</");
+            self.out.push_str(&name);
+            self.out.push('>');
+        }
+    }
+
+    /// Number of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Drain the text buffered so far, keeping the open-element stack —
+    /// lets a caller stream completed fragments while elements remain
+    /// open. (Elements whose open tag was drained close with a full
+    /// `</name>` even when empty.)
+    pub fn drain(&mut self) -> String {
+        self.close_pending();
+        std::mem::take(&mut self.out)
+    }
+
+    /// Finish and return the XML text. Panics if elements are still open.
+    pub fn finish(mut self) -> String {
+        self.close_pending();
+        assert!(self.stack.is_empty(), "finish() with {} open element(s)", self.stack.len());
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"<a x="1"><b>hi</b><c/></a>"#;
+        let doc = Document::parse_str(src).unwrap();
+        assert_eq!(doc.serialize_compact(), src);
+    }
+
+    #[test]
+    fn escaping_on_output() {
+        let mut doc = Document::new();
+        let root = doc.create_root("a");
+        doc.set_attr(root, "q", "x\"y<z");
+        doc.append_text(root, "1 < 2 & 3");
+        assert_eq!(
+            doc.serialize_compact(),
+            r#"<a q="x&quot;y&lt;z">1 &lt; 2 &amp; 3</a>"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_structure() {
+        let doc = Document::parse_str("<a><b>hi</b><c/></a>").unwrap();
+        assert_eq!(doc.serialize_pretty(), "<a>\n  <b>hi</b>\n  <c/>\n</a>\n");
+    }
+
+    #[test]
+    fn pretty_keeps_text_elements_inline() {
+        let doc = Document::parse_str("<a><b>one two</b></a>").unwrap();
+        assert!(doc.serialize_pretty().contains("<b>one two</b>"));
+    }
+
+    #[test]
+    fn stream_writer_basics() {
+        let mut w = StreamWriter::new();
+        w.start("data");
+        w.start("book");
+        w.attr("year", "2012");
+        w.start("title");
+        w.text("X & Y");
+        w.end();
+        w.end();
+        w.start("empty");
+        w.end();
+        w.end();
+        assert_eq!(
+            w.finish(),
+            r#"<data><book year="2012"><title>X &amp; Y</title></book><empty/></data>"#
+        );
+    }
+
+    #[test]
+    fn stream_writer_output_reparses() {
+        let mut w = StreamWriter::new();
+        w.start("r");
+        for i in 0..10 {
+            w.start("item");
+            w.attr("i", &i.to_string());
+            w.text(&format!("value {i}"));
+            w.end();
+        }
+        w.end();
+        let xml = w.finish();
+        let doc = Document::parse_str(&xml).unwrap();
+        assert_eq!(doc.children(doc.root_element().unwrap()).count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "open element")]
+    fn stream_writer_unbalanced_panics() {
+        let mut w = StreamWriter::new();
+        w.start("a");
+        let _ = w.finish();
+    }
+}

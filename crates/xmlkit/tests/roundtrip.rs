@@ -1,0 +1,101 @@
+//! Property tests: parse ⇄ serialize round-trips and Dewey invariants.
+
+use proptest::prelude::*;
+use xmorph_xml::dewey::Dewey;
+use xmorph_xml::dom::Document;
+
+/// Strategy for XML names (simple ASCII subset).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+/// Strategy for text content without leading/trailing whitespace-only
+/// collapse issues (parse_str drops whitespace-only nodes).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 <>&'\"]{1,20}".prop_filter("non-blank", |s| !s.trim().is_empty())
+}
+
+/// A recursive strategy producing random documents.
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    // Build nested element structure as a tree of (name, children|text).
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(String, Option<String>),
+        Node(String, Vec<Tree>),
+    }
+    let leaf = (name_strategy(), proptest::option::of(text_strategy()))
+        .prop_map(|(n, t)| Tree::Leaf(n, t));
+    let tree = leaf.prop_recursive(4, 24, 5, |inner| {
+        (name_strategy(), prop::collection::vec(inner, 1..5))
+            .prop_map(|(n, kids)| Tree::Node(n, kids))
+    });
+
+    fn build(doc: &mut Document, parent: Option<xmorph_xml::NodeId>, t: &Tree) {
+        match t {
+            Tree::Leaf(n, text) => {
+                let id = match parent {
+                    Some(p) => doc.append_element(p, n),
+                    None => doc.create_root(n),
+                };
+                if let Some(tx) = text {
+                    doc.append_text(id, tx);
+                }
+            }
+            Tree::Node(n, kids) => {
+                let id = match parent {
+                    Some(p) => doc.append_element(p, n),
+                    None => doc.create_root(n),
+                };
+                for k in kids {
+                    build(doc, Some(id), k);
+                }
+            }
+        }
+    }
+
+    tree.prop_map(|t| {
+        let mut doc = Document::new();
+        build(&mut doc, None, &t);
+        doc
+    })
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_round_trip(doc in doc_strategy()) {
+        let xml = doc.serialize_compact();
+        let reparsed = Document::parse_str(&xml).expect("reparse");
+        prop_assert_eq!(reparsed.serialize_compact(), xml);
+    }
+
+    #[test]
+    fn pretty_and_compact_agree_structurally(doc in doc_strategy()) {
+        let pretty = doc.serialize_pretty();
+        let reparsed = Document::parse_str(&pretty).expect("reparse pretty");
+        prop_assert_eq!(reparsed.element_count(), doc.element_count());
+    }
+
+    #[test]
+    fn dewey_encode_order_matches(doc in doc_strategy()) {
+        let map = doc.dewey_map();
+        for w in map.windows(2) {
+            let (a, b) = (&w[0].1, &w[1].1);
+            prop_assert!(a < b);
+            prop_assert!(a.encode() < b.encode());
+        }
+    }
+
+    #[test]
+    fn dewey_distance_symmetry(
+        a in prop::collection::vec(1u32..5, 1..6),
+        b in prop::collection::vec(1u32..5, 1..6),
+    ) {
+        let da = Dewey::from_components(a);
+        let db = Dewey::from_components(b);
+        prop_assert_eq!(da.distance(&db), db.distance(&da));
+        prop_assert_eq!(da.distance(&da), 0);
+        let lca = da.lca(&db);
+        prop_assert!(lca.is_ancestor_or_self(&da) || lca.is_empty());
+        prop_assert!(lca.is_ancestor_or_self(&db) || lca.is_empty());
+    }
+}

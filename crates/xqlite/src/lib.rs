@@ -1,0 +1,28 @@
+//! # xmorph-xqlite
+//!
+//! A small native XML DBMS — the reproduction's stand-in for **eXist
+//! 1.4**, the baseline system of the paper's §IX experiments.
+//!
+//! Like eXist, it stores each XML document *in document order* on disk
+//! pages, so the experiment's baseline query
+//!
+//! ```xquery
+//! for $b in doc("xmark.xml")/site return <data>{$b}</data>
+//! ```
+//!
+//! is essentially a sequential page scan — "the timing is essentially
+//! that of reading the document from disk to a String object" — which is
+//! the *best case* the paper compares XMorph against (Fig. 10).
+//!
+//! Beyond the dump path, [`query`] implements a usable FLWOR subset of
+//! XQuery (`for`/`let`/`where`/`return`, child/descendant path steps,
+//! predicates, element constructors with embedded expressions) so the
+//! Fig. 14 comparisons exercise a real query engine rather than a string
+//! copy.
+
+pub mod db;
+pub mod query;
+
+pub use db::XqliteDb;
+pub use query::paths::query_shape_paths;
+pub use query::QueryError;

@@ -1,0 +1,123 @@
+//! Query AST.
+
+/// Comparison operators (general comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `/name` — child elements named `name` (`*` matches all).
+    Child(String),
+    /// `//name` — descendant elements named `name` (`*` matches all).
+    Descendant(String),
+    /// `/@name` — attribute value.
+    Attribute(String),
+    /// `[expr]` — positional (number) or boolean predicate.
+    Predicate(Box<Expr>),
+}
+
+/// A piece of direct element constructor content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Literal text.
+    Text(String),
+    /// `{ expr }` interpolation.
+    Embed(Expr),
+    /// A nested constructor.
+    Element(Box<Constructor>),
+}
+
+/// A direct element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constructor {
+    /// Element name.
+    pub name: String,
+    /// Static attributes (values may embed `{expr}`? — kept literal).
+    pub attrs: Vec<(String, String)>,
+    /// Element content.
+    pub content: Vec<Content>,
+}
+
+/// A `for`/`let` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binding {
+    /// `for $var in expr` — iterate item by item.
+    For(String, Expr),
+    /// `let $var := expr` — bind the whole sequence.
+    Let(String, Expr),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// FLWOR.
+    Flwor {
+        /// `for`/`let` clauses in order.
+        bindings: Vec<Binding>,
+        /// Optional `where`.
+        condition: Option<Box<Expr>>,
+        /// Optional `order by` key with direction (true = descending).
+        order_by: Option<(Box<Expr>, bool)>,
+        /// The `return` body.
+        body: Box<Expr>,
+    },
+    /// `a or b` / `a and b`.
+    Logic {
+        /// True for `or`, false for `and`.
+        is_or: bool,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// General comparison.
+    Compare {
+        /// Operator.
+        op: Cmp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A primary expression followed by path steps.
+    Path {
+        /// The origin value.
+        origin: Box<Expr>,
+        /// Steps applied left to right.
+        steps: Vec<Step>,
+    },
+    /// `doc("name")`.
+    Doc(String),
+    /// `$var`.
+    Var(String),
+    /// String literal.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Direct element constructor.
+    Element(Constructor),
+    /// `count(expr)`.
+    Count(Box<Expr>),
+    /// `string(expr)`.
+    StringFn(Box<Expr>),
+    /// `distinct-values(expr)`.
+    DistinctValues(Box<Expr>),
+    /// `concat(e1, e2, ...)`.
+    Concat(Vec<Expr>),
+    /// Empty sequence `()`.
+    Empty,
+}

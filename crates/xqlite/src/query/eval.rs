@@ -1,0 +1,639 @@
+//! Query evaluation over DOM instances of stored documents.
+
+use crate::db::XqliteDb;
+use crate::query::ast::{Binding, Cmp, Constructor, Content, Expr, Step};
+use crate::query::QueryError;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xmorph_xml::dom::{Document, NodeId};
+use xmorph_xml::escape::escape_text;
+
+/// One item of a value sequence.
+#[derive(Debug, Clone)]
+enum Item {
+    /// A node within a loaded document.
+    Node(Rc<Document>, NodeId),
+    /// An atomic string.
+    Str(String),
+    /// An atomic number.
+    Num(f64),
+}
+
+type Seq = Vec<Item>;
+
+struct Ctx<'a> {
+    db: &'a XqliteDb,
+    docs: HashMap<String, Rc<Document>>,
+    vars: Vec<HashMap<String, Seq>>,
+}
+
+impl<'a> Ctx<'a> {
+    fn lookup(&self, var: &str) -> Result<Seq, QueryError> {
+        for frame in self.vars.iter().rev() {
+            if let Some(v) = frame.get(var) {
+                return Ok(v.clone());
+            }
+        }
+        Err(QueryError::UnboundVariable(var.to_string()))
+    }
+
+    fn doc(&mut self, name: &str) -> Result<Rc<Document>, QueryError> {
+        if let Some(d) = self.docs.get(name) {
+            return Ok(Rc::clone(d));
+        }
+        let text = self
+            .db
+            .load_document(name)
+            .map_err(|e| QueryError::Store(e.to_string()))?
+            .ok_or_else(|| QueryError::NoSuchDocument(name.to_string()))?;
+        let doc = Rc::new(
+            Document::parse_str(&text).map_err(|e| QueryError::BadStoredXml(e.to_string()))?,
+        );
+        self.docs.insert(name.to_string(), Rc::clone(&doc));
+        Ok(doc)
+    }
+}
+
+/// Evaluate a parsed query and serialize the result sequence.
+pub fn run(db: &XqliteDb, expr: &Expr) -> Result<String, QueryError> {
+    let mut ctx = Ctx { db, docs: HashMap::new(), vars: vec![HashMap::new()] };
+    let seq = eval(expr, &mut ctx)?;
+    Ok(serialize_seq(&seq))
+}
+
+fn serialize_seq(seq: &Seq) -> String {
+    let mut out = String::new();
+    let mut last_was_atomic = false;
+    for item in seq {
+        match item {
+            Item::Node(doc, id) => {
+                out.push_str(&doc.serialize_node(*id));
+                last_was_atomic = false;
+            }
+            Item::Str(s) => {
+                if last_was_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&escape_text(s));
+                last_was_atomic = true;
+            }
+            Item::Num(n) => {
+                if last_was_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&format_num(*n));
+                last_was_atomic = true;
+            }
+        }
+    }
+    out
+}
+
+fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn string_value(item: &Item) -> String {
+    match item {
+        Item::Node(doc, id) => doc.deep_text(*id),
+        Item::Str(s) => s.clone(),
+        Item::Num(n) => format_num(*n),
+    }
+}
+
+/// Effective boolean value.
+fn ebv(seq: &Seq) -> bool {
+    match seq.first() {
+        None => false,
+        Some(Item::Node(..)) => true,
+        Some(Item::Str(s)) => !(seq.len() == 1 && s.is_empty()),
+        Some(Item::Num(n)) => !(seq.len() == 1 && *n == 0.0),
+    }
+}
+
+fn eval(expr: &Expr, ctx: &mut Ctx<'_>) -> Result<Seq, QueryError> {
+    match expr {
+        Expr::Flwor { bindings, condition, order_by, body } => {
+            let mut tuples: Vec<(Option<String>, Seq)> = Vec::new();
+            ctx.vars.push(HashMap::new());
+            let result = flwor_rec(
+                bindings,
+                condition.as_deref(),
+                order_by.as_ref().map(|(k, _)| k.as_ref()),
+                body,
+                ctx,
+                &mut tuples,
+            );
+            ctx.vars.pop();
+            result?;
+            if let Some((_, descending)) = order_by {
+                tuples.sort_by(|(a, _), (b, _)| order_cmp(a.as_deref(), b.as_deref()));
+                if *descending {
+                    tuples.reverse();
+                }
+            }
+            Ok(tuples.into_iter().flat_map(|(_, seq)| seq).collect())
+        }
+        Expr::Logic { is_or, lhs, rhs } => {
+            let l = ebv(&eval(lhs, ctx)?);
+            let value = if *is_or {
+                l || ebv(&eval(rhs, ctx)?)
+            } else {
+                l && ebv(&eval(rhs, ctx)?)
+            };
+            Ok(vec![Item::Num(if value { 1.0 } else { 0.0 })])
+        }
+        Expr::Compare { op, lhs, rhs } => {
+            let l = eval(lhs, ctx)?;
+            let r = eval(rhs, ctx)?;
+            // General comparison: existential over both sequences.
+            let hit = l.iter().any(|a| r.iter().any(|b| compare(*op, a, b)));
+            Ok(vec![Item::Num(if hit { 1.0 } else { 0.0 })])
+        }
+        Expr::Path { origin, steps } => {
+            let mut seq = eval(origin, ctx)?;
+            for step in steps {
+                seq = apply_step(step, seq, ctx)?;
+            }
+            Ok(seq)
+        }
+        Expr::Doc(name) => {
+            let doc = ctx.doc(name)?;
+            let root = doc
+                .root_element()
+                .ok_or_else(|| QueryError::BadStoredXml("empty document".into()))?;
+            // doc() returns the document node; a child step selects the
+            // root element. Model the document node as a virtual parent
+            // by returning the root and letting Child match its name.
+            Ok(vec![Item::Node(doc, root)])
+        }
+        Expr::Var(v) => ctx.lookup(v),
+        Expr::Str(s) => Ok(vec![Item::Str(s.clone())]),
+        Expr::Num(n) => Ok(vec![Item::Num(*n)]),
+        Expr::Element(c) => {
+            let xml = construct(c, ctx)?;
+            // Re-parse so constructed elements behave like nodes for
+            // downstream steps.
+            let doc = Rc::new(
+                Document::parse_str(&xml)
+                    .map_err(|e| QueryError::BadStoredXml(e.to_string()))?,
+            );
+            let root = doc.root_element().expect("constructed element");
+            Ok(vec![Item::Node(doc, root)])
+        }
+        Expr::Count(e) => {
+            let n = eval(e, ctx)?.len();
+            Ok(vec![Item::Num(n as f64)])
+        }
+        Expr::StringFn(e) => {
+            let seq = eval(e, ctx)?;
+            let s = seq.first().map(string_value).unwrap_or_default();
+            Ok(vec![Item::Str(s)])
+        }
+        Expr::DistinctValues(e) => {
+            let seq = eval(e, ctx)?;
+            let mut seen = std::collections::BTreeSet::new();
+            let mut out = Vec::new();
+            for item in &seq {
+                let v = string_value(item);
+                if seen.insert(v.clone()) {
+                    out.push(Item::Str(v));
+                }
+            }
+            Ok(out)
+        }
+        Expr::Concat(parts) => {
+            let mut s = String::new();
+            for part in parts {
+                let seq = eval(part, ctx)?;
+                if let Some(first) = seq.first() {
+                    s.push_str(&string_value(first));
+                }
+            }
+            Ok(vec![Item::Str(s)])
+        }
+        Expr::Empty => Ok(Vec::new()),
+    }
+}
+
+/// Numeric-aware ordering for `order by` keys; empty keys sort first.
+fn order_cmp(a: Option<&str>, b: Option<&str>) -> std::cmp::Ordering {
+    match (a, b) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Less,
+        (Some(_), None) => std::cmp::Ordering::Greater,
+        (Some(x), Some(y)) => {
+            if let (Ok(nx), Ok(ny)) = (x.trim().parse::<f64>(), y.trim().parse::<f64>()) {
+                nx.partial_cmp(&ny).unwrap_or(std::cmp::Ordering::Equal)
+            } else {
+                x.cmp(y)
+            }
+        }
+    }
+}
+
+/// Recursive FLWOR tuple stream: one level per binding. Each produced
+/// tuple carries its `order by` key (if any) so the caller can sort.
+fn flwor_rec(
+    bindings: &[Binding],
+    condition: Option<&Expr>,
+    order_key: Option<&Expr>,
+    body: &Expr,
+    ctx: &mut Ctx<'_>,
+    out: &mut Vec<(Option<String>, Seq)>,
+) -> Result<(), QueryError> {
+    match bindings.split_first() {
+        None => {
+            if let Some(cond) = condition {
+                if !ebv(&eval(cond, ctx)?) {
+                    return Ok(());
+                }
+            }
+            let key = match order_key {
+                Some(k) => Some(
+                    eval(k, ctx)?.first().map(string_value).unwrap_or_default(),
+                ),
+                None => None,
+            };
+            out.push((key, eval(body, ctx)?));
+            Ok(())
+        }
+        Some((Binding::For(var, e), rest)) => {
+            let seq = eval(e, ctx)?;
+            for item in seq {
+                ctx.vars
+                    .last_mut()
+                    .expect("frame")
+                    .insert(var.clone(), vec![item]);
+                flwor_rec(rest, condition, order_key, body, ctx, out)?;
+            }
+            ctx.vars.last_mut().expect("frame").remove(var);
+            Ok(())
+        }
+        Some((Binding::Let(var, e), rest)) => {
+            let seq = eval(e, ctx)?;
+            ctx.vars.last_mut().expect("frame").insert(var.clone(), seq);
+            flwor_rec(rest, condition, order_key, body, ctx, out)?;
+            ctx.vars.last_mut().expect("frame").remove(var);
+            Ok(())
+        }
+    }
+}
+
+fn apply_step(step: &Step, seq: Seq, ctx: &mut Ctx<'_>) -> Result<Seq, QueryError> {
+    match step {
+        Step::Child(name) => {
+            let mut out = Vec::new();
+            for item in &seq {
+                match item {
+                    Item::Node(doc, id) => {
+                        // Special case: the document root — a child step
+                        // naming the root element selects it.
+                        if doc.parent(*id).is_none() && (name == "*" || doc.name(*id) == name) {
+                            let children_match =
+                                doc.children(*id).any(|c| name == "*" || doc.name(c) == name);
+                            if !children_match {
+                                out.push(Item::Node(Rc::clone(doc), *id));
+                                continue;
+                            }
+                        }
+                        for c in doc.children(*id) {
+                            if name == "*" || doc.name(c) == name {
+                                out.push(Item::Node(Rc::clone(doc), c));
+                            }
+                        }
+                    }
+                    _ => return Err(QueryError::NotANode("child step")),
+                }
+            }
+            Ok(out)
+        }
+        Step::Descendant(name) => {
+            let mut out = Vec::new();
+            for item in &seq {
+                match item {
+                    Item::Node(doc, id) => {
+                        for d in doc.descendant_elements(*id) {
+                            if name == "*" || doc.name(d) == name {
+                                out.push(Item::Node(Rc::clone(doc), d));
+                            }
+                        }
+                    }
+                    _ => return Err(QueryError::NotANode("descendant step")),
+                }
+            }
+            Ok(out)
+        }
+        Step::Attribute(name) => {
+            let mut out = Vec::new();
+            for item in &seq {
+                match item {
+                    Item::Node(doc, id) => {
+                        if let Some(v) = doc.attr(*id, name) {
+                            out.push(Item::Str(v.to_string()));
+                        }
+                    }
+                    _ => return Err(QueryError::NotANode("attribute step")),
+                }
+            }
+            Ok(out)
+        }
+        Step::Predicate(e) => {
+            // Numeric literal predicate = positional.
+            if let Expr::Num(n) = **e {
+                let idx = n as usize;
+                return Ok(seq
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| i + 1 == idx)
+                    .map(|(_, item)| item)
+                    .collect());
+            }
+            let mut out = Vec::new();
+            for item in seq {
+                // Bind the context item as $. — approximated by
+                // evaluating the predicate with the item as implicit
+                // origin: predicates in this subset start from relative
+                // paths on the item, which we encode via a reserved var.
+                ctx.vars
+                    .last_mut()
+                    .expect("frame")
+                    .insert(".".to_string(), vec![item.clone()]);
+                let keep = ebv(&eval(e, ctx)?);
+                ctx.vars.last_mut().expect("frame").remove(".");
+                if keep {
+                    out.push(item);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn compare(op: Cmp, a: &Item, b: &Item) -> bool {
+    // Numeric comparison when both sides coerce to numbers.
+    let (sa, sb) = (string_value(a), string_value(b));
+    if let (Ok(na), Ok(nb)) = (sa.trim().parse::<f64>(), sb.trim().parse::<f64>()) {
+        return match op {
+            Cmp::Eq => na == nb,
+            Cmp::Ne => na != nb,
+            Cmp::Lt => na < nb,
+            Cmp::Le => na <= nb,
+            Cmp::Gt => na > nb,
+            Cmp::Ge => na >= nb,
+        };
+    }
+    match op {
+        Cmp::Eq => sa == sb,
+        Cmp::Ne => sa != sb,
+        Cmp::Lt => sa < sb,
+        Cmp::Le => sa <= sb,
+        Cmp::Gt => sa > sb,
+        Cmp::Ge => sa >= sb,
+    }
+}
+
+fn construct(c: &Constructor, ctx: &mut Ctx<'_>) -> Result<String, QueryError> {
+    let mut out = String::new();
+    out.push('<');
+    out.push_str(&c.name);
+    for (k, v) in &c.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&xmorph_xml::escape::escape_attr(v));
+        out.push('"');
+    }
+    if c.content.is_empty() {
+        out.push_str("/>");
+        return Ok(out);
+    }
+    out.push('>');
+    for content in &c.content {
+        match content {
+            Content::Text(t) => out.push_str(&escape_text(t)),
+            Content::Embed(e) => {
+                let seq = eval(e, ctx)?;
+                out.push_str(&serialize_seq(&seq));
+            }
+            Content::Element(inner) => out.push_str(&construct(inner, ctx)?),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&c.name);
+    out.push('>');
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with(name: &str, xml: &str) -> XqliteDb {
+        let db = XqliteDb::in_memory();
+        db.store_document(name, xml).unwrap();
+        db
+    }
+
+    const BOOKS: &str = "<data>\
+        <book year=\"2001\"><title>X</title><author><name>Tim</name></author></book>\
+        <book year=\"2005\"><title>Y</title><author><name>Ann</name></author></book>\
+        </data>";
+
+    #[test]
+    fn dump_query() {
+        let db = db_with("d", "<site><x>1</x></site>");
+        let out = db
+            .query(r#"for $b in doc("d")/site return <data>{$b}</data>"#)
+            .unwrap();
+        assert_eq!(out, "<data><site><x>1</x></site></data>");
+    }
+
+    #[test]
+    fn child_and_descendant_steps() {
+        let db = db_with("d", BOOKS);
+        assert_eq!(
+            db.query(r#"doc("d")/data/book/title"#).unwrap(),
+            "<title>X</title><title>Y</title>"
+        );
+        assert_eq!(
+            db.query(r#"doc("d")//name"#).unwrap(),
+            "<name>Tim</name><name>Ann</name>"
+        );
+    }
+
+    #[test]
+    fn attribute_step() {
+        let db = db_with("d", BOOKS);
+        assert_eq!(db.query(r#"doc("d")/data/book/@year"#).unwrap(), "2001 2005");
+    }
+
+    #[test]
+    fn flwor_with_where() {
+        let db = db_with("d", BOOKS);
+        let out = db
+            .query(
+                r#"for $b in doc("d")/data/book where $b/author/name = "Tim" return $b/title"#,
+            )
+            .unwrap();
+        assert_eq!(out, "<title>X</title>");
+    }
+
+    #[test]
+    fn let_binding() {
+        let db = db_with("d", BOOKS);
+        let out = db
+            .query(r#"for $b in doc("d")/data/book let $t := $b/title return <r>{$t}</r>"#)
+            .unwrap();
+        assert_eq!(out, "<r><title>X</title></r><r><title>Y</title></r>");
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let db = db_with("d", BOOKS);
+        assert_eq!(db.query(r#"doc("d")/data/book[2]/title"#).unwrap(), "<title>Y</title>");
+    }
+
+    #[test]
+    fn boolean_predicate() {
+        let db = db_with("d", BOOKS);
+        // Predicate with an absolute comparison (context-free predicates
+        // in this subset).
+        let out = db
+            .query(r#"for $b in doc("d")/data/book where $b/@year = "2005" return $b/title"#)
+            .unwrap();
+        assert_eq!(out, "<title>Y</title>");
+    }
+
+    #[test]
+    fn count_function() {
+        let db = db_with("d", BOOKS);
+        assert_eq!(db.query(r#"count(doc("d")//book)"#).unwrap(), "2");
+    }
+
+    #[test]
+    fn distinct_values() {
+        let db = db_with("d", "<r><a>x</a><a>y</a><a>x</a></r>");
+        assert_eq!(db.query(r#"distinct-values(doc("d")//a)"#).unwrap(), "x y");
+    }
+
+    #[test]
+    fn string_and_concat() {
+        let db = db_with("d", BOOKS);
+        assert_eq!(
+            db.query(r#"concat("title: ", string(doc("d")//title))"#).unwrap(),
+            "title: X"
+        );
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        let db = db_with("d", BOOKS);
+        let out = db
+            .query(r#"for $b in doc("d")/data/book where $b/@year > 2003 return $b/title"#)
+            .unwrap();
+        assert_eq!(out, "<title>Y</title>");
+    }
+
+    #[test]
+    fn nested_flwor() {
+        let db = db_with("d", BOOKS);
+        let out = db
+            .query(
+                r#"for $b in doc("d")/data/book return <entry>{
+                    for $n in $b/author/name return <who>{$n}</who>
+                }</entry>"#,
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            "<entry><who><name>Tim</name></who></entry><entry><who><name>Ann</name></who></entry>"
+        );
+    }
+
+    #[test]
+    fn constructed_elements_support_steps() {
+        let db = db_with("d", BOOKS);
+        let out = db
+            .query(r#"for $t in <w><v>7</v></w>/v return <got>{$t}</got>"#)
+            .unwrap();
+        assert_eq!(out, "<got><v>7</v></got>");
+    }
+
+    #[test]
+    fn errors() {
+        let db = db_with("d", BOOKS);
+        assert!(matches!(
+            db.query(r#"doc("missing")/a"#),
+            Err(QueryError::NoSuchDocument(_))
+        ));
+        assert!(matches!(db.query(r#"$nope"#), Err(QueryError::UnboundVariable(_))));
+        assert!(matches!(
+            db.query(r#""str"/a"#),
+            Err(QueryError::NotANode(_))
+        ));
+    }
+
+    #[test]
+    fn logic_operators() {
+        let db = db_with("d", BOOKS);
+        let out = db
+            .query(
+                r#"for $b in doc("d")/data/book where $b/@year = "2001" or $b/@year = "2005" return $b/@year"#,
+            )
+            .unwrap();
+        assert_eq!(out, "2001 2005");
+        let out = db
+            .query(
+                r#"for $b in doc("d")/data/book where $b/@year = "2001" and $b/title = "X" return $b/@year"#,
+            )
+            .unwrap();
+        assert_eq!(out, "2001");
+    }
+
+    #[test]
+    fn order_by_ascending_and_descending() {
+        let db = db_with("d", BOOKS);
+        let asc = db
+            .query(r#"for $b in doc("d")/data/book order by $b/title return $b/@year"#)
+            .unwrap();
+        assert_eq!(asc, "2001 2005");
+        let desc = db
+            .query(
+                r#"for $b in doc("d")/data/book order by $b/title descending return $b/@year"#,
+            )
+            .unwrap();
+        assert_eq!(desc, "2005 2001");
+    }
+
+    #[test]
+    fn order_by_numeric_keys() {
+        let db = db_with("d", "<r><v>10</v><v>9</v><v>100</v></r>");
+        let out = db
+            .query(r#"for $v in doc("d")/r/v order by $v return $v"#)
+            .unwrap();
+        // Numeric, not lexicographic: 9 < 10 < 100.
+        assert_eq!(out, "<v>9</v><v>10</v><v>100</v>");
+    }
+
+    #[test]
+    fn order_by_with_where() {
+        let db = db_with("d", BOOKS);
+        let out = db
+            .query(
+                r#"for $b in doc("d")/data/book where $b/@year > 2000 order by $b/@year descending return $b/title"#,
+            )
+            .unwrap();
+        assert_eq!(out, "<title>Y</title><title>X</title>");
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let db = db_with("d", "<r><a>1</a><b>2</b></r>");
+        assert_eq!(db.query(r#"doc("d")/r/*"#).unwrap(), "<a>1</a><b>2</b>");
+    }
+}

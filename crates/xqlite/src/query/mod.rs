@@ -1,0 +1,58 @@
+//! A FLWOR subset of XQuery.
+//!
+//! Supported: `for $v in e (, $v2 in e2)*`, `let $v := e`, `where e`,
+//! `return e`; path expressions with `/name`, `//name`, `/*`, `/@attr`,
+//! and positional or boolean predicates `[e]`; `doc("name")`; direct
+//! element constructors with `{expr}` interpolation; string/number
+//! literals; general comparisons `= != < <= > >=`; `and`/`or`; and the
+//! functions `count()`, `string()`, `distinct-values()`, `concat()`.
+//!
+//! This is deliberately the slice of XQuery the paper's experiments rely
+//! on (the Fig. 10 dump and the Fig. 14 morph-equivalent queries), done
+//! faithfully enough to serve as a baseline, not a full W3C engine.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod paths;
+
+use crate::db::XqliteDb;
+use std::fmt;
+
+/// An error raised while parsing or evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Syntax error with byte offset.
+    Parse(String, usize),
+    /// Reference to an unbound variable.
+    UnboundVariable(String),
+    /// `doc()` named an absent document.
+    NoSuchDocument(String),
+    /// A path step applied to a non-node item.
+    NotANode(&'static str),
+    /// Underlying storage failure.
+    Store(String),
+    /// XML in the store failed to parse.
+    BadStoredXml(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(m, off) => write!(f, "query syntax error at byte {off}: {m}"),
+            QueryError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            QueryError::NoSuchDocument(d) => write!(f, "no such document: {d}"),
+            QueryError::NotANode(what) => write!(f, "path step on a non-node value in {what}"),
+            QueryError::Store(m) => write!(f, "storage error: {m}"),
+            QueryError::BadStoredXml(m) => write!(f, "stored document is not well-formed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Parse and evaluate a query against a database.
+pub fn evaluate(db: &XqliteDb, text: &str) -> Result<String, QueryError> {
+    let expr = parser::parse(text)?;
+    eval::run(db, &expr)
+}

@@ -1,0 +1,558 @@
+//! Hand-rolled recursive-descent parser over the raw character stream
+//! (direct constructors make XQuery unfriendly to a separate lexer).
+
+use crate::query::ast::{Binding, Cmp, Constructor, Content, Expr, Step};
+use crate::query::QueryError;
+
+/// Parse a query.
+pub fn parse(src: &str) -> Result<Expr, QueryError> {
+    let mut p = P { src: src.as_bytes(), text: src, pos: 0 };
+    p.ws();
+    let e = p.expr()?;
+    p.ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: &str) -> QueryError {
+        QueryError::Parse(m.to_string(), self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn lit(&mut self, s: &str) -> bool {
+        if self.text[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Match a keyword (must not be followed by a name character).
+    fn kw(&mut self, s: &str) -> bool {
+        if self.text[self.pos..].starts_with(s) {
+            let after = self.src.get(self.pos + s.len()).copied();
+            if !matches!(after, Some(b) if is_name(b)) {
+                self.pos += s.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), QueryError> {
+        if self.lit(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, QueryError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if is_name(b)) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    fn string_literal(&mut self) -> Result<String, QueryError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a string literal")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.peek() != Some(quote) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated string literal"));
+            }
+            self.pos += 1;
+        }
+        let s = self.text[start..self.pos].to_string();
+        self.pos += 1;
+        Ok(s)
+    }
+
+    // expr := flwor | or-expr
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        self.ws();
+        if self.looking_at_kw("for") || self.looking_at_kw("let") {
+            return self.flwor();
+        }
+        self.or_expr()
+    }
+
+    fn looking_at_kw(&self, s: &str) -> bool {
+        self.text[self.pos..].starts_with(s)
+            && !matches!(self.src.get(self.pos + s.len()).copied(), Some(b) if is_name(b))
+    }
+
+    fn flwor(&mut self) -> Result<Expr, QueryError> {
+        let mut bindings = Vec::new();
+        loop {
+            self.ws();
+            if self.kw("for") {
+                loop {
+                    self.ws();
+                    self.expect("$")?;
+                    let var = self.name()?;
+                    self.ws();
+                    if !self.kw("in") {
+                        return Err(self.err("expected 'in'"));
+                    }
+                    self.ws();
+                    let e = self.or_expr()?;
+                    bindings.push(Binding::For(var, e));
+                    self.ws();
+                    if !self.lit(",") {
+                        break;
+                    }
+                }
+            } else if self.kw("let") {
+                self.ws();
+                self.expect("$")?;
+                let var = self.name()?;
+                self.ws();
+                self.expect(":=")?;
+                self.ws();
+                let e = self.or_expr()?;
+                bindings.push(Binding::Let(var, e));
+            } else {
+                break;
+            }
+        }
+        if bindings.is_empty() {
+            return Err(self.err("expected for/let"));
+        }
+        self.ws();
+        let condition = if self.kw("where") {
+            self.ws();
+            Some(Box::new(self.or_expr()?))
+        } else {
+            None
+        };
+        self.ws();
+        let order_by = if self.kw("order") {
+            self.ws();
+            if !self.kw("by") {
+                return Err(self.err("expected 'by' after 'order'"));
+            }
+            self.ws();
+            let key = Box::new(self.or_expr()?);
+            self.ws();
+            let descending = if self.kw("descending") {
+                true
+            } else {
+                let _ = self.kw("ascending");
+                false
+            };
+            Some((key, descending))
+        } else {
+            None
+        };
+        self.ws();
+        if !self.kw("return") {
+            return Err(self.err("expected 'return'"));
+        }
+        self.ws();
+        let body = Box::new(self.expr()?);
+        Ok(Expr::Flwor { bindings, condition, order_by, body })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.and_expr()?;
+        loop {
+            self.ws();
+            if self.kw("or") {
+                self.ws();
+                let rhs = self.and_expr()?;
+                lhs = Expr::Logic { is_or: true, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.cmp_expr()?;
+        loop {
+            self.ws();
+            if self.kw("and") {
+                self.ws();
+                let rhs = self.cmp_expr()?;
+                lhs = Expr::Logic { is_or: false, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, QueryError> {
+        let lhs = self.path_expr()?;
+        self.ws();
+        let op = if self.lit("!=") {
+            Cmp::Ne
+        } else if self.lit("<=") {
+            Cmp::Le
+        } else if self.lit(">=") {
+            Cmp::Ge
+        } else if self.peek() == Some(b'=') {
+            self.pos += 1;
+            Cmp::Eq
+        } else if self.peek() == Some(b'<') && self.src.get(self.pos + 1) != Some(&b'/') {
+            // '<' followed by a name would be a constructor only in
+            // primary position; here it is a comparison.
+            self.pos += 1;
+            Cmp::Lt
+        } else if self.peek() == Some(b'>') {
+            self.pos += 1;
+            Cmp::Gt
+        } else {
+            return Ok(lhs);
+        };
+        self.ws();
+        let rhs = self.path_expr()?;
+        Ok(Expr::Compare { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn path_expr(&mut self) -> Result<Expr, QueryError> {
+        let origin = self.primary()?;
+        let mut steps = Vec::new();
+        loop {
+            if self.lit("//") {
+                self.ws();
+                steps.push(Step::Descendant(self.node_test()?));
+            } else if self.peek() == Some(b'/') {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == Some(b'@') {
+                    self.pos += 1;
+                    steps.push(Step::Attribute(self.name()?));
+                } else {
+                    steps.push(Step::Child(self.node_test()?));
+                }
+            } else if self.peek() == Some(b'[') {
+                self.pos += 1;
+                self.ws();
+                let e = self.expr()?;
+                self.ws();
+                self.expect("]")?;
+                steps.push(Step::Predicate(Box::new(e)));
+            } else {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            Ok(origin)
+        } else {
+            Ok(Expr::Path { origin: Box::new(origin), steps })
+        }
+    }
+
+    fn node_test(&mut self) -> Result<String, QueryError> {
+        if self.peek() == Some(b'*') {
+            self.pos += 1;
+            return Ok("*".to_string());
+        }
+        self.name()
+    }
+
+    fn primary(&mut self) -> Result<Expr, QueryError> {
+        self.ws();
+        match self.peek() {
+            Some(b'$') => {
+                self.pos += 1;
+                Ok(Expr::Var(self.name()?))
+            }
+            Some(b'"') | Some(b'\'') => Ok(Expr::Str(self.string_literal()?)),
+            Some(b'(') => {
+                self.pos += 1;
+                self.ws();
+                if self.lit(")") {
+                    return Ok(Expr::Empty);
+                }
+                let e = self.expr()?;
+                self.ws();
+                self.expect(")")?;
+                Ok(e)
+            }
+            Some(b'<') => Ok(Expr::Element(self.constructor()?)),
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.') {
+                    self.pos += 1;
+                }
+                let n: f64 = self.text[start..self.pos]
+                    .parse()
+                    .map_err(|_| self.err("bad number"))?;
+                Ok(Expr::Num(n))
+            }
+            _ => {
+                // Function call or bare (relative) name — we require
+                // functions here; relative paths are not supported.
+                let save = self.pos;
+                let name = self.name()?;
+                self.ws();
+                if self.peek() == Some(b'(') {
+                    self.pos += 1;
+                    match name.as_str() {
+                        "doc" => {
+                            self.ws();
+                            let d = self.string_literal()?;
+                            self.ws();
+                            self.expect(")")?;
+                            Ok(Expr::Doc(d))
+                        }
+                        "count" => {
+                            let e = self.expr()?;
+                            self.ws();
+                            self.expect(")")?;
+                            Ok(Expr::Count(Box::new(e)))
+                        }
+                        "string" => {
+                            let e = self.expr()?;
+                            self.ws();
+                            self.expect(")")?;
+                            Ok(Expr::StringFn(Box::new(e)))
+                        }
+                        "distinct-values" => {
+                            let e = self.expr()?;
+                            self.ws();
+                            self.expect(")")?;
+                            Ok(Expr::DistinctValues(Box::new(e)))
+                        }
+                        "concat" => {
+                            let mut args = vec![self.expr()?];
+                            loop {
+                                self.ws();
+                                if self.lit(",") {
+                                    args.push(self.expr()?);
+                                } else {
+                                    break;
+                                }
+                            }
+                            self.expect(")")?;
+                            Ok(Expr::Concat(args))
+                        }
+                        other => {
+                            let _ = save;
+                            Err(self.err(&format!("unknown function {other}()")))
+                        }
+                    }
+                } else {
+                    // A bare name is a relative path step on the context
+                    // item (usable inside predicates).
+                    Ok(Expr::Path {
+                        origin: Box::new(Expr::Var(".".to_string())),
+                        steps: vec![Step::Child(name)],
+                    })
+                }
+            }
+        }
+    }
+
+    /// Direct element constructor: `<name attr="v">content</name>`.
+    fn constructor(&mut self) -> Result<Constructor, QueryError> {
+        self.expect("<")?;
+        let name = self.name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(">")?;
+                    return Ok(Constructor { name, attrs, content: Vec::new() });
+                }
+                Some(b) if is_name(b) => {
+                    let aname = self.name()?;
+                    self.ws();
+                    self.expect("=")?;
+                    self.ws();
+                    let v = self.string_literal()?;
+                    attrs.push((aname, v));
+                }
+                _ => return Err(self.err("expected attribute, '>' or '/>'")),
+            }
+        }
+        // Content until matching close tag.
+        let mut content = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated element constructor")),
+                Some(b'<') => {
+                    if self.text[self.pos..].starts_with("</") {
+                        self.pos += 2;
+                        let close = self.name()?;
+                        if close != name {
+                            return Err(self.err(&format!(
+                                "mismatched constructor tags <{name}> vs </{close}>"
+                            )));
+                        }
+                        self.ws();
+                        self.expect(">")?;
+                        return Ok(Constructor { name, attrs, content });
+                    }
+                    content.push(Content::Element(Box::new(self.constructor()?)));
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    self.ws();
+                    let e = self.expr()?;
+                    self.ws();
+                    self.expect("}")?;
+                    content.push(Content::Embed(e));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'<') | Some(b'{')) {
+                        self.pos += 1;
+                    }
+                    let text = &self.text[start..self.pos];
+                    if !text.trim().is_empty() {
+                        content.push(Content::Text(text.to_string()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn is_name(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dump_query_parses() {
+        let e = parse(r#"for $b in doc("xmark.xml")/site return <data>{$b}</data>"#).unwrap();
+        match e {
+            Expr::Flwor { bindings, condition, body, .. } => {
+                assert_eq!(bindings.len(), 1);
+                assert!(condition.is_none());
+                assert!(matches!(*body, Expr::Element(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_steps() {
+        let e = parse(r#"doc("d")/a//b/@id"#).unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert_eq!(
+                    steps,
+                    vec![
+                        Step::Child("a".into()),
+                        Step::Descendant("b".into()),
+                        Step::Attribute("id".into()),
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicates_parse() {
+        let e = parse(r#"doc("d")/a[b = "x"]"#).unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert!(matches!(steps[1], Step::Predicate(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flwor_with_let_where() {
+        let e = parse(
+            r#"for $a in doc("d")//author let $n := $a/name where $n = "Tim" return $n"#,
+        )
+        .unwrap();
+        match e {
+            Expr::Flwor { bindings, condition, .. } => {
+                assert_eq!(bindings.len(), 2);
+                assert!(condition.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_constructors() {
+        let e = parse(r#"<a x="1"><b>{doc("d")/r}</b>text</a>"#).unwrap();
+        match e {
+            Expr::Element(c) => {
+                assert_eq!(c.name, "a");
+                assert_eq!(c.attrs, vec![("x".to_string(), "1".to_string())]);
+                assert_eq!(c.content.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert!(parse(r#"doc("d")/a = "x" and doc("d")/b != "y""#).is_ok());
+        assert!(parse(r#"count(doc("d")//x) >= 3 or 1 < 2"#).is_ok());
+    }
+
+    #[test]
+    fn functions_parse() {
+        assert!(parse(r#"count(doc("d")//a)"#).is_ok());
+        assert!(parse(r#"string(doc("d")/a)"#).is_ok());
+        assert!(parse(r#"distinct-values(doc("d")//a)"#).is_ok());
+        assert!(parse(r#"concat("a", "b", string(doc("d")/x))"#).is_ok());
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse("for $x return 1").is_err());
+        assert!(parse(r#"doc("d")/"#).is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse(r#"unknownfn("x")"#).is_err());
+        // A bare name parses as a relative path (context-item step).
+        let rel = parse("nonsense").unwrap();
+        assert!(matches!(rel, Expr::Path { .. }));
+    }
+
+    #[test]
+    fn multiple_for_bindings() {
+        let e = parse(r#"for $a in doc("d")/x, $b in doc("d")/y return $b"#).unwrap();
+        match e {
+            Expr::Flwor { bindings, .. } => assert_eq!(bindings.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Shape-path extraction: the label paths a query navigates, resolved
+//! through its variable bindings. Feeds guard inference
+//! (`xmorph-core::infer`), the paper's §X future-work item.
+
+use crate::query::ast::{Binding, Content, Expr, Step};
+use crate::query::{parser, QueryError};
+use std::collections::HashMap;
+
+/// Extract every rooted label path a query navigates. Paths start at the
+/// document element (the first step after `doc(...)`); descendant steps
+/// contribute their label like child steps (the guard will make them
+/// direct children); attribute steps contribute `@name`.
+pub fn query_shape_paths(text: &str) -> Result<Vec<Vec<String>>, QueryError> {
+    let expr = parser::parse(text)?;
+    let mut ctx: HashMap<String, Vec<String>> = HashMap::new();
+    let mut out: Vec<Vec<String>> = Vec::new();
+    walk(&expr, &mut ctx, &mut out);
+    out.sort();
+    out.dedup();
+    out.retain(|p| !p.is_empty());
+    Ok(out)
+}
+
+/// Resolve an expression to the label path it denotes, if it is a path.
+/// Records every fully-resolved path it encounters into `out`.
+fn resolve(
+    expr: &Expr,
+    ctx: &mut HashMap<String, Vec<String>>,
+    out: &mut Vec<Vec<String>>,
+) -> Option<Vec<String>> {
+    match expr {
+        Expr::Doc(_) => Some(Vec::new()),
+        Expr::Var(v) => ctx.get(v).cloned(),
+        Expr::Path { origin, steps } => {
+            let mut base = resolve(origin, ctx, out)?;
+            for step in steps {
+                match step {
+                    Step::Child(name) | Step::Descendant(name) => {
+                        if name != "*" {
+                            base.push(name.clone());
+                        }
+                    }
+                    Step::Attribute(name) => base.push(format!("@{name}")),
+                    Step::Predicate(e) => {
+                        // Paths inside the predicate hang off the
+                        // current base (the context item).
+                        let saved = ctx.insert(".".to_string(), base.clone());
+                        walk(e, ctx, out);
+                        match saved {
+                            Some(s) => {
+                                ctx.insert(".".to_string(), s);
+                            }
+                            None => {
+                                ctx.remove(".");
+                            }
+                        }
+                    }
+                }
+            }
+            out.push(base.clone());
+            Some(base)
+        }
+        _ => {
+            walk(expr, ctx, out);
+            None
+        }
+    }
+}
+
+/// Recurse over non-path expression structure.
+fn walk(expr: &Expr, ctx: &mut HashMap<String, Vec<String>>, out: &mut Vec<Vec<String>>) {
+    match expr {
+        Expr::Flwor { bindings, condition, order_by, body } => {
+            let mut bound: Vec<String> = Vec::new();
+            for binding in bindings {
+                let (var, e) = match binding {
+                    Binding::For(v, e) | Binding::Let(v, e) => (v, e),
+                };
+                if let Some(path) = resolve(e, ctx, out) {
+                    ctx.insert(var.clone(), path);
+                    bound.push(var.clone());
+                }
+            }
+            if let Some(cond) = condition {
+                walk(cond, ctx, out);
+            }
+            if let Some((key, _)) = order_by {
+                if resolve(key, ctx, out).is_none() { /* walked inside */ }
+            }
+            walk(body, ctx, out);
+            for var in bound {
+                ctx.remove(&var);
+            }
+        }
+        Expr::Logic { lhs, rhs, .. } | Expr::Compare { lhs, rhs, .. } => {
+            if resolve(lhs, ctx, out).is_none() { /* walked inside */ }
+            if resolve(rhs, ctx, out).is_none() { /* walked inside */ }
+        }
+        Expr::Path { .. } | Expr::Doc(_) | Expr::Var(_) => {
+            resolve(expr, ctx, out);
+        }
+        Expr::Element(c) => {
+            for content in &c.content {
+                match content {
+                    Content::Text(_) => {}
+                    Content::Embed(e) => {
+                        if resolve(e, ctx, out).is_none() { /* walked */ }
+                    }
+                    Content::Element(inner) => {
+                        walk(&Expr::Element((**inner).clone()), ctx, out)
+                    }
+                }
+            }
+        }
+        Expr::Count(e) | Expr::StringFn(e) | Expr::DistinctValues(e) => {
+            if resolve(e, ctx, out).is_none() { /* walked */ }
+        }
+        Expr::Concat(parts) => {
+            for part in parts {
+                if resolve(part, ctx, out).is_none() { /* walked */ }
+            }
+        }
+        Expr::Str(_) | Expr::Num(_) | Expr::Empty => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths(query: &str) -> Vec<String> {
+        query_shape_paths(query)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.join("/"))
+            .collect()
+    }
+
+    #[test]
+    fn simple_path() {
+        // Only the complete navigated path is recorded; the inference
+        // trie reconstructs prefixes.
+        assert_eq!(paths(r#"doc("d")/data/book/title"#), vec!["data/book/title"]);
+    }
+
+    #[test]
+    fn flwor_variables_resolve() {
+        let got = paths(
+            r#"for $b in doc("d")/data/book return <t>{string($b/title)}</t>"#,
+        );
+        assert!(got.contains(&"data/book".to_string()), "{got:?}");
+        assert!(got.contains(&"data/book/title".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn nested_bindings_and_where() {
+        let got = paths(
+            r#"for $a in doc("d")//author let $n := $a/name where $n = "X" return $a/book/title"#,
+        );
+        assert!(got.contains(&"author/name".to_string()), "{got:?}");
+        assert!(got.contains(&"author/book/title".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn descendant_and_attribute_steps() {
+        let got = paths(r#"doc("d")//book/@year"#);
+        assert!(got.contains(&"book/@year".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn predicate_paths_are_extracted() {
+        let got = paths(r#"doc("d")/lib/book[author = "X"]/title"#);
+        assert!(got.contains(&"lib/book/author".to_string()), "{got:?}");
+        assert!(got.contains(&"lib/book/title".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn constructors_walked() {
+        let got = paths(
+            r#"for $b in doc("d")//book return <e><t>{$b/title}</t><y>{$b/year}</y></e>"#,
+        );
+        assert!(got.contains(&"book/title".to_string()), "{got:?}");
+        assert!(got.contains(&"book/year".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn deduplicated_and_sorted() {
+        let got = paths(r#"concat(string(doc("d")/a/b), string(doc("d")/a/b))"#);
+        assert_eq!(got, vec!["a/b"]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Guard inference (paper §X future work): generate the guard *from the
+//! query itself*. The query's path expressions already describe the
+//! shape it needs; XMorph extracts them, builds the `MORPH`, and the
+//! pipeline becomes fully automatic — write the query once, run it on
+//! any shape, no guard authoring at all.
+//!
+//! Run with: `cargo run --example guard_inference`
+
+use xmorph_repro::core::infer::guard_from_paths;
+use xmorph_repro::core::Guard;
+use xmorph_repro::xqlite::{query_shape_paths, XqliteDb};
+
+const QUERY: &str = r#"for $a in doc("t.xml")/result/author
+return <credit>{string($a/name)} wrote {string($a/book/title)}</credit>"#;
+
+const SOURCES: &[(&str, &str)] = &[
+    ("book-rooted", "<data><book><title>X</title><author><name>Tim</name></author></book></data>"),
+    ("author-rooted", "<data><author><name>Tim</name><book><title>X</title></book></author></data>"),
+];
+
+fn main() {
+    // 1. What shape does the query walk?
+    let paths = query_shape_paths(QUERY).expect("query parses");
+    println!("query paths:");
+    for p in &paths {
+        println!("  /{}", p.join("/"));
+    }
+
+    // 2. Infer the guard from the paths below the document element
+    //    (wrapper + scaffolding trimmed).
+    let below_root: Vec<Vec<String>> = paths
+        .into_iter()
+        .map(|p| p.into_iter().skip(1).collect::<Vec<_>>())
+        .filter(|p: &Vec<String>| !p.is_empty())
+        .collect();
+    let guard_text = guard_from_paths(&below_root).expect("shape paths found");
+    println!("\ninferred guard: {guard_text}\n");
+
+    // 3. Run the fully-automatic pipeline on both shapes.
+    let guard = Guard::parse(&guard_text).expect("inferred guard parses");
+    for (name, xml) in SOURCES {
+        let out = guard.apply_to_str(xml).expect("guard admits");
+        let db = XqliteDb::in_memory();
+        db.store_document("t.xml", &out.xml).unwrap();
+        println!("{name:15} -> {}", db.query(QUERY).unwrap());
+    }
+}

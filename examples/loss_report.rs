@@ -1,0 +1,62 @@
+//! Information-loss feedback and the CAST discipline (§I, §V).
+//!
+//! XMorph reports *precisely which part* of a guard is lossy, and the
+//! programmer opts in with a CAST — "just as a C++ programmer might add a
+//! cast() ... when permissible".
+//!
+//! Run with: `cargo run --example loss_report`
+
+use xmorph_repro::core::{Guard, MorphError};
+
+/// Figure 1(c), but with an author who has no name — making `name`
+/// optional (cardinality 0..1), the paper's §V-B scenario.
+const DATA: &str = "<data>\
+    <author><name>Tim</name><book><title>X</title><publisher><name>W</name></publisher></book></author>\
+    <author><book><title>Y</title><publisher><name>V</name></publisher></book></author>\
+    </data>";
+
+fn main() {
+    // 1. A widening guard: flattening titles and publishers under the
+    //    author manufactures title↔publisher relationships (Fig. 3).
+    println!("--- 1. widening guard, rejected by default ---");
+    let widening = Guard::parse("MORPH author [ !title publisher [ name ] ]").unwrap();
+    match widening.apply_to_str(DATA) {
+        Err(MorphError::Rejected { typing, .. }) => {
+            println!("rejected: transformation is {typing}");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+    let analysis = widening.analyze_str(DATA).unwrap();
+    println!("{}", analysis.loss);
+
+    println!("--- 2. the same guard, admitted with CAST-WIDENING ---");
+    let cast = Guard::parse("CAST-WIDENING MORPH author [ !title publisher [ name ] ]").unwrap();
+    let out = cast.apply_to_str(DATA).unwrap();
+    println!("output: {}\n", out.xml);
+
+    // 3. A narrowing guard: swapping name above author drops the author
+    //    without a name (min path cardinality rises 0 -> 1).
+    println!("--- 3. narrowing guard (authors without names are dropped) ---");
+    let narrowing = Guard::parse("CAST-NARROWING MUTATE author.name [ author ]").unwrap();
+    let out = narrowing.apply_to_str(DATA).unwrap();
+    println!("{}", out.analysis.loss);
+    println!("output: {}\n", out.xml);
+
+    // 4. Label-to-type report: how an ambiguous label resolved.
+    println!("--- 4. label-to-type report for an ambiguous label ---");
+    let ambiguous = Guard::parse("MORPH author [ name ]").unwrap();
+    let analysis = ambiguous.analyze_str(DATA).unwrap();
+    println!("{}", analysis.labels);
+
+    // 5. TYPE-FILL: a label missing from the source becomes a NEW type
+    //    instead of a type mismatch.
+    println!("--- 5. TYPE-FILL for a missing label ---");
+    let missing = Guard::parse("MUTATE editor [ title ]").unwrap();
+    match missing.apply_to_str(DATA) {
+        Err(MorphError::TypeMismatch { label }) => println!("without TYPE-FILL: mismatch on {label:?}"),
+        other => println!("unexpected: {other:?}"),
+    }
+    let filled = Guard::parse("CAST TYPE-FILL MUTATE editor [ title ]").unwrap();
+    let out = filled.apply_to_str(DATA).unwrap();
+    println!("with TYPE-FILL: {}", out.xml);
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the XMorph 2.0 reproduction.
+//!
+//! Re-exports the workspace crates under short names so the examples and
+//! integration tests can use one dependency. The real code lives in:
+//!
+//! * [`core`] (`xmorph-core`) — the paper's contribution: the XMorph 2.0
+//!   language, query guards, loss analysis, shredder, and renderer.
+//! * [`xml`] (`xmorph-xml`) — XML parsing/DOM/Dewey substrate.
+//! * [`pagestore`] (`xmorph-pagestore`) — embedded storage engine.
+//! * [`xqlite`] (`xmorph-xqlite`) — the eXist-like baseline XML DBMS.
+//! * [`datagen`] (`xmorph-datagen`) — synthetic XMark/DBLP/NASA workloads.
+
+pub use xmorph_core as core;
+pub use xmorph_datagen as datagen;
+pub use xmorph_pagestore as pagestore;
+pub use xmorph_xml as xml;
+pub use xmorph_xqlite as xqlite;

@@ -1,0 +1,98 @@
+//! Cross-system integration: guard + XQuery pipelines, equivalence with
+//! direct queries when shapes already match, and architecture-1 usage
+//! ("physically transform the data" then couple with an XQuery engine).
+
+use xmorph_core::Guard;
+use xmorph_xqlite::XqliteDb;
+
+const BOOKS: &str = "<data>\
+    <book><title>X</title><author><name>Tim</name></author><year>2001</year></book>\
+    <book><title>Y</title><author><name>Ann</name></author><year>2005</year></book>\
+    <book><title>Z</title><author><name>Ann</name></author><year>2008</year></book>\
+    </data>";
+
+/// Pipeline: transform with a guard, store the result, query it.
+fn guarded_query(guard: &str, xml: &str, query: &str) -> String {
+    let guard = Guard::parse(guard).unwrap();
+    let out = guard.apply_to_str(xml).unwrap();
+    let db = XqliteDb::in_memory();
+    db.store_document("t.xml", &out.xml).unwrap();
+    db.query(query).unwrap()
+}
+
+#[test]
+fn guard_then_query_counts_by_author() {
+    let result = guarded_query(
+        "MORPH author [ name book [ title ] ]",
+        BOOKS,
+        r#"for $a in doc("t.xml")/result/author return <n>{string($a/name)}</n>"#,
+    );
+    assert_eq!(result, "<n>Tim</n><n>Ann</n><n>Ann</n>");
+}
+
+#[test]
+fn identity_shape_matches_direct_query() {
+    // When the guard asks for the shape the data already has, the
+    // guarded query equals a direct query on the source.
+    let direct = {
+        let db = XqliteDb::in_memory();
+        db.store_document("t.xml", BOOKS).unwrap();
+        db.query(r#"for $b in doc("t.xml")//book return <t>{string($b/title)}</t>"#)
+            .unwrap()
+    };
+    let guarded = guarded_query(
+        "MORPH data [ book [ title author [ name ] year ] ]",
+        BOOKS,
+        r#"for $b in doc("t.xml")//book return <t>{string($b/title)}</t>"#,
+    );
+    assert_eq!(direct, guarded);
+}
+
+#[test]
+fn distinct_values_on_transformed_values() {
+    // §II: "it is the values in the target shape rather than the source
+    // shape on which the query should be evaluated" — distinct-values
+    // over morphed author names.
+    let result = guarded_query(
+        "MORPH author [ name ]",
+        BOOKS,
+        r#"distinct-values(doc("t.xml")//name)"#,
+    );
+    assert_eq!(result, "Tim Ann"); // first-occurrence order
+}
+
+#[test]
+fn where_clause_over_morphed_shape() {
+    let result = guarded_query(
+        "MORPH book [ title year ]",
+        BOOKS,
+        r#"for $b in doc("t.xml")/result/book where $b/year > 2003 return $b/title"#,
+    );
+    assert_eq!(result, "<title>Y</title><title>Z</title>");
+}
+
+#[test]
+fn both_systems_share_one_pagestore() {
+    // The xqlite database and the XMorph shredder can live in one store
+    // (different trees of the same file).
+    let store = xmorph_pagestore::Store::in_memory();
+    let db = XqliteDb::new(store.clone());
+    db.store_document("raw.xml", BOOKS).unwrap();
+    let doc = xmorph_core::ShreddedDoc::shred_str(&store, BOOKS).unwrap();
+    let guard = Guard::parse("MORPH title").unwrap();
+    let out = guard.apply(&doc).unwrap();
+    assert_eq!(out.xml.matches("<title>").count(), 3);
+    assert_eq!(db.load_document("raw.xml").unwrap().as_deref(), Some(BOOKS));
+}
+
+#[test]
+fn transformed_output_is_requeryable_through_xmorph() {
+    // Guards compose across *systems*: morph once, shred the output,
+    // morph again (equivalent to COMPOSE but materialized).
+    let first = Guard::parse("MORPH author [ name book [ title ] ]").unwrap();
+    let out1 = first.apply_to_str(BOOKS).unwrap();
+    let second = Guard::parse("MORPH book [ title name ]").unwrap();
+    let out2 = second.apply_to_str(&out1.xml).unwrap();
+    // Every book now carries its author's name directly.
+    assert!(out2.xml.contains("<book><title>X</title><name>Tim</name></book>"), "{}", out2.xml);
+}

@@ -1,0 +1,91 @@
+//! Robustness: none of the three parsers (XML, XMorph guards, XQuery)
+//! may panic on arbitrary input — they must either parse or return a
+//! structured error. Also: documents that *do* parse must round-trip.
+
+use proptest::prelude::*;
+use xmorph_core::Guard;
+use xmorph_xml::dom::Document;
+use xmorph_xml::reader::{XmlEvent, XmlReader};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xml_reader_never_panics(input in ".{0,200}") {
+        let mut reader = XmlReader::new(&input);
+        for _ in 0..500 {
+            match reader.next_event() {
+                Ok(XmlEvent::Eof) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn xml_reader_never_panics_markupish(input in "[<>a-z/=\"'! \\-\\[\\]&;#x0-9?]{0,120}") {
+        let mut reader = XmlReader::new(&input);
+        for _ in 0..500 {
+            match reader.next_event() {
+                Ok(XmlEvent::Eof) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn guard_parser_never_panics(input in ".{0,120}") {
+        let _ = Guard::parse(&input);
+    }
+
+    #[test]
+    fn guard_parser_never_panics_tokenish(
+        input in "(MORPH|MUTATE|CAST|DROP|NEW|CLONE|RESTRICT|TRANSLATE|COMPOSE|TYPE-FILL|\\[|\\]|\\(|\\)|\\||,|->|\\*|!|[a-z@.]{1,6}| ){0,30}"
+    ) {
+        let _ = Guard::parse(&input);
+    }
+
+    #[test]
+    fn xquery_parser_never_panics(input in ".{0,120}") {
+        let _ = xmorph_xqlite::query_shape_paths(&input);
+    }
+
+    #[test]
+    fn xquery_parser_never_panics_tokenish(
+        input in "(for|let|where|return|doc|count|string|\\$[a-z]|\"d\"|/|//|@|\\[|\\]|\\(|\\)|=|<|>|\\{|\\}|[a-z]{1,5}| ){0,25}"
+    ) {
+        let _ = xmorph_xqlite::query_shape_paths(&input);
+    }
+
+    #[test]
+    fn parsed_documents_round_trip(input in "[<>a-z/ \"=]{0,100}") {
+        if let Ok(doc) = Document::parse_str(&input) {
+            let once = doc.serialize_compact();
+            let again = Document::parse_str(&once).expect("serialized output reparses");
+            prop_assert_eq!(again.serialize_compact(), once);
+        }
+    }
+
+    #[test]
+    fn valid_guards_applied_to_arbitrary_small_docs_never_panic(
+        names in proptest::collection::vec("[a-c]", 1..6),
+        guard_idx in 0usize..4,
+    ) {
+        // Degenerate single-branch documents with colliding names.
+        let mut xml = String::new();
+        for n in &names {
+            xml.push_str(&format!("<{n}>"));
+        }
+        xml.push('x');
+        for n in names.iter().rev() {
+            xml.push_str(&format!("</{n}>"));
+        }
+        let guards = [
+            "CAST MORPH a",
+            "CAST MORPH a [ b [ c ] ]",
+            "CAST MUTATE b [ a ]",
+            "CAST MORPH b [ ** ]",
+        ];
+        let guard = Guard::parse(guards[guard_idx]).unwrap();
+        let _ = guard.apply_to_str(&xml); // Ok or Err — never panic
+    }
+}

@@ -1,0 +1,109 @@
+//! Persistence: shredded documents and xqlite collections survive a
+//! store close/reopen, and guards run identically against reopened
+//! stores — the "shred once, transform many times" usage of §IX.
+
+use std::path::PathBuf;
+use xmorph_core::{Guard, ShreddedDoc};
+use xmorph_pagestore::Store;
+use xmorph_xqlite::XqliteDb;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xmorph-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const DATA: &str = "<data>\
+    <book><title>X</title><author><name>Tim</name></author></book>\
+    <book><title>Y</title><author><name>Ann</name></author></book>\
+    </data>";
+
+#[test]
+fn shredded_doc_survives_reopen() {
+    let path = temp_path("shred-reopen.db");
+    let expected = {
+        let store = Store::create(&path).unwrap();
+        let doc = ShreddedDoc::shred_str(&store, DATA).unwrap();
+        let guard = Guard::parse("MORPH author [ name book [ title ] ]").unwrap();
+        let out = guard.apply(&doc).unwrap();
+        store.flush().unwrap();
+        out.xml
+    };
+    {
+        let store = Store::open(&path).unwrap();
+        let doc = ShreddedDoc::open(&store).unwrap();
+        let guard = Guard::parse("MORPH author [ name book [ title ] ]").unwrap();
+        let out = guard.apply(&doc).unwrap();
+        assert_eq!(out.xml, expected);
+        // The adorned shape also survived.
+        assert_eq!(doc.types().matching("author").len(), 1);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn multiple_guards_one_shred() {
+    let path = temp_path("multi-guard.db");
+    {
+        let store = Store::create(&path).unwrap();
+        ShreddedDoc::shred_str(&store, DATA).unwrap();
+        store.flush().unwrap();
+    }
+    let store = Store::open(&path).unwrap();
+    let doc = ShreddedDoc::open(&store).unwrap();
+    for (guard, expect) in [
+        ("MORPH title", "<title>X</title>"),
+        ("MORPH name", "<name>Tim</name>"),
+        ("MORPH book [ title name ]", "<book><title>X</title><name>Tim</name></book>"),
+    ] {
+        let out = Guard::parse(guard).unwrap().apply(&doc).unwrap();
+        assert!(out.xml.contains(expect), "{guard}: {}", out.xml);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn xqlite_collection_survives_reopen() {
+    let path = temp_path("xqlite-reopen.db");
+    {
+        let store = Store::create(&path).unwrap();
+        let db = XqliteDb::new(store.clone());
+        db.store_document("a.xml", "<r><v>1</v></r>").unwrap();
+        db.store_document("b.xml", "<r><v>2</v></r>").unwrap();
+        store.flush().unwrap();
+    }
+    {
+        let store = Store::open(&path).unwrap();
+        let db = XqliteDb::new(store);
+        assert_eq!(db.document_names().unwrap(), vec!["a.xml", "b.xml"]);
+        assert_eq!(db.query(r#"doc("b.xml")/r/v"#).unwrap(), "<v>2</v>");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn io_stats_show_reopened_reads() {
+    let path = temp_path("stats-reopen.db");
+    {
+        let store = Store::create(&path).unwrap();
+        let xml = xmorph_datagen::DblpConfig { records: 500, ..Default::default() }.generate();
+        ShreddedDoc::shred_str(&store, &xml).unwrap();
+        store.flush().unwrap();
+    }
+    {
+        let stats = xmorph_pagestore::IoStats::new();
+        let store = Store::with_storage(
+            Box::new(xmorph_pagestore::storage::FileStorage::open(&path).unwrap()),
+            stats.clone(),
+            64, // small pool forces real reads
+        )
+        .unwrap();
+        let doc = ShreddedDoc::open(&store).unwrap();
+        let guard = Guard::parse("CAST MORPH author [ title ]").unwrap();
+        let out = guard.apply(&doc).unwrap();
+        assert!(out.xml.len() > 1000);
+        let snap = stats.snapshot();
+        assert!(snap.blocks_read > 10, "expected device reads, got {snap:?}");
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,271 @@
+//! Soundness of the information-loss analysis (§V-B, Theorems 1–2),
+//! validated against *materialized* closest graphs.
+//!
+//! The analysis predicts, before touching data, whether a transformation
+//! is inclusive (no closest edge lost) and/or non-additive (none
+//! created). These tests actually transform documents — rendering with
+//! source tagging so every output vertex maps back to its source vertex —
+//! materialize `closest(source)` and `closest(xform(source))` per Defs.
+//! 1–2, and check the subset relations of Def. 5:
+//!
+//! * analysis says inclusive   ⇒ `G|retained ⊆ H`
+//! * analysis says non-additive ⇒ `H ⊆ G`
+//!
+//! This is exactly the reversibility experiment the paper argues should
+//! be *avoidable* thanks to the theorems; running it validates them.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use xmorph_core::model::closest::{closest_graph_of, typed_vertices};
+use xmorph_core::render::{render, RenderOptions};
+use xmorph_core::{Guard, ShreddedDoc};
+use xmorph_pagestore::Store;
+use xmorph_xml::dewey::Dewey;
+use xmorph_xml::dom::Document;
+
+/// Source-vertex-identified closest edges of a document. `retained`
+/// filters vertices by their source *type* (root path) — label
+/// resolution retains types, not names.
+fn source_edges(
+    doc: &Document,
+    retained: &BTreeSet<Vec<String>>,
+) -> (BTreeSet<Dewey>, BTreeSet<(Dewey, Dewey)>) {
+    let (types, vertices) = typed_vertices(doc);
+    let graph = closest_graph_of(&vertices);
+    let name_of: BTreeMap<Dewey, Vec<String>> = vertices
+        .iter()
+        .map(|(d, t)| (d.clone(), types.path(*t).to_vec()))
+        .collect();
+    let keep = |d: &Dewey| retained.contains(&name_of[d]);
+    let vs = graph.vertices.iter().filter(|d| keep(d)).cloned().collect();
+    let es = graph
+        .edges
+        .iter()
+        .filter(|(a, b)| keep(a) && keep(b))
+        .cloned()
+        .collect();
+    (vs, es)
+}
+
+/// Vertex set, edge set, and retained type paths of a transformed
+/// instance.
+type MappedGraph = (BTreeSet<Dewey>, BTreeSet<(Dewey, Dewey)>, BTreeSet<Vec<String>>);
+
+/// Transform `xml` with `guard`, mapping output vertices back to source
+/// Dewey ids via `data-src` tags; returns the mapped vertex and edge sets
+/// of `closest(xform(...))`, plus the retained source element names.
+fn transformed_edges(guard: &Guard, xml: &str) -> Option<MappedGraph> {
+    let store = Store::in_memory();
+    let doc = ShreddedDoc::shred_str(&store, xml).expect("shred");
+    let analysis = guard.analyze(&doc).ok()?;
+    let out = render(
+        &doc,
+        &analysis.target,
+        &RenderOptions { wrapper: Some("w".into()), tag_source: true, ..Default::default() },
+    )
+    .expect("render");
+    let out_doc = Document::parse_str(&out).expect("output parses");
+
+    // The retained source types: the bases of the target shape.
+    let mut retained: BTreeSet<Vec<String>> = BTreeSet::new();
+    for n in analysis.target.preorder() {
+        if let Some(base) = analysis.target.nodes[n].base {
+            retained.insert(doc.types().path(base).to_vec());
+        }
+    }
+
+    // Map output elements to source vertices, and source vertices to
+    // their source types.
+    let src_doc = Document::parse_str(xml).expect("source parses");
+    let (src_types, src_vertices) = typed_vertices(&src_doc);
+    let src_type_of: BTreeMap<Dewey, Vec<String>> = src_vertices
+        .iter()
+        .map(|(d, t)| (d.clone(), src_types.path(*t).to_vec()))
+        .collect();
+    let mut src_of: BTreeMap<Dewey, Dewey> = BTreeMap::new();
+    for (node, dewey) in out_doc.dewey_map() {
+        if let Some(tag) = out_doc.attr(node, "data-src") {
+            src_of.insert(dewey, tag.parse().expect("dewey tag"));
+        }
+    }
+
+    // Closest graph of the *output* instance. Formally H =
+    // closest(xform(G, R)) types vertices by their **R-type**: two
+    // distinct source types selected by one ambiguous label stay
+    // distinct types even when they render with the same element name.
+    // We realize R-typing as the composite (output root path, source
+    // type path). Only tagged elements participate (the wrapper and
+    // data-src attributes are harness metadata, not data).
+    let mut composite_types = xmorph_core::TypeTable::new();
+    let mut tagged: Vec<(Dewey, xmorph_core::TypeId)> = Vec::new();
+    for (node, dewey) in out_doc.dewey_map() {
+        let Some(src) = src_of.get(&dewey) else { continue };
+        let mut key = out_doc.root_path(node);
+        key.push("##".to_string());
+        key.extend(src_type_of[src].iter().cloned());
+        let t = composite_types.intern(&key);
+        tagged.push((dewey, t));
+    }
+    // The wrapper element participates as the shared document root
+    // (every vertex's Dewey passes through it), exactly as the rendered
+    // document's structure has it.
+    let graph = closest_graph_of(&tagged);
+
+    let vs: BTreeSet<Dewey> = graph.vertices.iter().map(|d| src_of[d].clone()).collect();
+    let mut es: BTreeSet<(Dewey, Dewey)> = BTreeSet::new();
+    for (a, b) in &graph.edges {
+        let (sa, sb) = (src_of[a].clone(), src_of[b].clone());
+        if sa == sb {
+            continue; // a vertex duplicated next to itself
+        }
+        let pair = if sa <= sb { (sa, sb) } else { (sb, sa) };
+        es.insert(pair);
+    }
+    Some((vs, es, retained))
+}
+
+/// Assert the theorem guarantees for one (guard, document) pair.
+fn check_guarantees(guard_text: &str, xml: &str) {
+    let guard = Guard::parse(guard_text).expect("guard parses");
+    let store = Store::in_memory();
+    let doc = ShreddedDoc::shred_str(&store, xml).expect("shred");
+    let Ok(analysis) = guard.analyze(&doc) else {
+        return; // type mismatch: nothing to validate
+    };
+    let src_doc = Document::parse_str(xml).expect("source parses");
+    let Some((h_vertices, h_edges, retained)) = transformed_edges(&guard, xml) else {
+        return;
+    };
+    let (g_vertices, g_edges) = source_edges(&src_doc, &retained);
+
+    if analysis.loss.inclusive {
+        assert!(
+            g_vertices.is_subset(&h_vertices),
+            "guard {guard_text:?} on {xml}: claimed inclusive but vertices lost: {:?}",
+            g_vertices.difference(&h_vertices).collect::<Vec<_>>()
+        );
+        assert!(
+            g_edges.is_subset(&h_edges),
+            "guard {guard_text:?} on {xml}: claimed inclusive but closest edges lost: {:?}",
+            g_edges.difference(&h_edges).collect::<Vec<_>>()
+        );
+    }
+    if analysis.loss.non_additive {
+        assert!(
+            h_edges.is_subset(&g_edges),
+            "guard {guard_text:?} on {xml}: claimed non-additive but edges manufactured: {:?}",
+            h_edges.difference(&g_edges).collect::<Vec<_>>()
+        );
+    }
+}
+
+// ---- fixed paper scenarios ----
+
+const FIG1A: &str = "<data>\
+    <book><title>X</title><author><name>Tim</name></author><publisher><name>W</name></publisher></book>\
+    <book><title>Y</title><author><name>Tim</name></author><publisher><name>V</name></publisher></book>\
+    </data>";
+
+const FIG1B: &str = "<data>\
+    <publisher><name>W</name><book><title>X</title><author><name>Tim</name></author></book></publisher>\
+    <publisher><name>V</name><book><title>Y</title><author><name>Tim</name></author></book></publisher>\
+    </data>";
+
+const FIG1C: &str = "<data>\
+    <author><name>Tim</name>\
+      <book><title>X</title><publisher><name>W</name></publisher></book>\
+      <book><title>Y</title><publisher><name>V</name></publisher></book>\
+    </author></data>";
+
+const GUARDS: &[&str] = &[
+    "MORPH author [ name book [ title ] ]",
+    "MORPH book [ title author [ name ] ]",
+    "MORPH title [ publisher.name ]",
+    "MORPH author [ !title name publisher [ name ] ]",
+    "MORPH data [ title ]",
+    "MORPH publisher [ name book.title ]",
+    "MUTATE book [ publisher [ name ] ]",
+    "MUTATE author.name [ author ]",
+    "MORPH name [ title ]",
+    "MORPH author [ title publisher ]",
+];
+
+#[test]
+fn paper_guards_on_all_three_instances() {
+    for guard in GUARDS {
+        for xml in [FIG1A, FIG1B, FIG1C] {
+            check_guarantees(guard, xml);
+        }
+    }
+}
+
+#[test]
+fn optional_children_scenarios() {
+    // Authors without names, books without awards — the cardinality-zero
+    // cases the theorems hinge on.
+    let optional = "<data>\
+        <author><name>A</name><book><title>X</title></book></author>\
+        <author><book><title>Y</title></book></author>\
+        </data>";
+    for guard in [
+        "CAST MUTATE author.name [ author ]",
+        "CAST MORPH name [ author [ title ] ]",
+        "CAST MORPH author [ name title ]",
+        "CAST MORPH title [ name ]",
+    ] {
+        check_guarantees(guard, optional);
+    }
+}
+
+// ---- randomized scenarios ----
+
+/// A small random library document: books with optional/multiple
+/// authors, optional publisher, varying counts.
+fn random_library() -> impl Strategy<Value = String> {
+    let book = (
+        0usize..3, // authors
+        proptest::bool::ANY,
+        proptest::bool::ANY, // has publisher / has award
+    );
+    proptest::collection::vec(book, 1..5).prop_map(|books| {
+        let mut s = String::from("<lib>");
+        for (i, (authors, has_pub, has_award)) in books.iter().enumerate() {
+            s.push_str("<book>");
+            s.push_str(&format!("<title>T{i}</title>"));
+            for a in 0..*authors {
+                s.push_str(&format!("<author><name>A{a}</name></author>"));
+            }
+            if *has_pub {
+                s.push_str(&format!("<publisher><name>P{}</name></publisher>", i % 2));
+            }
+            if *has_award {
+                s.push_str("<award>prize</award>");
+            }
+            s.push_str("</book>");
+        }
+        s.push_str("</lib>");
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn guarantees_hold_on_random_libraries(
+        xml in random_library(),
+        guard_idx in 0usize..8,
+    ) {
+        let guards = [
+            "CAST MORPH author [ name book.title ]",
+            "CAST MORPH book [ title author [ name ] ]",
+            "CAST MORPH title [ author ]",
+            "CAST MORPH publisher [ name title ]",
+            "CAST MORPH award [ title ]",
+            "CAST MUTATE book [ award ]",
+            "CAST MORPH lib [ title ]",
+            "CAST MORPH author.name [ title ]",
+        ];
+        check_guarantees(guards[guard_idx], &xml);
+    }
+}
