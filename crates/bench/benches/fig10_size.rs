@@ -11,9 +11,11 @@ fn bench_fig10(c: &mut Criterion) {
     for factor in [0.01, 0.02, 0.03] {
         let xml = XmarkConfig::with_factor(factor).generate();
         let prep = prepare(&xml, StoreKind::Memory);
-        group.bench_with_input(BenchmarkId::new("xmorph_render", factor), &factor, |b, _| {
-            b.iter(|| run_guard_on(&prep, "MUTATE site"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("xmorph_render", factor),
+            &factor,
+            |b, _| b.iter(|| run_guard_on(&prep, "MUTATE site")),
+        );
         group.bench_with_input(BenchmarkId::new("exist_dump", factor), &factor, |b, _| {
             b.iter(|| exist_dump(&xml, "site", StoreKind::Memory))
         });

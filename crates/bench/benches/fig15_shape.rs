@@ -12,7 +12,12 @@ fn bench_fig15(c: &mut Criterion) {
     let nasa = NasaConfig::with_approx_bytes(300_000).generate();
     let nasa_prep = prepare(&nasa, StoreKind::Memory);
     group.bench_function("nasa_deep", |b| {
-        b.iter(|| run_guard_on(&nasa_prep, "MORPH dataset [ reference [ source [ other ] ] ]"))
+        b.iter(|| {
+            run_guard_on(
+                &nasa_prep,
+                "MORPH dataset [ reference [ source [ other ] ] ]",
+            )
+        })
     });
     group.bench_function("nasa_bushy", |b| {
         b.iter(|| run_guard_on(&nasa_prep, "MORPH dataset [ title identifier keywords ]"))

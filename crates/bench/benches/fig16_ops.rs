@@ -16,7 +16,10 @@ fn bench_fig16(c: &mut Criterion) {
         ("morph", BASE.to_string()),
         ("mutate", format!("{BASE} | MUTATE emailaddress [ name ]")),
         ("translate", format!("{BASE} | TRANSLATE person -> user")),
-        ("new", format!("{BASE} | MUTATE (NEW contact) [ emailaddress ]")),
+        (
+            "new",
+            format!("{BASE} | MUTATE (NEW contact) [ emailaddress ]"),
+        ),
         ("clone", format!("{BASE} | MUTATE person [ CLONE name ]")),
         ("drop", format!("{BASE} | MUTATE (DROP emailaddress)")),
     ];

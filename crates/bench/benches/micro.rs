@@ -61,7 +61,9 @@ fn bench_btree(c: &mut Criterion) {
             }
         })
     });
-    group.bench_function("full_scan_10k", |b| b.iter(|| black_box(tree.range(..).count())));
+    group.bench_function("full_scan_10k", |b| {
+        b.iter(|| black_box(tree.range(..).count()))
+    });
     group.finish();
 }
 
@@ -78,10 +80,16 @@ fn bench_core(c: &mut Criterion) {
     let store = Store::in_memory();
     let doc = ShreddedDoc::shred_str(&store, &xml).unwrap();
     group.bench_function("guard_parse", |b| {
-        b.iter(|| black_box(Guard::parse("MORPH person [ name emailaddress profile [ interest ] ]").unwrap()))
+        b.iter(|| {
+            black_box(
+                Guard::parse("MORPH person [ name emailaddress profile [ interest ] ]").unwrap(),
+            )
+        })
     });
     let guard = Guard::parse("MORPH person [ name emailaddress ]").unwrap();
-    group.bench_function("guard_analyze", |b| b.iter(|| black_box(guard.analyze(&doc).unwrap())));
+    group.bench_function("guard_analyze", |b| {
+        b.iter(|| black_box(guard.analyze(&doc).unwrap()))
+    });
     group.finish();
 }
 

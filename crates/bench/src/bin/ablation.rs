@@ -18,13 +18,12 @@ use xmorph_core::render::{render, RenderOptions};
 use xmorph_core::{Guard, ShreddedDoc};
 use xmorph_datagen::DblpConfig;
 
-fn timed_render(
-    doc: &ShreddedDoc,
-    guard: &Guard,
-    pipelined: bool,
-) -> (Duration, usize) {
+fn timed_render(doc: &ShreddedDoc, guard: &Guard, pipelined: bool) -> (Duration, usize) {
     let analysis = guard.analyze(doc).expect("analyze");
-    let opts = RenderOptions { pipelined, ..Default::default() };
+    let opts = RenderOptions {
+        pipelined,
+        ..Default::default()
+    };
     let t = Instant::now();
     let out = render(doc, &analysis.target, &opts).expect("render");
     (t.elapsed(), out.len())
@@ -47,7 +46,10 @@ fn main() {
             mb(xml.len()),
             secs(pipelined),
             secs(naive),
-            format!("{:.1}x", naive.as_secs_f64() / pipelined.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                naive.as_secs_f64() / pipelined.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     table.print();
@@ -72,8 +74,14 @@ fn main() {
     table.print();
 
     println!("\nAblation 3 — physical transformation vs XQuery view (§VIII architectures)\n");
-    let nav_guard = Guard::parse("CAST MORPH dblp [ article [ author title year ] ]").expect("guard");
-    let mut table = Table::new(&["input MB", "arch1 shred s", "arch1 render s", "arch2 view s"]);
+    let nav_guard =
+        Guard::parse("CAST MORPH dblp [ article [ author title year ] ]").expect("guard");
+    let mut table = Table::new(&[
+        "input MB",
+        "arch1 shred s",
+        "arch1 render s",
+        "arch2 view s",
+    ]);
     for size in [1.0, 2.0, 4.0] {
         let xml = DblpConfig::with_approx_bytes((size * scale * 1e6) as usize).generate();
         let bench_store = BenchStore::create(StoreKind::TempFile, 1024);
@@ -92,7 +100,12 @@ fn main() {
         let via_view = db.query(&view).expect("view query");
         let view_time = t1.elapsed();
         assert_eq!(via_view.len(), arch1_bytes, "architectures must agree");
-        table.row(&[mb(xml.len()), secs(shred), secs(render_time), secs(view_time)]);
+        table.row(&[
+            mb(xml.len()),
+            secs(shred),
+            secs(render_time),
+            secs(view_time),
+        ]);
     }
     table.print();
 

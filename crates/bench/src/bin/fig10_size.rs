@@ -13,9 +13,7 @@ use xmorph_datagen::XmarkConfig;
 fn main() {
     let scale = xmorph_bench::parse_scale();
     let factors = [0.1, 0.2, 0.3, 0.4, 0.5];
-    println!(
-        "Fig. 10 — transformation cost vs data size (XMark, MUTATE site; scale {scale})\n"
-    );
+    println!("Fig. 10 — transformation cost vs data size (XMark, MUTATE site; scale {scale})\n");
     let mut table = Table::new(&[
         "factor",
         "input MB",

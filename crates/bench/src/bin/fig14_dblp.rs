@@ -61,7 +61,11 @@ fn main() {
                 mb(baseline_bytes),
             ]);
         }
-        println!("(shredded {} in {})", mb(prep.input_bytes), secs(prep.shred));
+        println!(
+            "(shredded {} in {})",
+            mb(prep.input_bytes),
+            secs(prep.shred)
+        );
     }
     table.print();
     println!(

@@ -72,7 +72,11 @@ fn main() {
         },
         DatasetSpec {
             name: "xmark",
-            xml: XmarkConfig { factor: 0.5 / 20.0 * scale, ..Default::default() }.generate(),
+            xml: XmarkConfig {
+                factor: 0.5 / 20.0 * scale,
+                ..Default::default()
+            }
+            .generate(),
             guards: XMARK_GUARDS,
         },
     ];

@@ -17,19 +17,28 @@ fn main() {
         ("morph", BASE.to_string()),
         ("mutate", format!("{BASE} | MUTATE emailaddress [ name ]")),
         ("translate", format!("{BASE} | TRANSLATE person -> user")),
-        ("new", format!("{BASE} | MUTATE (NEW contact) [ emailaddress ]")),
+        (
+            "new",
+            format!("{BASE} | MUTATE (NEW contact) [ emailaddress ]"),
+        ),
         ("clone", format!("{BASE} | MUTATE person [ CLONE name ]")),
         ("drop", format!("{BASE} | MUTATE (DROP emailaddress)")),
-        ("restrict", "MORPH (RESTRICT person [ emailaddress ]) [ name emailaddress ]".to_string()),
+        (
+            "restrict",
+            "MORPH (RESTRICT person [ emailaddress ]) [ name emailaddress ]".to_string(),
+        ),
     ];
 
     println!("Fig. 16 — cost of XMorph operations composed with one MORPH (factor {factor})\n");
     let xml = XmarkConfig::with_factor(factor).generate();
     let prep = prepare(&xml, StoreKind::TempFile);
-    println!("(input {} MB, shredded in {} s)\n", mb(prep.input_bytes), secs(prep.shred));
+    println!(
+        "(input {} MB, shredded in {} s)\n",
+        mb(prep.input_bytes),
+        secs(prep.shred)
+    );
 
-    let mut table =
-        Table::new(&["operation", "compile s", "render s", "total s", "output MB"]);
+    let mut table = Table::new(&["operation", "compile s", "render s", "total s", "output MB"]);
     for (name, guard) in &ops {
         let (compile, render, out_bytes, _) = run_guard_on(&prep, guard);
         table.row(&[

@@ -50,9 +50,13 @@ impl BenchStore {
                         .unwrap()
                         .as_nanos()
                 ));
-                let store = Store::create_with(&path, stats.clone(), capacity)
-                    .expect("create temp store");
-                BenchStore { store, stats, path: Some(path) }
+                let store =
+                    Store::create_with(&path, stats.clone(), capacity).expect("create temp store");
+                BenchStore {
+                    store,
+                    stats,
+                    path: Some(path),
+                }
             }
         }
     }
@@ -156,7 +160,12 @@ pub fn prepare(xml: &str, kind: StoreKind) -> PreparedDoc {
     let t0 = Instant::now();
     let doc = ShreddedDoc::shred_str(&bench_store.store, xml).expect("shred");
     bench_store.store.flush().expect("flush");
-    PreparedDoc { bench_store, doc, shred: t0.elapsed(), input_bytes: xml.len() }
+    PreparedDoc {
+        bench_store,
+        doc,
+        shred: t0.elapsed(),
+        input_bytes: xml.len(),
+    }
 }
 
 /// One guard evaluation over a prepared doc: (compile, render, output
@@ -218,7 +227,11 @@ mod tests {
 
     #[test]
     fn run_morph_mutate_site() {
-        let xml = XmarkConfig { factor: 0.002, ..Default::default() }.generate();
+        let xml = XmarkConfig {
+            factor: 0.002,
+            ..Default::default()
+        }
+        .generate();
         let run = run_morph(&xml, "MUTATE site", StoreKind::Memory);
         assert!(run.output_bytes > 0);
         assert!(run.types > 50);
@@ -236,7 +249,11 @@ mod tests {
 
     #[test]
     fn prepared_doc_reuse() {
-        let xml = XmarkConfig { factor: 0.002, ..Default::default() }.generate();
+        let xml = XmarkConfig {
+            factor: 0.002,
+            ..Default::default()
+        }
+        .generate();
         let prep = prepare(&xml, StoreKind::Memory);
         let (c1, r1, b1, e1) = run_guard_on(&prep, "MORPH person [ name emailaddress ]");
         let (_, _, b2, _) = run_guard_on(&prep, "MORPH person [ name emailaddress ]");

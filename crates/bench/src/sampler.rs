@@ -1,7 +1,7 @@
 //! Background sampling of I/O counters and memory while an experiment
 //! runs — the harness's `vmstat` (Figs. 11–13).
 
-use crossbeam::channel::{bounded, Sender};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xmorph_pagestore::{IoSnapshot, IoStats};
@@ -20,14 +20,14 @@ pub struct Sample {
 
 /// A running sampler thread.
 pub struct Sampler {
-    stop: Sender<()>,
+    stop: SyncSender<()>,
     handle: JoinHandle<Vec<Sample>>,
 }
 
 impl Sampler {
     /// Start sampling `stats` every `interval`.
     pub fn start(stats: IoStats, interval: Duration) -> Sampler {
-        let (stop, stop_rx) = bounded::<()>(1);
+        let (stop, stop_rx) = sync_channel::<()>(1);
         let handle = std::thread::spawn(move || {
             let begin = Instant::now();
             let mut samples = Vec::new();
@@ -37,14 +37,19 @@ impl Sampler {
                     io: stats.snapshot(),
                     allocated: crate::alloc::allocated_bytes(),
                 });
-                if stop_rx.recv_timeout(interval).is_ok() {
-                    // Final sample on stop.
-                    samples.push(Sample {
-                        elapsed: begin.elapsed(),
-                        io: stats.snapshot(),
-                        allocated: crate::alloc::allocated_bytes(),
-                    });
-                    return samples;
+                match stop_rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {}
+                    // Stop requested, or the `Sampler` handle was
+                    // dropped without `finish` — either way, wrap up.
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+                        // Final sample on stop.
+                        samples.push(Sample {
+                            elapsed: begin.elapsed(),
+                            io: stats.snapshot(),
+                            allocated: crate::alloc::allocated_bytes(),
+                        });
+                        return samples;
+                    }
                 }
             }
         });

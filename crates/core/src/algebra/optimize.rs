@@ -25,9 +25,7 @@ pub fn optimize(op: Op) -> Op {
             let inner = optimize(*inner);
             match inner {
                 // CAST absorbs everything; identical casts collapse.
-                Op::Cast(inner_mode, g)
-                    if mode == CastMode::Weak || inner_mode == mode =>
-                {
+                Op::Cast(inner_mode, g) if mode == CastMode::Weak || inner_mode == mode => {
                     Op::Cast(mode.max_with(inner_mode), g)
                 }
                 other => Op::Cast(mode, Box::new(other)),
@@ -126,7 +124,10 @@ mod tests {
 
     #[test]
     fn weak_cast_absorbs() {
-        assert_eq!(opt("CAST CAST-WIDENING MORPH a"), "cast[Weak](morph(type(a)))");
+        assert_eq!(
+            opt("CAST CAST-WIDENING MORPH a"),
+            "cast[Weak](morph(type(a)))"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ fn collect_pop(p: &POp, out: &mut Vec<String>) {
                 collect_pop(i, out);
             }
         }
-        POp::Children(p) | POp::Descendants(p) | POp::Drop(p) | POp::Restrict(p)
+        POp::Children(p)
+        | POp::Descendants(p)
+        | POp::Drop(p)
+        | POp::Restrict(p)
         | POp::Clone(p) => collect_pop(p, out),
         POp::New(_) => {}
     }

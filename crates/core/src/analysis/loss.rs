@@ -26,11 +26,7 @@ use std::collections::BTreeSet;
 /// Run the loss analysis: `src` is the data-backed source shape, `tgt`
 /// the evaluated target shape (with predicted cardinalities), and
 /// `instance_count(t)` the number of instances of source-shape node `t`.
-pub fn analyze_loss(
-    src: &Shape,
-    tgt: &Shape,
-    instance_count: impl Fn(SId) -> u64,
-) -> LossReport {
+pub fn analyze_loss(src: &Shape, tgt: &Shape, instance_count: impl Fn(SId) -> u64) -> LossReport {
     let mut findings: Vec<LossFinding> = Vec::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut inclusive = true;
@@ -54,14 +50,20 @@ pub fn analyze_loss(
                 .origin
                 .map(|o| src.dotted(o))
                 .unwrap_or_else(|| tgt.nodes[n].name.clone());
-            push(&mut findings, &mut seen, LossFinding::CloneAdds { type_name: name });
+            push(
+                &mut findings,
+                &mut seen,
+                LossFinding::CloneAdds { type_name: name },
+            );
         }
         if tgt.nodes[n].is_new {
             non_additive = false;
             push(
                 &mut findings,
                 &mut seen,
-                LossFinding::NewAdds { name: tgt.nodes[n].name.clone() },
+                LossFinding::NewAdds {
+                    name: tgt.nodes[n].name.clone(),
+                },
             );
         }
     }
@@ -70,10 +72,7 @@ pub fn analyze_loss(
     for &n in &nodes {
         for &f in &tgt.nodes[n].filters {
             if let (Some(no), Some(fo)) = (tgt.nodes[n].origin, tgt.nodes[f].origin) {
-                let guaranteed = src
-                    .path_card(no, fo)
-                    .map(|c| c.min >= 1)
-                    .unwrap_or(false);
+                let guaranteed = src.path_card(no, fo).map(|c| c.min >= 1).unwrap_or(false);
                 if !guaranteed {
                     inclusive = false;
                     push(
@@ -95,13 +94,19 @@ pub fn analyze_loss(
     // cardinalities — so flattening two types side by side is checked
     // like any other rearrangement.
     for &x in &nodes {
-        let Some(ox) = tgt.nodes[x].origin else { continue };
+        let Some(ox) = tgt.nodes[x].origin else {
+            continue;
+        };
         for &y in &nodes {
             if x == y {
                 continue;
             }
-            let Some(oy) = tgt.nodes[y].origin else { continue };
-            let Some(tgt_card) = tgt.path_card(x, y) else { continue };
+            let Some(oy) = tgt.nodes[y].origin else {
+                continue;
+            };
+            let Some(tgt_card) = tgt.path_card(x, y) else {
+                continue;
+            };
             let src_card = src.path_card(ox, oy);
             match src_card {
                 Some(sc) => {
@@ -161,7 +166,9 @@ pub fn analyze_loss(
     let present: BTreeSet<SId> = nodes.iter().filter_map(|&n| tgt.nodes[n].origin).collect();
     for s in 0..src.nodes.len() {
         if !present.contains(&s) && instance_count(s) > 0 {
-            report.dropped_types.push((src.dotted(s), instance_count(s)));
+            report
+                .dropped_types
+                .push((src.dotted(s), instance_count(s)));
         }
     }
     report
@@ -182,11 +189,7 @@ mod tests {
         classify_with(guard, xml, |_| {})
     }
 
-    fn classify_with(
-        guard: &str,
-        xml: &str,
-        tweak: impl FnOnce(&mut AdornedShape),
-    ) -> LossReport {
+    fn classify_with(guard: &str, xml: &str, tweak: impl FnOnce(&mut AdornedShape)) -> LossReport {
         let doc = Document::parse_str(xml).unwrap();
         let mut adorned = AdornedShape::from_document(&doc);
         tweak(&mut adorned);
@@ -286,8 +289,11 @@ mod tests {
         let report = classify("MORPH author [ name ]", FIG1A);
         assert_eq!(report.typing, GuardTyping::Strong, "{report}");
         assert!(!report.dropped_types.is_empty());
-        let dropped: Vec<&str> =
-            report.dropped_types.iter().map(|(n, _)| n.as_str()).collect();
+        let dropped: Vec<&str> = report
+            .dropped_types
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert!(dropped.contains(&"data.book.title"), "{dropped:?}");
     }
 
@@ -295,14 +301,18 @@ mod tests {
     fn restrict_with_guaranteed_filter_is_safe() {
         // Every author.name has an author at distance 1 with card 1..1 up:
         // path card from name to author is 1..1, so nothing is dropped.
-        let report = classify("MORPH (RESTRICT author.name [ author ]) [ book.title ]", FIG1C);
+        let report = classify(
+            "MORPH (RESTRICT author.name [ author ]) [ book.title ]",
+            FIG1C,
+        );
         assert!(report.inclusive, "{report}");
     }
 
     #[test]
     fn restrict_with_optional_filter_flags() {
         // Not every book has an award, so RESTRICT book [award] may drop.
-        let xml = "<d><book><award>X</award><title>A</title></book><book><title>B</title></book></d>";
+        let xml =
+            "<d><book><award>X</award><title>A</title></book><book><title>B</title></book></d>";
         let report = classify("MORPH (RESTRICT book [ award ]) [ title ]", xml);
         assert!(!report.inclusive, "{report}");
         assert!(report
@@ -322,10 +332,13 @@ mod tests {
         // book) to 2..2 (via the author): relationships are manufactured.
         let report = classify("MORPH author [ title publisher ]", FIG1C);
         assert!(!report.non_additive, "{report}");
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, LossFinding::MaxCardRaised { .. })), "{report}");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, LossFinding::MaxCardRaised { .. })),
+            "{report}"
+        );
     }
 
     #[test]

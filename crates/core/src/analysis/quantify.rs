@@ -130,7 +130,11 @@ pub fn quantify(doc: &ShreddedDoc, target: &Shape) -> MorphResult<QuantifiedLoss
     let out = render(
         doc,
         target,
-        &RenderOptions { wrapper: Some("q".into()), tag_source: true, pipelined: true },
+        &RenderOptions {
+            wrapper: Some("q".into()),
+            tag_source: true,
+            pipelined: true,
+        },
     )?;
     let parsed = Document::parse_str(&out)?;
 
@@ -139,9 +143,15 @@ pub fn quantify(doc: &ShreddedDoc, target: &Shape) -> MorphResult<QuantifiedLoss
     let mut total: BTreeMap<u32, u64> = BTreeMap::new();
     if let Some(root) = parsed.root_element() {
         for node in parsed.descendant_elements(root) {
-            let Some(tag) = parsed.attr(node, "data-src") else { continue };
-            let dewey: Dewey = tag.parse().map_err(|_| MorphError::Internal("bad data-src"))?;
-            let Some(type_id) = doc.node_type(&dewey)? else { continue };
+            let Some(tag) = parsed.attr(node, "data-src") else {
+                continue;
+            };
+            let dewey: Dewey = tag
+                .parse()
+                .map_err(|_| MorphError::Internal("bad data-src"))?;
+            let Some(type_id) = doc.node_type(&dewey)? else {
+                continue;
+            };
             unique.entry(type_id.0).or_default().insert(dewey);
             *total.entry(type_id.0).or_insert(0) += 1;
         }
@@ -197,7 +207,11 @@ mod tests {
         let q = quantify(&doc, &analysis.target).unwrap();
         assert_eq!(q.dropped_fraction(), 0.0, "{q}");
         assert_eq!(q.manufactured_fraction(), 0.0, "{q}");
-        let books = q.per_type.iter().find(|t| t.type_name == "data.book").unwrap();
+        let books = q
+            .per_type
+            .iter()
+            .find(|t| t.type_name == "data.book")
+            .unwrap();
         assert_eq!(books.source_instances, 2);
         assert_eq!(books.rendered_unique, 2);
     }
@@ -208,7 +222,11 @@ mod tests {
         // titles, so each title renders under both — ×2 duplication.
         let (_s, doc, analysis) = analyze("CAST MORPH name [ title ]", FIG1A);
         let q = quantify(&doc, &analysis.target).unwrap();
-        let titles = q.per_type.iter().find(|t| t.type_name == "data.book.title").unwrap();
+        let titles = q
+            .per_type
+            .iter()
+            .find(|t| t.type_name == "data.book.title")
+            .unwrap();
         assert_eq!(titles.rendered_unique, 2);
         assert_eq!(titles.rendered_total, 4);
         assert_eq!(titles.duplication_factor(), 2.0);
@@ -222,8 +240,7 @@ mod tests {
             <book><title>B</title></book>\
             <book><title>C</title></book>\
             </d>";
-        let (_s, doc, analysis) =
-            analyze("CAST MORPH (RESTRICT book [ award ]) [ title ]", xml);
+        let (_s, doc, analysis) = analyze("CAST MORPH (RESTRICT book [ award ]) [ title ]", xml);
         let q = quantify(&doc, &analysis.target).unwrap();
         let books = q.per_type.iter().find(|t| t.type_name == "d.book").unwrap();
         assert_eq!(books.source_instances, 3);

@@ -45,7 +45,10 @@ impl fmt::Display for MorphError {
                 write!(f, "guard syntax error at byte {offset}: {message}")
             }
             MorphError::TypeMismatch { label } => {
-                write!(f, "type mismatch: label {label:?} matches no type in the source shape")
+                write!(
+                    f,
+                    "type mismatch: label {label:?} matches no type in the source shape"
+                )
             }
             MorphError::Rejected { typing, allowed } => {
                 write!(f, "guard rejected: transformation is {typing}, but only {allowed} guards are allowed (add a CAST)")

@@ -45,6 +45,18 @@ impl GuardAnalysis {
     pub fn permitted(&self) -> bool {
         self.allowed.permits(self.loss.typing)
     }
+
+    /// Enforce the typing discipline: error unless permitted.
+    pub(crate) fn enforce(&self) -> MorphResult<()> {
+        if self.permitted() {
+            Ok(())
+        } else {
+            Err(MorphError::Rejected {
+                typing: self.loss.typing,
+                allowed: self.allowed.describe(),
+            })
+        }
+    }
 }
 
 /// The set of typing classes admitted by the guard's cast wrappers.
@@ -119,7 +131,11 @@ impl Guard {
     pub fn parse(text: &str) -> MorphResult<Guard> {
         let ast = parse(text)?;
         let op = optimize(lower(&ast));
-        Ok(Guard { source: text.to_string(), ast, op })
+        Ok(Guard {
+            source: text.to_string(),
+            ast,
+            op,
+        })
     }
 
     /// The original program text.
@@ -153,9 +169,15 @@ impl Guard {
         let mut ctx = EvalCtx::new(doc);
         let target = eval_guard(&self.op, &src, &mut ctx)?;
         let loss = analyze_loss(&src, &target, |s| {
-            doc.shape().instance_count(crate::model::types::TypeId(s as u32))
+            doc.shape()
+                .instance_count(crate::model::types::TypeId(s as u32))
         });
-        Ok(GuardAnalysis { target, labels: ctx.labels, loss, allowed: self.allowed() })
+        Ok(GuardAnalysis {
+            target,
+            labels: ctx.labels,
+            loss,
+            allowed: self.allowed(),
+        })
     }
 
     /// Analyze, enforce the typing discipline, and render.
@@ -164,18 +186,9 @@ impl Guard {
     }
 
     /// [`Guard::apply`] with explicit render options.
-    pub fn apply_with(
-        &self,
-        doc: &ShreddedDoc,
-        opts: &RenderOptions,
-    ) -> MorphResult<GuardOutput> {
+    pub fn apply_with(&self, doc: &ShreddedDoc, opts: &RenderOptions) -> MorphResult<GuardOutput> {
         let analysis = self.analyze(doc)?;
-        if !analysis.permitted() {
-            return Err(MorphError::Rejected {
-                typing: analysis.loss.typing,
-                allowed: analysis.allowed.describe(),
-            });
-        }
+        analysis.enforce()?;
         let xml = render(doc, &analysis.target, opts)?;
         Ok(GuardOutput { xml, analysis })
     }
@@ -220,7 +233,9 @@ impl Guard {
 fn shape_is_fragment(target: &Shape, src: &Shape) -> bool {
     target.preorder().into_iter().all(|n| {
         let node = &target.nodes[n];
-        let Some(origin) = node.origin else { return false };
+        let Some(origin) = node.origin else {
+            return false;
+        };
         if node.name != src.nodes[origin].name || !node.filters.is_empty() {
             return false;
         }

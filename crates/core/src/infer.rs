@@ -96,8 +96,12 @@ mod tests {
     #[test]
     fn merged_paths_share_prefixes() {
         assert_eq!(
-            guard_from_paths(&paths(&["author/name", "author/book/title", "author/book/year"]))
-                .unwrap(),
+            guard_from_paths(&paths(&[
+                "author/name",
+                "author/book/title",
+                "author/book/year"
+            ]))
+            .unwrap(),
             "MORPH author [ book [ title year ] name ]"
         );
     }
@@ -147,6 +151,10 @@ mod tests {
             </data>";
         let out = guard.apply_to_str(data).unwrap();
         assert!(out.xml.contains("<author>"), "{}", out.xml);
-        assert!(out.xml.contains("<book><title>X</title></book>"), "{}", out.xml);
+        assert!(
+            out.xml.contains("<book><title>X</title></book>"),
+            "{}",
+            out.xml
+        );
     }
 }

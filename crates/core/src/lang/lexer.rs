@@ -109,44 +109,74 @@ pub fn lex(src: &str) -> MorphResult<Vec<Token>> {
                 i += 1;
             }
             '[' => {
-                out.push(Token { tok: Tok::LBracket, offset });
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    offset,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { tok: Tok::RBracket, offset });
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    offset,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, offset });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    offset,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, offset });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    offset,
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Token { tok: Tok::Pipe, offset });
+                out.push(Token {
+                    tok: Tok::Pipe,
+                    offset,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, offset });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    offset,
+                });
                 i += 1;
             }
             '!' => {
-                out.push(Token { tok: Tok::Bang, offset });
+                out.push(Token {
+                    tok: Tok::Bang,
+                    offset,
+                });
                 i += 1;
             }
             '*' => {
                 if matches!(chars.get(i + 1), Some((_, '*'))) {
-                    out.push(Token { tok: Tok::StarStar, offset });
+                    out.push(Token {
+                        tok: Tok::StarStar,
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Star, offset });
+                    out.push(Token {
+                        tok: Tok::Star,
+                        offset,
+                    });
                     i += 1;
                 }
             }
             '-' if matches!(chars.get(i + 1), Some((_, '>'))) => {
-                out.push(Token { tok: Tok::Arrow, offset });
+                out.push(Token {
+                    tok: Tok::Arrow,
+                    offset,
+                });
                 i += 2;
             }
             c if is_label_start(c) => {
@@ -158,10 +188,17 @@ pub fn lex(src: &str) -> MorphResult<Vec<Token>> {
                     }
                     i += 1;
                 }
-                let end = if i < chars.len() { chars[i].0 } else { src.len() };
+                let end = if i < chars.len() {
+                    chars[i].0
+                } else {
+                    src.len()
+                };
                 let word = &src[offset..end];
                 let tok = keyword(word).unwrap_or_else(|| Tok::Label(word.to_string()));
-                out.push(Token { tok, offset: chars[start].0 });
+                out.push(Token {
+                    tok,
+                    offset: chars[start].0,
+                });
             }
             other => {
                 return Err(MorphError::Parse {
@@ -184,8 +221,14 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(toks("morph MORPH Morph"), vec![Tok::Morph, Tok::Morph, Tok::Morph]);
-        assert_eq!(toks("cast-widening type-fill"), vec![Tok::CastWidening, Tok::TypeFill]);
+        assert_eq!(
+            toks("morph MORPH Morph"),
+            vec![Tok::Morph, Tok::Morph, Tok::Morph]
+        );
+        assert_eq!(
+            toks("cast-widening type-fill"),
+            vec![Tok::CastWidening, Tok::TypeFill]
+        );
     }
 
     #[test]
@@ -229,11 +272,19 @@ mod tests {
     fn arrow_splits_labels() {
         assert_eq!(
             toks("author->writer"),
-            vec![Tok::Label("author".into()), Tok::Arrow, Tok::Label("writer".into())]
+            vec![
+                Tok::Label("author".into()),
+                Tok::Arrow,
+                Tok::Label("writer".into())
+            ]
         );
         assert_eq!(
             toks("author -> writer"),
-            vec![Tok::Label("author".into()), Tok::Arrow, Tok::Label("writer".into())]
+            vec![
+                Tok::Label("author".into()),
+                Tok::Arrow,
+                Tok::Label("writer".into())
+            ]
         );
     }
 

@@ -26,7 +26,11 @@ use crate::lang::lexer::{lex, Tok, Token};
 /// Parse a guard program.
 pub fn parse(src: &str) -> MorphResult<Ast> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, src_len: src.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let ast = p.guard()?;
     if p.pos < p.tokens.len() {
         return Err(p.err("trailing tokens after guard"));
@@ -63,11 +67,17 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(self.src_len)
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or(self.src_len)
     }
 
     fn err(&self, message: &str) -> MorphError {
-        MorphError::Parse { message: message.to_string(), offset: self.offset() }
+        MorphError::Parse {
+            message: message.to_string(),
+            offset: self.offset(),
+        }
     }
 
     fn expect(&mut self, tok: Tok, what: &str) -> MorphResult<()> {
@@ -135,15 +145,24 @@ impl Parser {
         match self.peek() {
             Some(Tok::Cast) => {
                 self.bump();
-                Ok(Ast::Cast(CastMode::Weak, Box::new(self.guard_until_comma()?)))
+                Ok(Ast::Cast(
+                    CastMode::Weak,
+                    Box::new(self.guard_until_comma()?),
+                ))
             }
             Some(Tok::CastNarrowing) => {
                 self.bump();
-                Ok(Ast::Cast(CastMode::Narrowing, Box::new(self.guard_until_comma()?)))
+                Ok(Ast::Cast(
+                    CastMode::Narrowing,
+                    Box::new(self.guard_until_comma()?),
+                ))
             }
             Some(Tok::CastWidening) => {
                 self.bump();
-                Ok(Ast::Cast(CastMode::Widening, Box::new(self.guard_until_comma()?)))
+                Ok(Ast::Cast(
+                    CastMode::Widening,
+                    Box::new(self.guard_until_comma()?),
+                ))
             }
             Some(Tok::TypeFill) => {
                 self.bump();
@@ -182,8 +201,14 @@ impl Parser {
                     // Another rename follows a comma only if a label comes
                     // after it (the comma might belong to COMPOSE).
                     if self.peek() == Some(&Tok::Comma)
-                        && matches!(self.tokens.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Label(_)))
-                        && matches!(self.tokens.get(self.pos + 2).map(|t| &t.tok), Some(Tok::Arrow))
+                        && matches!(
+                            self.tokens.get(self.pos + 1).map(|t| &t.tok),
+                            Some(Tok::Label(_))
+                        )
+                        && matches!(
+                            self.tokens.get(self.pos + 2).map(|t| &t.tok),
+                            Some(Tok::Arrow)
+                        )
                     {
                         self.bump();
                         continue;
@@ -449,7 +474,10 @@ mod tests {
     #[test]
     fn translate_single_and_multi() {
         let ast = parse("TRANSLATE author -> writer").unwrap();
-        assert_eq!(ast, Ast::Translate(vec![("author".into(), "writer".into())]));
+        assert_eq!(
+            ast,
+            Ast::Translate(vec![("author".into(), "writer".into())])
+        );
         let ast = parse("TRANSLATE a -> b, c -> d").unwrap();
         assert_eq!(
             ast,
@@ -511,7 +539,10 @@ mod tests {
         match &ast {
             Ast::Mutate(p) => {
                 assert_eq!(p.items[0].head, Head::New("scribe".into()));
-                assert_eq!(p.items[0].children.items[0].head, Head::Label("author".into()));
+                assert_eq!(
+                    p.items[0].children.items[0].head,
+                    Head::Label("author".into())
+                );
             }
             other => panic!("{other:?}"),
         }

@@ -65,4 +65,5 @@ pub use model::card::{Card, CardMax};
 pub use model::shape::AdornedShape;
 pub use model::types::{TypeId, TypeTable};
 pub use report::{GuardTyping, LabelReport, LossReport};
+pub use semantics::parallel::{apply_parallel, render_parallel, ParallelOptions};
 pub use store::shredded::ShreddedDoc;

@@ -61,7 +61,10 @@ impl Card {
 
     /// The exact range `n..n`.
     pub fn exactly(n: u64) -> Card {
-        Card { min: n, max: CardMax::Finite(n) }
+        Card {
+            min: n,
+            max: CardMax::Finite(n),
+        }
     }
 
     /// `1..1` — the multiplicative identity (and the paper's "up the
@@ -77,7 +80,10 @@ impl Card {
 
     /// `min..*`.
     pub fn at_least(min: u64) -> Card {
-        Card { min, max: CardMax::Many }
+        Card {
+            min,
+            max: CardMax::Many,
+        }
     }
 
     /// Pointwise product — how cardinalities compose along a path
@@ -85,7 +91,10 @@ impl Card {
     /// the `*` operator.
     #[allow(clippy::should_implement_trait)] // std::ops::Mul is implemented below; the named form reads better at call sites
     pub fn mul(self, other: Card) -> Card {
-        Card { min: self.min.saturating_mul(other.min), max: self.max.mul(other.max) }
+        Card {
+            min: self.min.saturating_mul(other.min),
+            max: self.max.mul(other.max),
+        }
     }
 
     /// True when the minimum is zero (some parent has no such child).
@@ -96,7 +105,10 @@ impl Card {
     /// Widen this range to contain `other` (used when merging parallel
     /// paths or clones).
     pub fn union(self, other: Card) -> Card {
-        Card { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Card {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Encode as 17 bytes for persistence.
@@ -209,7 +221,12 @@ mod tests {
 
     #[test]
     fn byte_round_trip() {
-        for c in [Card::one(), Card::zero(), Card::at_least(3), Card::new(2, CardMax::Finite(9))] {
+        for c in [
+            Card::one(),
+            Card::zero(),
+            Card::at_least(3),
+            Card::new(2, CardMax::Finite(9)),
+        ] {
             assert_eq!(Card::from_bytes(&c.to_bytes()), Some(c));
         }
     }

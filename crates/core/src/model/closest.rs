@@ -106,7 +106,11 @@ pub fn closest_graph_of(vertices: &[(Dewey, TypeId)]) -> ClosestGraph {
         for (db, tb) in &vertices[i + 1..] {
             let key = if ta <= tb { (*ta, *tb) } else { (*tb, *ta) };
             if da.distance(db) == dist[&key] {
-                let (x, y) = if da <= db { (da.clone(), db.clone()) } else { (db.clone(), da.clone()) };
+                let (x, y) = if da <= db {
+                    (da.clone(), db.clone())
+                } else {
+                    (db.clone(), da.clone())
+                };
                 graph.edges.insert((x, y));
             }
         }
@@ -181,15 +185,21 @@ mod tests {
     fn co_occurrence_failure_raises_distance() {
         // author and editor never share a book, so their true distance is
         // 4 (via <data>), not the guide distance 2 (via <book>).
-        let doc = Document::parse_str(
-            "<data><book><author/></book><book><editor/></book></data>",
-        )
-        .unwrap();
+        let doc = Document::parse_str("<data><book><author/></book><book><editor/></book></data>")
+            .unwrap();
         let (types, vertices) = typed_vertices(&doc);
         let dist = type_distances(&vertices);
-        let author = types.lookup(&["data".into(), "book".into(), "author".into()]).unwrap();
-        let editor = types.lookup(&["data".into(), "book".into(), "editor".into()]).unwrap();
-        let key = if author <= editor { (author, editor) } else { (editor, author) };
+        let author = types
+            .lookup(&["data".into(), "book".into(), "author".into()])
+            .unwrap();
+        let editor = types
+            .lookup(&["data".into(), "book".into(), "editor".into()])
+            .unwrap();
+        let key = if author <= editor {
+            (author, editor)
+        } else {
+            (editor, author)
+        };
         assert_eq!(dist[&key], 4);
         // The guide distance is the (wrong, here) lower bound.
         assert_eq!(types.guide_distance(author, editor), Some(2));

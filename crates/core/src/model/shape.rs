@@ -122,7 +122,9 @@ impl AdornedShape {
         for _ in 0..types.len() {
             edge_card.push(Card::from_bytes(bytes.get(off..off + 17)?)?);
             off += 17;
-            counts.push(u64::from_le_bytes(bytes.get(off..off + 8)?.try_into().ok()?));
+            counts.push(u64::from_le_bytes(
+                bytes.get(off..off + 8)?.try_into().ok()?,
+            ));
             off += 8;
         }
         Some(Self::assemble(types, edge_card, counts))
@@ -137,7 +139,13 @@ impl AdornedShape {
                 None => roots.push(id),
             }
         }
-        AdornedShape { types, edge_card, children, roots, counts }
+        AdornedShape {
+            types,
+            edge_card,
+            children,
+            roots,
+            counts,
+        }
     }
 }
 
@@ -248,7 +256,10 @@ impl ShapeBuilder {
             *frame.child_counts.entry(type_id).or_insert(0) += 1;
         }
         *self.counts.entry(type_id).or_insert(0) += 1;
-        self.stack.push(Frame { type_id, child_counts: HashMap::new() });
+        self.stack.push(Frame {
+            type_id,
+            child_counts: HashMap::new(),
+        });
         type_id
     }
 
@@ -269,8 +280,11 @@ impl ShapeBuilder {
             let stat = self.edges.entry(child_type).or_default();
             stat.parents_with += 1;
             stat.max = stat.max.max(count);
-            stat.min_nonzero =
-                if stat.parents_with == 1 { count } else { stat.min_nonzero.min(count) };
+            stat.min_nonzero = if stat.parents_with == 1 {
+                count
+            } else {
+                stat.min_nonzero.min(count)
+            };
         }
     }
 
@@ -295,7 +309,11 @@ impl ShapeBuilder {
             if let Some(parent) = self.types.parent(id) {
                 let stat = self.edges.get(&id).copied().unwrap_or_default();
                 let parent_instances = self.counts.get(&parent).copied().unwrap_or(0);
-                let min = if stat.parents_with < parent_instances { 0 } else { stat.min_nonzero };
+                let min = if stat.parents_with < parent_instances {
+                    0
+                } else {
+                    stat.min_nonzero
+                };
                 edge_card[id.index()] = Card::new(min, CardMax::Finite(stat.max));
             }
         }
@@ -333,7 +351,10 @@ mod tests {
 
     fn ty(shape: &AdornedShape, dotted: &str) -> TypeId {
         let path: Vec<String> = dotted.split('.').map(|s| s.to_string()).collect();
-        shape.types().lookup(&path).unwrap_or_else(|| panic!("no type {dotted}"))
+        shape
+            .types()
+            .lookup(&path)
+            .unwrap_or_else(|| panic!("no type {dotted}"))
     }
 
     #[test]
@@ -358,10 +379,7 @@ mod tests {
 
     #[test]
     fn optional_child_gets_min_zero() {
-        let doc = Document::parse_str(
-            "<d><a><x/></a><a/><a><x/><x/></a></d>",
-        )
-        .unwrap();
+        let doc = Document::parse_str("<d><a><x/></a><a/><a><x/><x/></a></d>").unwrap();
         let shape = AdornedShape::from_document(&doc);
         let x = ty(&shape, "d.a.x");
         // One of the three <a> parents has no <x>: min 0, max 2.
@@ -383,8 +401,11 @@ mod tests {
         assert_eq!(shape.roots().len(), 1);
         let data = shape.roots()[0];
         assert_eq!(shape.types().name(data), "data");
-        let kids: Vec<&str> =
-            shape.children(data).iter().map(|&c| shape.types().name(c)).collect();
+        let kids: Vec<&str> = shape
+            .children(data)
+            .iter()
+            .map(|&c| shape.types().name(c))
+            .collect();
         assert_eq!(kids, vec!["book"]);
     }
 
@@ -446,7 +467,10 @@ mod tests {
     fn builder_counts_instances() {
         let shape = AdornedShape::from_document(&fig1c());
         assert_eq!(shape.instance_count(ty(&shape, "data.author.book")), 2);
-        assert_eq!(shape.instance_count(ty(&shape, "data.author.book.title")), 2);
+        assert_eq!(
+            shape.instance_count(ty(&shape, "data.author.book.title")),
+            2
+        );
         // data(1) + author(1) + name(1) + book(2) + title(2) +
         // publisher(2) + publisher.name(2) = 11 vertices.
         assert_eq!(shape.total_instances(), 11);

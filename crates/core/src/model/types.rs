@@ -71,7 +71,10 @@ impl TypeTable {
             None
         };
         let id = TypeId(self.infos.len() as u32);
-        self.infos.push(TypeInfo { path: path.to_vec(), parent });
+        self.infos.push(TypeInfo {
+            path: path.to_vec(),
+            parent,
+        });
         self.by_path.insert(path.to_vec(), id);
         id
     }
@@ -84,7 +87,10 @@ impl TypeTable {
             return id;
         }
         let id = TypeId(self.infos.len() as u32);
-        self.infos.push(TypeInfo { path, parent: Some(parent) });
+        self.infos.push(TypeInfo {
+            path,
+            parent: Some(parent),
+        });
         self.by_path.insert(self.infos[id.index()].path.clone(), id);
         id
     }

@@ -36,7 +36,11 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { wrapper: Some("result".to_string()), tag_source: false, pipelined: true }
+        RenderOptions {
+            wrapper: Some("result".to_string()),
+            tag_source: false,
+            pipelined: true,
+        }
     }
 }
 
@@ -83,7 +87,12 @@ fn render_with(
     opts: &RenderOptions,
     mut emit: impl FnMut(&str) -> MorphResult<()>,
 ) -> MorphResult<()> {
-    let mut renderer = Renderer { doc, target, opts, cursors: HashMap::new() };
+    let mut renderer = Renderer {
+        doc,
+        target,
+        opts,
+        cursors: HashMap::new(),
+    };
     let mut w = StreamWriter::with_capacity(4096);
     if let Some(wrapper) = &opts.wrapper {
         w.start(wrapper);
@@ -96,6 +105,56 @@ fn render_with(
     }
     emit(&w.finish())?;
     Ok(())
+}
+
+/// Render a contiguous run of one source-backed root's instances,
+/// producing exactly the bytes the sequential renderer emits for those
+/// instances (no wrapper). This is the unit of work of the parallel
+/// driver in [`crate::semantics::parallel`]: the instance sequence of a
+/// root type is split at group boundaries and each slice renders
+/// independently against the same shredded document, so concatenating
+/// the slices in order reproduces the sequential output byte for byte.
+pub(crate) fn render_root_slice(
+    doc: &ShreddedDoc,
+    target: &Shape,
+    opts: &RenderOptions,
+    root: SId,
+    root_type: TypeId,
+    instances: &[(Dewey, String)],
+) -> MorphResult<String> {
+    let mut renderer = Renderer {
+        doc,
+        target,
+        opts,
+        cursors: HashMap::new(),
+    };
+    let mut w = StreamWriter::with_capacity(4096);
+    let mut out = String::new();
+    for (dewey, text) in instances {
+        renderer.render_instance(root, dewey, root_type, text, &mut w)?;
+        out.push_str(&w.drain());
+    }
+    Ok(out)
+}
+
+/// Render a NEW (non-source-backed) root once, as the sequential
+/// renderer does. NEW roots instantiate per document, not per group, so
+/// the parallel driver runs them on a single thread.
+pub(crate) fn render_root_plain(
+    doc: &ShreddedDoc,
+    target: &Shape,
+    opts: &RenderOptions,
+    root: SId,
+) -> MorphResult<String> {
+    let mut renderer = Renderer {
+        doc,
+        target,
+        opts,
+        cursors: HashMap::new(),
+    };
+    let mut w = StreamWriter::with_capacity(4096);
+    renderer.render_new(root, None, &mut w)?;
+    Ok(w.drain())
 }
 
 struct Renderer<'a> {
@@ -133,9 +192,16 @@ impl<'a> Renderer<'a> {
     /// Pull the closest children of `anchor` for target edge `node`
     /// through the edge's pipelined cursor. Returns an owned group (the
     /// recursion below re-enters the cursor map).
-    fn joined(&mut self, node: SId, anchor: Anchor<'_>, child_type: TypeId) -> Vec<(Dewey, String)> {
+    fn joined(
+        &mut self,
+        node: SId,
+        anchor: Anchor<'_>,
+        child_type: TypeId,
+    ) -> Vec<(Dewey, String)> {
         if !self.opts.pipelined {
-            return self.doc.closest_children(anchor.dewey, anchor.type_id, child_type);
+            return self
+                .doc
+                .closest_children(anchor.dewey, anchor.type_id, child_type);
         }
         let key = (node, anchor.type_id);
         let mut cursor = match self.cursors.remove(&key) {
@@ -202,7 +268,12 @@ impl<'a> Renderer<'a> {
 
     /// Render a child target node relative to an anchored parent
     /// instance.
-    fn render_child(&mut self, node: SId, anchor: Anchor<'_>, w: &mut StreamWriter) -> MorphResult<()> {
+    fn render_child(
+        &mut self,
+        node: SId,
+        anchor: Anchor<'_>,
+        w: &mut StreamWriter,
+    ) -> MorphResult<()> {
         match self.target.nodes[node].base {
             Some(ct) => {
                 for (dewey, text) in self.joined(node, anchor, ct) {
@@ -237,7 +308,9 @@ impl<'a> Renderer<'a> {
             .find(|&c| self.target.nodes[c].base.is_some());
         match primary {
             Some(primary_child) => {
-                let pt = self.target.nodes[primary_child].base.expect("source-backed child");
+                let pt = self.target.nodes[primary_child]
+                    .base
+                    .expect("source-backed child");
                 let instances = match anchor {
                     Some(a) => self.joined(primary_child, a, pt),
                     None => self.doc.scan_type(pt),
@@ -245,7 +318,10 @@ impl<'a> Renderer<'a> {
                 for (dewey, text) in instances {
                     w.start(&name);
                     self.render_instance(primary_child, &dewey, pt, &text, w)?;
-                    let inner = Anchor { dewey: &dewey, type_id: pt };
+                    let inner = Anchor {
+                        dewey: &dewey,
+                        type_id: pt,
+                    };
                     for &c in &children {
                         if c != primary_child {
                             self.render_child(c, inner, w)?;
@@ -354,7 +430,10 @@ mod tests {
     #[test]
     fn children_marker_renders_source_children() {
         let out = run("MORPH book [*]", FIG1A);
-        assert!(out.contains("<book><title>X</title><author/><publisher/></book>"), "{out}");
+        assert!(
+            out.contains("<book><title>X</title><author/><publisher/></book>"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -381,8 +460,12 @@ mod tests {
 
     #[test]
     fn restrict_filters_instances() {
-        let xml = "<d><book><award>w</award><title>A</title></book><book><title>B</title></book></d>";
-        let out = run("CAST-NARROWING MORPH (RESTRICT book [ award ]) [ title ]", xml);
+        let xml =
+            "<d><book><award>w</award><title>A</title></book><book><title>B</title></book></d>";
+        let out = run(
+            "CAST-NARROWING MORPH (RESTRICT book [ award ]) [ title ]",
+            xml,
+        );
         assert_eq!(out, "<result><book><title>A</title></book></result>");
     }
 
@@ -447,10 +530,17 @@ mod tests {
         let out = render(
             &doc,
             &tgt,
-            &RenderOptions { wrapper: Some("r".into()), tag_source: true, ..Default::default() },
+            &RenderOptions {
+                wrapper: Some("r".into()),
+                tag_source: true,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(out.contains(r#"<title data-src="1.1.1">X</title>"#), "{out}");
+        assert!(
+            out.contains(r#"<title data-src="1.1.1">X</title>"#),
+            "{out}"
+        );
     }
 
     #[test]
@@ -492,7 +582,10 @@ mod tests {
 
     #[test]
     fn output_reparses_as_xml() {
-        let out = run("MORPH author [ name book [ title publisher [ name ] ] ]", FIG1B);
+        let out = run(
+            "MORPH author [ name book [ title publisher [ name ] ] ]",
+            FIG1B,
+        );
         let doc = xmorph_xml::dom::Document::parse_str(&out).unwrap();
         assert_eq!(doc.name(doc.root_element().unwrap()), "result");
     }

@@ -69,14 +69,25 @@ pub fn guard_to_xquery_view(
             body.push(' ');
         }
         let mut var_counter = 0usize;
-        body.push_str(&compile_root(doc, target, root, doc_name, &mut var_counter)?);
+        body.push_str(&compile_root(
+            doc,
+            target,
+            root,
+            doc_name,
+            &mut var_counter,
+        )?);
     }
     Ok(format!("<result>{{{body}}}</result>"))
 }
 
 /// Relative downward path (source element names) from `parent` to
 /// `child`, or `None` when child is not a strict path descendant.
-fn relative_path(doc: &ShreddedDoc, parent: SId, child: SId, target: &Shape) -> Option<Vec<String>> {
+fn relative_path(
+    doc: &ShreddedDoc,
+    parent: SId,
+    child: SId,
+    target: &Shape,
+) -> Option<Vec<String>> {
     let pb = target.nodes[parent].base?;
     let cb = target.nodes[child].base?;
     let pp = doc.types().path(pb);
@@ -158,8 +169,8 @@ fn compile_element(
         content.push_str(&format!("{{string(${var})}}"));
     } else {
         for &c in &shape_node.children {
-            let rel = relative_path(doc, node, c, target).ok_or_else(|| {
-                ViewError::NotNavigable {
+            let rel =
+                relative_path(doc, node, c, target).ok_or_else(|| ViewError::NotNavigable {
                     parent: doc
                         .types()
                         .path(shape_node.base.expect("bound node"))
@@ -168,8 +179,7 @@ fn compile_element(
                         .base
                         .map(|b| doc.types().path(b).join("."))
                         .unwrap_or_else(|| target.nodes[c].name.clone()),
-                }
-            })?;
+                })?;
             let child_var = fresh(var_counter);
             let condition = filter_condition(doc, target, c, &child_var)?;
             let inner = compile_element(doc, target, c, &child_var, var_counter)?;
@@ -179,7 +189,10 @@ fn compile_element(
             ));
         }
     }
-    Ok(format!("<{}>{content}</{}>", shape_node.name, shape_node.name))
+    Ok(format!(
+        "<{}>{content}</{}>",
+        shape_node.name, shape_node.name
+    ))
 }
 
 #[cfg(test)]

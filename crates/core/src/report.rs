@@ -60,7 +60,11 @@ pub struct LabelReport {
 impl LabelReport {
     /// Record a resolution.
     pub fn record(&mut self, label: &str, resolved: Vec<String>, filled: bool) {
-        self.resolutions.push(LabelResolution { label: label.to_string(), resolved, filled });
+        self.resolutions.push(LabelResolution {
+            label: label.to_string(),
+            resolved,
+            filled,
+        });
     }
 
     /// True when any label was ambiguous (matched more than one type).
@@ -189,7 +193,13 @@ impl LossReport {
             (true, false) => GuardTyping::Widening,
             (false, false) => GuardTyping::Weak,
         };
-        LossReport { findings, inclusive, non_additive, typing, dropped_types: Vec::new() }
+        LossReport {
+            findings,
+            inclusive,
+            non_additive,
+            typing,
+            dropped_types: Vec::new(),
+        }
     }
 
     /// A transformation with both guarantees is reversible (§V-A).
@@ -231,10 +241,22 @@ mod tests {
 
     #[test]
     fn classification_matrix() {
-        assert_eq!(LossReport::classify(true, true, vec![]).typing, GuardTyping::Strong);
-        assert_eq!(LossReport::classify(false, true, vec![]).typing, GuardTyping::Narrowing);
-        assert_eq!(LossReport::classify(true, false, vec![]).typing, GuardTyping::Widening);
-        assert_eq!(LossReport::classify(false, false, vec![]).typing, GuardTyping::Weak);
+        assert_eq!(
+            LossReport::classify(true, true, vec![]).typing,
+            GuardTyping::Strong
+        );
+        assert_eq!(
+            LossReport::classify(false, true, vec![]).typing,
+            GuardTyping::Narrowing
+        );
+        assert_eq!(
+            LossReport::classify(true, false, vec![]).typing,
+            GuardTyping::Widening
+        );
+        assert_eq!(
+            LossReport::classify(false, false, vec![]).typing,
+            GuardTyping::Weak
+        );
     }
 
     #[test]

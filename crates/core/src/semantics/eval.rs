@@ -50,7 +50,11 @@ pub struct EvalCtx<'a> {
 impl<'a> EvalCtx<'a> {
     /// Fresh context over an oracle.
     pub fn new(oracle: &'a dyn DistOracle) -> Self {
-        EvalCtx { oracle, labels: LabelReport::default(), type_fill: false }
+        EvalCtx {
+            oracle,
+            labels: LabelReport::default(),
+            type_fill: false,
+        }
     }
 }
 
@@ -85,8 +89,10 @@ pub fn eval_guard(op: &Op, src: &Shape, ctx: &mut EvalCtx<'_>) -> MorphResult<Sh
         Op::Morph(p) => {
             let mut tgt = Shape::new();
             let roots = eval_pop(p, src, &mut tgt, ctx)?;
-            let detached: Vec<SId> =
-                roots.into_iter().filter(|&r| tgt.nodes[r].parent.is_none()).collect();
+            let detached: Vec<SId> = roots
+                .into_iter()
+                .filter(|&r| tgt.nodes[r].parent.is_none())
+                .collect();
             let mut out = tgt.compact(&detached);
             set_root_cards(src, &mut out);
             Ok(out)
@@ -143,7 +149,9 @@ fn eval_pop(
                     tgt.nodes[id].is_new = true;
                     return Ok(vec![id]);
                 }
-                return Err(MorphError::TypeMismatch { label: label.clone() });
+                return Err(MorphError::TypeMismatch {
+                    label: label.clone(),
+                });
             }
             ctx.labels.record(
                 label,
@@ -184,8 +192,7 @@ fn eval_pop(
                 if let Some(origin) = tgt.nodes[r].origin {
                     let kids: Vec<SId> = src.nodes[origin].children.clone();
                     for k in kids {
-                        let leaf =
-                            tgt.add_leaf(&src.nodes[k].name, src.nodes[k].base, Some(k));
+                        let leaf = tgt.add_leaf(&src.nodes[k].name, src.nodes[k].base, Some(k));
                         tgt.attach(r, leaf, src.nodes[k].card);
                     }
                 }
@@ -247,10 +254,16 @@ fn extend(src: &Shape, tgt: &mut Shape, ctx: &EvalCtx<'_>, parents: &[SId], frag
     if parents.is_empty() {
         return;
     }
-    let new_parents: Vec<SId> =
-        parents.iter().copied().filter(|&p| tgt.nodes[p].origin.is_none()).collect();
-    let based_parents: Vec<SId> =
-        parents.iter().copied().filter(|&p| tgt.nodes[p].origin.is_some()).collect();
+    let new_parents: Vec<SId> = parents
+        .iter()
+        .copied()
+        .filter(|&p| tgt.nodes[p].origin.is_none())
+        .collect();
+    let based_parents: Vec<SId> = parents
+        .iter()
+        .copied()
+        .filter(|&p| tgt.nodes[p].origin.is_some())
+        .collect();
 
     // Global minimum distance over all (based parent, based fragment)
     // pairs: the paper's ambiguity resolution.
@@ -282,7 +295,11 @@ fn extend(src: &Shape, tgt: &mut Shape, ctx: &EvalCtx<'_>, parents: &[SId], frag
             (None, _) => targets.extend(parents.iter().copied()),
         }
         for (i, &p) in targets.iter().enumerate() {
-            let node = if i == 0 { frag } else { tgt.duplicate_subtree(frag) };
+            let node = if i == 0 {
+                frag
+            } else {
+                tgt.duplicate_subtree(frag)
+            };
             let card = predicted_card(src, tgt, p, node);
             tgt.attach(p, node, card);
         }
@@ -308,7 +325,9 @@ fn predicted_card(src: &Shape, tgt: &Shape, parent: SId, child: SId) -> Card {
         cur = tgt.nodes[p].parent;
     }
     match anchor {
-        Some(po) => src.path_card(po, co).unwrap_or_else(|| absolute_card(src, co)),
+        Some(po) => src
+            .path_card(po, co)
+            .unwrap_or_else(|| absolute_card(src, co)),
         None => absolute_card(src, co),
     }
 }
@@ -353,7 +372,9 @@ fn mutate_pop(
                     tgt.roots.push(id);
                     return Ok(vec![id]);
                 }
-                return Err(MorphError::TypeMismatch { label: label.clone() });
+                return Err(MorphError::TypeMismatch {
+                    label: label.clone(),
+                });
             }
             ctx.labels.record(
                 label,
@@ -397,7 +418,9 @@ fn mutate_pop(
                     for &p in &parents {
                         match (tgt.nodes[p].origin, tgt.nodes[c].origin) {
                             (Some(po), Some(co)) => {
-                                if pair_distance(src, ctx, po, co) == global_min && global_min.is_some() {
+                                if pair_distance(src, ctx, po, co) == global_min
+                                    && global_min.is_some()
+                                {
                                     winners.push(p);
                                 }
                             }
@@ -489,7 +512,9 @@ fn mutate_reparent(src: &Shape, tgt: &mut Shape, p: SId, c: SId) {
     let c_was_root = tgt.roots.contains(&c);
     // NEW parent not yet placed (it sits in the root list, parentless and
     // childless): it takes c's position.
-    if tgt.nodes[p].origin.is_none() && tgt.nodes[p].parent.is_none() && tgt.nodes[p].children.is_empty()
+    if tgt.nodes[p].origin.is_none()
+        && tgt.nodes[p].parent.is_none()
+        && tgt.nodes[p].children.is_empty()
     {
         match c_old_parent {
             Some(op) => {
@@ -553,13 +578,18 @@ fn eval_translate(
         let matches = src.matching_label(from);
         if matches.is_empty() {
             if !ctx.type_fill {
-                return Err(MorphError::TypeMismatch { label: from.clone() });
+                return Err(MorphError::TypeMismatch {
+                    label: from.clone(),
+                });
             }
             ctx.labels.record(from, vec![], true);
             continue;
         }
-        ctx.labels
-            .record(from, matches.iter().map(|&m| src.dotted(m)).collect(), false);
+        ctx.labels.record(
+            from,
+            matches.iter().map(|&m| src.dotted(m)).collect(),
+            false,
+        );
         for m in matches {
             tgt.nodes[m].name = to.clone();
         }

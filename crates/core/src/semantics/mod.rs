@@ -10,7 +10,9 @@
 //! `Ψ[[P]](G,S) = render(G, ξ[[P]](S))` prescribes.
 
 pub mod eval;
+pub mod parallel;
 pub mod shape;
 
 pub use eval::{eval_guard, DistOracle, EvalCtx, GuideOracle};
+pub use parallel::{apply_parallel, render_parallel, ParallelOptions};
 pub use shape::{SId, Shape, ShapeNode};

@@ -80,7 +80,11 @@ impl Shape {
     /// corresponds to `TypeId(i)` (interning order puts parents first).
     pub fn from_adorned(adorned: &AdornedShape) -> Shape {
         let types = adorned.types();
-        let mut shape = Shape { nodes: Vec::with_capacity(types.len()), roots: Vec::new(), data_backed: true };
+        let mut shape = Shape {
+            nodes: Vec::with_capacity(types.len()),
+            roots: Vec::new(),
+            data_backed: true,
+        };
         for id in types.ids() {
             let mut node = ShapeNode::leaf(types.name(id), Some(id), Some(id.index()));
             node.card = adorned.card(id);
@@ -299,7 +303,11 @@ impl Shape {
     /// Rebuild the arena keeping only nodes reachable from `roots`,
     /// preserving order. Returns the compacted shape.
     pub fn compact(&self, roots: &[SId]) -> Shape {
-        let mut out = Shape { nodes: Vec::new(), roots: Vec::new(), data_backed: false };
+        let mut out = Shape {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            data_backed: false,
+        };
         for &r in roots {
             let new_root = self.copy_subtree_into(r, &mut out, false);
             out.roots.push(new_root);

@@ -97,8 +97,12 @@ impl ShreddedDoc {
                         }
                         None => Dewey::root(),
                     };
-                    let mut frame =
-                        Frame { dewey, type_id, next_ordinal: 0, text: String::new() };
+                    let mut frame = Frame {
+                        dewey,
+                        type_id,
+                        next_ordinal: 0,
+                        text: String::new(),
+                    };
                     // Attributes become child vertices, numbered first.
                     for (aname, avalue) in &attrs {
                         let at = builder.attribute(aname);
@@ -127,7 +131,12 @@ impl ShreddedDoc {
         }
         let shape = builder.finish();
         meta.insert(META_SHAPE_KEY, &shape.to_bytes())?;
-        Ok(ShreddedDoc { nodes, typeseq, shape, dist_cache: Mutex::new(HashMap::new()) })
+        Ok(ShreddedDoc {
+            nodes,
+            typeseq,
+            shape,
+            dist_cache: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Open an already-shredded document from its store.
@@ -140,7 +149,12 @@ impl ShreddedDoc {
             .ok_or(MorphError::Internal("store holds no shredded document"))?;
         let shape = AdornedShape::from_bytes(&bytes)
             .ok_or(MorphError::Internal("corrupt adorned shape"))?;
-        Ok(ShreddedDoc { nodes, typeseq, shape, dist_cache: Mutex::new(HashMap::new()) })
+        Ok(ShreddedDoc {
+            nodes,
+            typeseq,
+            shape,
+            dist_cache: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The document's adorned shape.
@@ -325,7 +339,9 @@ impl ShreddedDoc {
         parent_type: TypeId,
         child_type: TypeId,
     ) -> bool {
-        !self.closest_children(parent, parent_type, child_type).is_empty()
+        !self
+            .closest_children(parent, parent_type, child_type)
+            .is_empty()
     }
 }
 
@@ -416,7 +432,9 @@ mod tests {
 
     fn ty(doc: &ShreddedDoc, dotted: &str) -> TypeId {
         let path: Vec<String> = dotted.split('.').map(|s| s.to_string()).collect();
-        doc.types().lookup(&path).unwrap_or_else(|| panic!("no type {dotted}"))
+        doc.types()
+            .lookup(&path)
+            .unwrap_or_else(|| panic!("no type {dotted}"))
     }
 
     #[test]
@@ -440,7 +458,12 @@ mod tests {
     #[test]
     fn node_text_lookup() {
         let doc = shredded(FIG1A);
-        assert_eq!(doc.node_text(&"1.1.2.1".parse().unwrap()).unwrap().as_deref(), Some("Tim"));
+        assert_eq!(
+            doc.node_text(&"1.1.2.1".parse().unwrap())
+                .unwrap()
+                .as_deref(),
+            Some("Tim")
+        );
         assert_eq!(doc.node_text(&"1.9".parse().unwrap()).unwrap(), None);
     }
 
@@ -458,7 +481,8 @@ mod tests {
     #[test]
     fn co_occurrence_failure_detected() {
         // authors and editors never share a book: distance 4, not 2.
-        let doc = shredded("<data><book><author>a</author></book><book><editor>e</editor></book></data>");
+        let doc =
+            shredded("<data><book><author>a</author></book><book><editor>e</editor></book></data>");
         let author = ty(&doc, "data.book.author");
         let editor = ty(&doc, "data.book.editor");
         assert_eq!(doc.type_distance_exact(author, editor), Some(4));
@@ -533,7 +557,9 @@ mod tests {
 
     #[test]
     fn has_closest_child_existence() {
-        let doc = shredded("<d><book><award>w</award><title>A</title></book><book><title>B</title></book></d>");
+        let doc = shredded(
+            "<d><book><award>w</award><title>A</title></book><book><title>B</title></book></d>",
+        );
         let book = ty(&doc, "d.book");
         let award = ty(&doc, "d.book.award");
         assert!(doc.has_closest_child(&"1.1".parse().unwrap(), book, award));

@@ -8,20 +8,12 @@ use xmorph_core::lang::parse;
 
 fn label() -> impl Strategy<Value = String> {
     // Labels exercising bare, dotted, and attribute forms.
-    prop_oneof![
-        "[a-z]{1,6}",
-        "[a-z]{1,4}\\.[a-z]{1,4}",
-        "@[a-z]{1,5}",
-    ]
+    prop_oneof!["[a-z]{1,6}", "[a-z]{1,4}\\.[a-z]{1,4}", "@[a-z]{1,5}",]
 }
 
 fn item(depth: u32) -> BoxedStrategy<Item> {
     let head = if depth == 0 {
-        prop_oneof![
-            label().prop_map(Head::Label),
-            label().prop_map(Head::New),
-        ]
-        .boxed()
+        prop_oneof![label().prop_map(Head::Label), label().prop_map(Head::New),].boxed()
     } else {
         // DROP/RESTRICT/CLONE take a single item in the surface grammar.
         let single = item(depth - 1).prop_map(Pattern::single);

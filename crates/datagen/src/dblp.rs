@@ -23,24 +23,44 @@ pub struct DblpConfig {
 
 impl Default for DblpConfig {
     fn default() -> Self {
-        DblpConfig { records: 1000, seed: 11 }
+        DblpConfig {
+            records: 1000,
+            seed: 11,
+        }
     }
 }
 
 /// Record kinds with DBLP-ish proportions.
-const KINDS: &[(&str, u32)] =
-    &[("inproceedings", 50), ("article", 35), ("proceedings", 5), ("book", 5), ("phdthesis", 5)];
+const KINDS: &[(&str, u32)] = &[
+    ("inproceedings", 50),
+    ("article", 35),
+    ("proceedings", 5),
+    ("book", 5),
+    ("phdthesis", 5),
+];
 
 /// Venue name fragments.
 const VENUES: &[&str] = &[
-    "ICDE", "VLDB", "SIGMOD", "EDBT", "CIKM", "WWW", "TODS", "TKDE", "Inf. Syst.", "DKE",
+    "ICDE",
+    "VLDB",
+    "SIGMOD",
+    "EDBT",
+    "CIKM",
+    "WWW",
+    "TODS",
+    "TKDE",
+    "Inf. Syst.",
+    "DKE",
 ];
 
 impl DblpConfig {
     /// A config sized to approximately `bytes` of output (records
     /// average ≈ 330 bytes, mirroring DBLP's density).
     pub fn with_approx_bytes(bytes: usize) -> Self {
-        DblpConfig { records: (bytes / 330).max(1), ..Default::default() }
+        DblpConfig {
+            records: (bytes / 330).max(1),
+            ..Default::default()
+        }
     }
 
     /// Generate the document.
@@ -111,14 +131,26 @@ fn record(w: &mut StreamWriter, rng: &mut SmallRng, pool: &[String], i: usize) {
         "book" | "proceedings" => {
             simple(w, "publisher", "Springer");
             if rng.random_range(0..2u32) == 0 {
-                simple(w, "isbn", &format!("3-540-{:05}-{}", rng.random_range(0..99999u32), rng.random_range(0..10u32)));
+                simple(
+                    w,
+                    "isbn",
+                    &format!(
+                        "3-540-{:05}-{}",
+                        rng.random_range(0..99999u32),
+                        rng.random_range(0..10u32)
+                    ),
+                );
             }
         }
         "phdthesis" => simple(w, "school", "Utah State University"),
         _ => {}
     }
     let lo = rng.random_range(1..400u32);
-    simple(w, "pages", &format!("{lo}-{}", lo + rng.random_range(5..25u32)));
+    simple(
+        w,
+        "pages",
+        &format!("{lo}-{}", lo + rng.random_range(5..25u32)),
+    );
     simple(w, "year", &year.to_string());
     if rng.random_range(0..3u32) > 0 {
         simple(w, "url", &format!("db/{kind}/{i}.html"));
@@ -136,7 +168,11 @@ mod tests {
 
     #[test]
     fn well_formed_and_rooted_at_dblp() {
-        let xml = DblpConfig { records: 200, ..Default::default() }.generate();
+        let xml = DblpConfig {
+            records: 200,
+            ..Default::default()
+        }
+        .generate();
         let doc = Document::parse_str(&xml).unwrap();
         let root = doc.root_element().unwrap();
         assert_eq!(doc.name(root), "dblp");
@@ -145,18 +181,34 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = DblpConfig { records: 50, ..Default::default() }.generate();
-        let b = DblpConfig { records: 50, ..Default::default() }.generate();
+        let a = DblpConfig {
+            records: 50,
+            ..Default::default()
+        }
+        .generate();
+        let b = DblpConfig {
+            records: 50,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a, b);
     }
 
     #[test]
     fn every_record_has_core_fields() {
-        let xml = DblpConfig { records: 100, ..Default::default() }.generate();
+        let xml = DblpConfig {
+            records: 100,
+            ..Default::default()
+        }
+        .generate();
         let doc = Document::parse_str(&xml).unwrap();
         let root = doc.root_element().unwrap();
         for rec in doc.children(root) {
-            assert!(doc.child_named(rec, "author").is_some(), "{}", doc.name(rec));
+            assert!(
+                doc.child_named(rec, "author").is_some(),
+                "{}",
+                doc.name(rec)
+            );
             assert!(doc.child_named(rec, "title").is_some());
             assert!(doc.child_named(rec, "year").is_some());
             assert!(doc.child_named(rec, "pages").is_some());
@@ -173,7 +225,11 @@ mod tests {
     #[test]
     fn author_reuse_is_skewed() {
         use std::collections::HashMap;
-        let xml = DblpConfig { records: 500, ..Default::default() }.generate();
+        let xml = DblpConfig {
+            records: 500,
+            ..Default::default()
+        }
+        .generate();
         let doc = Document::parse_str(&xml).unwrap();
         let root = doc.root_element().unwrap();
         let mut counts: HashMap<String, usize> = HashMap::new();
@@ -188,7 +244,11 @@ mod tests {
 
     #[test]
     fn mixed_record_kinds() {
-        let xml = DblpConfig { records: 300, ..Default::default() }.generate();
+        let xml = DblpConfig {
+            records: 300,
+            ..Default::default()
+        }
+        .generate();
         assert!(xml.contains("<article "));
         assert!(xml.contains("<inproceedings "));
         assert!(xml.contains("<journal>"));

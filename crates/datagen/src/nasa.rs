@@ -23,7 +23,10 @@ pub struct NasaConfig {
 
 impl Default for NasaConfig {
     fn default() -> Self {
-        NasaConfig { datasets: 100, seed: 23 }
+        NasaConfig {
+            datasets: 100,
+            seed: 23,
+        }
     }
 }
 
@@ -31,7 +34,10 @@ impl NasaConfig {
     /// A config sized to approximately `bytes` (datasets average
     /// ≈ 1.5 KB).
     pub fn with_approx_bytes(bytes: usize) -> Self {
-        NasaConfig { datasets: (bytes / 1500).max(1), ..Default::default() }
+        NasaConfig {
+            datasets: (bytes / 1500).max(1),
+            ..Default::default()
+        }
     }
 
     /// Generate the document.
@@ -76,9 +82,17 @@ fn dataset(w: &mut StreamWriter, rng: &mut SmallRng, i: usize) {
     w.start("dataset");
     w.attr("subject", "astronomy");
     w.attr("xmlns:xlink", "http://www.w3.org/XML/XLink/0.9");
-    simple(w, "identifier", &format!("J_AZh_{}_{}", rng.random_range(40..80u32), i));
+    simple(
+        w,
+        "identifier",
+        &format!("J_AZh_{}_{}", rng.random_range(40..80u32), i),
+    );
     for _ in 0..rng.random_range(0..3u32) {
-        simple(w, "altname", &format!("{} {}", text::word(rng).to_uppercase(), i));
+        simple(
+            w,
+            "altname",
+            &format!("{} {}", text::word(rng).to_uppercase(), i),
+        );
     }
     simple(w, "title", &text::sentence(rng, 6, 14));
     // Reference: the deep chain dataset/reference/source/other/...
@@ -89,7 +103,11 @@ fn dataset(w: &mut StreamWriter, rng: &mut SmallRng, i: usize) {
     for _ in 0..rng.random_range(1..4u32) {
         author(w, rng);
     }
-    simple(w, "name", &format!("Astron. Zh. {}", rng.random_range(30..70u32)));
+    simple(
+        w,
+        "name",
+        &format!("Astron. Zh. {}", rng.random_range(30..70u32)),
+    );
     simple(w, "publisher", "NASA Astronomical Data Center");
     simple(w, "city", "Greenbelt");
     date(w, rng, "date");
@@ -143,7 +161,11 @@ mod tests {
 
     #[test]
     fn well_formed() {
-        let xml = NasaConfig { datasets: 20, ..Default::default() }.generate();
+        let xml = NasaConfig {
+            datasets: 20,
+            ..Default::default()
+        }
+        .generate();
         let doc = Document::parse_str(&xml).unwrap();
         let root = doc.root_element().unwrap();
         assert_eq!(doc.name(root), "datasets");
@@ -152,14 +174,26 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = NasaConfig { datasets: 10, ..Default::default() }.generate();
-        let b = NasaConfig { datasets: 10, ..Default::default() }.generate();
+        let a = NasaConfig {
+            datasets: 10,
+            ..Default::default()
+        }
+        .generate();
+        let b = NasaConfig {
+            datasets: 10,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a, b);
     }
 
     #[test]
     fn deep_reference_chain_exists() {
-        let xml = NasaConfig { datasets: 5, ..Default::default() }.generate();
+        let xml = NasaConfig {
+            datasets: 5,
+            ..Default::default()
+        }
+        .generate();
         let doc = Document::parse_str(&xml).unwrap();
         let root = doc.root_element().unwrap();
         let ds = doc.children(root).next().unwrap();
@@ -174,7 +208,11 @@ mod tests {
     #[test]
     fn text_heavier_than_dblp() {
         // Fig. 15 relies on differing text density across datasets.
-        let nasa = NasaConfig { datasets: 50, ..Default::default() }.generate();
+        let nasa = NasaConfig {
+            datasets: 50,
+            ..Default::default()
+        }
+        .generate();
         let nasa_doc = Document::parse_str(&nasa).unwrap();
         let per_elem = nasa.len() as f64 / nasa_doc.element_count() as f64;
         assert!(per_elem > 25.0, "bytes/element {per_elem}");

@@ -9,33 +9,83 @@ pub const WORDS: &[&str] = &[
     "empire", "falcon", "fortune", "gilded", "glory", "harbor", "honest", "island", "journey",
     "kingdom", "lantern", "marble", "midnight", "noble", "ocean", "palace", "quarrel", "raven",
     "river", "shadow", "silver", "sword", "tempest", "throne", "thunder", "valley", "whisper",
-    "winter", "wonder", "ambition", "banner", "citadel", "destiny", "ember", "frontier",
-    "garland", "horizon", "ivory", "jubilee", "keystone", "legacy",
+    "winter", "wonder", "ambition", "banner", "citadel", "destiny", "ember", "frontier", "garland",
+    "horizon", "ivory", "jubilee", "keystone", "legacy",
 ];
 
 /// First names for people/authors.
 pub const FIRST_NAMES: &[&str] = &[
-    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edgar", "Frances", "Grace", "Hedy", "Ivan",
-    "John", "Katherine", "Leslie", "Margaret", "Niklaus", "Ole", "Peter", "Radia", "Stephen",
+    "Ada",
+    "Alan",
+    "Barbara",
+    "Claude",
+    "Donald",
+    "Edgar",
+    "Frances",
+    "Grace",
+    "Hedy",
+    "Ivan",
+    "John",
+    "Katherine",
+    "Leslie",
+    "Margaret",
+    "Niklaus",
+    "Ole",
+    "Peter",
+    "Radia",
+    "Stephen",
     "Tim",
 ];
 
 /// Last names for people/authors.
 pub const LAST_NAMES: &[&str] = &[
-    "Allen", "Backus", "Codd", "Dijkstra", "Engelbart", "Floyd", "Gray", "Hamilton", "Hopper",
-    "Iverson", "Johnson", "Knuth", "Lamport", "Liskov", "McCarthy", "Naur", "Perlis", "Ritchie",
-    "Stonebraker", "Turing",
+    "Allen",
+    "Backus",
+    "Codd",
+    "Dijkstra",
+    "Engelbart",
+    "Floyd",
+    "Gray",
+    "Hamilton",
+    "Hopper",
+    "Iverson",
+    "Johnson",
+    "Knuth",
+    "Lamport",
+    "Liskov",
+    "McCarthy",
+    "Naur",
+    "Perlis",
+    "Ritchie",
+    "Stonebraker",
+    "Turing",
 ];
 
 /// Country names for addresses.
 pub const COUNTRIES: &[&str] = &[
-    "United States", "Singapore", "Germany", "Japan", "Brazil", "Kenya", "Australia", "Norway",
-    "India", "Canada",
+    "United States",
+    "Singapore",
+    "Germany",
+    "Japan",
+    "Brazil",
+    "Kenya",
+    "Australia",
+    "Norway",
+    "India",
+    "Canada",
 ];
 
 /// Cities.
 pub const CITIES: &[&str] = &[
-    "Logan", "Singapore", "Berlin", "Kyoto", "Recife", "Nairobi", "Perth", "Bergen", "Chennai",
+    "Logan",
+    "Singapore",
+    "Berlin",
+    "Kyoto",
+    "Recife",
+    "Nairobi",
+    "Perth",
+    "Bergen",
+    "Chennai",
     "Halifax",
 ];
 

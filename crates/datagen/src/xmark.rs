@@ -29,14 +29,21 @@ pub struct XmarkConfig {
 
 impl Default for XmarkConfig {
     fn default() -> Self {
-        XmarkConfig { factor: 0.1, seed: 7, bytes_per_factor: 11_000_000 }
+        XmarkConfig {
+            factor: 0.1,
+            seed: 7,
+            bytes_per_factor: 11_000_000,
+        }
     }
 }
 
 impl XmarkConfig {
     /// A config with the given factor and default seed/scaling.
     pub fn with_factor(factor: f64) -> Self {
-        XmarkConfig { factor, ..Default::default() }
+        XmarkConfig {
+            factor,
+            ..Default::default()
+        }
     }
 
     /// Generate the document.
@@ -51,7 +58,14 @@ impl XmarkConfig {
     }
 }
 
-const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: &[&str] = &[
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 fn site(w: &mut StreamWriter, rng: &mut SmallRng, units: usize) {
     // Section weights roughly follow XMark's document composition.
@@ -124,7 +138,11 @@ fn simple(w: &mut StreamWriter, name: &str, value: &str) {
 fn item(w: &mut StreamWriter, rng: &mut SmallRng, region: &str, id: usize) {
     w.start("item");
     w.attr("id", &format!("item{region}{id}"));
-    simple(w, "location", text::COUNTRIES[rng.random_range(0..text::COUNTRIES.len())]);
+    simple(
+        w,
+        "location",
+        text::COUNTRIES[rng.random_range(0..text::COUNTRIES.len())],
+    );
     simple(w, "quantity", &rng.random_range(1..9u32).to_string());
     simple(w, "name", &text::words(rng, 3));
     w.start("payment");
@@ -138,7 +156,10 @@ fn item(w: &mut StreamWriter, rng: &mut SmallRng, region: &str, id: usize) {
     w.text("Will ship internationally");
     w.end();
     w.start("incategory");
-    w.attr("category", &format!("category{}", rng.random_range(0..8u32)));
+    w.attr(
+        "category",
+        &format!("category{}", rng.random_range(0..8u32)),
+    );
     w.end();
     w.start("mailbox");
     for _ in 0..rng.random_range(0..3u32) {
@@ -203,21 +224,47 @@ fn person(w: &mut StreamWriter, rng: &mut SmallRng, id: usize) {
     simple(w, "name", &text::person_name(rng));
     simple(w, "emailaddress", &format!("mailto:u{id}@example.org"));
     if rng.random_range(0..2u32) == 0 {
-        simple(w, "phone", &format!("+1 ({}) {}", rng.random_range(100..999u32), rng.random_range(1000000..9999999u32)));
+        simple(
+            w,
+            "phone",
+            &format!(
+                "+1 ({}) {}",
+                rng.random_range(100..999u32),
+                rng.random_range(1000000..9999999u32)
+            ),
+        );
     }
     if rng.random_range(0..2u32) == 0 {
         w.start("address");
-        simple(w, "street", &format!("{} {} St", rng.random_range(1..99u32), text::word(rng)));
-        simple(w, "city", text::CITIES[rng.random_range(0..text::CITIES.len())]);
-        simple(w, "country", text::COUNTRIES[rng.random_range(0..text::COUNTRIES.len())]);
+        simple(
+            w,
+            "street",
+            &format!("{} {} St", rng.random_range(1..99u32), text::word(rng)),
+        );
+        simple(
+            w,
+            "city",
+            text::CITIES[rng.random_range(0..text::CITIES.len())],
+        );
+        simple(
+            w,
+            "country",
+            text::COUNTRIES[rng.random_range(0..text::COUNTRIES.len())],
+        );
         simple(w, "zipcode", &rng.random_range(10000..99999u32).to_string());
         w.end();
     }
     w.start("profile");
-    w.attr("income", &format!("{:.2}", rng.random_range(20000..120000u32) as f64 / 1.0));
+    w.attr(
+        "income",
+        &format!("{:.2}", rng.random_range(20000..120000u32) as f64 / 1.0),
+    );
     for _ in 0..rng.random_range(0..4u32) {
         w.start("interest");
-        w.attr("category", &format!("category{}", rng.random_range(0..8u32)));
+        w.attr(
+            "category",
+            &format!("category{}", rng.random_range(0..8u32)),
+        );
         w.end();
     }
     if rng.random_range(0..2u32) == 0 {
@@ -231,13 +278,17 @@ fn person(w: &mut StreamWriter, rng: &mut SmallRng, id: usize) {
     }
     w.end();
     if rng.random_range(0..3u32) == 0 {
-        simple(w, "creditcard", &format!(
-            "{} {} {} {}",
-            rng.random_range(1000..9999u32),
-            rng.random_range(1000..9999u32),
-            rng.random_range(1000..9999u32),
-            rng.random_range(1000..9999u32)
-        ));
+        simple(
+            w,
+            "creditcard",
+            &format!(
+                "{} {} {} {}",
+                rng.random_range(1000..9999u32),
+                rng.random_range(1000..9999u32),
+                rng.random_range(1000..9999u32),
+                rng.random_range(1000..9999u32)
+            ),
+        );
     }
     if rng.random_range(0..3u32) == 0 {
         simple(w, "homepage", &format!("http://www.example.org/~u{id}"));
@@ -246,7 +297,10 @@ fn person(w: &mut StreamWriter, rng: &mut SmallRng, id: usize) {
         w.start("watches");
         for _ in 0..rng.random_range(1..3u32) {
             w.start("watch");
-            w.attr("open_auction", &format!("open_auction{}", rng.random_range(0..50u32)));
+            w.attr(
+                "open_auction",
+                &format!("open_auction{}", rng.random_range(0..50u32)),
+            );
             w.end();
         }
         w.end();
@@ -266,23 +320,53 @@ fn date(rng: &mut SmallRng) -> String {
 fn open_auction(w: &mut StreamWriter, rng: &mut SmallRng, id: usize, people: usize, items: usize) {
     w.start("open_auction");
     w.attr("id", &format!("open_auction{id}"));
-    simple(w, "initial", &format!("{:.2}", rng.random_range(100..10000u32) as f64 / 100.0));
+    simple(
+        w,
+        "initial",
+        &format!("{:.2}", rng.random_range(100..10000u32) as f64 / 100.0),
+    );
     for _ in 0..rng.random_range(0..4u32) {
         w.start("bidder");
         simple(w, "date", &date(rng));
-        simple(w, "time", &format!("{:02}:{:02}:{:02}", rng.random_range(0..24u32), rng.random_range(0..60u32), rng.random_range(0..60u32)));
+        simple(
+            w,
+            "time",
+            &format!(
+                "{:02}:{:02}:{:02}",
+                rng.random_range(0..24u32),
+                rng.random_range(0..60u32),
+                rng.random_range(0..60u32)
+            ),
+        );
         w.start("personref");
-        w.attr("person", &format!("person{}", rng.random_range(0..people as u32)));
+        w.attr(
+            "person",
+            &format!("person{}", rng.random_range(0..people as u32)),
+        );
         w.end();
-        simple(w, "increase", &format!("{:.2}", rng.random_range(150..5000u32) as f64 / 100.0));
+        simple(
+            w,
+            "increase",
+            &format!("{:.2}", rng.random_range(150..5000u32) as f64 / 100.0),
+        );
         w.end();
     }
-    simple(w, "current", &format!("{:.2}", rng.random_range(100..20000u32) as f64 / 100.0));
+    simple(
+        w,
+        "current",
+        &format!("{:.2}", rng.random_range(100..20000u32) as f64 / 100.0),
+    );
     w.start("itemref");
-    w.attr("item", &format!("itemafrica{}", rng.random_range(0..items as u32)));
+    w.attr(
+        "item",
+        &format!("itemafrica{}", rng.random_range(0..items as u32)),
+    );
     w.end();
     w.start("seller");
-    w.attr("person", &format!("person{}", rng.random_range(0..people as u32)));
+    w.attr(
+        "person",
+        &format!("person{}", rng.random_range(0..people as u32)),
+    );
     w.end();
     w.start("annotation");
     simple(w, "author", &text::person_name(rng));
@@ -315,15 +399,28 @@ fn closed_auction(
 ) {
     w.start("closed_auction");
     w.start("seller");
-    w.attr("person", &format!("person{}", rng.random_range(0..people as u32)));
+    w.attr(
+        "person",
+        &format!("person{}", rng.random_range(0..people as u32)),
+    );
     w.end();
     w.start("buyer");
-    w.attr("person", &format!("person{}", rng.random_range(0..people as u32)));
+    w.attr(
+        "person",
+        &format!("person{}", rng.random_range(0..people as u32)),
+    );
     w.end();
     w.start("itemref");
-    w.attr("item", &format!("itemasia{}", rng.random_range(0..items as u32)));
+    w.attr(
+        "item",
+        &format!("itemasia{}", rng.random_range(0..items as u32)),
+    );
     w.end();
-    simple(w, "price", &format!("{:.2}", rng.random_range(100..20000u32) as f64 / 100.0));
+    simple(
+        w,
+        "price",
+        &format!("{:.2}", rng.random_range(100..20000u32) as f64 / 100.0),
+    );
     simple(w, "date", &date(rng));
     simple(w, "quantity", &rng.random_range(1..5u32).to_string());
     simple(w, "type", "Regular");
@@ -345,29 +442,57 @@ mod tests {
 
     #[test]
     fn generates_well_formed_xml() {
-        let xml = XmarkConfig { factor: 0.01, ..Default::default() }.generate();
+        let xml = XmarkConfig {
+            factor: 0.01,
+            ..Default::default()
+        }
+        .generate();
         let doc = Document::parse_str(&xml).unwrap();
         assert_eq!(doc.name(doc.root_element().unwrap()), "site");
     }
 
     #[test]
     fn deterministic() {
-        let a = XmarkConfig { factor: 0.01, ..Default::default() }.generate();
-        let b = XmarkConfig { factor: 0.01, ..Default::default() }.generate();
+        let a = XmarkConfig {
+            factor: 0.01,
+            ..Default::default()
+        }
+        .generate();
+        let b = XmarkConfig {
+            factor: 0.01,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a, b);
     }
 
     #[test]
     fn scales_roughly_linearly() {
-        let small = XmarkConfig { factor: 0.01, ..Default::default() }.generate().len();
-        let large = XmarkConfig { factor: 0.04, ..Default::default() }.generate().len();
+        let small = XmarkConfig {
+            factor: 0.01,
+            ..Default::default()
+        }
+        .generate()
+        .len();
+        let large = XmarkConfig {
+            factor: 0.04,
+            ..Default::default()
+        }
+        .generate()
+        .len();
         let ratio = large as f64 / small as f64;
-        assert!((2.5..6.0).contains(&ratio), "ratio {ratio} ({small} -> {large})");
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "ratio {ratio} ({small} -> {large})"
+        );
     }
 
     #[test]
     fn size_targets_factor() {
-        let cfg = XmarkConfig { factor: 0.02, ..Default::default() };
+        let cfg = XmarkConfig {
+            factor: 0.02,
+            ..Default::default()
+        };
         let len = cfg.generate().len();
         let target = (0.02 * cfg.bytes_per_factor as f64) as usize;
         assert!(
@@ -378,10 +503,18 @@ mod tests {
 
     #[test]
     fn has_the_site_sections() {
-        let xml = XmarkConfig { factor: 0.01, ..Default::default() }.generate();
-        for section in
-            ["<regions>", "<categories>", "<people>", "<open_auctions>", "<closed_auctions>"]
-        {
+        let xml = XmarkConfig {
+            factor: 0.01,
+            ..Default::default()
+        }
+        .generate();
+        for section in [
+            "<regions>",
+            "<categories>",
+            "<people>",
+            "<open_auctions>",
+            "<closed_auctions>",
+        ] {
             assert!(xml.contains(section), "missing {section}");
         }
         assert!(xml.contains("<parlist>"));
@@ -390,7 +523,11 @@ mod tests {
     #[test]
     fn many_distinct_types() {
         use std::collections::BTreeSet;
-        let xml = XmarkConfig { factor: 0.02, ..Default::default() }.generate();
+        let xml = XmarkConfig {
+            factor: 0.02,
+            ..Default::default()
+        }
+        .generate();
         let doc = Document::parse_str(&xml).unwrap();
         let root = doc.root_element().unwrap();
         let mut paths: BTreeSet<String> = BTreeSet::new();
@@ -402,6 +539,10 @@ mod tests {
         }
         // The paper's XMark documents have 471 distinct types; the
         // structural profile here yields a comparable order.
-        assert!(paths.len() >= 80, "only {} distinct root-path types", paths.len());
+        assert!(
+            paths.len() >= 80,
+            "only {} distinct root-path types",
+            paths.len()
+        );
     }
 }

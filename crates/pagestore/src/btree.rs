@@ -153,7 +153,12 @@ fn leaf_cell(p: &[u8], off: usize) -> LeafCell {
     let flags = p[off];
     let klen = get_u16(p, off + 1) as usize;
     let vlen = get_u32(p, off + 3) as usize;
-    LeafCell { key_start: off + 7, klen, vlen, overflow: flags & FLAG_OVERFLOW != 0 }
+    LeafCell {
+        key_start: off + 7,
+        klen,
+        vlen,
+        overflow: flags & FLAG_OVERFLOW != 0,
+    }
 }
 
 fn leaf_cell_key(p: &[u8], off: usize) -> &[u8] {
@@ -336,11 +341,7 @@ impl<'a> BTree<'a> {
     }
 
     /// Ordered scan of `[start, end)` style bounds over (key, value) pairs.
-    pub fn range(
-        &self,
-        start: Bound<&[u8]>,
-        end: Bound<Vec<u8>>,
-    ) -> StoreResult<RangeIter<'a>> {
+    pub fn range(&self, start: Bound<&[u8]>, end: Bound<Vec<u8>>) -> StoreResult<RangeIter<'a>> {
         // Find the first leaf/slot at or after `start`.
         let start_key: &[u8] = match start {
             Bound::Included(k) | Bound::Excluded(k) => k,
@@ -577,7 +578,11 @@ impl<'a> BTree<'a> {
             rebuild_interior(p, right_cells);
         })?;
         // Now insert the pending cell into the proper half.
-        let target = if sep < promoted_key.as_slice() { page } else { right };
+        let target = if sep < promoted_key.as_slice() {
+            page
+        } else {
+            right
+        };
         let ok = self.pool.write_with(target, |p| {
             let i = match search_slots(p, sep, interior_cell_key) {
                 Ok(i) => i,
@@ -591,7 +596,9 @@ impl<'a> BTree<'a> {
             }
         })?;
         if !ok {
-            return Err(StoreError::Corrupt("interior cell does not fit after split"));
+            return Err(StoreError::Corrupt(
+                "interior cell does not fit after split",
+            ));
         }
         Ok(Some((promoted_key, right)))
     }
@@ -626,7 +633,10 @@ impl<'a> BTree<'a> {
                     return (NIL, None);
                 }
                 let len = get_u16(p, 9) as usize;
-                (get_u64(p, 1), Some(p[OVERFLOW_HDR..OVERFLOW_HDR + len].to_vec()))
+                (
+                    get_u64(p, 1),
+                    Some(p[OVERFLOW_HDR..OVERFLOW_HDR + len].to_vec()),
+                )
             })?;
             match chunk {
                 Some(c) => out.extend_from_slice(&c),
@@ -635,7 +645,9 @@ impl<'a> BTree<'a> {
             page = next;
         }
         if out.len() != total {
-            return Err(StoreError::Corrupt("overflow chain shorter than recorded length"));
+            return Err(StoreError::Corrupt(
+                "overflow chain shorter than recorded length",
+            ));
         }
         Ok(out)
     }
@@ -851,7 +863,10 @@ impl<'a> RangeIter<'a> {
             let value = match val {
                 StoredValue::Inline(v) => v.clone(),
                 StoredValue::Overflow { head, total } => {
-                    let tree = BTree { pool: self.pool, root: NIL };
+                    let tree = BTree {
+                        pool: self.pool,
+                        root: NIL,
+                    };
                     tree.read_overflow(*head, *total)?
                 }
             };
@@ -938,7 +953,8 @@ mod tests {
         let pool = pool();
         let mut t = BTree::create(&pool).unwrap();
         for i in (0..1000u32).rev() {
-            t.insert(format!("{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+            t.insert(format!("{i:05}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         let keys: Vec<Vec<u8>> = t
             .range(Bound::Unbounded, Bound::Unbounded)
@@ -977,7 +993,10 @@ mod tests {
         t.insert(b"a/2", b"").unwrap();
         t.insert(b"b/1", b"").unwrap();
         let got: Vec<Vec<u8>> = t
-            .range(Bound::Included(b"a/".as_slice()), Bound::Excluded(b"a0".to_vec()))
+            .range(
+                Bound::Included(b"a/".as_slice()),
+                Bound::Excluded(b"a0".to_vec()),
+            )
             .unwrap()
             .map(|(k, _)| k)
             .collect();
@@ -993,8 +1012,10 @@ mod tests {
         t.insert(b"small", b"s").unwrap();
         assert_eq!(t.get(b"big").unwrap().unwrap(), big);
         // Overflow values also come back through scans.
-        let all: Vec<(Vec<u8>, Vec<u8>)> =
-            t.range(Bound::Unbounded, Bound::Unbounded).unwrap().collect();
+        let all: Vec<(Vec<u8>, Vec<u8>)> = t
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect();
         assert_eq!(all[0].1.len(), 100_000);
         assert_eq!(all[1].1, b"s");
     }
@@ -1035,7 +1056,10 @@ mod tests {
             t.insert(&i.to_be_bytes(), b"v2").unwrap();
         }
         assert_eq!(t.len().unwrap(), 500);
-        assert_eq!(t.get(&42u32.to_be_bytes()).unwrap().as_deref(), Some(&b"v2"[..]));
+        assert_eq!(
+            t.get(&42u32.to_be_bytes()).unwrap().as_deref(),
+            Some(&b"v2"[..])
+        );
     }
 
     #[test]
@@ -1043,7 +1067,10 @@ mod tests {
         let pool = pool();
         let mut t = BTree::create(&pool).unwrap();
         let k = vec![1u8; MAX_KEY_LEN + 1];
-        assert!(matches!(t.insert(&k, b"v"), Err(StoreError::KeyTooLarge(_))));
+        assert!(matches!(
+            t.insert(&k, b"v"),
+            Err(StoreError::KeyTooLarge(_))
+        ));
     }
 
     #[test]

@@ -1,13 +1,22 @@
-//! An LRU buffer pool over the [`Pager`].
+//! A sharded LRU buffer pool over the [`Pager`].
 //!
 //! Access is closure-scoped (`read_with` / `write_with`) so callers never
-//! hold references into the pool across evictions. All state sits behind a
-//! single mutex — the engine is thread-safe but serialized, which matches
-//! the paper's single-threaded interpreter.
+//! hold references into the pool across evictions. The frame cache is
+//! split into a power-of-two number of independent shards, each guarded
+//! by its own mutex with its own frame map and LRU clock — concurrent
+//! readers and writers only contend when they touch pages that hash to
+//! the same shard. The pager (device I/O, page allocation, the tree
+//! catalog) sits behind a separate mutex that is only taken on cache
+//! misses, dirty writebacks, and metadata operations; cache hits touch
+//! nothing but the owning shard's lock and the shared atomic counters.
+//!
+//! Lock order is strictly shard → pager (a shard lock may be held while
+//! taking the pager lock, never the reverse), which makes the pool
+//! deadlock-free by construction.
 
 use crate::error::StoreResult;
 use crate::pager::{PageId, Pager};
-use crate::stats::IoSnapshot;
+use crate::stats::{IoSnapshot, IoStats};
 use crate::PAGE_SIZE;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -15,90 +24,170 @@ use std::collections::HashMap;
 /// Default number of cached pages (4 MiB at 4 KiB pages).
 pub const DEFAULT_CAPACITY: usize = 1024;
 
+/// Hard ceiling on the shard count (64 shards is far past the point of
+/// diminishing returns for a page cache).
+pub const MAX_SHARDS: usize = 64;
+
+/// Fewest frames a shard is allowed to hold; shard counts are clamped
+/// so that `capacity / shards >= MIN_FRAMES_PER_SHARD`.
+const MIN_FRAMES_PER_SHARD: usize = 4;
+
 struct Frame {
     data: Box<[u8]>,
     dirty: bool,
     last_used: u64,
 }
 
-struct PoolInner {
-    pager: Pager,
+struct ShardInner {
     frames: HashMap<PageId, Frame>,
     tick: u64,
     capacity: usize,
 }
 
-/// A buffer pool: caches page frames, evicting the least recently used
-/// (writing it back first when dirty).
+/// A buffer pool: caches page frames across independent shards,
+/// evicting each shard's least recently used frame (writing it back
+/// first when dirty).
 pub struct BufferPool {
-    inner: Mutex<PoolInner>,
+    shards: Box<[Mutex<ShardInner>]>,
+    /// `shards.len() - 1`; shard routing is `page_id & shard_mask`.
+    shard_mask: u64,
+    pager: Mutex<Pager>,
+    /// Clone of the pager's (atomic, `Arc`-shared) counters so cache
+    /// hits and misses are recorded without taking the pager lock.
+    stats: IoStats,
 }
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BufferPool").finish_non_exhaustive()
+        f.debug_struct("BufferPool")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
     }
 }
 
+/// Largest power of two `<= n` (`n >= 1`).
+fn floor_pow2(n: usize) -> usize {
+    let mut p = 1;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+/// Default shard count: the number of CPUs rounded up to a power of
+/// two, clamped so every shard keeps at least [`MIN_FRAMES_PER_SHARD`]
+/// frames and at most [`MAX_SHARDS`] shards exist.
+pub fn default_shard_count(capacity: usize) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let by_cpus = cpus.next_power_of_two().min(MAX_SHARDS);
+    let by_capacity = floor_pow2((capacity / MIN_FRAMES_PER_SHARD).max(1));
+    by_cpus.min(by_capacity)
+}
+
 impl BufferPool {
-    /// Wrap a pager with the given frame capacity.
+    /// Wrap a pager with the given frame capacity, sharded by CPU count
+    /// (see [`default_shard_count`]).
     pub fn new(pager: Pager, capacity: usize) -> Self {
+        let shards = default_shard_count(capacity);
+        BufferPool::with_shards(pager, capacity, shards)
+    }
+
+    /// Wrap a pager with an explicit shard count. `shards` is rounded
+    /// up to a power of two and clamped so each shard holds at least
+    /// [`MIN_FRAMES_PER_SHARD`] frames; `capacity` is the total frame
+    /// budget across all shards.
+    pub fn with_shards(pager: Pager, capacity: usize, shards: usize) -> Self {
         assert!(capacity >= 4, "buffer pool needs at least 4 frames");
+        let shards = shards
+            .max(1)
+            .next_power_of_two()
+            .min(MAX_SHARDS)
+            .min(floor_pow2((capacity / MIN_FRAMES_PER_SHARD).max(1)));
+        let per_shard = capacity / shards;
+        let stats = pager.stats().clone();
+        let shards: Vec<Mutex<ShardInner>> = (0..shards)
+            .map(|_| {
+                Mutex::new(ShardInner {
+                    frames: HashMap::new(),
+                    tick: 0,
+                    capacity: per_shard,
+                })
+            })
+            .collect();
         BufferPool {
-            inner: Mutex::new(PoolInner { pager, frames: HashMap::new(), tick: 0, capacity }),
+            shard_mask: shards.len() as u64 - 1,
+            shards: shards.into_boxed_slice(),
+            pager: Mutex::new(pager),
+            stats,
         }
+    }
+
+    /// Number of shards the frame cache is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, id: PageId) -> &Mutex<ShardInner> {
+        &self.shards[(id & self.shard_mask) as usize]
     }
 
     /// Run `f` over the page's bytes.
     pub fn read_with<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> StoreResult<R> {
-        let mut inner = self.inner.lock();
-        inner.touch(id)?;
-        let frame = inner.frames.get(&id).expect("frame just loaded");
+        let mut shard = self.shard_for(id).lock();
+        self.touch(&mut shard, id)?;
+        let frame = shard.frames.get(&id).expect("frame just loaded");
         let r = f(&frame.data);
-        inner.evict_to_capacity()?;
+        self.evict_to_capacity(&mut shard)?;
         Ok(r)
     }
 
     /// Run `f` over the page's bytes mutably; the page is marked dirty.
     pub fn write_with<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> StoreResult<R> {
-        let mut inner = self.inner.lock();
-        inner.touch(id)?;
-        let frame = inner.frames.get_mut(&id).expect("frame just loaded");
+        let mut shard = self.shard_for(id).lock();
+        self.touch(&mut shard, id)?;
+        let frame = shard.frames.get_mut(&id).expect("frame just loaded");
         frame.dirty = true;
         let r = f(&mut frame.data);
-        inner.evict_to_capacity()?;
+        self.evict_to_capacity(&mut shard)?;
         Ok(r)
     }
 
     /// Allocate a fresh zeroed page (cached dirty, so it reaches the
     /// device on flush/eviction).
     pub fn allocate(&self) -> StoreResult<PageId> {
-        let mut inner = self.inner.lock();
-        let id = inner.pager.allocate()?;
-        let tick = inner.bump_tick();
-        inner.frames.insert(
+        // The pager lock is released before the shard lock is taken:
+        // the only permitted nesting is shard → pager.
+        let id = self.pager.lock().allocate()?;
+        let mut shard = self.shard_for(id).lock();
+        let tick = bump_tick(&mut shard);
+        shard.frames.insert(
             id,
-            Frame { data: vec![0u8; PAGE_SIZE].into_boxed_slice(), dirty: true, last_used: tick },
+            Frame {
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty: true,
+                last_used: tick,
+            },
         );
-        inner.evict_to_capacity()?;
+        self.evict_to_capacity(&mut shard)?;
         Ok(id)
     }
 
     /// Look up a named tree's root page.
     pub fn tree_root(&self, name: &str) -> Option<PageId> {
-        self.inner.lock().pager.tree_root(name)
+        self.pager.lock().tree_root(name)
     }
 
     /// Register or move a named tree's root page.
     pub fn set_tree_root(&self, name: &str, root: PageId) -> StoreResult<()> {
-        self.inner.lock().pager.set_tree_root(name, root)
+        self.pager.lock().set_tree_root(name, root)
     }
 
     /// Names of all registered trees.
     pub fn tree_names(&self) -> Vec<String> {
-        self.inner
+        self.pager
             .lock()
-            .pager
             .catalog()
             .iter()
             .map(|e| e.name.clone())
@@ -107,80 +196,87 @@ impl BufferPool {
 
     /// Write back all dirty frames and sync the device.
     pub fn flush(&self) -> StoreResult<()> {
-        let mut inner = self.inner.lock();
-        let dirty: Vec<PageId> = inner
-            .frames
-            .iter()
-            .filter(|(_, fr)| fr.dirty)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in dirty {
-            inner.write_back(id)?;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            let dirty: Vec<PageId> = shard
+                .frames
+                .iter()
+                .filter(|(_, fr)| fr.dirty)
+                .map(|(&id, _)| id)
+                .collect();
+            if dirty.is_empty() {
+                continue;
+            }
+            // One pager acquisition per shard batch.
+            let mut pager = self.pager.lock();
+            for id in dirty {
+                let frame = shard.frames.get_mut(&id).expect("dirty frame cached");
+                pager.write_page_raw(id, &frame.data)?;
+                frame.dirty = false;
+            }
         }
-        inner.pager.flush()
+        self.pager.lock().flush()
     }
 
-    /// Snapshot of the cumulative I/O counters.
+    /// Snapshot of the cumulative I/O counters (shared by all shards).
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.inner.lock().pager.stats().snapshot()
+        self.stats.snapshot()
     }
 
     /// Number of allocated pages (including meta).
     pub fn page_count(&self) -> u64 {
-        self.inner.lock().pager.page_count()
+        self.pager.lock().page_count()
     }
 
-    /// Number of frames currently cached (for tests).
+    /// Number of frames currently cached across all shards (for tests).
     pub fn cached_frames(&self) -> usize {
-        self.inner.lock().frames.len()
-    }
-}
-
-impl PoolInner {
-    fn bump_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
     }
 
-    /// Ensure the page is cached and update its LRU stamp.
-    fn touch(&mut self, id: PageId) -> StoreResult<()> {
-        let tick = self.bump_tick();
-        if let Some(frame) = self.frames.get_mut(&id) {
+    /// Ensure the page is cached in `shard` and update its LRU stamp.
+    fn touch(&self, shard: &mut ShardInner, id: PageId) -> StoreResult<()> {
+        let tick = bump_tick(shard);
+        if let Some(frame) = shard.frames.get_mut(&id) {
             frame.last_used = tick;
-            self.pager.stats().record_hit();
+            self.stats.record_hit();
             return Ok(());
         }
-        self.pager.stats().record_miss();
+        self.stats.record_miss();
         let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
-        self.pager.read_page(id, &mut data)?;
-        self.frames.insert(id, Frame { data, dirty: false, last_used: tick });
+        self.pager.lock().read_page(id, &mut data)?;
+        shard.frames.insert(
+            id,
+            Frame {
+                data,
+                dirty: false,
+                last_used: tick,
+            },
+        );
         Ok(())
     }
 
-    fn write_back(&mut self, id: PageId) -> StoreResult<()> {
-        // Take the buffer out to satisfy the borrow checker, then restore.
-        let mut frame = self.frames.remove(&id).expect("write_back of uncached page");
-        self.pager.write_page_raw(id, &frame.data)?;
-        frame.dirty = false;
-        self.frames.insert(id, frame);
-        Ok(())
-    }
-
-    fn evict_to_capacity(&mut self) -> StoreResult<()> {
-        while self.frames.len() > self.capacity {
-            let victim = self
+    /// Evict `shard`'s least-recently-used frames down to its capacity,
+    /// writing dirty victims back through the pager.
+    fn evict_to_capacity(&self, shard: &mut ShardInner) -> StoreResult<()> {
+        while shard.frames.len() > shard.capacity {
+            let victim = shard
                 .frames
                 .iter()
                 .min_by_key(|(_, fr)| fr.last_used)
                 .map(|(&id, _)| id)
                 .expect("non-empty frames");
-            if self.frames.get(&victim).expect("victim cached").dirty {
-                self.write_back(victim)?;
+            let frame = shard.frames.remove(&victim).expect("victim cached");
+            if frame.dirty {
+                self.pager.lock().write_page_raw(victim, &frame.data)?;
             }
-            self.frames.remove(&victim);
         }
         Ok(())
     }
+}
+
+fn bump_tick(shard: &mut ShardInner) -> u64 {
+    shard.tick += 1;
+    shard.tick
 }
 
 #[cfg(test)]
@@ -192,6 +288,11 @@ mod tests {
     fn pool(capacity: usize) -> BufferPool {
         let pager = Pager::new(Box::new(MemStorage::new()), IoStats::new()).unwrap();
         BufferPool::new(pager, capacity)
+    }
+
+    fn sharded_pool(capacity: usize, shards: usize) -> BufferPool {
+        let pager = Pager::new(Box::new(MemStorage::new()), IoStats::new()).unwrap();
+        BufferPool::with_shards(pager, capacity, shards)
     }
 
     #[test]
@@ -223,7 +324,8 @@ mod tests {
 
     #[test]
     fn misses_require_device_reads() {
-        let p = pool(4);
+        // One shard so eviction order is the plain global LRU.
+        let p = sharded_pool(4, 1);
         let ids: Vec<PageId> = (0..12).map(|_| p.allocate().unwrap()).collect();
         for &id in &ids {
             p.write_with(id, |d| d[0] = 1).unwrap();
@@ -258,7 +360,7 @@ mod tests {
 
     #[test]
     fn lru_prefers_old_pages() {
-        let p = pool(4);
+        let p = sharded_pool(4, 1);
         let ids: Vec<PageId> = (0..4).map(|_| p.allocate().unwrap()).collect();
         // Keep touching ids[0] while allocating more; ids[0] should stay.
         for _ in 0..6 {
@@ -268,6 +370,83 @@ mod tests {
         let before = p.io_snapshot();
         p.read_with(ids[0], |_| ()).unwrap();
         let after = p.io_snapshot();
-        assert_eq!(after.cache_misses, before.cache_misses, "ids[0] must still be cached");
+        assert_eq!(
+            after.cache_misses, before.cache_misses,
+            "ids[0] must still be cached"
+        );
+    }
+
+    #[test]
+    fn shard_count_is_power_of_two_and_capacity_bounded() {
+        let p = sharded_pool(64, 5);
+        // 5 rounds up to 8; 64 / 4-per-shard allows 16, so 8 stands.
+        assert_eq!(p.shard_count(), 8);
+        // Tiny capacity forces a single shard regardless of request.
+        let p = sharded_pool(4, 16);
+        assert_eq!(p.shard_count(), 1);
+        // Default constructor never exceeds capacity / MIN_FRAMES_PER_SHARD.
+        let p = pool(8);
+        assert!(p.shard_count() <= 2);
+    }
+
+    #[test]
+    fn sharded_pool_respects_total_capacity() {
+        let p = sharded_pool(16, 4);
+        assert_eq!(p.shard_count(), 4);
+        for i in 0..200 {
+            let id = p.allocate().unwrap();
+            p.write_with(id, |d| d[0] = i as u8).unwrap();
+        }
+        assert!(
+            p.cached_frames() <= 16,
+            "cached {} frames",
+            p.cached_frames()
+        );
+    }
+
+    #[test]
+    fn sharded_pool_preserves_data_across_evictions() {
+        let p = sharded_pool(16, 4);
+        let ids: Vec<PageId> = (0..100)
+            .map(|i| {
+                let id = p.allocate().unwrap();
+                p.write_with(id, |d| {
+                    d[0] = (i % 251) as u8;
+                    d[PAGE_SIZE - 1] = (i % 7) as u8;
+                })
+                .unwrap();
+                id
+            })
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let (a, b) = p.read_with(id, |d| (d[0], d[PAGE_SIZE - 1])).unwrap();
+            assert_eq!(a, (i % 251) as u8);
+            assert_eq!(b, (i % 7) as u8);
+        }
+    }
+
+    #[test]
+    fn concurrent_hits_on_distinct_shards() {
+        use std::sync::Arc;
+        let p = Arc::new(sharded_pool(64, 4));
+        let ids: Vec<PageId> = (0..16).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.write_with(id, |d| d[0] = i as u8).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = Arc::clone(&p);
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for round in 0..500 {
+                        let i = (t + round) % ids.len();
+                        let v = p.read_with(ids[i], |d| d[0]).unwrap();
+                        assert_eq!(v, i as u8);
+                    }
+                });
+            }
+        });
+        let snap = p.io_snapshot();
+        assert!(snap.cache_hits >= 2000, "hits: {}", snap.cache_hits);
     }
 }

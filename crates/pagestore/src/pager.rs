@@ -56,7 +56,12 @@ impl Pager {
     /// written; otherwise the existing meta page is validated and loaded.
     pub fn new(mut storage: Box<dyn Storage>, stats: IoStats) -> StoreResult<Self> {
         if storage.is_empty()? {
-            let mut pager = Pager { storage, stats, page_count: 1, catalog: Vec::new() };
+            let mut pager = Pager {
+                storage,
+                stats,
+                page_count: 1,
+                catalog: Vec::new(),
+            };
             pager.write_meta()?;
             Ok(pager)
         } else {
@@ -85,7 +90,12 @@ impl Pager {
                 catalog.push(CatalogEntry { name, root });
                 off += 9 + MAX_NAME_LEN;
             }
-            Ok(Pager { storage, stats, page_count, catalog })
+            Ok(Pager {
+                storage,
+                stats,
+                page_count,
+                catalog,
+            })
         }
     }
 
@@ -120,7 +130,10 @@ impl Pager {
             if self.catalog.len() >= MAX_TREES {
                 return Err(StoreError::CatalogFull);
             }
-            self.catalog.push(CatalogEntry { name: name.to_string(), root });
+            self.catalog.push(CatalogEntry {
+                name: name.to_string(),
+                root,
+            });
         }
         self.write_meta()
     }

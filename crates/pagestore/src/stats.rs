@@ -61,7 +61,9 @@ impl IoStats {
 
     /// Record a device write of `blocks` pages taking `elapsed`.
     pub fn record_write(&self, blocks: u64, elapsed: Duration) {
-        self.inner.blocks_written.fetch_add(blocks, Ordering::Relaxed);
+        self.inner
+            .blocks_written
+            .fetch_add(blocks, Ordering::Relaxed);
         self.inner
             .write_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);

@@ -21,8 +21,12 @@ pub struct Store {
 impl Store {
     /// An ephemeral in-memory store.
     pub fn in_memory() -> Store {
-        Store::with_storage(Box::new(MemStorage::new()), IoStats::new(), DEFAULT_CAPACITY)
-            .expect("in-memory store cannot fail")
+        Store::with_storage(
+            Box::new(MemStorage::new()),
+            IoStats::new(),
+            DEFAULT_CAPACITY,
+        )
+        .expect("in-memory store cannot fail")
     }
 
     /// An in-memory store with explicit stats and buffer-pool capacity —
@@ -34,12 +38,20 @@ impl Store {
 
     /// Open (or create) a file-backed store at `path`.
     pub fn open(path: &Path) -> StoreResult<Store> {
-        Store::with_storage(Box::new(FileStorage::open(path)?), IoStats::new(), DEFAULT_CAPACITY)
+        Store::with_storage(
+            Box::new(FileStorage::open(path)?),
+            IoStats::new(),
+            DEFAULT_CAPACITY,
+        )
     }
 
     /// Create a fresh file-backed store, truncating any existing file.
     pub fn create(path: &Path) -> StoreResult<Store> {
-        Store::with_storage(Box::new(FileStorage::create(path)?), IoStats::new(), DEFAULT_CAPACITY)
+        Store::with_storage(
+            Box::new(FileStorage::create(path)?),
+            IoStats::new(),
+            DEFAULT_CAPACITY,
+        )
     }
 
     /// Create a fresh file-backed store with explicit stats and capacity.
@@ -47,14 +59,37 @@ impl Store {
         Store::with_storage(Box::new(FileStorage::create(path)?), stats, capacity)
     }
 
-    /// Wrap an arbitrary storage device.
+    /// Wrap an arbitrary storage device. The buffer pool is sharded by
+    /// CPU count (see [`crate::buffer::default_shard_count`]).
     pub fn with_storage(
         storage: Box<dyn Storage>,
         stats: IoStats,
         capacity: usize,
     ) -> StoreResult<Store> {
         let pager = Pager::new(storage, stats)?;
-        Ok(Store { pool: Arc::new(BufferPool::new(pager, capacity)) })
+        Ok(Store {
+            pool: Arc::new(BufferPool::new(pager, capacity)),
+        })
+    }
+
+    /// Wrap an arbitrary storage device with an explicit buffer-pool
+    /// shard count (rounded to a power of two; see
+    /// [`crate::buffer::BufferPool::with_shards`]).
+    pub fn with_storage_sharded(
+        storage: Box<dyn Storage>,
+        stats: IoStats,
+        capacity: usize,
+        shards: usize,
+    ) -> StoreResult<Store> {
+        let pager = Pager::new(storage, stats)?;
+        Ok(Store {
+            pool: Arc::new(BufferPool::with_shards(pager, capacity, shards)),
+        })
+    }
+
+    /// Number of shards in the underlying buffer pool.
+    pub fn shard_count(&self) -> usize {
+        self.pool.shard_count()
     }
 
     /// Open a named tree, creating it if absent.
@@ -281,7 +316,8 @@ mod tests {
             let store = Store::create(&path).unwrap();
             let t = store.open_tree("nodes").unwrap();
             for i in 0..2000u32 {
-                t.insert(&i.to_be_bytes(), format!("node {i}").as_bytes()).unwrap();
+                t.insert(&i.to_be_bytes(), format!("node {i}").as_bytes())
+                    .unwrap();
             }
             store.flush().unwrap();
         }
@@ -314,6 +350,9 @@ mod tests {
         }
         store.flush().unwrap();
         let snap = store.io_snapshot();
-        assert!(snap.blocks_written > 10, "expected real write traffic: {snap:?}");
+        assert!(
+            snap.blocks_written > 10,
+            "expected real write traffic: {snap:?}"
+        );
     }
 }

@@ -112,7 +112,11 @@ impl Document {
 
     fn alloc(&mut self, kind: NodeKind, parent: Option<NodeId>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, parent, children: Vec::new() });
+        self.nodes.push(Node {
+            kind,
+            parent,
+            children: Vec::new(),
+        });
         id
     }
 
@@ -120,7 +124,10 @@ impl Document {
     pub fn create_root(&mut self, name: &str) -> NodeId {
         assert!(self.root.is_none(), "document already has a root");
         let id = self.alloc(
-            NodeKind::Element { name: name.to_string(), attrs: Vec::new() },
+            NodeKind::Element {
+                name: name.to_string(),
+                attrs: Vec::new(),
+            },
             None,
         );
         self.root = Some(id);
@@ -130,7 +137,10 @@ impl Document {
     /// Append a child element to `parent` and return its id.
     pub fn append_element(&mut self, parent: NodeId, name: &str) -> NodeId {
         let id = self.alloc(
-            NodeKind::Element { name: name.to_string(), attrs: Vec::new() },
+            NodeKind::Element {
+                name: name.to_string(),
+                attrs: Vec::new(),
+            },
             Some(parent),
         );
         self.nodes[parent.index()].children.push(id);
@@ -376,7 +386,10 @@ mod tests {
         let title = doc.append_element(book, "title");
         doc.append_text(title, "X");
         doc.set_attr(book, "year", "2012");
-        assert_eq!(doc.serialize_compact(), r#"<data><book year="2012"><title>X</title></book></data>"#);
+        assert_eq!(
+            doc.serialize_compact(),
+            r#"<data><book year="2012"><title>X</title></book></data>"#
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ pub enum ErrorKind {
 
 impl XmlError {
     pub(crate) fn new(kind: ErrorKind, offset: usize, line: u32, column: u32) -> Self {
-        XmlError { kind, offset, line, column }
+        XmlError {
+            kind,
+            offset,
+            line,
+            column,
+        }
     }
 }
 
@@ -85,12 +90,7 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let e = XmlError::new(
-            ErrorKind::UnexpectedEof("tag"),
-            10,
-            2,
-            5,
-        );
+        let e = XmlError::new(ErrorKind::UnexpectedEof("tag"), 10, 2, 5);
         let s = e.to_string();
         assert!(s.starts_with("2:5:"), "{s}");
         assert!(s.contains("unexpected end of input"), "{s}");
@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn display_mismatched_tag() {
         let e = XmlError::new(
-            ErrorKind::MismatchedTag { open: "a".into(), close: "b".into() },
+            ErrorKind::MismatchedTag {
+                open: "a".into(),
+                close: "b".into(),
+            },
             0,
             1,
             1,

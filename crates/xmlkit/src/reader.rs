@@ -228,7 +228,10 @@ impl<'a> XmlReader<'a> {
         let raw = &self.src[start..self.pos];
         if self.stack.is_empty() {
             // Only whitespace is allowed outside the document element.
-            if raw.bytes().all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n')) {
+            if raw
+                .bytes()
+                .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+            {
                 // Skip and continue pulling.
                 return self.next_event();
             }
@@ -426,7 +429,10 @@ mod tests {
     }
 
     fn start(name: &str) -> XmlEvent {
-        XmlEvent::StartElement { name: name.into(), attrs: vec![] }
+        XmlEvent::StartElement {
+            name: name.into(),
+            attrs: vec![],
+        }
     }
 
     fn end(name: &str) -> XmlEvent {
@@ -444,7 +450,13 @@ mod tests {
     fn nested_elements_and_text() {
         assert_eq!(
             events("<a><b>hi</b></a>"),
-            vec![start("a"), start("b"), XmlEvent::Text("hi".into()), end("b"), end("a")]
+            vec![
+                start("a"),
+                start("b"),
+                XmlEvent::Text("hi".into()),
+                end("b"),
+                end("a")
+            ]
         );
     }
 
@@ -491,7 +503,10 @@ mod tests {
         assert_eq!(evs[1], XmlEvent::Comment(" note ".into()));
         assert_eq!(
             evs[2],
-            XmlEvent::ProcessingInstruction { target: "app".into(), data: "do it".into() }
+            XmlEvent::ProcessingInstruction {
+                target: "app".into(),
+                data: "do it".into()
+            }
         );
     }
 

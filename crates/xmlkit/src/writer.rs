@@ -97,12 +97,20 @@ impl Default for StreamWriter {
 impl StreamWriter {
     /// Create a writer with an empty buffer.
     pub fn new() -> Self {
-        StreamWriter { out: String::new(), stack: Vec::new(), open_tag_pending: false }
+        StreamWriter {
+            out: String::new(),
+            stack: Vec::new(),
+            open_tag_pending: false,
+        }
     }
 
     /// Create a writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        StreamWriter { out: String::with_capacity(cap), stack: Vec::new(), open_tag_pending: false }
+        StreamWriter {
+            out: String::with_capacity(cap),
+            stack: Vec::new(),
+            open_tag_pending: false,
+        }
     }
 
     fn close_pending(&mut self) {
@@ -181,7 +189,11 @@ impl StreamWriter {
     /// Finish and return the XML text. Panics if elements are still open.
     pub fn finish(mut self) -> String {
         self.close_pending();
-        assert!(self.stack.is_empty(), "finish() with {} open element(s)", self.stack.len());
+        assert!(
+            self.stack.is_empty(),
+            "finish() with {} open element(s)",
+            self.stack.len()
+        );
         self.out
     }
 }

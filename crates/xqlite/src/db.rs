@@ -81,7 +81,9 @@ impl XqliteDb {
         if !found {
             return Ok(None);
         }
-        Ok(Some(String::from_utf8(out).expect("chunks split on UTF-8 boundaries")))
+        Ok(Some(
+            String::from_utf8(out).expect("chunks split on UTF-8 boundaries"),
+        ))
     }
 
     /// List stored document names.
@@ -108,7 +110,9 @@ impl XqliteDb {
     /// The paper's baseline query: dump a whole document wrapped in a
     /// `<data>` element — eXist's best case.
     pub fn dump_wrapped(&self, name: &str, root: &str) -> Result<String, QueryError> {
-        self.query(&format!("for $b in doc(\"{name}\")/{root} return <data>{{$b}}</data>"))
+        self.query(&format!(
+            "for $b in doc(\"{name}\")/{root} return <data>{{$b}}</data>"
+        ))
     }
 }
 
@@ -134,7 +138,10 @@ mod tests {
         }
         xml.push_str("</root>");
         db.store_document("big.xml", &xml).unwrap();
-        assert_eq!(db.load_document("big.xml").unwrap().as_deref(), Some(xml.as_str()));
+        assert_eq!(
+            db.load_document("big.xml").unwrap().as_deref(),
+            Some(xml.as_str())
+        );
     }
 
     #[test]
@@ -152,7 +159,10 @@ mod tests {
         let db = XqliteDb::in_memory();
         let xml = format!("<r>{}</r>", "é☃".repeat(5000));
         db.store_document("uni", &xml).unwrap();
-        assert_eq!(db.load_document("uni").unwrap().as_deref(), Some(xml.as_str()));
+        assert_eq!(
+            db.load_document("uni").unwrap().as_deref(),
+            Some(xml.as_str())
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl<'a> Ctx<'a> {
 
 /// Evaluate a parsed query and serialize the result sequence.
 pub fn run(db: &XqliteDb, expr: &Expr) -> Result<String, QueryError> {
-    let mut ctx = Ctx { db, docs: HashMap::new(), vars: vec![HashMap::new()] };
+    let mut ctx = Ctx {
+        db,
+        docs: HashMap::new(),
+        vars: vec![HashMap::new()],
+    };
     let seq = eval(expr, &mut ctx)?;
     Ok(serialize_seq(&seq))
 }
@@ -117,7 +121,12 @@ fn ebv(seq: &Seq) -> bool {
 
 fn eval(expr: &Expr, ctx: &mut Ctx<'_>) -> Result<Seq, QueryError> {
     match expr {
-        Expr::Flwor { bindings, condition, order_by, body } => {
+        Expr::Flwor {
+            bindings,
+            condition,
+            order_by,
+            body,
+        } => {
             let mut tuples: Vec<(Option<String>, Seq)> = Vec::new();
             ctx.vars.push(HashMap::new());
             let result = flwor_rec(
@@ -179,8 +188,7 @@ fn eval(expr: &Expr, ctx: &mut Ctx<'_>) -> Result<Seq, QueryError> {
             // Re-parse so constructed elements behave like nodes for
             // downstream steps.
             let doc = Rc::new(
-                Document::parse_str(&xml)
-                    .map_err(|e| QueryError::BadStoredXml(e.to_string()))?,
+                Document::parse_str(&xml).map_err(|e| QueryError::BadStoredXml(e.to_string()))?,
             );
             let root = doc.root_element().expect("constructed element");
             Ok(vec![Item::Node(doc, root)])
@@ -254,9 +262,7 @@ fn flwor_rec(
                 }
             }
             let key = match order_key {
-                Some(k) => Some(
-                    eval(k, ctx)?.first().map(string_value).unwrap_or_default(),
-                ),
+                Some(k) => Some(eval(k, ctx)?.first().map(string_value).unwrap_or_default()),
                 None => None,
             };
             out.push((key, eval(body, ctx)?));
@@ -294,8 +300,9 @@ fn apply_step(step: &Step, seq: Seq, ctx: &mut Ctx<'_>) -> Result<Seq, QueryErro
                         // Special case: the document root — a child step
                         // naming the root element selects it.
                         if doc.parent(*id).is_none() && (name == "*" || doc.name(*id) == name) {
-                            let children_match =
-                                doc.children(*id).any(|c| name == "*" || doc.name(c) == name);
+                            let children_match = doc
+                                .children(*id)
+                                .any(|c| name == "*" || doc.name(c) == name);
                             if !children_match {
                                 out.push(Item::Node(Rc::clone(doc), *id));
                                 continue;
@@ -469,16 +476,17 @@ mod tests {
     #[test]
     fn attribute_step() {
         let db = db_with("d", BOOKS);
-        assert_eq!(db.query(r#"doc("d")/data/book/@year"#).unwrap(), "2001 2005");
+        assert_eq!(
+            db.query(r#"doc("d")/data/book/@year"#).unwrap(),
+            "2001 2005"
+        );
     }
 
     #[test]
     fn flwor_with_where() {
         let db = db_with("d", BOOKS);
         let out = db
-            .query(
-                r#"for $b in doc("d")/data/book where $b/author/name = "Tim" return $b/title"#,
-            )
+            .query(r#"for $b in doc("d")/data/book where $b/author/name = "Tim" return $b/title"#)
             .unwrap();
         assert_eq!(out, "<title>X</title>");
     }
@@ -495,7 +503,10 @@ mod tests {
     #[test]
     fn positional_predicate() {
         let db = db_with("d", BOOKS);
-        assert_eq!(db.query(r#"doc("d")/data/book[2]/title"#).unwrap(), "<title>Y</title>");
+        assert_eq!(
+            db.query(r#"doc("d")/data/book[2]/title"#).unwrap(),
+            "<title>Y</title>"
+        );
     }
 
     #[test]
@@ -525,7 +536,8 @@ mod tests {
     fn string_and_concat() {
         let db = db_with("d", BOOKS);
         assert_eq!(
-            db.query(r#"concat("title: ", string(doc("d")//title))"#).unwrap(),
+            db.query(r#"concat("title: ", string(doc("d")//title))"#)
+                .unwrap(),
             "title: X"
         );
     }
@@ -571,7 +583,10 @@ mod tests {
             db.query(r#"doc("missing")/a"#),
             Err(QueryError::NoSuchDocument(_))
         ));
-        assert!(matches!(db.query(r#"$nope"#), Err(QueryError::UnboundVariable(_))));
+        assert!(matches!(
+            db.query(r#"$nope"#),
+            Err(QueryError::UnboundVariable(_))
+        ));
         assert!(matches!(
             db.query(r#""str"/a"#),
             Err(QueryError::NotANode(_))
@@ -603,9 +618,7 @@ mod tests {
             .unwrap();
         assert_eq!(asc, "2001 2005");
         let desc = db
-            .query(
-                r#"for $b in doc("d")/data/book order by $b/title descending return $b/@year"#,
-            )
+            .query(r#"for $b in doc("d")/data/book order by $b/title descending return $b/@year"#)
             .unwrap();
         assert_eq!(desc, "2005 2001");
     }

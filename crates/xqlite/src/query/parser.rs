@@ -6,7 +6,11 @@ use crate::query::QueryError;
 
 /// Parse a query.
 pub fn parse(src: &str) -> Result<Expr, QueryError> {
-    let mut p = P { src: src.as_bytes(), text: src, pos: 0 };
+    let mut p = P {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+    };
     p.ws();
     let e = p.expr()?;
     p.ws();
@@ -178,7 +182,12 @@ impl<'a> P<'a> {
         }
         self.ws();
         let body = Box::new(self.expr()?);
-        Ok(Expr::Flwor { bindings, condition, order_by, body })
+        Ok(Expr::Flwor {
+            bindings,
+            condition,
+            order_by,
+            body,
+        })
     }
 
     fn or_expr(&mut self) -> Result<Expr, QueryError> {
@@ -188,7 +197,11 @@ impl<'a> P<'a> {
             if self.kw("or") {
                 self.ws();
                 let rhs = self.and_expr()?;
-                lhs = Expr::Logic { is_or: true, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+                lhs = Expr::Logic {
+                    is_or: true,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
             } else {
                 return Ok(lhs);
             }
@@ -202,7 +215,11 @@ impl<'a> P<'a> {
             if self.kw("and") {
                 self.ws();
                 let rhs = self.cmp_expr()?;
-                lhs = Expr::Logic { is_or: false, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+                lhs = Expr::Logic {
+                    is_or: false,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
             } else {
                 return Ok(lhs);
             }
@@ -234,7 +251,11 @@ impl<'a> P<'a> {
         };
         self.ws();
         let rhs = self.path_expr()?;
-        Ok(Expr::Compare { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Compare {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn path_expr(&mut self) -> Result<Expr, QueryError> {
@@ -267,7 +288,10 @@ impl<'a> P<'a> {
         if steps.is_empty() {
             Ok(origin)
         } else {
-            Ok(Expr::Path { origin: Box::new(origin), steps })
+            Ok(Expr::Path {
+                origin: Box::new(origin),
+                steps,
+            })
         }
     }
 
@@ -388,7 +412,11 @@ impl<'a> P<'a> {
                 Some(b'/') => {
                     self.pos += 1;
                     self.expect(">")?;
-                    return Ok(Constructor { name, attrs, content: Vec::new() });
+                    return Ok(Constructor {
+                        name,
+                        attrs,
+                        content: Vec::new(),
+                    });
                 }
                 Some(b) if is_name(b) => {
                     let aname = self.name()?;
@@ -417,7 +445,11 @@ impl<'a> P<'a> {
                         }
                         self.ws();
                         self.expect(">")?;
-                        return Ok(Constructor { name, attrs, content });
+                        return Ok(Constructor {
+                            name,
+                            attrs,
+                            content,
+                        });
                     }
                     content.push(Content::Element(Box::new(self.constructor()?)));
                 }
@@ -456,7 +488,12 @@ mod tests {
     fn paper_dump_query_parses() {
         let e = parse(r#"for $b in doc("xmark.xml")/site return <data>{$b}</data>"#).unwrap();
         match e {
-            Expr::Flwor { bindings, condition, body, .. } => {
+            Expr::Flwor {
+                bindings,
+                condition,
+                body,
+                ..
+            } => {
                 assert_eq!(bindings.len(), 1);
                 assert!(condition.is_none());
                 assert!(matches!(*body, Expr::Element(_)));
@@ -496,12 +533,14 @@ mod tests {
 
     #[test]
     fn flwor_with_let_where() {
-        let e = parse(
-            r#"for $a in doc("d")//author let $n := $a/name where $n = "Tim" return $n"#,
-        )
-        .unwrap();
+        let e = parse(r#"for $a in doc("d")//author let $n := $a/name where $n = "Tim" return $n"#)
+            .unwrap();
         match e {
-            Expr::Flwor { bindings, condition, .. } => {
+            Expr::Flwor {
+                bindings,
+                condition,
+                ..
+            } => {
                 assert_eq!(bindings.len(), 2);
                 assert!(condition.is_some());
             }

@@ -70,7 +70,12 @@ fn resolve(
 /// Recurse over non-path expression structure.
 fn walk(expr: &Expr, ctx: &mut HashMap<String, Vec<String>>, out: &mut Vec<Vec<String>>) {
     match expr {
-        Expr::Flwor { bindings, condition, order_by, body } => {
+        Expr::Flwor {
+            bindings,
+            condition,
+            order_by,
+            body,
+        } => {
             let mut bound: Vec<String> = Vec::new();
             for binding in bindings {
                 let (var, e) = match binding {
@@ -106,9 +111,7 @@ fn walk(expr: &Expr, ctx: &mut HashMap<String, Vec<String>>, out: &mut Vec<Vec<S
                     Content::Embed(e) => {
                         if resolve(e, ctx, out).is_none() { /* walked */ }
                     }
-                    Content::Element(inner) => {
-                        walk(&Expr::Element((**inner).clone()), ctx, out)
-                    }
+                    Content::Element(inner) => walk(&Expr::Element((**inner).clone()), ctx, out),
                 }
             }
         }
@@ -140,14 +143,15 @@ mod tests {
     fn simple_path() {
         // Only the complete navigated path is recorded; the inference
         // trie reconstructs prefixes.
-        assert_eq!(paths(r#"doc("d")/data/book/title"#), vec!["data/book/title"]);
+        assert_eq!(
+            paths(r#"doc("d")/data/book/title"#),
+            vec!["data/book/title"]
+        );
     }
 
     #[test]
     fn flwor_variables_resolve() {
-        let got = paths(
-            r#"for $b in doc("d")/data/book return <t>{string($b/title)}</t>"#,
-        );
+        let got = paths(r#"for $b in doc("d")/data/book return <t>{string($b/title)}</t>"#);
         assert!(got.contains(&"data/book".to_string()), "{got:?}");
         assert!(got.contains(&"data/book/title".to_string()), "{got:?}");
     }
@@ -176,9 +180,8 @@ mod tests {
 
     #[test]
     fn constructors_walked() {
-        let got = paths(
-            r#"for $b in doc("d")//book return <e><t>{$b/title}</t><y>{$b/year}</y></e>"#,
-        );
+        let got =
+            paths(r#"for $b in doc("d")//book return <e><t>{$b/title}</t><y>{$b/year}</y></e>"#);
         assert!(got.contains(&"book/title".to_string()), "{got:?}");
         assert!(got.contains(&"book/year".to_string()), "{got:?}");
     }

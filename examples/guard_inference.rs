@@ -14,8 +14,14 @@ const QUERY: &str = r#"for $a in doc("t.xml")/result/author
 return <credit>{string($a/name)} wrote {string($a/book/title)}</credit>"#;
 
 const SOURCES: &[(&str, &str)] = &[
-    ("book-rooted", "<data><book><title>X</title><author><name>Tim</name></author></book></data>"),
-    ("author-rooted", "<data><author><name>Tim</name><book><title>X</title></book></author></data>"),
+    (
+        "book-rooted",
+        "<data><book><title>X</title><author><name>Tim</name></author></book></data>",
+    ),
+    (
+        "author-rooted",
+        "<data><author><name>Tim</name><book><title>X</title></book></author></data>",
+    ),
 ];
 
 fn main() {

@@ -53,7 +53,9 @@ fn main() {
     println!("--- 5. TYPE-FILL for a missing label ---");
     let missing = Guard::parse("MUTATE editor [ title ]").unwrap();
     match missing.apply_to_str(DATA) {
-        Err(MorphError::TypeMismatch { label }) => println!("without TYPE-FILL: mismatch on {label:?}"),
+        Err(MorphError::TypeMismatch { label }) => {
+            println!("without TYPE-FILL: mismatch on {label:?}")
+        }
         other => println!("unexpected: {other:?}"),
     }
     let filled = Guard::parse("CAST TYPE-FILL MUTATE editor [ title ]").unwrap();

@@ -33,7 +33,11 @@ fn main() {
     let guard = Guard::parse("MORPH author [ name book [ title ] ]").expect("guard parses");
     println!("guard: {}\n", guard.source());
 
-    for (name, xml) in [("Fig 1(a)", FIG1A), ("Fig 1(b)", FIG1B), ("Fig 1(c)", FIG1C)] {
+    for (name, xml) in [
+        ("Fig 1(a)", FIG1A),
+        ("Fig 1(b)", FIG1B),
+        ("Fig 1(c)", FIG1C),
+    ] {
         let out = guard.apply_to_str(xml).expect("guard applies");
         println!("=== {name} ===");
         println!("typing: {}", out.analysis.loss.typing);

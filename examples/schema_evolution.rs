@@ -33,8 +33,7 @@ const V2: &str = "<data>\
     </author></data>";
 
 /// A raw query written against V1's shape.
-const RAW_QUERY: &str =
-    r#"for $b in doc("lib.xml")/data/book return <t>{string($b/title)}</t>"#;
+const RAW_QUERY: &str = r#"for $b in doc("lib.xml")/data/book return <t>{string($b/title)}</t>"#;
 
 /// The guarded pair: shape declaration + query against that shape.
 const GUARD: &str = "MORPH author [ name book [ title ] ]";
@@ -61,7 +60,14 @@ fn main() {
 
     println!("--- the same raw query against the normalized V2 ---");
     let broken = run_raw(V2);
-    println!("{}", if broken.is_empty() { "(empty — the query silently broke)" } else { &broken });
+    println!(
+        "{}",
+        if broken.is_empty() {
+            "(empty — the query silently broke)"
+        } else {
+            &broken
+        }
+    );
     println!();
 
     println!("--- the guarded query against V1 ---");

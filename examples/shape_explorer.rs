@@ -11,7 +11,11 @@ use xmorph_repro::xml::dom::Document;
 
 fn main() {
     // A small auction document.
-    let xml = XmarkConfig { factor: 0.001, ..Default::default() }.generate();
+    let xml = XmarkConfig {
+        factor: 0.001,
+        ..Default::default()
+    }
+    .generate();
     let store = Store::in_memory();
     let doc = ShreddedDoc::shred_str(&store, &xml).expect("shred");
 
@@ -40,7 +44,10 @@ fn main() {
         .find(|&t| types.dotted(t).contains("person"))
         .expect("person name type");
     let interest = types.matching("interest")[0];
-    println!("typeDistance(person, person.name) = {:?}", doc.type_distance_exact(person, name));
+    println!(
+        "typeDistance(person, person.name) = {:?}",
+        doc.type_distance_exact(person, name)
+    );
     println!(
         "typeDistance(person, profile.interest) = {:?}",
         doc.type_distance_exact(person, interest)

@@ -124,7 +124,11 @@ fn run() -> Result<(), String> {
             let guard = require_guard(&args)?;
             let (_store, doc) = load_doc(&args)?;
             let opts = xmorph_core::render::RenderOptions {
-                wrapper: if args.no_wrapper { None } else { Some("result".into()) },
+                wrapper: if args.no_wrapper {
+                    None
+                } else {
+                    Some("result".into())
+                },
                 ..Default::default()
             };
             let out = guard.apply_with(&doc, &opts).map_err(|e| e.to_string())?;
@@ -141,7 +145,11 @@ fn run() -> Result<(), String> {
             println!("{}", analysis.loss);
             println!(
                 "enforcement: {}",
-                if analysis.permitted() { "admitted" } else { "REJECTED (add a CAST)" }
+                if analysis.permitted() {
+                    "admitted"
+                } else {
+                    "REJECTED (add a CAST)"
+                }
             );
             println!("effective guard: {}", analysis.target.to_guard());
             Ok(())
@@ -183,8 +191,7 @@ fn run() -> Result<(), String> {
         }
         "infer" => {
             let query = args.query.as_deref().ok_or("need --query '<xquery>'")?;
-            let paths =
-                xmorph_xqlite::query_shape_paths(query).map_err(|e| e.to_string())?;
+            let paths = xmorph_xqlite::query_shape_paths(query).map_err(|e| e.to_string())?;
             let below_root: Vec<Vec<String>> = paths
                 .iter()
                 .map(|p| p.iter().skip(1).cloned().collect::<Vec<_>>())
@@ -200,7 +207,8 @@ fn run() -> Result<(), String> {
             let input = args.input.as_deref().ok_or("need --input <file>")?;
             let xml = read_input(input)?;
             let db = XqliteDb::in_memory();
-            db.store_document("doc.xml", &xml).map_err(|e| e.to_string())?;
+            db.store_document("doc.xml", &xml)
+                .map_err(|e| e.to_string())?;
             println!("{}", db.query(query).map_err(|e| e.to_string())?);
             Ok(())
         }

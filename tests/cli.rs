@@ -45,16 +45,31 @@ fn apply_transforms() {
 #[test]
 fn apply_reads_stdin() {
     let mut child = Command::new(BIN)
-        .args(["apply", "--guard", "MORPH title", "--input", "-", "--no-wrapper"])
+        .args([
+            "apply",
+            "--guard",
+            "MORPH title",
+            "--input",
+            "-",
+            "--no-wrapper",
+        ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"<d><title>Solo</title></d>").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"<d><title>Solo</title></d>")
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
-    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "<title>Solo</title>");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "<title>Solo</title>"
+    );
 }
 
 #[test]
@@ -114,8 +129,13 @@ fn shred_then_apply_from_store() {
         store.to_str().unwrap(),
     ]);
     assert!(ok, "{stderr}");
-    let (stdout, stderr, ok) =
-        run(&["apply", "--guard", "MORPH title", "--store", store.to_str().unwrap()]);
+    let (stdout, stderr, ok) = run(&[
+        "apply",
+        "--guard",
+        "MORPH title",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("<title>X</title><title>Y</title>"));
     std::fs::remove_file(&store).ok();

@@ -94,5 +94,10 @@ fn transformed_output_is_requeryable_through_xmorph() {
     let second = Guard::parse("MORPH book [ title name ]").unwrap();
     let out2 = second.apply_to_str(&out1.xml).unwrap();
     // Every book now carries its author's name directly.
-    assert!(out2.xml.contains("<book><title>X</title><name>Tim</name></book>"), "{}", out2.xml);
+    assert!(
+        out2.xml
+            .contains("<book><title>X</title><name>Tim</name></book>"),
+        "{}",
+        out2.xml
+    );
 }

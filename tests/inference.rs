@@ -55,7 +55,8 @@ return <t>{string($b/title)} ({string($b/@year)})</t>"#;
     let guard_text = infer_guard(query);
     assert_eq!(guard_text, "MORPH book [ @year author title ]");
     // And it runs: attributes morph back into attributes.
-    let xml = r#"<lib><item year="2001"><book><author>Tim</author><title>X</title></book></item></lib>"#;
+    let xml =
+        r#"<lib><item year="2001"><book><author>Tim</author><title>X</title></book></item></lib>"#;
     // `@year` sits on <item>, not <book>, in the source — the guard
     // pulls the closest one onto each book.
     let guard = Guard::parse(&format!("CAST {guard_text}")).unwrap();

@@ -81,8 +81,8 @@ fn fig3_widening_guard() {
         guard.apply_to_str(FIG1C),
         Err(MorphError::Rejected { .. })
     ));
-    let cast = Guard::parse("CAST-WIDENING MORPH author [ !title name publisher [ name ] ]")
-        .unwrap();
+    let cast =
+        Guard::parse("CAST-WIDENING MORPH author [ !title name publisher [ name ] ]").unwrap();
     let out = cast.apply_to_str(FIG1C).unwrap();
     // Both titles now sit next to both publishers under the author.
     assert_eq!(out.xml.matches("<title>").count(), 2);
@@ -135,7 +135,9 @@ fn section3_mutate_book_publisher() {
     let books: Vec<_> = doc.children_named(data, "book").collect();
     assert_eq!(books.len(), 2, "{}", out.xml);
     for book in books {
-        let publisher = doc.child_named(book, "publisher").expect("publisher moved under book");
+        let publisher = doc
+            .child_named(book, "publisher")
+            .expect("publisher moved under book");
         assert!(doc.child_named(publisher, "name").is_some());
     }
 }

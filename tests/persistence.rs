@@ -54,7 +54,10 @@ fn multiple_guards_one_shred() {
     for (guard, expect) in [
         ("MORPH title", "<title>X</title>"),
         ("MORPH name", "<name>Tim</name>"),
-        ("MORPH book [ title name ]", "<book><title>X</title><name>Tim</name></book>"),
+        (
+            "MORPH book [ title name ]",
+            "<book><title>X</title><name>Tim</name></book>",
+        ),
     ] {
         let out = Guard::parse(guard).unwrap().apply(&doc).unwrap();
         assert!(out.xml.contains(expect), "{guard}: {}", out.xml);
@@ -86,7 +89,11 @@ fn io_stats_show_reopened_reads() {
     let path = temp_path("stats-reopen.db");
     {
         let store = Store::create(&path).unwrap();
-        let xml = xmorph_datagen::DblpConfig { records: 500, ..Default::default() }.generate();
+        let xml = xmorph_datagen::DblpConfig {
+            records: 500,
+            ..Default::default()
+        }
+        .generate();
         ShreddedDoc::shred_str(&store, &xml).unwrap();
         store.flush().unwrap();
     }

@@ -58,7 +58,11 @@ fn shred(xml: &str) -> (Store, ShreddedDoc) {
 }
 
 fn target_of(guard: &str, doc: &ShreddedDoc) -> Option<Shape> {
-    Guard::parse(guard).unwrap().analyze(doc).ok().map(|a| a.target)
+    Guard::parse(guard)
+        .unwrap()
+        .analyze(doc)
+        .ok()
+        .map(|a| a.target)
 }
 
 proptest! {

@@ -49,7 +49,11 @@ fn source_edges(
 
 /// Vertex set, edge set, and retained type paths of a transformed
 /// instance.
-type MappedGraph = (BTreeSet<Dewey>, BTreeSet<(Dewey, Dewey)>, BTreeSet<Vec<String>>);
+type MappedGraph = (
+    BTreeSet<Dewey>,
+    BTreeSet<(Dewey, Dewey)>,
+    BTreeSet<Vec<String>>,
+);
 
 /// Transform `xml` with `guard`, mapping output vertices back to source
 /// Dewey ids via `data-src` tags; returns the mapped vertex and edge sets
@@ -61,7 +65,11 @@ fn transformed_edges(guard: &Guard, xml: &str) -> Option<MappedGraph> {
     let out = render(
         &doc,
         &analysis.target,
-        &RenderOptions { wrapper: Some("w".into()), tag_source: true, ..Default::default() },
+        &RenderOptions {
+            wrapper: Some("w".into()),
+            tag_source: true,
+            ..Default::default()
+        },
     )
     .expect("render");
     let out_doc = Document::parse_str(&out).expect("output parses");
@@ -99,7 +107,9 @@ fn transformed_edges(guard: &Guard, xml: &str) -> Option<MappedGraph> {
     let mut composite_types = xmorph_core::TypeTable::new();
     let mut tagged: Vec<(Dewey, xmorph_core::TypeId)> = Vec::new();
     for (node, dewey) in out_doc.dewey_map() {
-        let Some(src) = src_of.get(&dewey) else { continue };
+        let Some(src) = src_of.get(&dewey) else {
+            continue;
+        };
         let mut key = out_doc.root_path(node);
         key.push("##".to_string());
         key.extend(src_type_of[src].iter().cloned());

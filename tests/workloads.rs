@@ -3,9 +3,9 @@
 //! line up with the sources.
 
 use xmorph_core::{Guard, ShreddedDoc};
+use xmorph_datagen::{DblpConfig, NasaConfig, XmarkConfig};
 use xmorph_pagestore::Store;
 use xmorph_xml::dom::Document;
-use xmorph_datagen::{DblpConfig, NasaConfig, XmarkConfig};
 
 fn shred(xml: &str) -> (Store, ShreddedDoc) {
     let store = Store::in_memory();
@@ -15,7 +15,11 @@ fn shred(xml: &str) -> (Store, ShreddedDoc) {
 
 #[test]
 fn xmark_mutate_site_round_trips_structure() {
-    let xml = XmarkConfig { factor: 0.005, ..Default::default() }.generate();
+    let xml = XmarkConfig {
+        factor: 0.005,
+        ..Default::default()
+    }
+    .generate();
     let src = Document::parse_str(&xml).unwrap();
     let (_store, doc) = shred(&xml);
     let out = Guard::parse("MUTATE site").unwrap().apply(&doc).unwrap();
@@ -35,7 +39,11 @@ fn count_attrs(doc: &Document) -> usize {
 
 #[test]
 fn xmark_guards_from_the_benchmarks_run() {
-    let xml = XmarkConfig { factor: 0.005, ..Default::default() }.generate();
+    let xml = XmarkConfig {
+        factor: 0.005,
+        ..Default::default()
+    }
+    .generate();
     let (_store, doc) = shred(&xml);
     for guard in [
         "MORPH people [ person [ address [ city ] ] ]",
@@ -51,7 +59,10 @@ fn xmark_guards_from_the_benchmarks_run() {
 
 #[test]
 fn dblp_morphs_match_record_counts() {
-    let cfg = DblpConfig { records: 400, ..Default::default() };
+    let cfg = DblpConfig {
+        records: 400,
+        ..Default::default()
+    };
     let xml = cfg.generate();
     let src = Document::parse_str(&xml).unwrap();
     let root = src.root_element().unwrap();
@@ -66,14 +77,21 @@ fn dblp_morphs_match_record_counts() {
 
     // The medium guard nests titles under authors: one title per record
     // per author.
-    let out = Guard::parse("CAST-WIDENING MORPH author [title [year]]").unwrap().apply(&doc).unwrap();
+    let out = Guard::parse("CAST-WIDENING MORPH author [title [year]]")
+        .unwrap()
+        .apply(&doc)
+        .unwrap();
     assert_eq!(out.xml.matches("<title>").count(), author_count);
     assert_eq!(out.xml.matches("<year>").count(), author_count);
 }
 
 #[test]
 fn nasa_deep_chain_renders() {
-    let xml = NasaConfig { datasets: 30, ..Default::default() }.generate();
+    let xml = NasaConfig {
+        datasets: 30,
+        ..Default::default()
+    }
+    .generate();
     let (_store, doc) = shred(&xml);
     let out = Guard::parse("MORPH dataset [ reference [ source [ other [ title ] ] ] ]")
         .unwrap()
@@ -89,8 +107,16 @@ fn compile_phase_is_data_size_independent() {
     // The Fig. 10 claim in test form: quadrupling the data changes the
     // compile (analysis) cost far less than the render cost.
     use std::time::Instant;
-    let small = XmarkConfig { factor: 0.004, ..Default::default() }.generate();
-    let large = XmarkConfig { factor: 0.016, ..Default::default() }.generate();
+    let small = XmarkConfig {
+        factor: 0.004,
+        ..Default::default()
+    }
+    .generate();
+    let large = XmarkConfig {
+        factor: 0.016,
+        ..Default::default()
+    }
+    .generate();
     let (_s1, doc_small) = shred(&small);
     let (_s2, doc_large) = shred(&large);
     let guard = Guard::parse("MUTATE site").unwrap();
