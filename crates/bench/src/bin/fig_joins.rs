@@ -1,0 +1,263 @@
+//! Closest-join microbenchmark (repository extension, not a paper
+//! figure): before/after numbers for the PR-2 hot-path work.
+//!
+//! Two measurements on one XMark document:
+//!
+//! 1. **Shredding** — the streaming shredder with incremental B+tree
+//!    inserts (one root-to-leaf descent per entry, the seed behaviour)
+//!    vs sort-once + bottom-up bulk loading.
+//! 2. **Closest-join probes** — `closest_children` resolved through a
+//!    B+tree prefix probe per parent (`closest_children_btree`, the
+//!    seed hot path) vs the columnar path (two binary searches on the
+//!    decoded type column), plus the `has_closest_child` existence
+//!    probe. Both sides are verified to return identical groups before
+//!    timing.
+//!
+//! Flags: `--scale <f>` scales the document, `--smoke` runs a tiny
+//! document with few iterations (the CI invocation), `--json` writes
+//! the measurements to `BENCH_PR2.json` in the current directory.
+
+use std::time::Instant;
+use xmorph_bench::harness::{BenchStore, StoreKind};
+use xmorph_bench::table::Table;
+use xmorph_core::{ShredOptions, ShreddedDoc, TypeId};
+use xmorph_datagen::XmarkConfig;
+use xmorph_xml::dewey::Dewey;
+
+/// Parent/child root paths joined in the microbench: a parent-child
+/// edge, a deeper descendant edge, and a cousin pair (joins through an
+/// ancestor).
+const JOIN_PAIRS: &[(&str, &str)] = &[
+    ("site.people.person", "site.people.person.name"),
+    ("site.people.person", "site.people.person.address.city"),
+    ("site.people.person.name", "site.people.person.address.city"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let scale = xmorph_bench::parse_scale();
+
+    let factor = if smoke { 0.004 } else { 0.05 * scale };
+    let iters = if smoke { 3 } else { 40 };
+    let xml = XmarkConfig::with_factor(factor).generate();
+    println!(
+        "Closest-join hot path (XMark factor {factor}, {} bytes, {iters} passes)\n",
+        xml.len()
+    );
+
+    let (shred_inc_s, shred_bulk_s) = bench_shred(&xml);
+    let mut table = Table::new(&["shred path", "seconds", "MB/s"]);
+    let mb = xml.len() as f64 / 1e6;
+    table.row(&[
+        "incremental inserts".into(),
+        format!("{shred_inc_s:.3}"),
+        format!("{:.1}", mb / shred_inc_s),
+    ]);
+    table.row(&[
+        "sorted bulk load".into(),
+        format!("{shred_bulk_s:.3}"),
+        format!("{:.1}", mb / shred_bulk_s),
+    ]);
+    table.print();
+    println!(
+        "shred speed-up: {:.2}x\n",
+        shred_inc_s / shred_bulk_s.max(1e-9)
+    );
+
+    let bench_store = BenchStore::create(StoreKind::Memory, 4096);
+    let doc = ShreddedDoc::shred_str(&bench_store.store, &xml).expect("shred");
+    let joins = bench_joins(&doc, iters);
+
+    let mut table = Table::new(&[
+        "join pair",
+        "parents",
+        "btree probes/s",
+        "columnar probes/s",
+        "speed-up",
+        "exists probes/s",
+    ]);
+    for j in &joins {
+        table.row(&[
+            j.label.clone(),
+            j.parents.to_string(),
+            format!("{:.0}", j.btree_probes_per_s),
+            format!("{:.0}", j.columnar_probes_per_s),
+            format!("{:.2}x", j.speedup()),
+            format!("{:.0}", j.exists_probes_per_s),
+        ]);
+    }
+    table.print();
+    let total_speedup = joins.iter().map(JoinBench::speedup).sum::<f64>() / joins.len() as f64;
+    println!("\nmean closest-join speed-up: {total_speedup:.2}x");
+
+    if json {
+        let path = "BENCH_PR2.json";
+        std::fs::write(
+            path,
+            render_json(&xml, factor, shred_inc_s, shred_bulk_s, &joins),
+        )
+        .expect("write BENCH_PR2.json");
+        println!("wrote {path}");
+    }
+}
+
+/// Time one shred of `xml` for each load path, seconds.
+fn bench_shred(xml: &str) -> (f64, f64) {
+    let incremental = {
+        let bs = BenchStore::create(StoreKind::Memory, 4096);
+        let t = Instant::now();
+        ShreddedDoc::shred_str_with(
+            &bs.store,
+            xml,
+            &ShredOptions {
+                bulk_load: false,
+                ..Default::default()
+            },
+        )
+        .expect("shred incremental");
+        t.elapsed().as_secs_f64()
+    };
+    let bulk = {
+        let bs = BenchStore::create(StoreKind::Memory, 4096);
+        let t = Instant::now();
+        ShreddedDoc::shred_str(&bs.store, xml).expect("shred bulk");
+        t.elapsed().as_secs_f64()
+    };
+    (incremental, bulk)
+}
+
+struct JoinBench {
+    label: String,
+    parents: usize,
+    btree_probes_per_s: f64,
+    columnar_probes_per_s: f64,
+    exists_probes_per_s: f64,
+}
+
+impl JoinBench {
+    fn speedup(&self) -> f64 {
+        self.columnar_probes_per_s / self.btree_probes_per_s.max(1e-9)
+    }
+}
+
+fn lookup(doc: &ShreddedDoc, dotted: &str) -> Option<TypeId> {
+    let path: Vec<String> = dotted.split('.').map(|s| s.to_string()).collect();
+    doc.types().lookup(&path)
+}
+
+fn bench_joins(doc: &ShreddedDoc, iters: usize) -> Vec<JoinBench> {
+    let mut out = Vec::new();
+    for &(ppath, cpath) in JOIN_PAIRS {
+        let (Some(pt), Some(ct)) = (lookup(doc, ppath), lookup(doc, cpath)) else {
+            println!("skipping {ppath} -> {cpath}: type missing at this scale");
+            continue;
+        };
+        let parents: Vec<(Dewey, String)> = doc.scan_type(pt);
+        if parents.is_empty() {
+            println!("skipping {ppath} -> {cpath}: no parent instances");
+            continue;
+        }
+        // Correctness gate: both paths must return identical groups.
+        for (p, _) in &parents {
+            assert_eq!(
+                doc.closest_children(p, pt, ct),
+                doc.closest_children_btree(p, pt, ct),
+                "columnar/btree divergence at {p}"
+            );
+        }
+        let probes = parents.len() * iters;
+
+        // The columnar side includes its own column build (first probe).
+        doc.evict_columns();
+        let t = Instant::now();
+        let mut touched = 0usize;
+        for _ in 0..iters {
+            for (p, _) in &parents {
+                if let Some((_, range)) = doc.closest_group(p, pt, ct) {
+                    touched += range.len();
+                }
+            }
+        }
+        let columnar = probes as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+        let t = Instant::now();
+        let mut touched_bt = 0usize;
+        for _ in 0..iters {
+            for (p, _) in &parents {
+                touched_bt += doc.closest_children_btree(p, pt, ct).len();
+            }
+        }
+        let btree = probes as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(touched, touched_bt, "probe passes visited different rows");
+
+        let t = Instant::now();
+        let mut hits = 0usize;
+        for _ in 0..iters {
+            for (p, _) in &parents {
+                hits += usize::from(doc.has_closest_child(p, pt, ct));
+            }
+        }
+        let exists = probes as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        assert!(hits <= probes);
+
+        out.push(JoinBench {
+            label: format!("{ppath} -> {cpath}"),
+            parents: parents.len(),
+            btree_probes_per_s: btree,
+            columnar_probes_per_s: columnar,
+            exists_probes_per_s: exists,
+        });
+    }
+    out
+}
+
+fn render_json(
+    xml: &str,
+    factor: f64,
+    shred_inc_s: f64,
+    shred_bulk_s: f64,
+    joins: &[JoinBench],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"xmark_factor\": {factor},\n"));
+    s.push_str(&format!("  \"input_bytes\": {},\n", xml.len()));
+    s.push_str("  \"shred\": {\n");
+    s.push_str(&format!(
+        "    \"incremental_s\": {shred_inc_s:.4},\n    \"bulk_load_s\": {shred_bulk_s:.4},\n"
+    ));
+    s.push_str(&format!(
+        "    \"speedup\": {:.2}\n  }},\n",
+        shred_inc_s / shred_bulk_s.max(1e-9)
+    ));
+    s.push_str("  \"closest_join\": [\n");
+    for (i, j) in joins.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"pair\": \"{}\",\n", j.label));
+        s.push_str(&format!("      \"parents\": {},\n", j.parents));
+        s.push_str(&format!(
+            "      \"btree_probes_per_s\": {:.0},\n",
+            j.btree_probes_per_s
+        ));
+        s.push_str(&format!(
+            "      \"columnar_probes_per_s\": {:.0},\n",
+            j.columnar_probes_per_s
+        ));
+        s.push_str(&format!(
+            "      \"exists_probes_per_s\": {:.0},\n",
+            j.exists_probes_per_s
+        ));
+        s.push_str(&format!("      \"speedup\": {:.2}\n", j.speedup()));
+        s.push_str(if i + 1 == joins.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ],\n");
+    let mean = joins.iter().map(JoinBench::speedup).sum::<f64>() / joins.len().max(1) as f64;
+    s.push_str(&format!("  \"mean_join_speedup\": {mean:.2}\n"));
+    s.push_str("}\n");
+    s
+}

@@ -11,8 +11,10 @@
 use crate::error::MorphResult;
 use crate::model::types::TypeId;
 use crate::semantics::shape::{SId, Shape};
-use crate::store::shredded::{ClosestCursor, ShreddedDoc};
+use crate::store::shredded::{ClosestCursor, ShreddedDoc, TypeColumn};
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 use xmorph_xml::dewey::Dewey;
 use xmorph_xml::writer::StreamWriter;
 
@@ -120,7 +122,8 @@ pub(crate) fn render_root_slice(
     opts: &RenderOptions,
     root: SId,
     root_type: TypeId,
-    instances: &[(Dewey, String)],
+    col: &TypeColumn,
+    rows: Range<usize>,
 ) -> MorphResult<String> {
     let mut renderer = Renderer {
         doc,
@@ -130,8 +133,9 @@ pub(crate) fn render_root_slice(
     };
     let mut w = StreamWriter::with_capacity(4096);
     let mut out = String::new();
-    for (dewey, text) in instances {
-        renderer.render_instance(root, dewey, root_type, text, &mut w)?;
+    for i in rows {
+        let dewey = col.dewey(i);
+        renderer.render_instance(root, &dewey, root_type, col.text(i), &mut w)?;
         out.push_str(&w.drain());
     }
     Ok(out)
@@ -157,12 +161,43 @@ pub(crate) fn render_root_plain(
     Ok(w.drain())
 }
 
+/// A resolved closest-join group. The pipelined path hands back a row
+/// range into the (shared) child column — nothing is copied per parent;
+/// the ablation path carries the owned pairs its B+tree probe built.
+enum Joined {
+    Columnar(Arc<TypeColumn>, Range<usize>),
+    Owned(Vec<(Dewey, String)>),
+}
+
+impl Joined {
+    fn len(&self) -> usize {
+        match self {
+            Joined::Columnar(_, r) => r.len(),
+            Joined::Owned(v) => v.len(),
+        }
+    }
+
+    fn dewey(&self, i: usize) -> Dewey {
+        match self {
+            Joined::Columnar(c, r) => c.dewey(r.start + i),
+            Joined::Owned(v) => v[i].0.clone(),
+        }
+    }
+
+    fn text(&self, i: usize) -> &str {
+        match self {
+            Joined::Columnar(c, r) => c.text(r.start + i),
+            Joined::Owned(v) => &v[i].1,
+        }
+    }
+}
+
 struct Renderer<'a> {
     doc: &'a ShreddedDoc,
     target: &'a Shape,
     opts: &'a RenderOptions,
     /// One pipelined join cursor per (target node, anchor type) edge.
-    cursors: HashMap<(SId, TypeId), ClosestCursor<'a>>,
+    cursors: HashMap<(SId, TypeId), ClosestCursor>,
 }
 
 impl<'a> Renderer<'a> {
@@ -176,8 +211,10 @@ impl<'a> Renderer<'a> {
     ) -> MorphResult<()> {
         match self.target.nodes[root].base {
             Some(t) => {
-                for (dewey, text) in self.doc.scan_type(t) {
-                    self.render_instance(root, &dewey, t, &text, w)?;
+                let col = self.doc.column(t);
+                for i in 0..col.len() {
+                    let dewey = col.dewey(i);
+                    self.render_instance(root, &dewey, t, col.text(i), w)?;
                     emit(&w.drain())?;
                 }
             }
@@ -190,30 +227,29 @@ impl<'a> Renderer<'a> {
     }
 
     /// Pull the closest children of `anchor` for target edge `node`
-    /// through the edge's pipelined cursor. Returns an owned group (the
-    /// recursion below re-enters the cursor map).
-    fn joined(
-        &mut self,
-        node: SId,
-        anchor: Anchor<'_>,
-        child_type: TypeId,
-    ) -> Vec<(Dewey, String)> {
+    /// through the edge's pipelined cursor. Returns an owned handle (the
+    /// recursion below re-enters the cursor map), but the group contents
+    /// stay in the shared column.
+    fn joined(&mut self, node: SId, anchor: Anchor<'_>, child_type: TypeId) -> Joined {
         if !self.opts.pipelined {
-            return self
-                .doc
-                .closest_children(anchor.dewey, anchor.type_id, child_type);
+            return Joined::Owned(self.doc.closest_children_btree(
+                anchor.dewey,
+                anchor.type_id,
+                child_type,
+            ));
         }
         let key = (node, anchor.type_id);
-        let mut cursor = match self.cursors.remove(&key) {
-            Some(c) => c,
-            None => match self.doc.closest_cursor(anchor.type_id, child_type) {
-                Some(c) => c,
-                None => return Vec::new(),
-            },
-        };
-        let group = cursor.group_for(anchor.dewey).to_vec();
-        self.cursors.insert(key, cursor);
-        group
+        if !self.cursors.contains_key(&key) {
+            match self.doc.closest_cursor(anchor.type_id, child_type) {
+                Some(c) => {
+                    self.cursors.insert(key, c);
+                }
+                None => return Joined::Owned(Vec::new()),
+            }
+        }
+        let cursor = self.cursors.get_mut(&key).expect("cursor just ensured");
+        let range = cursor.group_for(anchor.dewey);
+        Joined::Columnar(Arc::clone(cursor.column()), range)
     }
 
     /// Render one instance of a source-backed target node.
@@ -247,8 +283,9 @@ impl<'a> Renderer<'a> {
             let cname = self.target.nodes[c].name.clone();
             if cname.starts_with('@') {
                 if let Some(ct) = self.target.nodes[c].base {
-                    for (_, value) in self.joined(c, anchor, ct) {
-                        w.attr(cname.trim_start_matches('@'), &value);
+                    let group = self.joined(c, anchor, ct);
+                    for i in 0..group.len() {
+                        w.attr(cname.trim_start_matches('@'), group.text(i));
                     }
                 }
             }
@@ -276,8 +313,10 @@ impl<'a> Renderer<'a> {
     ) -> MorphResult<()> {
         match self.target.nodes[node].base {
             Some(ct) => {
-                for (dewey, text) in self.joined(node, anchor, ct) {
-                    self.render_instance(node, &dewey, ct, &text, w)?;
+                let group = self.joined(node, anchor, ct);
+                for i in 0..group.len() {
+                    let dewey = group.dewey(i);
+                    self.render_instance(node, &dewey, ct, group.text(i), w)?;
                 }
                 Ok(())
             }
@@ -313,11 +352,16 @@ impl<'a> Renderer<'a> {
                     .expect("source-backed child");
                 let instances = match anchor {
                     Some(a) => self.joined(primary_child, a, pt),
-                    None => self.doc.scan_type(pt),
+                    None => {
+                        let col = self.doc.column(pt);
+                        let n = col.len();
+                        Joined::Columnar(col, 0..n)
+                    }
                 };
-                for (dewey, text) in instances {
+                for i in 0..instances.len() {
+                    let dewey = instances.dewey(i);
                     w.start(&name);
-                    self.render_instance(primary_child, &dewey, pt, &text, w)?;
+                    self.render_instance(primary_child, &dewey, pt, instances.text(i), w)?;
                     let inner = Anchor {
                         dewey: &dewey,
                         type_id: pt,
@@ -360,13 +404,25 @@ impl<'a> Renderer<'a> {
             // A NEW filter can never match data.
             return false;
         };
-        let candidates = self.doc.closest_children(anchor.dewey, anchor.type_id, ft);
-        candidates.iter().any(|(dewey, _)| {
-            let inner = Anchor { dewey, type_id: ft };
-            self.target.nodes[filter]
+        let fnode = &self.target.nodes[filter];
+        if fnode.children.is_empty() && fnode.filters.is_empty() {
+            // A leaf filter is a pure existence test — probe the prefix
+            // range, materialize nothing.
+            return self.doc.has_closest_child(anchor.dewey, anchor.type_id, ft);
+        }
+        let Some((col, range)) = self.doc.closest_group(anchor.dewey, anchor.type_id, ft) else {
+            return false;
+        };
+        range.into_iter().any(|i| {
+            let dewey = col.dewey(i);
+            let inner = Anchor {
+                dewey: &dewey,
+                type_id: ft,
+            };
+            fnode
                 .children
                 .iter()
-                .chain(self.target.nodes[filter].filters.iter())
+                .chain(fnode.filters.iter())
                 .all(|&g| self.passes_filter(g, inner))
         })
     }

@@ -17,8 +17,9 @@ use crate::report::LabelReport;
 use crate::semantics::shape::{SId, Shape};
 
 /// Answers `typeDistance` between two source types. The shredded store
-/// provides an exact, data-backed implementation; [`GuideOracle`] falls
-/// back to the data-guide distance.
+/// provides an exact, data-backed implementation (co-occurrence
+/// sorted-merges over its per-type columns, cached per pair);
+/// [`GuideOracle`] falls back to the data-guide distance.
 pub trait DistOracle {
     /// Minimum distance between any pair of instances of the two types,
     /// or `None` when no pair exists.

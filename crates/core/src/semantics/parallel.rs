@@ -91,11 +91,15 @@ pub fn render_parallel(
     for &root in &target.roots {
         match target.nodes[root].base {
             Some(root_type) => {
-                let instances = doc.scan_type(root_type);
-                if instances.is_empty() {
+                // Workers share one decoded column (built here, before
+                // the fan-out, so no thread races to build it) and each
+                // renders a contiguous row range — no instance vector is
+                // materialized at all.
+                let col = doc.column(root_type);
+                if col.is_empty() {
                     continue;
                 }
-                let bounds = partition_bounds(instances.len(), threads);
+                let bounds = partition_bounds(col.len(), threads);
                 if bounds.len() == 1 {
                     body.push_str(&render_root_slice(
                         doc,
@@ -103,7 +107,8 @@ pub fn render_parallel(
                         &opts.render,
                         root,
                         root_type,
-                        &instances,
+                        &col,
+                        0..col.len(),
                     )?);
                     continue;
                 }
@@ -111,10 +116,10 @@ pub fn render_parallel(
                     let handles: Vec<_> = bounds
                         .iter()
                         .map(|&(lo, hi)| {
-                            let slice = &instances[lo..hi];
+                            let col = &col;
                             let render = &opts.render;
                             s.spawn(move || {
-                                render_root_slice(doc, target, render, root, root_type, slice)
+                                render_root_slice(doc, target, render, root, root_type, col, lo..hi)
                             })
                         })
                         .collect();

@@ -14,17 +14,155 @@
 //! * **`meta`** — the serialized adorned shape (`AdornedShapes` table).
 //!
 //! Shredding is streaming: one pass over the SAX-style event stream with
-//! O(depth) memory, exactly like the paper's Xerces-based shredder.
+//! O(depth) memory, exactly like the paper's Xerces-based shredder. By
+//! default the collected entries are key-sorted and **bulk-loaded**
+//! bottom-up ([`xmorph_pagestore::store::Tree::bulk_load`]) instead of
+//! inserted one root-to-leaf descent at a time.
+//!
+//! On the read side the hot path never descends the B+tree per probe:
+//! the first touch of a type decodes its whole `typeseq` range into a
+//! [`TypeColumn`] — a flat sorted array of Dewey component words plus an
+//! offset-indexed text arena — and every closest join, co-occurrence
+//! scan, and type scan runs on that column via binary-searched prefix
+//! ranges. The original B+tree-backed operations survive as `*_btree`
+//! reference implementations for cross-checking and ablation.
 
 use crate::error::{MorphError, MorphResult};
 use crate::model::shape::AdornedShape;
 use crate::model::types::{TypeId, TypeTable};
 use crate::semantics::eval::DistOracle;
 use std::collections::HashMap;
-use std::sync::Mutex;
-use xmorph_pagestore::{Store, Tree};
-use xmorph_xml::dewey::Dewey;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, RwLock};
+use xmorph_pagestore::{Store, Tree, DEFAULT_FILL};
+use xmorph_xml::dewey::{decode_components_into, Dewey};
 use xmorph_xml::reader::{XmlEvent, XmlReader};
+
+/// Knobs for [`ShreddedDoc::shred_str_with`].
+#[derive(Debug, Clone)]
+pub struct ShredOptions {
+    /// Sort the `nodes`/`typeseq` entries once and build both trees with
+    /// the B+tree bulk loader (bottom-up leaf packing) instead of one
+    /// root-to-leaf insert per entry. `false` keeps the original
+    /// incremental path — the before/after baseline of the `fig_joins`
+    /// benchmark.
+    pub bulk_load: bool,
+    /// Leaf/interior fill factor handed to the bulk loader (clamped to
+    /// `[0.5, 1.0]`; [`xmorph_pagestore::DEFAULT_FILL`] by default).
+    pub fill_factor: f64,
+    /// Decode every type's [`TypeColumn`] eagerly right after shredding
+    /// instead of lazily on first touch.
+    pub eager_columns: bool,
+}
+
+impl Default for ShredOptions {
+    fn default() -> Self {
+        ShredOptions {
+            bulk_load: true,
+            fill_factor: DEFAULT_FILL,
+            eager_columns: false,
+        }
+    }
+}
+
+/// A decoded, clustered copy of one type's `typeseq` range: every
+/// instance's Dewey number as a row of `u32` component words in one flat
+/// sorted array (fixed row width — all instances of a type share one
+/// depth), plus the direct texts concatenated in an offset-indexed
+/// arena. A `(type, prefix)` probe becomes two binary searches over the
+/// rows ([`TypeColumn::prefix_range`]); a type scan becomes a slice
+/// walk. Columns are immutable once built and shared behind an `Arc`, so
+/// concurrent renders hit one copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeColumn {
+    /// Components per row.
+    width: usize,
+    /// Row-major component words, `len() * width` of them, sorted.
+    comps: Vec<u32>,
+    /// Concatenated direct texts.
+    texts: String,
+    /// `len() + 1` byte offsets into `texts`.
+    offsets: Vec<u32>,
+}
+
+impl TypeColumn {
+    fn with_width(width: usize) -> TypeColumn {
+        TypeColumn {
+            width,
+            comps: Vec::new(),
+            texts: String::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the type has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dewey length (in components) shared by every row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Components of instance `i`.
+    pub fn components(&self, i: usize) -> &[u32] {
+        &self.comps[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Direct text of instance `i`, borrowed from the arena.
+    pub fn text(&self, i: usize) -> &str {
+        &self.texts[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Dewey number of instance `i` (materialized from the row).
+    pub fn dewey(&self, i: usize) -> Dewey {
+        Dewey::from_slice(self.components(i))
+    }
+
+    /// First row index in `[lo, hi)` where `pred` turns false (`pred`
+    /// must be monotone over the sorted rows).
+    fn partition(&self, mut lo: usize, mut hi: usize, pred: impl Fn(&[u32]) -> bool) -> usize {
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.components(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Row range of instances whose components start with `prefix` —
+    /// the closest-join group of a parent whose join prefix this is.
+    /// Two binary searches; no allocation.
+    pub fn prefix_range(&self, prefix: &[u32]) -> Range<usize> {
+        self.prefix_range_from(0, prefix)
+    }
+
+    /// [`TypeColumn::prefix_range`] restricted to rows at or after
+    /// `from` — the monotone-cursor variant.
+    fn prefix_range_from(&self, from: usize, prefix: &[u32]) -> Range<usize> {
+        let p = prefix.len().min(self.width);
+        let pre = &prefix[..p];
+        let n = self.len();
+        let lo = self.partition(from, n, |row| row[..p] < *pre);
+        let hi = self.partition(lo, n, |row| row[..p] == *pre);
+        lo..hi
+    }
+
+    /// Approximate heap bytes held by the column (the memory knob's
+    /// unit of account).
+    pub fn mem_bytes(&self) -> usize {
+        self.comps.capacity() * 4 + self.texts.capacity() + self.offsets.capacity() * 4
+    }
+}
 
 /// A shredded XML document: storage tables plus the in-memory adorned
 /// shape (which is tiny relative to the data, as the paper notes —
@@ -36,6 +174,10 @@ pub struct ShreddedDoc {
     /// Exact typeDistance cache (the co-occurrence scan is linear; each
     /// pair is computed at most once per document).
     dist_cache: Mutex<HashMap<(TypeId, TypeId), Option<usize>>>,
+    /// Lazily decoded per-type columns — the columnar read path. Reads
+    /// share the lock; a miss takes the write lock only to publish the
+    /// freshly built column.
+    columns: RwLock<HashMap<TypeId, Arc<TypeColumn>>>,
 }
 
 impl std::fmt::Debug for ShreddedDoc {
@@ -68,15 +210,60 @@ fn parse_node_value(v: &[u8]) -> Option<(TypeId, String)> {
     Some((t, text))
 }
 
+/// Do two columns share a row prefix of `level` components? Sorted-merge
+/// over the flat component arrays — no key decoding, no allocation.
+fn co_occur_columns(a: &TypeColumn, b: &TypeColumn, level: usize) -> bool {
+    debug_assert!(level <= a.width() && level <= b.width());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let x = &a.components(i)[..level];
+        let y = &b.components(j)[..level];
+        match x.cmp(y) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    false
+}
+
 impl ShreddedDoc {
-    /// Shred an XML document (as text) into the store.
+    /// Shred an XML document (as text) into the store with the default
+    /// options (bulk-loaded trees, lazy columns).
     pub fn shred_str(store: &Store, xml: &str) -> MorphResult<ShreddedDoc> {
+        Self::shred_str_with(store, xml, &ShredOptions::default())
+    }
+
+    /// Shred an XML document with explicit [`ShredOptions`].
+    pub fn shred_str_with(
+        store: &Store,
+        xml: &str,
+        opts: &ShredOptions,
+    ) -> MorphResult<ShreddedDoc> {
         let nodes = store.open_tree("nodes")?;
         let typeseq = store.open_tree("typeseq")?;
         let meta = store.open_tree("meta")?;
 
         let mut builder = AdornedShape::builder();
         let mut reader = XmlReader::new(xml);
+
+        // With bulk loading on, entries are collected (streamed out of
+        // the parser), key-sorted once, and packed bottom-up; otherwise
+        // each entry descends root-to-leaf as it appears.
+        let mut node_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut typeseq_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let put = |tree: &Tree,
+                   buf: &mut Vec<(Vec<u8>, Vec<u8>)>,
+                   key: Vec<u8>,
+                   value: Vec<u8>|
+         -> MorphResult<()> {
+            if opts.bulk_load {
+                buf.push((key, value));
+            } else {
+                tree.insert(&key, &value)?;
+            }
+            Ok(())
+        };
 
         struct Frame {
             dewey: Dewey,
@@ -108,8 +295,18 @@ impl ShreddedDoc {
                         let at = builder.attribute(aname);
                         frame.next_ordinal += 1;
                         let ad = frame.dewey.child(frame.next_ordinal);
-                        nodes.insert(&ad.encode(), &node_value(at, avalue))?;
-                        typeseq.insert(&typeseq_key(at, &ad), avalue.as_bytes())?;
+                        put(
+                            &nodes,
+                            &mut node_entries,
+                            ad.encode(),
+                            node_value(at, avalue),
+                        )?;
+                        put(
+                            &typeseq,
+                            &mut typeseq_entries,
+                            typeseq_key(at, &ad),
+                            avalue.as_bytes().to_vec(),
+                        )?;
                     }
                     stack.push(frame);
                 }
@@ -122,21 +319,42 @@ impl ShreddedDoc {
                     let frame = stack.pop().expect("balanced events");
                     builder.close();
                     let text = frame.text.trim();
-                    nodes.insert(&frame.dewey.encode(), &node_value(frame.type_id, text))?;
-                    typeseq.insert(&typeseq_key(frame.type_id, &frame.dewey), text.as_bytes())?;
+                    put(
+                        &nodes,
+                        &mut node_entries,
+                        frame.dewey.encode(),
+                        node_value(frame.type_id, text),
+                    )?;
+                    put(
+                        &typeseq,
+                        &mut typeseq_entries,
+                        typeseq_key(frame.type_id, &frame.dewey),
+                        text.as_bytes().to_vec(),
+                    )?;
                 }
                 XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
                 XmlEvent::Eof => break,
             }
         }
+        if opts.bulk_load {
+            node_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            typeseq_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            nodes.bulk_load(node_entries, opts.fill_factor)?;
+            typeseq.bulk_load(typeseq_entries, opts.fill_factor)?;
+        }
         let shape = builder.finish();
         meta.insert(META_SHAPE_KEY, &shape.to_bytes())?;
-        Ok(ShreddedDoc {
+        let doc = ShreddedDoc {
             nodes,
             typeseq,
             shape,
             dist_cache: Mutex::new(HashMap::new()),
-        })
+            columns: RwLock::new(HashMap::new()),
+        };
+        if opts.eager_columns {
+            doc.preload_columns();
+        }
+        Ok(doc)
     }
 
     /// Open an already-shredded document from its store.
@@ -154,6 +372,7 @@ impl ShreddedDoc {
             typeseq,
             shape,
             dist_cache: Mutex::new(HashMap::new()),
+            columns: RwLock::new(HashMap::new()),
         })
     }
 
@@ -190,16 +409,73 @@ impl ShreddedDoc {
             .map(|(t, _)| t))
     }
 
+    // ---- the columnar read path ----
+
+    /// The decoded [`TypeColumn`] of `t`, built on first touch (one
+    /// sequential `typeseq` range scan) and cached. Malformed entries
+    /// are skipped, matching the lenient decoding of the scans this
+    /// replaces.
+    pub fn column(&self, t: TypeId) -> Arc<TypeColumn> {
+        if let Some(col) = self.columns.read().unwrap().get(&t) {
+            return Arc::clone(col);
+        }
+        let built = Arc::new(self.build_column(t));
+        let mut map = self.columns.write().unwrap();
+        Arc::clone(map.entry(t).or_insert(built))
+    }
+
+    fn build_column(&self, t: TypeId) -> TypeColumn {
+        let width = self.shape.types().dewey_len(t);
+        let mut col = TypeColumn::with_width(width);
+        for (k, v) in self.typeseq.scan_prefix(&t.0.to_be_bytes()) {
+            let mark = col.comps.len();
+            if !decode_components_into(&k[4..], &mut col.comps) || col.comps.len() - mark != width {
+                col.comps.truncate(mark);
+                continue;
+            }
+            match std::str::from_utf8(&v) {
+                Ok(text) => col.texts.push_str(text),
+                Err(_) => {
+                    col.comps.truncate(mark);
+                    continue;
+                }
+            }
+            col.offsets.push(col.texts.len() as u32);
+        }
+        col
+    }
+
+    /// Decode every type's column now — the eager knob for workloads
+    /// that touch most types anyway (e.g. `MUTATE site`).
+    pub fn preload_columns(&self) {
+        for t in self.shape.types().ids() {
+            let _ = self.column(t);
+        }
+    }
+
+    /// Drop every cached column; they rebuild lazily. The memory knob
+    /// for long-lived documents serving occasional queries.
+    pub fn evict_columns(&self) {
+        self.columns.write().unwrap().clear();
+    }
+
+    /// Approximate heap bytes currently held by cached columns.
+    pub fn column_bytes(&self) -> usize {
+        self.columns
+            .read()
+            .unwrap()
+            .values()
+            .map(|c| c.mem_bytes())
+            .sum()
+    }
+
     /// All instances of a type, in document order, with their direct
-    /// text.
+    /// text. Materializes owned pairs from the column;
+    /// [`ShreddedDoc::column`] is the zero-copy variant.
     pub fn scan_type(&self, t: TypeId) -> Vec<(Dewey, String)> {
-        self.typeseq
-            .scan_prefix(&t.0.to_be_bytes())
-            .filter_map(|(k, v)| {
-                let dewey = Dewey::decode(&k[4..])?;
-                let text = String::from_utf8(v).ok()?;
-                Some((dewey, text))
-            })
+        let col = self.column(t);
+        (0..col.len())
+            .map(|i| (col.dewey(i), col.text(i).to_string()))
             .collect()
     }
 
@@ -207,7 +483,7 @@ impl ShreddedDoc {
     /// instance pairs, found by scanning candidate least-common-ancestor
     /// levels from the deepest shared path prefix upward and checking
     /// *co-occurrence* (two instances sharing a Dewey prefix of that
-    /// length) with a sorted-merge scan. Cached per pair.
+    /// length) with a sorted-merge over the two columns. Cached per pair.
     pub fn type_distance_exact(&self, a: TypeId, b: TypeId) -> Option<usize> {
         let key = if a <= b { (a, b) } else { (b, a) };
         if let Some(&hit) = self.dist_cache.lock().unwrap().get(&key) {
@@ -229,8 +505,112 @@ impl ShreddedDoc {
         let la = types.dewey_len(a);
         let lb = types.dewey_len(b);
         let k = types.common_prefix_len(a, b);
+        let ca = self.column(a);
+        let cb = self.column(b);
         for level in (1..=k).rev() {
-            if self.co_occur(a, b, level) {
+            if co_occur_columns(&ca, &cb, level) {
+                return Some(la + lb - 2 * level);
+            }
+        }
+        None
+    }
+
+    /// The closest join (§VII), zero-copy: instances of `child_type`
+    /// closest to the given `parent` instance, as the child column plus
+    /// the row range agreeing on the first
+    /// `L = (dewey(parent) + dewey(child) − typeDistance)/2` components.
+    /// Two binary searches on the column; `None` when the types are
+    /// unrelated in the data.
+    pub fn closest_group(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<(Arc<TypeColumn>, Range<usize>)> {
+        let d = self.type_distance_exact(parent_type, child_type)?;
+        let types = self.shape.types();
+        let lp = types.dewey_len(parent_type);
+        let lc = types.dewey_len(child_type);
+        debug_assert_eq!(parent.len(), lp);
+        let l = (lp + lc).saturating_sub(d) / 2;
+        let col = self.column(child_type);
+        let range = col.prefix_range(&parent.components()[..l.min(parent.len())]);
+        Some((col, range))
+    }
+
+    /// The closest join, materialized ([`ShreddedDoc::closest_group`]
+    /// is the zero-copy variant the renderer uses).
+    pub fn closest_children(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Vec<(Dewey, String)> {
+        match self.closest_group(parent, parent_type, child_type) {
+            Some((col, range)) => range
+                .map(|i| (col.dewey(i), col.text(i).to_string()))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A streaming sort-merge cursor over the closest join (§VII's
+    /// pipelined implementation): callers ask for the closest
+    /// `child_type` instances of successive parent instances *in
+    /// document order*, and the cursor advances monotonically through
+    /// the child column — never revisiting rows before the last group.
+    /// Returns `None` when the two types are unrelated in the data.
+    pub fn closest_cursor(&self, parent_type: TypeId, child_type: TypeId) -> Option<ClosestCursor> {
+        let d = self.type_distance_exact(parent_type, child_type)?;
+        let types = self.shape.types();
+        let lp = types.dewey_len(parent_type);
+        let lc = types.dewey_len(child_type);
+        let l = (lp + lc).saturating_sub(d) / 2;
+        Some(ClosestCursor {
+            col: self.column(child_type),
+            prefix_len: l,
+            pos: 0,
+            group: 0..0,
+            group_prefix: Vec::new(),
+            has_group: false,
+        })
+    }
+
+    /// Does the parent instance have at least one closest `child_type`
+    /// instance? (Existence check for RESTRICT filters.) A pure
+    /// prefix-range probe — nothing is materialized.
+    pub fn has_closest_child(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> bool {
+        self.closest_group(parent, parent_type, child_type)
+            .is_some_and(|(_, range)| !range.is_empty())
+    }
+
+    // ---- B+tree reference implementations ----
+    //
+    // The seed's storage-backed operations, kept verbatim in behaviour:
+    // the ablation benchmark's "naive" strategy runs on them, and the
+    // columnar-equivalence property tests compare against them.
+
+    /// `typeDistance` computed through B+tree key scans, bypassing the
+    /// column cache (and the distance cache — each call rescans).
+    pub fn type_distance_btree(&self, a: TypeId, b: TypeId) -> Option<usize> {
+        let types = self.shape.types();
+        if self.instance_count(a) == 0 || self.instance_count(b) == 0 {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let la = types.dewey_len(a);
+        let lb = types.dewey_len(b);
+        let k = types.common_prefix_len(a, b);
+        for level in (1..=k).rev() {
+            if self.co_occur_btree(a, b, level) {
                 return Some(la + lb - 2 * level);
             }
         }
@@ -239,43 +619,45 @@ impl ShreddedDoc {
 
     /// Do some instance of `a` and some instance of `b` share a Dewey
     /// prefix of `level` components? Sorted-merge over the two type
-    /// sequences comparing `level × 4` key bytes.
-    fn co_occur(&self, a: TypeId, b: TypeId, level: usize) -> bool {
+    /// sequences comparing `level × 4` key bytes, borrowed straight from
+    /// the iterator's keys (keys only — values are never materialized).
+    fn co_occur_btree(&self, a: TypeId, b: TypeId, level: usize) -> bool {
         let plen = level * 4;
         let mut ia = self.typeseq.scan_prefix(&a.0.to_be_bytes());
         let mut ib = self.typeseq.scan_prefix(&b.0.to_be_bytes());
-        let mut ka = ia.next().map(|(k, _)| k[4..].to_vec());
-        let mut kb = ib.next().map(|(k, _)| k[4..].to_vec());
+        let mut ka = ia.next_key().unwrap_or(None);
+        let mut kb = ib.next_key().unwrap_or(None);
         while let (Some(x), Some(y)) = (&ka, &kb) {
-            let px = &x[..plen.min(x.len())];
-            let py = &y[..plen.min(y.len())];
+            // Skip the 4-byte type prefix; compare Dewey bytes in place.
+            let px = &x[4..(4 + plen).min(x.len())];
+            let py = &y[4..(4 + plen).min(y.len())];
             match px.cmp(py) {
                 std::cmp::Ordering::Equal => {
-                    // Same prefix — but for an ancestor/descendant pair the
-                    // prefix must be fully present in both.
+                    // Same prefix — but for an ancestor/descendant pair
+                    // the prefix must be fully present in both.
                     if px.len() == plen && py.len() == plen {
                         return true;
                     }
                     // One of the keys is shorter than the level: advance it.
                     if px.len() < plen {
-                        ka = ia.next().map(|(k, _)| k[4..].to_vec());
+                        ka = ia.next_key().unwrap_or(None);
                     } else {
-                        kb = ib.next().map(|(k, _)| k[4..].to_vec());
+                        kb = ib.next_key().unwrap_or(None);
                     }
                 }
-                std::cmp::Ordering::Less => ka = ia.next().map(|(k, _)| k[4..].to_vec()),
-                std::cmp::Ordering::Greater => kb = ib.next().map(|(k, _)| k[4..].to_vec()),
+                std::cmp::Ordering::Less => ka = ia.next_key().unwrap_or(None),
+                std::cmp::Ordering::Greater => kb = ib.next_key().unwrap_or(None),
             }
         }
         false
     }
 
-    /// The closest join (§VII): instances of `child_type` closest to the
-    /// given `parent` instance. Since all instances of a type share one
-    /// depth, closest pairs are exactly the pairs agreeing on the first
-    /// `L = (dewey(parent) + dewey(child) − typeDistance)/2` components —
-    /// a single prefix scan, streaming in document order.
-    pub fn closest_children(
+    /// The closest join through one B+tree prefix probe — the seed hot
+    /// path, kept for the ablation benchmark (`pipelined: false`) and
+    /// the columnar equivalence property tests. The join level still
+    /// comes from the (cached) exact type distance, so the comparison
+    /// isolates probe cost.
+    pub fn closest_children_btree(
         &self,
         parent: &Dewey,
         parent_type: TypeId,
@@ -303,110 +685,57 @@ impl ShreddedDoc {
             .collect()
     }
 
-    /// A streaming sort-merge cursor over the closest join (§VII's
-    /// pipelined implementation): callers ask for the closest
-    /// `child_type` instances of successive parent instances *in
-    /// document order*, and the cursor advances monotonically through the
-    /// child type's sequence — one scan per target edge, O(n) instead of
-    /// one B+tree descent per parent. Returns `None` when the two types
-    /// are unrelated in the data.
-    pub fn closest_cursor(
-        &self,
-        parent_type: TypeId,
-        child_type: TypeId,
-    ) -> Option<ClosestCursor<'_>> {
-        let d = self.type_distance_exact(parent_type, child_type)?;
-        let types = self.shape.types();
-        let lp = types.dewey_len(parent_type);
-        let lc = types.dewey_len(child_type);
-        let l = (lp + lc).saturating_sub(d) / 2;
-        let iter = self.typeseq.scan_prefix(&child_type.0.to_be_bytes());
-        Some(ClosestCursor {
-            iter,
-            pending: None,
-            primed: false,
-            group_prefix: None,
-            group: Vec::new(),
-            prefix_bytes: l * 4,
-        })
-    }
-
-    /// Does the parent instance have at least one closest `child_type`
-    /// instance? (Existence check for RESTRICT filters.)
-    pub fn has_closest_child(
-        &self,
-        parent: &Dewey,
-        parent_type: TypeId,
-        child_type: TypeId,
-    ) -> bool {
-        !self
-            .closest_children(parent, parent_type, child_type)
-            .is_empty()
+    /// [`ShreddedDoc::scan_type`] through the B+tree (reference).
+    pub fn scan_type_btree(&self, t: TypeId) -> Vec<(Dewey, String)> {
+        self.typeseq
+            .scan_prefix(&t.0.to_be_bytes())
+            .filter_map(|(k, v)| {
+                let dewey = Dewey::decode(&k[4..])?;
+                let text = String::from_utf8(v).ok()?;
+                Some((dewey, text))
+            })
+            .collect()
     }
 }
 
 /// The pipelined closest-join cursor (see
 /// [`ShreddedDoc::closest_cursor`]). Requests must come in
 /// non-decreasing parent (document) order; the last group is cached so
-/// several parents sharing one join prefix all see it.
-pub struct ClosestCursor<'a> {
-    iter: xmorph_pagestore::btree::RangeIter<'a>,
-    /// The next not-yet-grouped entry: (dewey bytes, text).
-    pending: Option<(Vec<u8>, String)>,
-    primed: bool,
-    group_prefix: Option<Vec<u8>>,
-    group: Vec<(Dewey, String)>,
-    prefix_bytes: usize,
+/// several parents sharing one join prefix all see it. The cursor owns
+/// an `Arc` of the child column, so groups are row ranges — nothing is
+/// copied per parent.
+pub struct ClosestCursor {
+    col: Arc<TypeColumn>,
+    /// Join prefix length, in components.
+    prefix_len: usize,
+    /// First row not yet grouped (rows before this never match again).
+    pos: usize,
+    group: Range<usize>,
+    group_prefix: Vec<u32>,
+    has_group: bool,
 }
 
-impl<'a> ClosestCursor<'a> {
-    fn advance(&mut self) {
-        self.pending = self.iter.next().and_then(|(k, v)| {
-            let dewey_bytes = k[4..].to_vec();
-            let text = String::from_utf8(v).ok()?;
-            Some((dewey_bytes, text))
-        });
+impl ClosestCursor {
+    /// The child column the returned row ranges index into.
+    pub fn column(&self) -> &Arc<TypeColumn> {
+        &self.col
     }
 
-    /// The closest children of `parent`. The returned slice is valid
-    /// until the next call. Parents must be presented in non-decreasing
-    /// document order.
-    pub fn group_for(&mut self, parent: &Dewey) -> &[(Dewey, String)] {
-        if !self.primed {
-            self.advance();
-            self.primed = true;
+    /// Row range of the closest children of `parent`. Parents must be
+    /// presented in non-decreasing document order.
+    pub fn group_for(&mut self, parent: &Dewey) -> Range<usize> {
+        let p = self.prefix_len.min(parent.len());
+        let want = &parent.components()[..p];
+        if self.has_group && self.group_prefix == want {
+            return self.group.clone();
         }
-        let encoded = parent.encode();
-        let want = &encoded[..self.prefix_bytes.min(encoded.len())];
-        if self.group_prefix.as_deref() == Some(want) {
-            return &self.group;
-        }
-        self.group.clear();
-        self.group_prefix = Some(want.to_vec());
-        // Skip entries before the requested prefix.
-        while let Some((bytes, _)) = &self.pending {
-            let kp = &bytes[..self.prefix_bytes.min(bytes.len())];
-            if kp < want {
-                self.advance();
-            } else {
-                break;
-            }
-        }
-        // Collect the matching group (entries must carry the full
-        // prefix; shorter keys are ancestors, impossible here since all
-        // instances of a type share one depth ≥ the join level).
-        while let Some((bytes, text)) = &self.pending {
-            let kp = &bytes[..self.prefix_bytes.min(bytes.len())];
-            if kp == want && bytes.len() >= self.prefix_bytes {
-                if let Some(d) = Dewey::decode(bytes) {
-                    self.group.push((d, text.clone()));
-                }
-                self.advance();
-            } else {
-                break;
-            }
-        }
-        &self.group
+        let range = self.col.prefix_range_from(self.pos, want);
+        self.pos = range.end;
+        self.group = range.clone();
+        self.group_prefix.clear();
+        self.group_prefix.extend_from_slice(want);
+        self.has_group = true;
+        range
     }
 }
 
@@ -572,5 +901,128 @@ mod tests {
         let a = ty(&doc, "d.a");
         let scans = doc.scan_type(a);
         assert_eq!(scans[0].1, "hi");
+    }
+
+    // ---- columnar read path ----
+
+    #[test]
+    fn column_is_built_once_and_shared() {
+        let doc = shredded(FIG1A);
+        let t = ty(&doc, "data.book.title");
+        let c1 = doc.column(t);
+        let c2 = doc.column(t);
+        assert!(Arc::ptr_eq(&c1, &c2));
+        assert_eq!(c1.len(), 2);
+        assert_eq!(c1.width(), 3);
+        assert_eq!(c1.text(0), "X");
+        assert_eq!(c1.dewey(1).to_string(), "1.2.1");
+    }
+
+    #[test]
+    fn column_eviction_and_memory_accounting() {
+        let doc = shredded(FIG1A);
+        assert_eq!(doc.column_bytes(), 0);
+        doc.preload_columns();
+        assert!(doc.column_bytes() > 0);
+        doc.evict_columns();
+        assert_eq!(doc.column_bytes(), 0);
+        // Columns rebuild after eviction.
+        assert_eq!(doc.scan_type(ty(&doc, "data.book")).len(), 2);
+    }
+
+    #[test]
+    fn prefix_range_binary_search() {
+        let doc = shredded(FIG1A);
+        let title = doc.column(ty(&doc, "data.book.title"));
+        assert_eq!(title.prefix_range(&[1]), 0..2);
+        assert_eq!(title.prefix_range(&[1, 1]), 0..1);
+        assert_eq!(title.prefix_range(&[1, 2]), 1..2);
+        assert_eq!(title.prefix_range(&[1, 3]), 2..2);
+        assert_eq!(title.prefix_range(&[2]), 2..2);
+    }
+
+    #[test]
+    fn columnar_matches_btree_reference() {
+        let doc = shredded(FIG1A);
+        let types: Vec<TypeId> = doc.types().ids().collect();
+        for &t in &types {
+            assert_eq!(doc.scan_type(t), doc.scan_type_btree(t), "scan {t:?}");
+        }
+        for &a in &types {
+            for &b in &types {
+                assert_eq!(
+                    doc.type_distance_exact(a, b),
+                    doc.type_distance_btree(a, b),
+                    "distance {a:?} {b:?}"
+                );
+                for (parent, _) in doc.scan_type(a) {
+                    assert_eq!(
+                        doc.closest_children(&parent, a, b),
+                        doc.closest_children_btree(&parent, a, b),
+                        "join {parent} {a:?} {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_groups_match_direct_joins() {
+        let doc = shredded(FIG1A);
+        let publisher = ty(&doc, "data.book.publisher");
+        let title = ty(&doc, "data.book.title");
+        let mut cursor = doc.closest_cursor(publisher, title).unwrap();
+        for (parent, _) in doc.scan_type(publisher) {
+            let range = cursor.group_for(&parent);
+            let col = cursor.column().clone();
+            let got: Vec<(Dewey, String)> = range
+                .map(|i| (col.dewey(i), col.text(i).to_string()))
+                .collect();
+            assert_eq!(got, doc.closest_children(&parent, publisher, title));
+        }
+    }
+
+    #[test]
+    fn bulk_and_incremental_shreds_agree() {
+        let store_inc = Store::in_memory();
+        let incremental = ShreddedDoc::shred_str_with(
+            &store_inc,
+            FIG1A,
+            &ShredOptions {
+                bulk_load: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let store_bulk = Store::in_memory();
+        let bulk = ShreddedDoc::shred_str(&store_bulk, FIG1A).unwrap();
+        let types: Vec<TypeId> = bulk.types().ids().collect();
+        assert_eq!(
+            incremental.types().len(),
+            bulk.types().len(),
+            "same type table"
+        );
+        for &t in &types {
+            assert_eq!(incremental.scan_type(t), bulk.scan_type(t));
+        }
+        assert_eq!(
+            incremental.node_text(&"1.1.2.1".parse().unwrap()).unwrap(),
+            bulk.node_text(&"1.1.2.1".parse().unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn eager_columns_option_preloads() {
+        let store = Store::in_memory();
+        let doc = ShreddedDoc::shred_str_with(
+            &store,
+            FIG1A,
+            &ShredOptions {
+                eager_columns: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(doc.column_bytes() > 0);
     }
 }

@@ -1,0 +1,106 @@
+//! The columnar read path must agree *exactly* with the B+tree-backed
+//! reference implementations it replaced, on random documents:
+//!
+//! * `scan_type` (column walk) ≡ `scan_type_btree` (prefix scan);
+//! * `type_distance_exact` (columnar sorted-merge co-occurrence) ≡
+//!   `type_distance_btree` (key-scan sorted merge);
+//! * `closest_children` (two binary searches on the column) ≡
+//!   `closest_children_btree` (B+tree prefix probe), and
+//!   `has_closest_child` ≡ non-emptiness of that group;
+//! * a bulk-loaded shred and an incremental shred describe the same
+//!   document.
+
+use proptest::prelude::*;
+use xmorph_core::{ShredOptions, ShreddedDoc, TypeId};
+use xmorph_pagestore::Store;
+
+/// Random small library documents — same family as the theorem
+/// validation suite: variable author counts, optional publisher and
+/// award children, so type pairs cover ancestor/descendant, sibling,
+/// cousin, and never-co-occurring relationships.
+fn random_library() -> impl Strategy<Value = String> {
+    let book = (0usize..3, proptest::bool::ANY, proptest::bool::ANY);
+    proptest::collection::vec(book, 1..6).prop_map(|books| {
+        let mut s = String::from("<lib>");
+        for (i, (authors, has_pub, has_award)) in books.iter().enumerate() {
+            s.push_str("<book>");
+            s.push_str(&format!("<title>T{i}</title>"));
+            for a in 0..*authors {
+                s.push_str(&format!("<author><name>A{a}</name></author>"));
+            }
+            if *has_pub {
+                s.push_str(&format!("<publisher><name>P{}</name></publisher>", i % 2));
+            }
+            if *has_award {
+                s.push_str("<award>prize</award>");
+            }
+            s.push_str("</book>");
+        }
+        s.push_str("</lib>");
+        s
+    })
+}
+
+fn shred(xml: &str) -> (Store, ShreddedDoc) {
+    let store = Store::in_memory();
+    let doc = ShreddedDoc::shred_str(&store, xml).unwrap();
+    (store, doc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn columnar_operations_match_btree_reference(xml in random_library()) {
+        let (_s, doc) = shred(&xml);
+        let types: Vec<TypeId> = doc.types().ids().collect();
+        for &t in &types {
+            prop_assert_eq!(doc.scan_type(t), doc.scan_type_btree(t));
+        }
+        for &a in &types {
+            for &b in &types {
+                prop_assert_eq!(
+                    doc.type_distance_exact(a, b),
+                    doc.type_distance_btree(a, b),
+                    "typeDistance({:?}, {:?})", a, b
+                );
+                for (parent, _) in doc.scan_type(a) {
+                    let columnar = doc.closest_children(&parent, a, b);
+                    let btree = doc.closest_children_btree(&parent, a, b);
+                    prop_assert_eq!(
+                        doc.has_closest_child(&parent, a, b),
+                        !btree.is_empty(),
+                        "existence probe at {}", parent
+                    );
+                    prop_assert_eq!(columnar, btree, "join at {}", parent);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_and_incremental_shreds_describe_the_same_document(xml in random_library()) {
+        let (_bs, bulk) = shred(&xml);
+        let inc_store = Store::in_memory();
+        let incremental = ShreddedDoc::shred_str_with(
+            &inc_store,
+            &xml,
+            &ShredOptions { bulk_load: false, ..Default::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(bulk.types().len(), incremental.types().len());
+        let types: Vec<TypeId> = bulk.types().ids().collect();
+        for &t in &types {
+            prop_assert_eq!(bulk.scan_type(t), incremental.scan_type(t));
+            prop_assert_eq!(bulk.instance_count(t), incremental.instance_count(t));
+        }
+        for &a in &types {
+            for &b in &types {
+                prop_assert_eq!(
+                    bulk.type_distance_exact(a, b),
+                    incremental.type_distance_exact(a, b)
+                );
+            }
+        }
+    }
+}

@@ -42,6 +42,11 @@ use std::ops::Bound;
 /// Maximum key length in bytes.
 pub const MAX_KEY_LEN: usize = 512;
 
+/// Default fraction of a page's usable space filled by
+/// [`BTree::bulk_load`]. Below 1.0 so a lightly updated tree still
+/// absorbs a few point inserts without immediate splits.
+pub const DEFAULT_FILL: f64 = 0.9;
+
 /// Values whose cell would exceed this many bytes spill to overflow pages.
 const MAX_CELL: usize = 1000;
 
@@ -234,6 +239,124 @@ impl<'a> BTree<'a> {
         BTree { pool, root }
     }
 
+    /// Build a tree bottom-up from key-sorted `(key, value)` pairs: one
+    /// sequential pass packs leaf pages to `fill_factor` of their usable
+    /// space (left to right, sibling-chained), then interior levels are
+    /// stacked over the leaves' fence keys until a single root remains.
+    /// Loading n entries costs O(n) page writes with zero splits, versus
+    /// n root-to-leaf descents (with ~n/fanout splits) for repeated
+    /// [`BTree::insert`] — and the leaves come out clustered in key
+    /// order, so later range scans walk sequentially allocated pages.
+    ///
+    /// Keys must be strictly increasing (duplicates included) or the
+    /// load aborts with [`StoreError::Corrupt`]. `fill_factor` is
+    /// clamped to `[0.5, 1.0]`; see [`DEFAULT_FILL`].
+    pub fn bulk_load<I>(pool: &'a BufferPool, pairs: I, fill_factor: f64) -> StoreResult<Self>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let budget = (((PAGE_SIZE - HDR) as f64) * fill_factor.clamp(0.5, 1.0)) as usize;
+        // Greedily pack raw leaf cells into per-leaf groups.
+        let mut leaves: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new(); // (first key, cells)
+        let mut cur: Vec<Vec<u8>> = Vec::new();
+        let mut cur_first: Vec<u8> = Vec::new();
+        let mut cur_bytes = 0usize;
+        let mut last_key: Option<Vec<u8>> = None;
+        for (key, value) in pairs {
+            if key.len() > MAX_KEY_LEN {
+                return Err(StoreError::KeyTooLarge(key.len()));
+            }
+            if let Some(prev) = &last_key {
+                if prev.as_slice() >= key.as_slice() {
+                    return Err(StoreError::Corrupt("bulk_load input not strictly sorted"));
+                }
+            }
+            let vlen = value.len();
+            let (stored, flags) = if leaf_cell_size(key.len(), vlen) > MAX_CELL {
+                let head = write_overflow(pool, &value)?;
+                (head.to_le_bytes().to_vec(), FLAG_OVERFLOW)
+            } else {
+                (value, 0u8)
+            };
+            let mut cell = Vec::with_capacity(leaf_cell_size(key.len(), stored.len()));
+            cell.push(flags);
+            cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            cell.extend_from_slice(&(vlen as u32).to_le_bytes());
+            cell.extend_from_slice(&key);
+            cell.extend_from_slice(&stored);
+            if !cur.is_empty() && cur_bytes + cell.len() + 2 > budget {
+                leaves.push((std::mem::take(&mut cur_first), std::mem::take(&mut cur)));
+                cur_bytes = 0;
+            }
+            if cur.is_empty() {
+                cur_first = key.clone();
+            }
+            cur_bytes += cell.len() + 2;
+            cur.push(cell);
+            last_key = Some(key);
+        }
+        if !cur.is_empty() {
+            leaves.push((cur_first, cur));
+        }
+        if leaves.is_empty() {
+            return Self::create(pool);
+        }
+        // Write the leaf level, sibling-chained left to right.
+        let pages: Vec<PageId> = (0..leaves.len())
+            .map(|_| pool.allocate())
+            .collect::<StoreResult<_>>()?;
+        let mut level: Vec<(Vec<u8>, PageId)> = Vec::with_capacity(leaves.len());
+        for (i, (first, cells)) in leaves.into_iter().enumerate() {
+            let next = pages.get(i + 1).copied().unwrap_or(NIL);
+            pool.write_with(pages[i], |p| {
+                init_leaf(p);
+                set_next_leaf(p, next);
+                rebuild_leaf(p, &cells);
+            })?;
+            level.push((first, pages[i]));
+        }
+        // Stack interior levels: within each parent, the first child
+        // becomes `leftmost_child` and every later child contributes a
+        // (its-first-key, child) routing cell — exactly the invariant
+        // `child_for_key` expects.
+        while level.len() > 1 {
+            let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut idx = 0usize;
+            while idx < level.len() {
+                let (node_first, leftmost) = level[idx].clone();
+                idx += 1;
+                let mut cells: Vec<Vec<u8>> = Vec::new();
+                let mut used = 0usize;
+                while idx < level.len() {
+                    let (sep, child) = &level[idx];
+                    let size = interior_cell_size(sep.len()) + 2;
+                    if used + size > budget {
+                        break;
+                    }
+                    let mut cell = Vec::with_capacity(interior_cell_size(sep.len()));
+                    cell.extend_from_slice(&(sep.len() as u16).to_le_bytes());
+                    cell.extend_from_slice(&child.to_le_bytes());
+                    cell.extend_from_slice(sep);
+                    used += size;
+                    cells.push(cell);
+                    idx += 1;
+                }
+                let page = pool.allocate()?;
+                pool.write_with(page, |p| {
+                    init_interior(p);
+                    set_leftmost_child(p, leftmost);
+                    rebuild_interior(p, &cells);
+                })?;
+                next_level.push((node_first, page));
+            }
+            level = next_level;
+        }
+        Ok(BTree {
+            pool,
+            root: level[0].1,
+        })
+    }
+
     /// Current root page id.
     pub fn root(&self) -> PageId {
         self.root
@@ -247,7 +370,7 @@ impl<'a> BTree<'a> {
         // Spill large values to an overflow chain first.
         let inline: Vec<u8>;
         let (stored, flags, vlen) = if leaf_cell_size(key.len(), value.len()) > MAX_CELL {
-            let head = self.write_overflow(value)?;
+            let head = write_overflow(self.pool, value)?;
             inline = head.to_le_bytes().to_vec();
             (&inline[..], FLAG_OVERFLOW, value.len())
         } else {
@@ -300,7 +423,7 @@ impl<'a> BTree<'a> {
                 Next::Child(c) => page = c,
                 Next::Found(v, None) => return Ok(v),
                 Next::Found(_, Some((head, total))) => {
-                    return Ok(Some(self.read_overflow(head, total)?))
+                    return Ok(Some(read_overflow(self.pool, head, total)?))
                 }
             }
         }
@@ -602,55 +725,55 @@ impl<'a> BTree<'a> {
         }
         Ok(Some((promoted_key, right)))
     }
+}
 
-    /// Write `value` into a chain of overflow pages; returns the head.
-    fn write_overflow(&mut self, value: &[u8]) -> StoreResult<PageId> {
-        let mut chunks: Vec<&[u8]> = value.chunks(OVERFLOW_DATA).collect();
-        if chunks.is_empty() {
-            chunks.push(&[]);
-        }
-        let pages: Vec<PageId> = (0..chunks.len())
-            .map(|_| self.pool.allocate())
-            .collect::<StoreResult<_>>()?;
-        for (i, chunk) in chunks.iter().enumerate() {
-            let next = pages.get(i + 1).copied().unwrap_or(NIL);
-            self.pool.write_with(pages[i], |p| {
-                p[0] = TAG_OVERFLOW;
-                put_u64(p, 1, next);
-                put_u16(p, 9, chunk.len() as u16);
-                p[OVERFLOW_HDR..OVERFLOW_HDR + chunk.len()].copy_from_slice(chunk);
-            })?;
-        }
-        Ok(pages[0])
+/// Write `value` into a chain of overflow pages; returns the head.
+fn write_overflow(pool: &BufferPool, value: &[u8]) -> StoreResult<PageId> {
+    let mut chunks: Vec<&[u8]> = value.chunks(OVERFLOW_DATA).collect();
+    if chunks.is_empty() {
+        chunks.push(&[]);
     }
+    let pages: Vec<PageId> = (0..chunks.len())
+        .map(|_| pool.allocate())
+        .collect::<StoreResult<_>>()?;
+    for (i, chunk) in chunks.iter().enumerate() {
+        let next = pages.get(i + 1).copied().unwrap_or(NIL);
+        pool.write_with(pages[i], |p| {
+            p[0] = TAG_OVERFLOW;
+            put_u64(p, 1, next);
+            put_u16(p, 9, chunk.len() as u16);
+            p[OVERFLOW_HDR..OVERFLOW_HDR + chunk.len()].copy_from_slice(chunk);
+        })?;
+    }
+    Ok(pages[0])
+}
 
-    fn read_overflow(&self, head: PageId, total: usize) -> StoreResult<Vec<u8>> {
-        let mut out = Vec::with_capacity(total);
-        let mut page = head;
-        while page != NIL && out.len() < total {
-            let (next, chunk) = self.pool.read_with(page, |p| {
-                if tag(p) != TAG_OVERFLOW {
-                    return (NIL, None);
-                }
-                let len = get_u16(p, 9) as usize;
-                (
-                    get_u64(p, 1),
-                    Some(p[OVERFLOW_HDR..OVERFLOW_HDR + len].to_vec()),
-                )
-            })?;
-            match chunk {
-                Some(c) => out.extend_from_slice(&c),
-                None => return Err(StoreError::Corrupt("broken overflow chain")),
+fn read_overflow(pool: &BufferPool, head: PageId, total: usize) -> StoreResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(total);
+    let mut page = head;
+    while page != NIL && out.len() < total {
+        let (next, chunk) = pool.read_with(page, |p| {
+            if tag(p) != TAG_OVERFLOW {
+                return (NIL, None);
             }
-            page = next;
+            let len = get_u16(p, 9) as usize;
+            (
+                get_u64(p, 1),
+                Some(p[OVERFLOW_HDR..OVERFLOW_HDR + len].to_vec()),
+            )
+        })?;
+        match chunk {
+            Some(c) => out.extend_from_slice(&c),
+            None => return Err(StoreError::Corrupt("broken overflow chain")),
         }
-        if out.len() != total {
-            return Err(StoreError::Corrupt(
-                "overflow chain shorter than recorded length",
-            ));
-        }
-        Ok(out)
+        page = next;
     }
+    if out.len() != total {
+        return Err(StoreError::Corrupt(
+            "overflow chain shorter than recorded length",
+        ));
+    }
+    Ok(out)
 }
 
 /// Interior routing: child page covering `key`.
@@ -862,16 +985,41 @@ impl<'a> RangeIter<'a> {
             let key = key.clone();
             let value = match val {
                 StoredValue::Inline(v) => v.clone(),
-                StoredValue::Overflow { head, total } => {
-                    let tree = BTree {
-                        pool: self.pool,
-                        root: NIL,
-                    };
-                    tree.read_overflow(*head, *total)?
-                }
+                StoredValue::Overflow { head, total } => read_overflow(self.pool, *head, *total)?,
             };
             self.pos += 1;
             return Ok(Some((key, value)));
+        }
+    }
+
+    /// Pull the next entry's key only, leaving the value untouched (no
+    /// value clone, overflow chains never followed). Key-merge scans —
+    /// the co-occurrence pass behind `typeDistance` — compare keys
+    /// alone, so this skips one value allocation per step.
+    pub fn next_key(&mut self) -> StoreResult<Option<Vec<u8>>> {
+        loop {
+            if self.pos >= self.buffered.len() {
+                if self.leaf == NIL {
+                    return Ok(None);
+                }
+                self.advance_leaf()?;
+                if self.buffered.is_empty() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            let (key, _) = &self.buffered[self.pos];
+            let past_end = match &self.end {
+                Bound::Included(e) => key.as_slice() > e.as_slice(),
+                Bound::Excluded(e) => key.as_slice() >= e.as_slice(),
+                Bound::Unbounded => false,
+            };
+            if past_end {
+                return Ok(None);
+            }
+            let key = key.clone();
+            self.pos += 1;
+            return Ok(Some(key));
         }
     }
 }

@@ -38,6 +38,7 @@ pub mod stats;
 pub mod storage;
 pub mod store;
 
+pub use btree::DEFAULT_FILL;
 pub use buffer::{default_shard_count, BufferPool, DEFAULT_CAPACITY, MAX_SHARDS};
 pub use error::{StoreError, StoreResult};
 pub use stats::{IoSnapshot, IoStats};

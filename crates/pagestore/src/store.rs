@@ -161,6 +161,22 @@ impl Tree {
         Ok(was_new)
     }
 
+    /// Replace the tree's contents with key-sorted pairs packed
+    /// bottom-up (see [`BTree::bulk_load`]) at the given fill factor
+    /// ([`crate::btree::DEFAULT_FILL`] is the usual choice). The
+    /// previous root's pages are abandoned — the same write-once policy
+    /// as overflow replacement; the shredder bulk-loads into freshly
+    /// created trees, where nothing is lost.
+    pub fn bulk_load<I>(&self, pairs: I, fill_factor: f64) -> StoreResult<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let mut root = self.root.lock();
+        let bt = BTree::bulk_load(&self.pool, pairs, fill_factor)?;
+        *root = bt.root();
+        self.pool.set_tree_root(&self.name, *root)
+    }
+
     /// Look up a key.
     pub fn get(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
         let root = *self.root.lock();

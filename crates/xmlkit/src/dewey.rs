@@ -37,6 +37,14 @@ impl Dewey {
         &self.0
     }
 
+    /// Build from a component slice without re-encoding. Debug-asserts
+    /// 1-based ordinals (the columnar store hands in words it already
+    /// validated at decode time, so release builds skip the check).
+    pub fn from_slice(c: &[u32]) -> Self {
+        debug_assert!(c.iter().all(|&x| x > 0), "Dewey components are 1-based");
+        Dewey(c.to_vec())
+    }
+
     /// Number of components; the root has length 1. The node's depth
     /// below the root is `len() - 1`.
     pub fn len(&self) -> usize {
@@ -115,19 +123,34 @@ impl Dewey {
     /// Inverse of [`Dewey::encode`]. Returns `None` if the byte length is
     /// not a multiple of four or any component is zero.
     pub fn decode(bytes: &[u8]) -> Option<Dewey> {
-        if !bytes.len().is_multiple_of(4) {
-            return None;
-        }
         let mut c = Vec::with_capacity(bytes.len() / 4);
-        for chunk in bytes.chunks_exact(4) {
-            let v = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-            if v == 0 {
-                return None;
-            }
-            c.push(v);
+        if !decode_components_into(bytes, &mut c) {
+            return None;
         }
         Some(Dewey(c))
     }
+}
+
+/// Decode an encoded Dewey key directly into a component buffer without
+/// constructing a [`Dewey`] — the columnar type-sequence cache decodes
+/// whole B+tree ranges into flat `u32` arrays this way. Appends to `out`
+/// and returns `true` on success; on a malformed key (length not a
+/// multiple of four, or a zero component) `out` is left truncated to its
+/// original length and `false` is returned.
+pub fn decode_components_into(bytes: &[u8], out: &mut Vec<u32>) -> bool {
+    if !bytes.len().is_multiple_of(4) {
+        return false;
+    }
+    let start = out.len();
+    for chunk in bytes.chunks_exact(4) {
+        let v = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        if v == 0 {
+            out.truncate(start);
+            return false;
+        }
+        out.push(v);
+    }
+    true
 }
 
 impl PartialOrd for Dewey {
@@ -231,6 +254,23 @@ mod tests {
         let sorted = encoded.clone();
         encoded.sort();
         assert_eq!(encoded, sorted);
+    }
+
+    #[test]
+    fn from_slice_matches_from_components() {
+        let c = [1u32, 3, 2];
+        assert_eq!(Dewey::from_slice(&c), Dewey::from_components(c.to_vec()));
+    }
+
+    #[test]
+    fn decode_components_into_appends_or_rolls_back() {
+        let mut out = vec![9u32];
+        assert!(decode_components_into(&d("1.2.3").encode(), &mut out));
+        assert_eq!(out, vec![9, 1, 2, 3]);
+        // Malformed input leaves the buffer as it was.
+        assert!(!decode_components_into(&[0, 0, 0], &mut out));
+        assert!(!decode_components_into(&[0, 0, 0, 0], &mut out));
+        assert_eq!(out, vec![9, 1, 2, 3]);
     }
 
     #[test]
