@@ -1,7 +1,7 @@
 //! Closest-join microbenchmark (repository extension, not a paper
-//! figure): before/after numbers for the PR-2 hot-path work.
+//! figure): before/after numbers for the PR-2 and PR-3 hot-path work.
 //!
-//! Two measurements on one XMark document:
+//! Three measurements on one XMark document:
 //!
 //! 1. **Shredding** — the streaming shredder with incremental B+tree
 //!    inserts (one root-to-leaf descent per entry, the seed behaviour)
@@ -12,16 +12,21 @@
 //!    decoded type column), plus the `has_closest_child` existence
 //!    probe. Both sides are verified to return identical groups before
 //!    timing.
+//! 3. **Cold open** — reopen a file-backed store and touch every type
+//!    column once: persisted column segments (mmap-served where the
+//!    platform allows) vs the lazy rebuild that decodes the `typeseq`
+//!    B+tree. This is the PR-3 persistence win.
 //!
 //! Flags: `--scale <f>` scales the document, `--smoke` runs a tiny
 //! document with few iterations (the CI invocation), `--json` writes
-//! the measurements to `BENCH_PR2.json` in the current directory.
+//! the measurements to `BENCH_PR3.json` in the current directory.
 
 use std::time::Instant;
 use xmorph_bench::harness::{BenchStore, StoreKind};
 use xmorph_bench::table::Table;
-use xmorph_core::{ShredOptions, ShreddedDoc, TypeId};
+use xmorph_core::{OpenOptions, ShredOptions, ShreddedDoc, TypeId};
 use xmorph_datagen::XmarkConfig;
+use xmorph_pagestore::Store;
 use xmorph_xml::dewey::Dewey;
 
 /// Parent/child root paths joined in the microbench: a parent-child
@@ -92,14 +97,122 @@ fn main() {
     let total_speedup = joins.iter().map(JoinBench::speedup).sum::<f64>() / joins.len() as f64;
     println!("\nmean closest-join speed-up: {total_speedup:.2}x");
 
+    let cold = bench_cold_open(&xml);
+    let mut table = Table::new(&["cold-open first touch", "seconds", "col bytes"]);
+    table.row(&[
+        "persisted segments".into(),
+        format!("{:.4}", cold.persisted_s),
+        format!(
+            "{} mapped / {} heap",
+            cold.mapped_bytes, cold.persisted_heap_bytes
+        ),
+    ]);
+    table.row(&[
+        "lazy rebuild".into(),
+        format!("{:.4}", cold.rebuild_s),
+        format!("{} heap", cold.rebuild_heap_bytes),
+    ]);
+    table.print();
+    println!(
+        "\ncold-open first-touch speed-up: {:.2}x ({} types, {} rows)\n",
+        cold.speedup(),
+        cold.types,
+        cold.rows
+    );
+
     if json {
-        let path = "BENCH_PR2.json";
+        let path = "BENCH_PR3.json";
         std::fs::write(
             path,
-            render_json(&xml, factor, shred_inc_s, shred_bulk_s, &joins),
+            render_json(&xml, factor, shred_inc_s, shred_bulk_s, &joins, &cold),
         )
-        .expect("write BENCH_PR2.json");
+        .expect("write BENCH_PR3.json");
         println!("wrote {path}");
+    }
+}
+
+/// Cold-open measurement: shred with column persistence into a temp
+/// file store, close it, then time "reopen + touch every column" twice
+/// — once served from persisted segments, once forced to rebuild from
+/// the `typeseq` tree. The persisted path skips the B+tree walk and
+/// per-key Dewey decode entirely.
+struct ColdOpen {
+    persisted_s: f64,
+    rebuild_s: f64,
+    mapped_bytes: usize,
+    persisted_heap_bytes: usize,
+    rebuild_heap_bytes: usize,
+    types: usize,
+    rows: usize,
+}
+
+impl ColdOpen {
+    fn speedup(&self) -> f64 {
+        self.rebuild_s / self.persisted_s.max(1e-9)
+    }
+}
+
+fn bench_cold_open(xml: &str) -> ColdOpen {
+    let dir = std::env::temp_dir().join("xmorph-bench");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("coldopen-{}.db", std::process::id()));
+    {
+        let store = Store::options()
+            .capacity(4096)
+            .create(&path)
+            .expect("create store");
+        ShreddedDoc::shred_str(&store, xml).expect("shred");
+        store.close().expect("close");
+    }
+    let touch_all = |doc: &ShreddedDoc| -> usize {
+        let mut rows = 0usize;
+        for t in doc.types().ids().collect::<Vec<_>>() {
+            rows += doc.column(t).len();
+        }
+        rows
+    };
+    // Persisted-segment side.
+    let store = Store::options()
+        .capacity(4096)
+        .open(&path)
+        .expect("reopen store");
+    let t = Instant::now();
+    let doc = ShreddedDoc::open(&store).expect("open doc");
+    let rows = touch_all(&doc);
+    let persisted_s = t.elapsed().as_secs_f64();
+    assert!(
+        doc.segment_fallbacks().is_empty(),
+        "persisted segments failed validation: {:?}",
+        doc.segment_fallbacks()
+    );
+    let persisted_bytes = doc.column_bytes();
+    let types = doc.types().len();
+    drop(doc);
+    drop(store);
+    // Rebuild side: same file, persisted columns ignored.
+    let store = Store::options()
+        .capacity(4096)
+        .open(&path)
+        .expect("reopen store");
+    let t = Instant::now();
+    let doc = ShreddedDoc::open_with(&store, &OpenOptions::builder().persisted_columns(false))
+        .expect("open doc");
+    let rows_rebuilt = touch_all(&doc);
+    let rebuild_s = t.elapsed().as_secs_f64();
+    assert_eq!(rows, rows_rebuilt, "cold-open paths disagree on row count");
+    let rebuild_bytes = doc.column_bytes();
+    drop(doc);
+    drop(store);
+    std::fs::remove_file(&path).ok();
+
+    ColdOpen {
+        persisted_s,
+        rebuild_s,
+        mapped_bytes: persisted_bytes.mapped,
+        persisted_heap_bytes: persisted_bytes.heap,
+        rebuild_heap_bytes: rebuild_bytes.heap,
+        types,
+        rows,
     }
 }
 
@@ -108,15 +221,8 @@ fn bench_shred(xml: &str) -> (f64, f64) {
     let incremental = {
         let bs = BenchStore::create(StoreKind::Memory, 4096);
         let t = Instant::now();
-        ShreddedDoc::shred_str_with(
-            &bs.store,
-            xml,
-            &ShredOptions {
-                bulk_load: false,
-                ..Default::default()
-            },
-        )
-        .expect("shred incremental");
+        ShreddedDoc::shred_str_with(&bs.store, xml, &ShredOptions::builder().bulk_load(false))
+            .expect("shred incremental");
         t.elapsed().as_secs_f64()
     };
     let bulk = {
@@ -219,6 +325,7 @@ fn render_json(
     shred_inc_s: f64,
     shred_bulk_s: f64,
     joins: &[JoinBench],
+    cold: &ColdOpen,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"xmark_factor\": {factor},\n"));
@@ -257,7 +364,26 @@ fn render_json(
     }
     s.push_str("  ],\n");
     let mean = joins.iter().map(JoinBench::speedup).sum::<f64>() / joins.len().max(1) as f64;
-    s.push_str(&format!("  \"mean_join_speedup\": {mean:.2}\n"));
+    s.push_str(&format!("  \"mean_join_speedup\": {mean:.2},\n"));
+    s.push_str("  \"cold_open\": {\n");
+    s.push_str(&format!(
+        "    \"persisted_first_touch_s\": {:.4},\n",
+        cold.persisted_s
+    ));
+    s.push_str(&format!(
+        "    \"rebuild_first_touch_s\": {:.4},\n",
+        cold.rebuild_s
+    ));
+    s.push_str(&format!("    \"speedup\": {:.2},\n", cold.speedup()));
+    s.push_str(&format!("    \"mapped_bytes\": {},\n", cold.mapped_bytes));
+    s.push_str(&format!(
+        "    \"rebuild_heap_bytes\": {},\n",
+        cold.rebuild_heap_bytes
+    ));
+    s.push_str(&format!(
+        "    \"types\": {},\n    \"rows\": {}\n  }}\n",
+        cold.types, cold.rows
+    ));
     s.push_str("}\n");
     s
 }

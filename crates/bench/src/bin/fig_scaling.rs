@@ -22,7 +22,7 @@ use xmorph_core::render::{render, RenderOptions};
 use xmorph_core::semantics::parallel::{render_parallel, ParallelOptions};
 use xmorph_core::Guard;
 use xmorph_datagen::XmarkConfig;
-use xmorph_pagestore::{IoStats, Store};
+use xmorph_pagestore::Store;
 use xmorph_xml::dom::Document;
 
 const THREADS: [usize; 4] = [1, 2, 3, 4];
@@ -49,20 +49,8 @@ fn pool_throughput(scale: f64) {
     // Explicit shard count: `default_shard_count` adapts to the host CPU
     // count, but the experiment wants the sharded layout even on small
     // machines so the two columns always compare sharded vs serialized.
-    let sharded = Store::with_storage_sharded(
-        Box::new(xmorph_pagestore::storage::MemStorage::new()),
-        IoStats::new(),
-        capacity,
-        8,
-    )
-    .expect("sharded store");
-    let single = Store::with_storage_sharded(
-        Box::new(xmorph_pagestore::storage::MemStorage::new()),
-        IoStats::new(),
-        capacity,
-        1,
-    )
-    .expect("single-shard store");
+    let sharded = Store::options().capacity(capacity).shards(8).open_memory();
+    let single = Store::options().capacity(capacity).shards(1).open_memory();
 
     let mut table = Table::new(&[
         "threads",

@@ -33,9 +33,10 @@ impl BenchStore {
     /// larger-than-memory behaviour shows at laptop scale).
     pub fn create(kind: StoreKind, capacity: usize) -> BenchStore {
         let stats = IoStats::new();
+        let options = Store::options().stats(stats.clone()).capacity(capacity);
         match kind {
             StoreKind::Memory => BenchStore {
-                store: Store::in_memory_with(stats.clone(), capacity),
+                store: options.open_memory(),
                 stats,
                 path: None,
             },
@@ -50,8 +51,7 @@ impl BenchStore {
                         .unwrap()
                         .as_nanos()
                 ));
-                let store =
-                    Store::create_with(&path, stats.clone(), capacity).expect("create temp store");
+                let store = options.create(&path).expect("create temp store");
                 BenchStore {
                     store,
                     stats,

@@ -32,8 +32,17 @@ pub enum MorphError {
     },
     /// The underlying XML was malformed.
     Xml(xmorph_xml::XmlError),
-    /// The underlying storage engine failed.
-    Store(xmorph_pagestore::StoreError),
+    /// The underlying storage engine failed. `op` says what the store
+    /// was doing — which table, segment, or file — so a corrupt column
+    /// segment reports *which* segment fell back, not just that
+    /// something did.
+    Store {
+        /// The operation in flight (e.g. `open tree "typeseq"`,
+        /// `read column segment "col.7"`).
+        op: String,
+        /// The storage engine's error.
+        source: xmorph_pagestore::StoreError,
+    },
     /// An internal invariant was violated (a bug).
     Internal(&'static str),
 }
@@ -54,7 +63,7 @@ impl fmt::Display for MorphError {
                 write!(f, "guard rejected: transformation is {typing}, but only {allowed} guards are allowed (add a CAST)")
             }
             MorphError::Xml(e) => write!(f, "XML error: {e}"),
-            MorphError::Store(e) => write!(f, "storage error: {e}"),
+            MorphError::Store { op, source } => write!(f, "storage error ({op}): {source}"),
             MorphError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -68,8 +77,20 @@ impl From<xmorph_xml::XmlError> for MorphError {
     }
 }
 
-impl From<xmorph_pagestore::StoreError> for MorphError {
-    fn from(e: xmorph_pagestore::StoreError) -> Self {
-        MorphError::Store(e)
+/// Attach operation context when lifting a storage result into a
+/// [`MorphResult`]. There is deliberately no blanket
+/// `From<StoreError>` — every lift must say what the store was doing.
+pub(crate) trait StoreOpExt<T> {
+    /// Convert, labelling the failure with `op` (e.g. `"open tree
+    /// \"nodes\""`).
+    fn in_op(self, op: &str) -> MorphResult<T>;
+}
+
+impl<T> StoreOpExt<T> for Result<T, xmorph_pagestore::StoreError> {
+    fn in_op(self, op: &str) -> MorphResult<T> {
+        self.map_err(|source| MorphError::Store {
+            op: op.to_string(),
+            source,
+        })
     }
 }

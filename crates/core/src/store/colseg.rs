@@ -1,0 +1,299 @@
+//! On-disk format for persisted [`TypeColumn`]s — one page-aligned
+//! pagestore segment per type, written at shred time and mapped (or
+//! copy-decoded) at open time so a cold reopen skips the `typeseq`
+//! B+tree walk and Dewey decode entirely.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "XMCOL001"
+//!      8     4  format version (1)
+//!     12     4  row width (Dewey components per row)
+//!     16     8  row count
+//!     24     8  text arena length, bytes
+//!     32     8  source typeseq generation
+//!     40     8  FNV-1a64 of the payload
+//!     48     8  FNV-1a64 of header bytes 0..48
+//!     56     8  zero padding (keeps the payload 4-byte aligned *and*
+//!               64-byte cache-line aligned within the page-aligned map)
+//!     64     —  payload: rows×width u32 comps, rows+1 u32 offsets,
+//!               UTF-8 texts
+//! ```
+//!
+//! The generation is bumped on every shred (`meta["colgen"]`), so a
+//! segment surviving from a previous shred of the same store fails the
+//! generation check and degrades to a lazy rebuild — as does any
+//! checksum, bounds, monotonicity, or UTF-8 violation. Validation is
+//! total: a reader that gets a [`SegmentLayout`] back may index the
+//! payload without further checks.
+//!
+//! [`TypeColumn`]: crate::store::shredded::TypeColumn
+
+use crate::model::types::TypeId;
+use std::ops::Range;
+
+/// Magic bytes opening every column segment.
+pub const COLSEG_MAGIC: &[u8; 8] = b"XMCOL001";
+/// Current format version.
+pub const COLSEG_VERSION: u32 = 1;
+/// Header size; the payload starts here.
+pub const COLSEG_HEADER: usize = 64;
+
+/// Name of the pagestore segment holding `t`'s column.
+pub(crate) fn segment_name(t: TypeId) -> String {
+    format!("col.{}", t.0)
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Byte ranges of a validated segment's payload sections, relative to
+/// the start of the segment bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SegmentLayout {
+    /// Components per row.
+    pub width: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// `rows * width` u32 component words.
+    pub comps: Range<usize>,
+    /// `rows + 1` u32 arena offsets.
+    pub offsets: Range<usize>,
+    /// UTF-8 text arena.
+    pub texts: Range<usize>,
+}
+
+/// Serialize one column into segment bytes.
+pub(crate) fn encode(
+    width: usize,
+    comps: &[u32],
+    offsets: &[u32],
+    texts: &str,
+    generation: u64,
+) -> Vec<u8> {
+    debug_assert!(width == 0 || comps.len().is_multiple_of(width));
+    debug_assert_eq!(
+        offsets.len(),
+        comps.len().checked_div(width).unwrap_or(0) + 1
+    );
+    let rows = offsets.len() - 1;
+    let payload_len = (comps.len() + offsets.len()) * 4 + texts.len();
+    let mut out = Vec::with_capacity(COLSEG_HEADER + payload_len);
+    out.extend_from_slice(COLSEG_MAGIC);
+    out.extend_from_slice(&COLSEG_VERSION.to_le_bytes());
+    out.extend_from_slice(&(width as u32).to_le_bytes());
+    out.extend_from_slice(&(rows as u64).to_le_bytes());
+    out.extend_from_slice(&(texts.len() as u64).to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    // Payload checksum; header checksum over everything before it.
+    let mut payload = Vec::with_capacity(payload_len);
+    for w in comps {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    for o in offsets {
+        payload.extend_from_slice(&o.to_le_bytes());
+    }
+    payload.extend_from_slice(texts.as_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    let header_sum = fnv1a64(&out);
+    out.extend_from_slice(&header_sum.to_le_bytes());
+    out.resize(COLSEG_HEADER, 0);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn u32_at(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+}
+
+fn u64_at(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+/// Validate segment bytes against the expected row width and current
+/// generation. Returns the payload layout, or the reason the segment
+/// must fall back to a lazy rebuild. Every byte the layout exposes is
+/// checked here — including offset monotonicity and text UTF-8 — so
+/// readers can trust it unconditionally.
+pub(crate) fn parse(
+    bytes: &[u8],
+    expect_width: usize,
+    expect_generation: u64,
+) -> Result<SegmentLayout, &'static str> {
+    if bytes.len() < COLSEG_HEADER {
+        return Err("shorter than header");
+    }
+    if &bytes[..8] != COLSEG_MAGIC {
+        return Err("bad magic");
+    }
+    if u32_at(bytes, 8) != COLSEG_VERSION {
+        return Err("unsupported format version");
+    }
+    if u64_at(bytes, 48) != fnv1a64(&bytes[..48]) {
+        return Err("header checksum mismatch");
+    }
+    let width = u32_at(bytes, 12) as usize;
+    let rows = u64_at(bytes, 16);
+    let texts_len = u64_at(bytes, 24);
+    let generation = u64_at(bytes, 32);
+    if width != expect_width {
+        return Err("row width disagrees with shape");
+    }
+    if generation != expect_generation {
+        return Err("stale generation");
+    }
+    let rows = usize::try_from(rows).map_err(|_| "row count overflow")?;
+    let texts_len = usize::try_from(texts_len).map_err(|_| "texts length overflow")?;
+    let comps_len = rows
+        .checked_mul(width)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or("comps length overflow")?;
+    let offsets_len = (rows + 1) * 4;
+    let payload_len = comps_len
+        .checked_add(offsets_len)
+        .and_then(|n| n.checked_add(texts_len))
+        .ok_or("payload length overflow")?;
+    // Trailing page padding beyond the payload is fine; truncation is not.
+    if bytes.len() < COLSEG_HEADER + payload_len {
+        return Err("payload truncated");
+    }
+    let payload = &bytes[COLSEG_HEADER..COLSEG_HEADER + payload_len];
+    if u64_at(bytes, 40) != fnv1a64(payload) {
+        return Err("payload checksum mismatch");
+    }
+    let comps = COLSEG_HEADER..COLSEG_HEADER + comps_len;
+    let offsets = comps.end..comps.end + offsets_len;
+    let texts = offsets.end..offsets.end + texts_len;
+    // Offsets must start at 0, end at texts_len, never decrease, and
+    // every boundary must fall on a UTF-8 character boundary (checked
+    // via the full-arena validation plus per-boundary is_char_boundary).
+    let arena = std::str::from_utf8(&bytes[texts.clone()]).map_err(|_| "texts not UTF-8")?;
+    let mut prev = 0u32;
+    for i in 0..=rows {
+        let o = u32_at(bytes, offsets.start + i * 4);
+        if i == 0 && o != 0 {
+            return Err("first offset not zero");
+        }
+        if o < prev {
+            return Err("offsets not monotone");
+        }
+        if o as usize > texts_len || !arena.is_char_boundary(o as usize) {
+            return Err("offset outside arena");
+        }
+        prev = o;
+    }
+    if prev as usize != texts_len {
+        return Err("last offset disagrees with arena length");
+    }
+    Ok(SegmentLayout {
+        width,
+        rows,
+        comps,
+        offsets,
+        texts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        // Two rows of width 3, texts "ab" + "c".
+        encode(3, &[1, 1, 1, 1, 2, 1], &[0, 2, 3], "abc", 7)
+    }
+
+    #[test]
+    fn roundtrip_validates() {
+        let bytes = sample();
+        let layout = parse(&bytes, 3, 7).unwrap();
+        assert_eq!(layout.rows, 2);
+        assert_eq!(layout.width, 3);
+        assert_eq!(&bytes[layout.texts.clone()], b"abc");
+        assert_eq!(layout.comps.len(), 24);
+        assert_eq!(layout.offsets.len(), 12);
+    }
+
+    #[test]
+    fn trailing_padding_tolerated() {
+        let mut bytes = sample();
+        bytes.resize(bytes.len() + 100, 0);
+        assert!(parse(&bytes, 3, 7).is_ok());
+    }
+
+    #[test]
+    fn stale_generation_rejected() {
+        let bytes = sample();
+        assert_eq!(parse(&bytes, 3, 8), Err("stale generation"));
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let bytes = sample();
+        assert_eq!(parse(&bytes, 2, 7), Err("row width disagrees with shape"));
+    }
+
+    #[test]
+    fn flipped_payload_bit_rejected() {
+        let mut bytes = sample();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert_eq!(parse(&bytes, 3, 7), Err("payload checksum mismatch"));
+    }
+
+    #[test]
+    fn flipped_header_bit_rejected() {
+        let mut bytes = sample();
+        bytes[16] ^= 1; // row count
+        assert_eq!(parse(&bytes, 3, 7), Err("header checksum mismatch"));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample();
+        assert_eq!(
+            parse(&bytes[..bytes.len() - 1], 3, 7),
+            Err("payload truncated")
+        );
+        assert_eq!(parse(&bytes[..10], 3, 7), Err("shorter than header"));
+    }
+
+    #[test]
+    fn non_monotone_offsets_rejected() {
+        // Forge offsets [0, 3, 2]: recompute checksums so only the
+        // monotonicity check can object.
+        let bytes = encode(1, &[1, 2], &[0, 3, 2], "abc", 0);
+        assert_eq!(parse(&bytes, 1, 0), Err("offsets not monotone"));
+    }
+
+    #[test]
+    fn empty_column_roundtrips() {
+        let bytes = encode(2, &[], &[0], "", 3);
+        let layout = parse(&bytes, 2, 3).unwrap();
+        assert_eq!(layout.rows, 0);
+        assert!(layout.comps.is_empty());
+        assert!(layout.texts.is_empty());
+    }
+
+    #[test]
+    fn offset_past_arena_rejected() {
+        let bytes = encode(1, &[1], &[0, 9], "abc", 0);
+        assert_eq!(parse(&bytes, 1, 0), Err("offset outside arena"));
+    }
+
+    #[test]
+    fn payload_is_aligned_for_u32_reinterpretation() {
+        assert_eq!(COLSEG_HEADER % 4, 0);
+        let layout = parse(&sample(), 3, 7).unwrap();
+        assert_eq!(layout.comps.start % 4, 0);
+        assert_eq!(layout.offsets.start % 4, 0);
+    }
+}

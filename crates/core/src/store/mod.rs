@@ -1,6 +1,8 @@
-//! The XMorph data store (paper Fig. 8): the shredder and the shredded
-//! document tables over `xmorph-pagestore`.
+//! The XMorph data store (paper Fig. 8): the shredder, the shredded
+//! document tables over `xmorph-pagestore`, and the persisted
+//! column-segment format.
 
+pub(crate) mod colseg;
 pub mod shredded;
 
 pub use shredded::ShreddedDoc;

@@ -8,11 +8,23 @@
 //!   `closest_children_btree` (B+tree prefix probe), and
 //!   `has_closest_child` ≡ non-emptiness of that group;
 //! * a bulk-loaded shred and an incremental shred describe the same
-//!   document.
+//!   document;
+//! * a cold reopen serving *persisted column segments* (mapped or
+//!   copied) is byte-identical — scans, joins, and rendered guard
+//!   output — to one that rebuilds every column from the B+tree.
 
 use proptest::prelude::*;
-use xmorph_core::{ShredOptions, ShreddedDoc, TypeId};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use xmorph_core::{Guard, OpenOptions, ShredOptions, ShreddedDoc, TypeId};
 use xmorph_pagestore::Store;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("xmorph-coldopen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}.db", SEQ.fetch_add(1, Ordering::Relaxed)))
+}
 
 /// Random small library documents — same family as the theorem
 /// validation suite: variable author counts, optional publisher and
@@ -85,7 +97,7 @@ proptest! {
         let incremental = ShreddedDoc::shred_str_with(
             &inc_store,
             &xml,
-            &ShredOptions { bulk_load: false, ..Default::default() },
+            &ShredOptions::builder().bulk_load(false),
         )
         .unwrap();
         prop_assert_eq!(bulk.types().len(), incremental.types().len());
@@ -102,5 +114,66 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cold_reopen_with_persisted_columns_is_byte_identical(xml in random_library()) {
+        // Shred with column persistence into a file store, close, then
+        // reopen twice: once serving persisted segments (mmap
+        // preferred), once forced to rebuild lazily from the B+tree.
+        let path = temp_path("prop");
+        {
+            let store = Store::create(&path).unwrap();
+            ShreddedDoc::shred_str(&store, &xml).unwrap();
+            store.close().unwrap();
+        }
+        let store = Store::open(&path).unwrap();
+        let persisted = ShreddedDoc::open(&store).unwrap();
+        let rebuilt =
+            ShreddedDoc::open_with(&store, &OpenOptions::builder().persisted_columns(false))
+                .unwrap();
+        prop_assert!(persisted.segment_fallbacks().is_empty(),
+            "persisted segments must validate: {:?}", persisted.segment_fallbacks());
+
+        let types: Vec<TypeId> = persisted.types().ids().collect();
+        for &t in &types {
+            prop_assert_eq!(persisted.scan_type(t), rebuilt.scan_type(t));
+        }
+        for &a in &types {
+            for &b in &types {
+                prop_assert_eq!(
+                    persisted.type_distance_exact(a, b),
+                    rebuilt.type_distance_exact(a, b)
+                );
+                for (parent, _) in persisted.scan_type(a) {
+                    prop_assert_eq!(
+                        persisted.closest_children(&parent, a, b),
+                        rebuilt.closest_children(&parent, a, b),
+                        "join at {}", parent
+                    );
+                }
+            }
+        }
+        // Rendered guard output — the end-to-end byte-identity check.
+        // Some random documents lack authors/publishers, so a guard may
+        // legitimately fail type-checking; both sides must then agree
+        // on the error too.
+        for guard in [
+            "MORPH title",
+            "MORPH author [ name ]",
+            "MORPH book [ title author [ name ] ]",
+            "CAST MORPH publisher [ title ]",
+        ] {
+            let g = Guard::parse(guard).unwrap();
+            let a = g.apply(&persisted).map(|o| o.xml);
+            let b = g.apply(&rebuilt).map(|o| o.xml);
+            prop_assert_eq!(
+                format!("{:?}", a),
+                format!("{:?}", b),
+                "guard {}", guard
+            );
+        }
+        drop((persisted, rebuilt, store));
+        std::fs::remove_file(&path).ok();
     }
 }

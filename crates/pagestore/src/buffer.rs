@@ -174,6 +174,42 @@ impl BufferPool {
         Ok(id)
     }
 
+    /// Allocate a contiguous run of pages for a segment. Extent pages
+    /// never enter the frame cache.
+    pub fn allocate_extent(&self, pages: u64) -> StoreResult<PageId> {
+        self.pager.lock().allocate_extent(pages)
+    }
+
+    /// Write a segment's bytes straight through to the device (page
+    /// padded), bypassing the frame cache.
+    pub fn write_extent(&self, first: PageId, data: &[u8]) -> StoreResult<()> {
+        self.pager.lock().write_extent(first, data)
+    }
+
+    /// Read a segment's bytes in one sequential device read.
+    pub fn read_extent(&self, first: PageId, byte_len: usize) -> StoreResult<Vec<u8>> {
+        self.pager.lock().read_extent(first, byte_len)
+    }
+
+    /// Memory-map a segment's extent read-only, when the device can.
+    pub fn mmap_extent(
+        &self,
+        first: PageId,
+        byte_len: usize,
+    ) -> StoreResult<Option<crate::mmap::MmapRegion>> {
+        self.pager.lock().mmap_extent(first, byte_len)
+    }
+
+    /// True when the device can serve read-only mappings.
+    pub fn supports_mmap(&self) -> bool {
+        self.pager.lock().supports_mmap()
+    }
+
+    /// True when the device outlives the process (file-backed).
+    pub fn is_persistent(&self) -> bool {
+        self.pager.lock().is_persistent()
+    }
+
     /// Look up a named tree's root page.
     pub fn tree_root(&self, name: &str) -> Option<PageId> {
         self.pager.lock().tree_root(name)

@@ -20,6 +20,16 @@ pub enum StoreError {
     CatalogFull,
     /// A tree name exceeded the catalog slot width.
     NameTooLong(String),
+    /// A segment's catalog entry is present but unusable (malformed
+    /// value, or an extent outside the allocated page range — the
+    /// signature of a torn shutdown before the catalog flushed).
+    /// Callers with a rebuild path treat this as "segment absent".
+    SegmentInvalid {
+        /// The segment's name.
+        name: String,
+        /// What failed to validate.
+        reason: &'static str,
+    },
     /// Internal invariant violation — indicates a bug or corruption.
     Corrupt(&'static str),
 }
@@ -32,6 +42,9 @@ impl fmt::Display for StoreError {
             StoreError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds the maximum"),
             StoreError::CatalogFull => write!(f, "table catalog is full"),
             StoreError::NameTooLong(n) => write!(f, "tree name {n:?} is too long"),
+            StoreError::SegmentInvalid { name, reason } => {
+                write!(f, "segment {name:?} is invalid: {reason}")
+            }
             StoreError::Corrupt(m) => write!(f, "database corruption: {m}"),
         }
     }

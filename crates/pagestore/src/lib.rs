@@ -17,7 +17,12 @@
 //! * [`buffer`] — an LRU buffer pool with write-back of dirty pages.
 //! * [`btree`] — a slotted-page B+tree with variable-length keys and
 //!   values, overflow chains for large values, and ordered range scans.
-//! * [`store`] — the public façade: a [`Store`] of named [`Tree`]s.
+//! * [`mmap`] — a minimal read-only memory-map wrapper (unix only;
+//!   degrades to `None` elsewhere).
+//! * [`segment`] — named page-aligned blob extents with a catalog tree,
+//!   served as heap copies or OS mappings.
+//! * [`store`] — the public façade: a [`Store`] of named [`Tree`]s and
+//!   segments, built via [`StoreOptions`].
 //!
 //! ```
 //! use xmorph_pagestore::Store;
@@ -33,7 +38,9 @@
 pub mod btree;
 pub mod buffer;
 pub mod error;
+pub mod mmap;
 pub mod pager;
+pub mod segment;
 pub mod stats;
 pub mod storage;
 pub mod store;
@@ -41,8 +48,10 @@ pub mod store;
 pub use btree::DEFAULT_FILL;
 pub use buffer::{default_shard_count, BufferPool, DEFAULT_CAPACITY, MAX_SHARDS};
 pub use error::{StoreError, StoreResult};
+pub use mmap::MmapRegion;
+pub use segment::{SegmentData, SegmentEntry, SEGMENT_CATALOG_TREE};
 pub use stats::{IoSnapshot, IoStats};
-pub use store::{Store, Tree};
+pub use store::{Store, StoreOptions, Tree};
 
 /// Size of every page, in bytes. 4 KiB matches the usual filesystem block
 /// size, so one page transfer ≈ one "block" in the Figure 11 sense.

@@ -1,0 +1,168 @@
+//! Read-only memory mapping of page-aligned file regions.
+//!
+//! Column segments (see [`crate::segment`]) are laid out in whole pages
+//! so a file-backed store can hand them to readers as an OS mapping
+//! instead of a heap copy — the mapped bytes live in the page cache, not
+//! the process heap, and unmapping is one `munmap`. The wrapper is
+//! deliberately tiny: map read-only and shared, expose the bytes as a
+//! slice, unmap on drop. No external crate is used; the two syscalls are
+//! declared directly against the C library.
+//!
+//! Mapping is best-effort everywhere: any failure (non-unix platform,
+//! an offset the kernel rejects — e.g. the system page size exceeds
+//! [`crate::PAGE_SIZE`] — or plain `ENOMEM`) reports "not mappable" and
+//! callers fall back to an ordinary read.
+
+use std::ops::Deref;
+use std::ptr::NonNull;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+/// An owned read-only mapping of a byte range of a file. The mapped
+/// bytes are immutable for the mapping's lifetime (the store never
+/// rewrites segment extents in place), so the region is safely shared
+/// across threads.
+pub struct MmapRegion {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// Safety: the mapping is PROT_READ and the backing extent is
+// write-once (segments are never mutated after publication), so
+// concurrent reads from any thread see frozen bytes.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl MmapRegion {
+    /// Map `len` bytes of `file` starting at `offset`, read-only.
+    /// Returns `None` when the platform or kernel declines; callers
+    /// must treat that as "read the bytes instead", never as an error.
+    #[cfg(unix)]
+    pub(crate) fn map(file: &std::fs::File, offset: u64, len: usize) -> Option<MmapRegion> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 || offset > i64::MAX as u64 {
+            return None;
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                offset as i64,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return None;
+        }
+        NonNull::new(ptr as *mut u8).map(|ptr| MmapRegion { ptr, len })
+    }
+
+    #[cfg(not(unix))]
+    pub(crate) fn map(_file: &std::fs::File, _offset: u64, _len: usize) -> Option<MmapRegion> {
+        None
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty (never constructed in practice —
+    /// empty segments are read, not mapped).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for MmapRegion {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // Safety: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes, valid until `munmap` in Drop.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        unsafe {
+            sys::munmap(self.ptr.as_ptr() as *mut std::os::raw::c_void, self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn map_reads_file_bytes() {
+        let dir = std::env::temp_dir().join(format!("pagestore-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mmap-basic.bin");
+        let mut data = vec![0u8; crate::PAGE_SIZE * 2];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&data)
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        if let Some(map) = MmapRegion::map(&file, 0, data.len()) {
+            assert_eq!(&*map, &data[..]);
+            assert_eq!(map.len(), data.len());
+        }
+        // Page-aligned interior offset.
+        if let Some(map) = MmapRegion::map(&file, crate::PAGE_SIZE as u64, crate::PAGE_SIZE) {
+            assert_eq!(&*map, &data[crate::PAGE_SIZE..]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_len_declines() {
+        let dir = std::env::temp_dir().join(format!("pagestore-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mmap-empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        assert!(MmapRegion::map(&file, 0, 0).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -165,6 +165,66 @@ impl Pager {
         Ok(id)
     }
 
+    /// Allocate `pages` contiguous pages, returning the first id. Used
+    /// by segments, which need one flat on-device run so the whole blob
+    /// can be read sequentially or memory-mapped in one piece.
+    pub fn allocate_extent(&mut self, pages: u64) -> StoreResult<PageId> {
+        let id = self.page_count;
+        self.page_count += pages;
+        Ok(id)
+    }
+
+    /// Write `data` over the extent starting at `first`, padding the
+    /// tail of the last page with zeroes so the device stays
+    /// page-granular. Goes straight to the device — extent pages never
+    /// enter the buffer pool.
+    pub fn write_extent(&mut self, first: PageId, data: &[u8]) -> StoreResult<()> {
+        let pages = data.len().div_ceil(PAGE_SIZE).max(1);
+        let start = Instant::now();
+        self.storage.write_at(first * PAGE_SIZE as u64, data)?;
+        let tail = pages * PAGE_SIZE - data.len();
+        if tail > 0 {
+            let pad = vec![0u8; tail];
+            self.storage
+                .write_at(first * PAGE_SIZE as u64 + data.len() as u64, &pad)?;
+        }
+        self.stats.record_write(pages as u64, start.elapsed());
+        Ok(())
+    }
+
+    /// Read `byte_len` bytes of the extent starting at `first` into a
+    /// fresh buffer (one sequential device read, bypassing the pool).
+    pub fn read_extent(&mut self, first: PageId, byte_len: usize) -> StoreResult<Vec<u8>> {
+        let mut buf = vec![0u8; byte_len];
+        let start = Instant::now();
+        self.storage.read_at(first * PAGE_SIZE as u64, &mut buf)?;
+        self.stats
+            .record_read(byte_len.div_ceil(PAGE_SIZE).max(1) as u64, start.elapsed());
+        Ok(buf)
+    }
+
+    /// Memory-map `byte_len` bytes of the extent starting at `first`,
+    /// read-only, when the device supports it.
+    pub fn mmap_extent(
+        &mut self,
+        first: PageId,
+        byte_len: usize,
+    ) -> StoreResult<Option<crate::mmap::MmapRegion>> {
+        Ok(self.storage.mmap(first * PAGE_SIZE as u64, byte_len)?)
+    }
+
+    /// True when the device can serve read-only mappings.
+    pub fn supports_mmap(&mut self) -> bool {
+        // Probe-free: only persistent (file) devices ever map, and only
+        // on unix. An actual map attempt may still decline at runtime.
+        cfg!(unix) && self.storage.is_persistent()
+    }
+
+    /// True when the device outlives the process.
+    pub fn is_persistent(&self) -> bool {
+        self.storage.is_persistent()
+    }
+
     /// Read a page into `buf` (must be `PAGE_SIZE` long).
     pub fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> StoreResult<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);

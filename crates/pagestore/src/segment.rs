@@ -1,0 +1,127 @@
+//! Page-aligned raw segments: named byte extents outside the B+trees.
+//!
+//! A segment is a contiguous run of whole pages holding one opaque byte
+//! blob — the store's unit of bulk, write-once auxiliary data (the
+//! XMorph column cache persists each decoded `TypeColumn` as one
+//! segment). Segments bypass the buffer pool entirely: they are written
+//! straight through to the device at allocation time and read back
+//! either as one sequential read or, on file-backed unix stores, as a
+//! read-only memory mapping ([`crate::mmap::MmapRegion`]), so a large
+//! segment costs no frame-cache capacity and no heap.
+//!
+//! The catalog mapping segment names to extents lives in a reserved tree
+//! ([`SEGMENT_CATALOG_TREE`]), which makes it crash-safe exactly like
+//! every other tree: an entry becomes durable when the store flushes.
+//! Write ordering inside [`crate::store::Store::put_segment`] guarantees
+//! the data pages reach the device *before* the catalog entry can, so a
+//! torn shutdown leaves either a fully readable segment or a dangling /
+//! absent entry — never a published entry over unwritten pages. Lookup
+//! validates every entry against the page count and reports a dangling
+//! one as [`crate::error::StoreError::SegmentInvalid`] rather than
+//! handing out garbage.
+
+use crate::mmap::MmapRegion;
+use crate::pager::PageId;
+use std::ops::Deref;
+
+/// Name of the reserved catalog tree. The store rejects it in
+/// [`crate::store::Store::open_tree`] so user trees cannot collide.
+pub const SEGMENT_CATALOG_TREE: &str = "__segments";
+
+/// A catalog entry: where a segment's extent lives and how many of its
+/// bytes are meaningful (the tail of the last page is padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// First page of the extent.
+    pub first_page: PageId,
+    /// Number of contiguous pages.
+    pub pages: u64,
+    /// Meaningful byte length (`<= pages * PAGE_SIZE`).
+    pub len: u64,
+}
+
+impl SegmentEntry {
+    /// Serialized catalog value: three little-endian `u64`s.
+    pub fn encode(&self) -> [u8; 24] {
+        let mut out = [0u8; 24];
+        out[0..8].copy_from_slice(&self.first_page.to_le_bytes());
+        out[8..16].copy_from_slice(&self.pages.to_le_bytes());
+        out[16..24].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`SegmentEntry::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<SegmentEntry> {
+        if bytes.len() != 24 {
+            return None;
+        }
+        Some(SegmentEntry {
+            first_page: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            pages: u64::from_le_bytes(bytes[8..16].try_into().ok()?),
+            len: u64::from_le_bytes(bytes[16..24].try_into().ok()?),
+        })
+    }
+}
+
+/// A segment's bytes, in whichever backing the store could provide:
+/// a read-only OS mapping (file-backed unix stores) or an owned heap
+/// copy (memory stores, platforms without mmap, or callers that asked
+/// for heap). Both deref to the segment's meaningful bytes.
+#[derive(Debug)]
+pub enum SegmentData {
+    /// Memory-mapped extent; `len` trims the page padding.
+    Mapped {
+        /// The page-aligned mapping (whole pages).
+        map: MmapRegion,
+        /// Meaningful byte length.
+        len: usize,
+    },
+    /// Heap copy of the segment bytes.
+    Heap(Vec<u8>),
+}
+
+impl SegmentData {
+    /// True when the bytes are memory-mapped rather than copied.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, SegmentData::Mapped { .. })
+    }
+}
+
+impl Deref for SegmentData {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            SegmentData::Mapped { map, len } => &map[..*len],
+            SegmentData::Heap(v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_round_trips() {
+        let e = SegmentEntry {
+            first_page: 17,
+            pages: 9,
+            len: 4096 * 8 + 123,
+        };
+        assert_eq!(SegmentEntry::decode(&e.encode()), Some(e));
+    }
+
+    #[test]
+    fn entry_rejects_wrong_length() {
+        assert_eq!(SegmentEntry::decode(b"short"), None);
+        assert_eq!(SegmentEntry::decode(&[0u8; 32]), None);
+    }
+
+    #[test]
+    fn heap_data_derefs() {
+        let d = SegmentData::Heap(vec![1, 2, 3]);
+        assert_eq!(&*d, &[1, 2, 3]);
+        assert!(!d.is_mapped());
+    }
+}

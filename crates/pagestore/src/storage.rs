@@ -1,5 +1,6 @@
 //! Byte-addressed backing devices for the pager.
 
+use crate::mmap::MmapRegion;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -24,6 +25,19 @@ pub trait Storage: Send {
     /// True when nothing has been written yet.
     fn is_empty(&mut self) -> io::Result<bool> {
         Ok(self.len()? == 0)
+    }
+
+    /// Memory-map `len` bytes at `offset` read-only, if the device can.
+    /// `None` means "read the bytes instead"; it is never an error.
+    /// `offset` is always a multiple of [`crate::PAGE_SIZE`].
+    fn mmap(&mut self, _offset: u64, _len: usize) -> io::Result<Option<MmapRegion>> {
+        Ok(None)
+    }
+
+    /// True when the device outlives the process (a reopenable file),
+    /// so persisted auxiliary structures are worth writing.
+    fn is_persistent(&self) -> bool {
+        false
     }
 }
 
@@ -82,6 +96,20 @@ impl Storage for FileStorage {
 
     fn len(&mut self) -> io::Result<u64> {
         Ok(self.file.metadata()?.len())
+    }
+
+    fn mmap(&mut self, offset: u64, len: usize) -> io::Result<Option<MmapRegion>> {
+        // Never map past the ever-written length: accessing pages wholly
+        // beyond EOF faults. (The written range is page-padded, so any
+        // in-range mapping is backed.)
+        if offset + len as u64 > self.file.metadata()?.len() {
+            return Ok(None);
+        }
+        Ok(MmapRegion::map(&self.file, offset, len))
+    }
+
+    fn is_persistent(&self) -> bool {
+        true
     }
 }
 

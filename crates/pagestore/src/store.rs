@@ -1,90 +1,143 @@
-//! The public façade: a [`Store`] of named [`Tree`]s.
+//! The public façade: a [`Store`] of named [`Tree`]s plus named raw
+//! [`crate::segment`]s, configured through the [`StoreOptions`] builder.
 
 use crate::btree::{BTree, RangeIter};
 use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
-use crate::error::StoreResult;
+use crate::error::{StoreError, StoreResult};
 use crate::pager::{PageId, Pager};
+use crate::segment::{SegmentData, SegmentEntry, SEGMENT_CATALOG_TREE};
 use crate::stats::{IoSnapshot, IoStats};
 use crate::storage::{FileStorage, MemStorage, Storage};
+use crate::PAGE_SIZE;
 use parking_lot::Mutex;
 use std::ops::{Bound, RangeBounds};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// An embedded key-value store holding named ordered trees — the
-/// reproduction's stand-in for BerkeleyDB JE.
+/// Builder for a [`Store`]: buffer-pool capacity, shard count, shared
+/// I/O stats, then one terminal call choosing the backing device. This
+/// is the single construction path — the old
+/// `in_memory_with`/`create_with`/`with_storage_sharded` constructor
+/// family collapsed into it.
+///
+/// ```
+/// use xmorph_pagestore::Store;
+///
+/// let store = Store::options().capacity(256).shards(4).open_memory();
+/// assert!(store.shard_count() >= 1);
+/// ```
 #[derive(Debug, Clone)]
-pub struct Store {
-    pool: Arc<BufferPool>,
+pub struct StoreOptions {
+    capacity: usize,
+    shards: Option<usize>,
+    stats: IoStats,
 }
 
-impl Store {
-    /// An ephemeral in-memory store.
-    pub fn in_memory() -> Store {
-        Store::with_storage(
-            Box::new(MemStorage::new()),
-            IoStats::new(),
-            DEFAULT_CAPACITY,
-        )
-        .expect("in-memory store cannot fail")
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            capacity: DEFAULT_CAPACITY,
+            shards: None,
+            stats: IoStats::new(),
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Fresh options with the defaults ([`DEFAULT_CAPACITY`] frames,
+    /// CPU-count shards, private stats).
+    pub fn new() -> StoreOptions {
+        StoreOptions::default()
     }
 
-    /// An in-memory store with explicit stats and buffer-pool capacity —
-    /// used by the benchmark harness to meter I/O behaviour.
-    pub fn in_memory_with(stats: IoStats, capacity: usize) -> Store {
-        Store::with_storage(Box::new(MemStorage::new()), stats, capacity)
+    /// Buffer-pool frame capacity (total across shards).
+    pub fn capacity(mut self, frames: usize) -> Self {
+        self.capacity = frames;
+        self
+    }
+
+    /// Explicit buffer-pool shard count (rounded to a power of two; see
+    /// [`crate::buffer::BufferPool::with_shards`]). Default: CPU count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Share an external [`IoStats`] handle — the benchmark harness
+    /// meters I/O through this.
+    pub fn stats(mut self, stats: IoStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Terminal: an ephemeral in-memory store.
+    pub fn open_memory(self) -> Store {
+        self.with_storage(Box::new(MemStorage::new()))
             .expect("in-memory store cannot fail")
     }
 
-    /// Open (or create) a file-backed store at `path`.
+    /// Terminal: open (or create) a file-backed store at `path`.
+    pub fn open(self, path: &Path) -> StoreResult<Store> {
+        let storage = Box::new(FileStorage::open(path)?);
+        let mut store = self.with_storage(storage)?;
+        store.path = Some(Arc::new(path.to_path_buf()));
+        Ok(store)
+    }
+
+    /// Terminal: create a fresh file-backed store at `path`, truncating
+    /// any existing file.
+    pub fn create(self, path: &Path) -> StoreResult<Store> {
+        let storage = Box::new(FileStorage::create(path)?);
+        let mut store = self.with_storage(storage)?;
+        store.path = Some(Arc::new(path.to_path_buf()));
+        Ok(store)
+    }
+
+    /// Terminal: wrap an arbitrary storage device.
+    pub fn with_storage(self, storage: Box<dyn Storage>) -> StoreResult<Store> {
+        let pager = Pager::new(storage, self.stats)?;
+        let pool = match self.shards {
+            Some(n) => BufferPool::with_shards(pager, self.capacity, n),
+            None => BufferPool::new(pager, self.capacity),
+        };
+        Ok(Store {
+            pool: Arc::new(pool),
+            path: None,
+        })
+    }
+}
+
+/// An embedded key-value store holding named ordered trees — the
+/// reproduction's stand-in for BerkeleyDB JE — plus named page-aligned
+/// segments for bulk write-once blobs.
+#[derive(Debug, Clone)]
+pub struct Store {
+    pool: Arc<BufferPool>,
+    /// Backing file path, when file-backed (error context only).
+    path: Option<Arc<PathBuf>>,
+}
+
+impl Store {
+    /// Configure a store ([`StoreOptions`] builder).
+    pub fn options() -> StoreOptions {
+        StoreOptions::new()
+    }
+
+    /// An ephemeral in-memory store with default options.
+    pub fn in_memory() -> Store {
+        Store::options().open_memory()
+    }
+
+    /// Open (or create) a file-backed store at `path` with default
+    /// options.
     pub fn open(path: &Path) -> StoreResult<Store> {
-        Store::with_storage(
-            Box::new(FileStorage::open(path)?),
-            IoStats::new(),
-            DEFAULT_CAPACITY,
-        )
+        Store::options().open(path)
     }
 
-    /// Create a fresh file-backed store, truncating any existing file.
+    /// Create a fresh file-backed store with default options,
+    /// truncating any existing file.
     pub fn create(path: &Path) -> StoreResult<Store> {
-        Store::with_storage(
-            Box::new(FileStorage::create(path)?),
-            IoStats::new(),
-            DEFAULT_CAPACITY,
-        )
-    }
-
-    /// Create a fresh file-backed store with explicit stats and capacity.
-    pub fn create_with(path: &Path, stats: IoStats, capacity: usize) -> StoreResult<Store> {
-        Store::with_storage(Box::new(FileStorage::create(path)?), stats, capacity)
-    }
-
-    /// Wrap an arbitrary storage device. The buffer pool is sharded by
-    /// CPU count (see [`crate::buffer::default_shard_count`]).
-    pub fn with_storage(
-        storage: Box<dyn Storage>,
-        stats: IoStats,
-        capacity: usize,
-    ) -> StoreResult<Store> {
-        let pager = Pager::new(storage, stats)?;
-        Ok(Store {
-            pool: Arc::new(BufferPool::new(pager, capacity)),
-        })
-    }
-
-    /// Wrap an arbitrary storage device with an explicit buffer-pool
-    /// shard count (rounded to a power of two; see
-    /// [`crate::buffer::BufferPool::with_shards`]).
-    pub fn with_storage_sharded(
-        storage: Box<dyn Storage>,
-        stats: IoStats,
-        capacity: usize,
-        shards: usize,
-    ) -> StoreResult<Store> {
-        let pager = Pager::new(storage, stats)?;
-        Ok(Store {
-            pool: Arc::new(BufferPool::with_shards(pager, capacity, shards)),
-        })
+        Store::options().create(path)
     }
 
     /// Number of shards in the underlying buffer pool.
@@ -92,8 +145,21 @@ impl Store {
         self.pool.shard_count()
     }
 
+    /// Backing file path, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref().map(|p| p.as_path())
+    }
+
     /// Open a named tree, creating it if absent.
+    /// [`SEGMENT_CATALOG_TREE`] is reserved for the segment catalog.
     pub fn open_tree(&self, name: &str) -> StoreResult<Tree> {
+        if name == SEGMENT_CATALOG_TREE {
+            return Err(StoreError::NameTooLong(format!("{name} (reserved)")));
+        }
+        self.open_tree_raw(name)
+    }
+
+    fn open_tree_raw(&self, name: &str) -> StoreResult<Tree> {
         let root = match self.pool.tree_root(name) {
             Some(r) => r,
             None => {
@@ -109,10 +175,116 @@ impl Store {
         })
     }
 
-    /// Names of all trees in the catalog.
+    /// Names of all trees in the catalog (the reserved segment catalog
+    /// excluded).
     pub fn tree_names(&self) -> Vec<String> {
-        self.pool.tree_names()
+        self.pool
+            .tree_names()
+            .into_iter()
+            .filter(|n| n != SEGMENT_CATALOG_TREE)
+            .collect()
     }
+
+    // ---- segments ----
+
+    /// Store `bytes` as the named segment: allocate a fresh contiguous
+    /// extent, write the data pages straight through to the device,
+    /// *then* publish the catalog entry. The ordering means a crash can
+    /// leave an unpublished (or stale) entry but never a published entry
+    /// over unwritten pages; the entry itself becomes durable at the
+    /// next [`Store::flush`]. Re-putting a name replaces its entry (the
+    /// old extent is abandoned, the same write-once policy as overflow
+    /// replacement).
+    pub fn put_segment(&self, name: &str, bytes: &[u8]) -> StoreResult<()> {
+        let pages = bytes.len().div_ceil(PAGE_SIZE).max(1) as u64;
+        let first = self.pool.allocate_extent(pages)?;
+        self.pool.write_extent(first, bytes)?;
+        let entry = SegmentEntry {
+            first_page: first,
+            pages,
+            len: bytes.len() as u64,
+        };
+        let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+        tree.insert(name.as_bytes(), &entry.encode())?;
+        Ok(())
+    }
+
+    /// Fetch a segment's bytes. `prefer_mmap` asks for a read-only OS
+    /// mapping when the device supports one (file-backed unix stores);
+    /// otherwise (or when mapping declines) the bytes are read into a
+    /// heap buffer. Returns `Ok(None)` when no such segment exists and
+    /// [`StoreError::SegmentInvalid`] when the catalog entry is present
+    /// but unusable — malformed, or pointing outside the allocated page
+    /// range, the signature of a torn shutdown.
+    pub fn get_segment(&self, name: &str, prefer_mmap: bool) -> StoreResult<Option<SegmentData>> {
+        // Don't create the catalog tree on a read path.
+        if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_none() {
+            return Ok(None);
+        }
+        let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+        let Some(value) = tree.get(name.as_bytes())? else {
+            return Ok(None);
+        };
+        let invalid = |reason| StoreError::SegmentInvalid {
+            name: name.to_string(),
+            reason,
+        };
+        let entry = SegmentEntry::decode(&value).ok_or_else(|| invalid("malformed entry"))?;
+        let byte_len =
+            usize::try_from(entry.len).map_err(|_| invalid("length exceeds address space"))?;
+        if entry.first_page == 0
+            || entry.len > entry.pages * PAGE_SIZE as u64
+            || entry
+                .first_page
+                .checked_add(entry.pages)
+                .is_none_or(|end| end > self.pool.page_count())
+        {
+            return Err(invalid("extent outside allocated pages"));
+        }
+        if prefer_mmap && byte_len > 0 {
+            if let Some(map) = self.pool.mmap_extent(entry.first_page, byte_len)? {
+                return Ok(Some(SegmentData::Mapped { map, len: byte_len }));
+            }
+        }
+        Ok(Some(SegmentData::Heap(
+            self.pool.read_extent(entry.first_page, byte_len)?,
+        )))
+    }
+
+    /// Names of all stored segments.
+    pub fn segment_names(&self) -> StoreResult<Vec<String>> {
+        if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_none() {
+            return Ok(Vec::new());
+        }
+        let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+        Ok(tree
+            .scan_prefix(b"")
+            .filter_map(|(k, _)| String::from_utf8(k).ok())
+            .collect())
+    }
+
+    /// Drop a segment's catalog entry (its extent is abandoned).
+    /// Returns `true` if the segment existed.
+    pub fn delete_segment(&self, name: &str) -> StoreResult<bool> {
+        if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_none() {
+            return Ok(false);
+        }
+        let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+        tree.delete(name.as_bytes())
+    }
+
+    /// True when [`Store::get_segment`] can return mapped bytes.
+    pub fn supports_mmap(&self) -> bool {
+        self.pool.supports_mmap()
+    }
+
+    /// True when the backing device outlives the process (file-backed),
+    /// i.e. persisted auxiliary structures are worth writing.
+    pub fn is_persistent(&self) -> bool {
+        self.pool.is_persistent()
+    }
+
+    // ---- lifecycle ----
 
     /// Cumulative I/O counters.
     pub fn io_snapshot(&self) -> IoSnapshot {
@@ -122,6 +294,16 @@ impl Store {
     /// Write back dirty pages and sync the device.
     pub fn flush(&self) -> StoreResult<()> {
         self.pool.flush()
+    }
+
+    /// Flush everything and sync before the store handle goes away —
+    /// the explicit close. Segment *data* is written through at
+    /// [`Store::put_segment`] time, so this is what makes the segment
+    /// catalog (and any dirty tree pages) durable; call it before
+    /// dropping a file-backed store whose contents you intend to reopen.
+    /// Other clones of the handle stay usable.
+    pub fn close(&self) -> StoreResult<()> {
+        self.flush()
     }
 
     /// Total allocated pages (a proxy for on-disk size).

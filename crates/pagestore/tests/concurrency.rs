@@ -3,7 +3,7 @@
 //! linearizable enough for the engine's needs.
 
 use std::sync::Arc;
-use xmorph_pagestore::{IoStats, Store};
+use xmorph_pagestore::Store;
 
 #[test]
 fn threads_writing_separate_trees() {
@@ -114,7 +114,7 @@ fn eviction_under_contention_loses_no_writes() {
     {
         // A tiny pool (32 frames) against ~8 trees × 2000 entries keeps
         // the working set far beyond capacity.
-        let store = Store::create_with(&path, IoStats::new(), 32).unwrap();
+        let store = Store::options().capacity(32).create(&path).unwrap();
         let handles: Vec<_> = (0..WRITERS)
             .map(|t| {
                 let store = store.clone();

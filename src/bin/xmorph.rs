@@ -180,7 +180,7 @@ fn run() -> Result<(), String> {
             let xml = read_input(input)?;
             let store = Store::create(Path::new(store_path)).map_err(|e| e.to_string())?;
             let doc = ShreddedDoc::shred_str(&store, &xml).map_err(|e| e.to_string())?;
-            store.flush().map_err(|e| e.to_string())?;
+            store.close().map_err(|e| e.to_string())?;
             eprintln!(
                 "shredded {} bytes into {store_path}: {} types, {} vertices",
                 xml.len(),

@@ -97,20 +97,45 @@ fn io_stats_show_reopened_reads() {
         ShreddedDoc::shred_str(&store, &xml).unwrap();
         store.flush().unwrap();
     }
-    {
+    // Rebuilding columns from the typeseq tree walks many pages through
+    // the small pool: the stats must show real device reads.
+    let rebuild_reads = {
         let stats = xmorph_pagestore::IoStats::new();
-        let store = Store::with_storage(
-            Box::new(xmorph_pagestore::storage::FileStorage::open(&path).unwrap()),
-            stats.clone(),
-            64, // small pool forces real reads
+        let store = Store::options()
+            .stats(stats.clone())
+            .capacity(64) // small pool forces real reads
+            .open(&path)
+            .unwrap();
+        let doc = ShreddedDoc::open_with(
+            &store,
+            &xmorph_core::OpenOptions::builder().persisted_columns(false),
         )
         .unwrap();
-        let doc = ShreddedDoc::open(&store).unwrap();
         let guard = Guard::parse("CAST MORPH author [ title ]").unwrap();
         let out = guard.apply(&doc).unwrap();
         assert!(out.xml.len() > 1000);
         let snap = stats.snapshot();
         assert!(snap.blocks_read > 10, "expected device reads, got {snap:?}");
+        snap.blocks_read
+    };
+    // Serving persisted column segments skips the typeseq walk, so the
+    // same query touches far fewer pool pages on a cold open.
+    {
+        let stats = xmorph_pagestore::IoStats::new();
+        let store = Store::options()
+            .stats(stats.clone())
+            .capacity(64)
+            .open(&path)
+            .unwrap();
+        let doc = ShreddedDoc::open(&store).unwrap();
+        let guard = Guard::parse("CAST MORPH author [ title ]").unwrap();
+        let out = guard.apply(&doc).unwrap();
+        assert!(out.xml.len() > 1000);
+        let snap = stats.snapshot();
+        assert!(
+            snap.blocks_read < rebuild_reads,
+            "persisted columns should read fewer pool pages: {snap:?} vs {rebuild_reads}"
+        );
     }
     std::fs::remove_file(&path).ok();
 }
