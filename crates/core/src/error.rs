@@ -43,6 +43,12 @@ pub enum MorphError {
         /// The storage engine's error.
         source: xmorph_pagestore::StoreError,
     },
+    /// A document mutation could not be applied (missing target node,
+    /// malformed fragment, exhausted ordinal space).
+    Mutation {
+        /// Human-readable description.
+        message: String,
+    },
     /// An internal invariant was violated (a bug).
     Internal(&'static str),
 }
@@ -64,6 +70,7 @@ impl fmt::Display for MorphError {
             }
             MorphError::Xml(e) => write!(f, "XML error: {e}"),
             MorphError::Store { op, source } => write!(f, "storage error ({op}): {source}"),
+            MorphError::Mutation { message } => write!(f, "mutation error: {message}"),
             MorphError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -66,6 +66,7 @@ pub use model::shape::AdornedShape;
 pub use model::types::{TypeId, TypeTable};
 pub use report::{GuardTyping, LabelReport, LossReport};
 pub use semantics::parallel::{apply_parallel, render_parallel, ParallelOptions};
+pub use store::mutate::MaintenanceStats;
 pub use store::shredded::{
     ColumnBytes, OpenOptions, Preload, ShredOptions, ShreddedDoc, TypeColumn,
 };

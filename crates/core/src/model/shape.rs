@@ -80,6 +80,33 @@ impl AdornedShape {
         self.edge_card[t.index()] = card;
     }
 
+    /// Intern `name` as a child type of `parent`, growing the shape's
+    /// parallel arrays when the type is new. A new type starts with
+    /// `0..0` cardinality and zero instances — the mutation path widens
+    /// the card as it counts the inserted instances, and `min` stays 0
+    /// because every pre-existing parent instance lacks the new child.
+    pub fn intern_child_type(&mut self, parent: TypeId, name: &str) -> TypeId {
+        let id = self.types.intern_child(parent, name);
+        if id.index() == self.edge_card.len() {
+            self.edge_card.push(Card::zero());
+            self.children.push(Vec::new());
+            self.counts.push(0);
+            self.children[parent.index()].push(id);
+        }
+        id
+    }
+
+    /// Adjust the instance count of `t` by `delta` (saturating at 0) —
+    /// the mutation path's exact count maintenance.
+    pub fn add_instances(&mut self, t: TypeId, delta: i64) {
+        let n = &mut self.counts[t.index()];
+        *n = if delta < 0 {
+            n.saturating_sub(delta.unsigned_abs())
+        } else {
+            n.saturating_add(delta as u64)
+        };
+    }
+
     /// Path cardinality (Def. 6): from `t` to `s`, travel up from `t` to
     /// the least common ancestor (`1..1` per step) and multiply the edge
     /// cardinalities going down to `s`. Returns `None` when the two types

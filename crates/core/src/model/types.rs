@@ -41,6 +41,13 @@ struct TypeInfo {
 pub struct TypeTable {
     infos: Vec<TypeInfo>,
     by_path: HashMap<Vec<String>, TypeId>,
+    /// Children of each type keyed by their last path name, indexed by
+    /// the parent's `TypeId`. The shredder interns one type per element
+    /// via [`TypeTable::intern_child`]; this index answers the hot
+    /// already-interned case without cloning or hashing the full path.
+    child_names: Vec<HashMap<String, TypeId>>,
+    /// Root types (single-name paths) by name.
+    root_names: HashMap<String, TypeId>,
 }
 
 impl TypeTable {
@@ -76,22 +83,34 @@ impl TypeTable {
             parent,
         });
         self.by_path.insert(path.to_vec(), id);
+        self.child_names.push(HashMap::new());
+        let name = path.last().expect("non-empty path").clone();
+        match parent {
+            Some(p) => {
+                self.child_names[p.index()].insert(name, id);
+            }
+            None => {
+                self.root_names.insert(name, id);
+            }
+        }
         id
     }
 
     /// Intern a child type: the parent's path extended by `name`.
     pub fn intern_child(&mut self, parent: TypeId, name: &str) -> TypeId {
-        let mut path = self.infos[parent.index()].path.clone();
-        path.push(name.to_string());
-        if let Some(&id) = self.by_path.get(&path) {
+        if let Some(&id) = self.child_names[parent.index()].get(name) {
             return id;
         }
+        let mut path = self.infos[parent.index()].path.clone();
+        path.push(name.to_string());
         let id = TypeId(self.infos.len() as u32);
         self.infos.push(TypeInfo {
-            path,
+            path: path.clone(),
             parent: Some(parent),
         });
-        self.by_path.insert(self.infos[id.index()].path.clone(), id);
+        self.by_path.insert(path, id);
+        self.child_names.push(HashMap::new());
+        self.child_names[parent.index()].insert(name.to_string(), id);
         id
     }
 

@@ -21,12 +21,17 @@
 //!               UTF-8 texts
 //! ```
 //!
-//! The generation is bumped on every shred (`meta["colgen"]`), so a
-//! segment surviving from a previous shred of the same store fails the
-//! generation check and degrades to a lazy rebuild — as does any
-//! checksum, bounds, monotonicity, or UTF-8 violation. Validation is
-//! total: a reader that gets a [`SegmentLayout`] back may index the
-//! payload without further checks.
+//! The generation a segment must carry to be believed is **per type**:
+//! a full shred bumps the store-wide `meta["colgen"]`, while a mutation
+//! (see [`crate::store::mutate`]) assigns the touched type a newer
+//! per-type generation under `meta["tygen."‖TypeId]` and deletes that
+//! type's segment — so after a 1%-node update only the touched types'
+//! segments go stale and every other segment still opens by mmap. A
+//! segment surviving from a superseded generation fails the check and
+//! degrades to a lazy rebuild — as does any checksum, bounds,
+//! monotonicity, or UTF-8 violation. Validation is total: a reader that
+//! gets a [`SegmentLayout`] back may index the payload without further
+//! checks.
 //!
 //! [`TypeColumn`]: crate::store::shredded::TypeColumn
 

@@ -3,6 +3,8 @@
 //! column-segment format.
 
 pub(crate) mod colseg;
+pub mod mutate;
 pub mod shredded;
 
+pub use mutate::MaintenanceStats;
 pub use shredded::ShreddedDoc;

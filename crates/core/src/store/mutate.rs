@@ -1,0 +1,962 @@
+//! The document mutation write path: in-place subtree insertion,
+//! subtree deletion, and text updates on a [`ShreddedDoc`], with
+//! incremental maintenance of every derived structure — the `nodes`
+//! and `typeseq` trees, the adorned shape, and the per-type columns.
+//!
+//! The seed store was write-once: the only way to change a document
+//! was a full re-shred, which bumped the store-wide column generation
+//! (`meta["colgen"]`) and invalidated *every* persisted column
+//! segment. This module pulls those assumptions apart:
+//!
+//! * **Dewey allocation is gap-aware.** Appending a child takes the
+//!   next free ordinal. Inserting *before* a sibling takes the
+//!   midpoint of the ordinal gap when one exists (deletes and earlier
+//!   renumbers leave gaps), so sibling inserts usually renumber
+//!   nothing. Only when the gap is exhausted does the insert fall back
+//!   to a **local renumber**: the trailing siblings move to fresh
+//!   ordinals strided by [`GAP_STRIDE`] above the current maximum —
+//!   seeding the gaps that make the *next* insert in the same place
+//!   cheap. Renumbering is local to one parent's child list; ancestors
+//!   and the rest of the document keep their labels.
+//! * **Column maintenance is per type.** A mutation touches a handful
+//!   of types; each touched type gets a fresh *per-type* generation
+//!   (`meta["tygen." + id]`) instead of the store-wide bump. A touched
+//!   type whose [`TypeColumn`] is cached is updated in place by a
+//!   sorted-run merge (document order, `prefix_range` and the
+//!   `closest_*` joins stay correct); an uncached one is merely
+//!   invalidated — its stale persisted segment is dropped and the
+//!   column rebuilds lazily on next touch. The other ~500 types'
+//!   columns and segments stay valid against the store-wide
+//!   generation.
+//! * **Shape maintenance is conservative-exact.** Instance counts are
+//!   maintained exactly. Edge cardinalities only ever *widen*: an
+//!   insert folds the new parent instance's child counts into each
+//!   edge (and drags `min` to 0 for known child types the new instance
+//!   lacks); a delete re-counts the affected parent's children of the
+//!   deleted type and lowers `min` accordingly. Bounds never tighten
+//!   on mutation, so every shape-level theorem that held before a
+//!   mutation still holds after it.
+//!
+//! Mutations take `&mut self`: the borrow checker serializes writers
+//! against readers on the same handle. Snapshots already handed out
+//! (an `Arc<TypeColumn>`, a [`ClosestCursor`]) keep serving the
+//! pre-mutation state; re-acquire them after mutating.
+//!
+//! ```
+//! use xmorph_core::ShreddedDoc;
+//! use xmorph_pagestore::Store;
+//!
+//! let store = Store::in_memory();
+//! let mut doc = ShreddedDoc::shred_str(&store, "<d><a>x</a></d>").unwrap();
+//! doc.update_text(&"1.1".parse().unwrap(), "y").unwrap();
+//! let inserted = doc.insert_subtree(&"1".parse().unwrap(), "<a>z</a>").unwrap();
+//! assert_eq!(inserted.to_string(), "1.2");
+//! let a = doc.types().lookup(&["d".into(), "a".into()]).unwrap();
+//! let texts: Vec<String> = doc.scan_type(a).into_iter().map(|(_, t)| t).collect();
+//! assert_eq!(texts, ["y", "z"]);
+//! ```
+//!
+//! [`TypeColumn`]: crate::store::shredded::TypeColumn
+//! [`ClosestCursor`]: crate::store::shredded::ClosestCursor
+
+use crate::error::{MorphError, MorphResult, StoreOpExt};
+use crate::model::card::{Card, CardMax};
+use crate::model::shape::AdornedShape;
+use crate::model::types::TypeId;
+use crate::store::colseg;
+use crate::store::shredded::{
+    node_value, parse_node_value, tygen_key, typeseq_key, ShreddedDoc, TypeColumn, META_SHAPE_KEY,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use xmorph_xml::dewey::{decode_components_into, Dewey};
+use xmorph_xml::reader::{XmlEvent, XmlReader};
+
+/// Ordinal stride used when an insert-before exhausts its gap and the
+/// trailing siblings renumber: consecutive renumbered siblings land
+/// `GAP_STRIDE` apart, so the next few inserts in the same spot find
+/// midpoints instead of renumbering again.
+pub const GAP_STRIDE: u32 = 8;
+
+/// Column-maintenance counters for one [`ShreddedDoc`] handle,
+/// reported by [`ShreddedDoc::maintenance_stats`]. The interesting
+/// ratio is `column_rebuilds` against the type count: per-type
+/// generations keep a small mutation from re-decoding the whole
+/// column cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Cached columns updated in place by a sorted-run merge.
+    pub merged_columns: u64,
+    /// Columns invalidated outright (uncached at mutation time); they
+    /// rebuild lazily if and when next touched.
+    pub invalidated_columns: u64,
+    /// Full column decodes from the `typeseq` tree (cache misses
+    /// without a usable persisted segment) since this handle opened.
+    pub column_rebuilds: u64,
+}
+
+fn mutation_err(message: impl Into<String>) -> MorphError {
+    MorphError::Mutation {
+        message: message.into(),
+    }
+}
+
+/// The net row change a mutation makes to one type's column, keyed by
+/// Dewey component rows (fixed width per type, so plain lexicographic
+/// order *is* document order).
+#[derive(Default)]
+struct TypeDelta {
+    removed: BTreeSet<Vec<u32>>,
+    added: BTreeMap<Vec<u32>, String>,
+}
+
+type Deltas = HashMap<TypeId, TypeDelta>;
+
+fn delta_removed(deltas: &mut Deltas, t: TypeId, comps: Vec<u32>) {
+    deltas.entry(t).or_default().removed.insert(comps);
+}
+
+fn delta_added(deltas: &mut Deltas, t: TypeId, comps: Vec<u32>, text: String) {
+    deltas.entry(t).or_default().added.insert(comps, text);
+}
+
+/// Sorted-run merge of a column with a delta: rows stay in document
+/// order, removed rows drop out, added rows splice in (an added row
+/// with the key of a surviving row replaces it — the text-update
+/// case). One linear pass; the result is always heap-backed.
+fn merged_column(old: &TypeColumn, delta: &TypeDelta) -> TypeColumn {
+    let width = old.width();
+    let mut comps: Vec<u32> = Vec::with_capacity(old.len() * width);
+    let mut texts = String::new();
+    let mut offsets: Vec<u32> = vec![0];
+    {
+        let mut emit = |row: &[u32], text: &str| {
+            debug_assert_eq!(row.len(), width);
+            comps.extend_from_slice(row);
+            texts.push_str(text);
+            offsets.push(texts.len() as u32);
+        };
+        let mut added = delta.added.iter().peekable();
+        for i in 0..old.len() {
+            let row = old.components(i);
+            while added.peek().is_some_and(|(k, _)| k.as_slice() < row) {
+                let (k, text) = added.next().unwrap();
+                emit(k, text);
+            }
+            if added.peek().is_some_and(|(k, _)| k.as_slice() == row) {
+                let (k, text) = added.next().unwrap();
+                emit(k, text);
+                continue;
+            }
+            if delta.removed.contains(row) {
+                continue;
+            }
+            emit(row, old.text(i));
+        }
+        for (k, text) in added {
+            emit(k, text);
+        }
+    }
+    TypeColumn::from_parts(width, comps, offsets, texts)
+}
+
+/// The vertices a fragment shred produces, in shredder order.
+type FragmentVertices = Vec<(TypeId, Dewey, String)>;
+
+/// Shred an XML fragment rooted at `root_dewey` whose root element
+/// becomes a child of `parent_type`. Returns every vertex (elements
+/// and attributes, in the shredder's order) plus the root's type, and
+/// maintains the shape as it goes: new types intern, instance counts
+/// bump, and the edges *inside* the fragment widen to cover each new
+/// parent instance's child counts (including dragging `min` to 0 for
+/// known child types a new instance lacks). The edge into the root
+/// type itself is the caller's job — it depends on the insertion
+/// parent's other children.
+fn shred_fragment(
+    shape: &mut AdornedShape,
+    parent_type: TypeId,
+    root_dewey: &Dewey,
+    fragment: &str,
+) -> MorphResult<(FragmentVertices, TypeId)> {
+    struct Frame {
+        dewey: Dewey,
+        type_id: TypeId,
+        next_ordinal: u32,
+        text: String,
+        child_counts: HashMap<TypeId, u64>,
+    }
+    let mut reader = XmlReader::new(fragment);
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut entries: Vec<(TypeId, Dewey, String)> = Vec::new();
+    let mut root_type: Option<TypeId> = None;
+    loop {
+        match reader.next_event()? {
+            XmlEvent::StartElement { name, attrs } => {
+                let (dewey, enclosing) = match stack.last_mut() {
+                    Some(f) => {
+                        f.next_ordinal += 1;
+                        (f.dewey.child(f.next_ordinal), f.type_id)
+                    }
+                    None => {
+                        if root_type.is_some() {
+                            return Err(mutation_err("fragment must have a single root element"));
+                        }
+                        (root_dewey.clone(), parent_type)
+                    }
+                };
+                let type_id = shape.intern_child_type(enclosing, &name);
+                if stack.is_empty() {
+                    root_type = Some(type_id);
+                }
+                shape.add_instances(type_id, 1);
+                if let Some(f) = stack.last_mut() {
+                    *f.child_counts.entry(type_id).or_insert(0) += 1;
+                }
+                let mut frame = Frame {
+                    dewey,
+                    type_id,
+                    next_ordinal: 0,
+                    text: String::new(),
+                    child_counts: HashMap::new(),
+                };
+                for (aname, avalue) in &attrs {
+                    let at = shape.intern_child_type(type_id, &format!("@{aname}"));
+                    shape.add_instances(at, 1);
+                    frame.next_ordinal += 1;
+                    let ad = frame.dewey.child(frame.next_ordinal);
+                    entries.push((at, ad, avalue.clone()));
+                    *frame.child_counts.entry(at).or_insert(0) += 1;
+                }
+                stack.push(frame);
+            }
+            XmlEvent::Text(t) => {
+                if let Some(f) = stack.last_mut() {
+                    f.text.push_str(&t);
+                }
+            }
+            XmlEvent::EndElement { .. } => {
+                let f = stack.pop().expect("balanced events");
+                for ct in shape.children(f.type_id).to_vec() {
+                    let n = f.child_counts.get(&ct).copied().unwrap_or(0);
+                    let old = shape.card(ct);
+                    shape.set_card(
+                        ct,
+                        Card::new(old.min.min(n), old.max.max(CardMax::Finite(n))),
+                    );
+                }
+                entries.push((f.type_id, f.dewey.clone(), f.text.trim().to_string()));
+            }
+            XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
+            XmlEvent::Eof => break,
+        }
+    }
+    let root_type = root_type.ok_or_else(|| mutation_err("fragment holds no element"))?;
+    Ok((entries, root_type))
+}
+
+impl ShreddedDoc {
+    /// Replace the direct text of the node at `dewey`. The text is
+    /// trimmed, matching the shredder. The node's type, label, and
+    /// subtree are untouched, so the shape does not change; only the
+    /// one type's column is maintained.
+    pub fn update_text(&mut self, dewey: &Dewey, text: &str) -> MorphResult<()> {
+        let key = dewey.encode();
+        let value = self
+            .nodes
+            .get(&key)
+            .in_op("read tree \"nodes\"")?
+            .ok_or_else(|| mutation_err(format!("no node {dewey}")))?;
+        let (t, _) = parse_node_value(&value).ok_or(MorphError::Internal("corrupt nodes entry"))?;
+        let text = text.trim();
+        self.nodes
+            .insert(&key, &node_value(t, text))
+            .in_op("update tree \"nodes\"")?;
+        self.typeseq
+            .insert(&typeseq_key(t, dewey), text.as_bytes())
+            .in_op("update tree \"typeseq\"")?;
+        let mut deltas = Deltas::new();
+        delta_added(
+            &mut deltas,
+            t,
+            dewey.components().to_vec(),
+            text.to_string(),
+        );
+        self.apply_deltas(deltas)
+    }
+
+    /// Delete the node at `dewey` and its whole subtree; returns the
+    /// number of vertices removed. Sibling labels are left alone — the
+    /// ordinal gap this opens is exactly what later inserts use to
+    /// avoid renumbering. The edge into the deleted root's type widens
+    /// (`min` drops to the affected parent's remaining count, possibly
+    /// zero); the document root itself cannot be deleted.
+    pub fn delete_subtree(&mut self, dewey: &Dewey) -> MorphResult<u64> {
+        if dewey.len() <= 1 {
+            return Err(mutation_err("cannot delete the document root"));
+        }
+        let prefix = dewey.encode();
+        let mut victims: Vec<(Vec<u8>, TypeId)> = Vec::new();
+        for (k, v) in self.nodes.scan_prefix(&prefix) {
+            let (t, _) = parse_node_value(&v).ok_or(MorphError::Internal("corrupt nodes entry"))?;
+            victims.push((k, t));
+        }
+        if victims.is_empty() {
+            return Err(mutation_err(format!("no node {dewey}")));
+        }
+        let root_type = victims[0].1;
+        let mut deltas = Deltas::new();
+        let mut removed_per_type: HashMap<TypeId, i64> = HashMap::new();
+        for (k, t) in &victims {
+            self.nodes.delete(k).in_op("delete from tree \"nodes\"")?;
+            let mut tk = Vec::with_capacity(4 + k.len());
+            tk.extend_from_slice(&t.0.to_be_bytes());
+            tk.extend_from_slice(k);
+            self.typeseq
+                .delete(&tk)
+                .in_op("delete from tree \"typeseq\"")?;
+            let mut comps = Vec::new();
+            if decode_components_into(k, &mut comps) {
+                delta_removed(&mut deltas, *t, comps);
+            }
+            *removed_per_type.entry(*t).or_insert(0) += 1;
+        }
+        for (t, n) in removed_per_type {
+            self.shape.add_instances(t, -n);
+        }
+        let parent = dewey.parent().expect("len > 1 has a parent");
+        let remaining = self.count_children_of_type(root_type, &parent)?;
+        let old = self.shape.card(root_type);
+        self.shape
+            .set_card(root_type, Card::new(old.min.min(remaining), old.max));
+        self.persist_shape()?;
+        self.dist_cache.lock().unwrap().clear();
+        let n = victims.len() as u64;
+        self.apply_deltas(deltas)?;
+        Ok(n)
+    }
+
+    /// Parse `fragment` (one rooted element) and insert it as the
+    /// *last* child of the node at `parent`; returns the new root's
+    /// Dewey number. Appends take the next ordinal after the current
+    /// maximum, so no existing label moves. New element names intern
+    /// new types; shape counts and cardinalities maintain themselves
+    /// conservatively (bounds only widen).
+    pub fn insert_subtree(&mut self, parent: &Dewey, fragment: &str) -> MorphResult<Dewey> {
+        let ptype = self.node_type_required(parent)?;
+        let max = self.child_ordinals(parent)?.last().copied().unwrap_or(0);
+        let ord = max
+            .checked_add(1)
+            .ok_or_else(|| mutation_err("child ordinal space exhausted"))?;
+        self.insert_fragment_at(parent, ptype, ord, fragment)
+    }
+
+    /// Parse `fragment` (one rooted element) and insert it immediately
+    /// *before* the node at `sibling` (which must not be the document
+    /// root); returns the new root's Dewey number. Gap-aware: when the
+    /// ordinal gap before `sibling` is open (deletes and previous
+    /// renumbers leave gaps), the new node takes the midpoint and
+    /// nothing renumbers. When the gap is exhausted, `sibling` and the
+    /// siblings after it move to fresh ordinals strided by
+    /// [`GAP_STRIDE`] above the current maximum — a renumber local to
+    /// this one child list that seeds gaps for the next insert.
+    pub fn insert_subtree_before(&mut self, sibling: &Dewey, fragment: &str) -> MorphResult<Dewey> {
+        let parent = sibling
+            .parent()
+            .ok_or_else(|| mutation_err("cannot insert before the document root"))?;
+        self.node_type_required(sibling)?;
+        let ptype = self.node_type_required(&parent)?;
+        let ords = self.child_ordinals(&parent)?;
+        let b = *sibling.components().last().expect("non-root dewey");
+        let a = ords.iter().copied().filter(|&o| o < b).max().unwrap_or(0);
+        if b - a > 1 {
+            return self.insert_fragment_at(&parent, ptype, a + (b - a) / 2, fragment);
+        }
+        let max = *ords.last().expect("sibling exists");
+        let fresh = |slot: u32| -> MorphResult<u32> {
+            slot.checked_mul(GAP_STRIDE)
+                .and_then(|off| max.checked_add(off))
+                .ok_or_else(|| mutation_err("child ordinal space exhausted"))
+        };
+        let insert_ord = fresh(1)?;
+        let tail: Vec<u32> = ords.iter().copied().filter(|&o| o >= b).collect();
+        let mut deltas = Deltas::new();
+        for (i, &o) in tail.iter().enumerate() {
+            let new_o = fresh(i as u32 + 2)?;
+            self.renumber_child(&parent, o, new_o, &mut deltas)?;
+        }
+        self.dist_cache.lock().unwrap().clear();
+        self.apply_deltas(deltas)?;
+        self.insert_fragment_at(&parent, ptype, insert_ord, fragment)
+    }
+
+    /// Re-persist the column segments of every type whose cached
+    /// column has outrun its on-disk segment (mutations drop the stale
+    /// segment immediately but defer the rewrite, so a burst of
+    /// updates pays for one encode, not one per update). Returns the
+    /// number of segments written; a no-op on in-memory stores.
+    pub fn persist_dirty_columns(&mut self) -> MorphResult<usize> {
+        if !self.store.is_persistent() {
+            self.dirty.clear();
+            return Ok(0);
+        }
+        let dirty: Vec<TypeId> = self.dirty.drain().collect();
+        let mut written = 0usize;
+        for t in dirty {
+            let col = self.columns.read().unwrap().get(&t).cloned();
+            if let Some(col) = col {
+                let bytes = col.encode_segment(self.expected_generation(t));
+                self.store
+                    .put_segment(&colseg::segment_name(t), &bytes)
+                    .in_op("rewrite column segment")?;
+                written += 1;
+            }
+        }
+        self.store.flush().in_op("flush column segments")?;
+        Ok(written)
+    }
+
+    /// Column-maintenance counters for this handle (see
+    /// [`MaintenanceStats`]).
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        MaintenanceStats {
+            merged_columns: self.merged_columns,
+            invalidated_columns: self.invalidated_columns,
+            column_rebuilds: self.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
+    fn node_type_required(&self, dewey: &Dewey) -> MorphResult<TypeId> {
+        self.nodes
+            .get(&dewey.encode())
+            .in_op("read tree \"nodes\"")?
+            .and_then(|v| parse_node_value(&v))
+            .map(|(t, _)| t)
+            .ok_or_else(|| mutation_err(format!("no node {dewey}")))
+    }
+
+    /// Distinct child ordinals of `parent`, ascending. One key-only
+    /// scan of the subtree; values never materialize.
+    fn child_ordinals(&self, parent: &Dewey) -> MorphResult<Vec<u32>> {
+        let prefix = parent.encode();
+        let plen = parent.len();
+        let mut out: Vec<u32> = Vec::new();
+        let mut iter = self.nodes.scan_prefix(&prefix);
+        while let Some(k) = iter.next_key().in_op("scan tree \"nodes\"")? {
+            if k.len() < (plen + 1) * 4 {
+                continue; // the parent's own entry
+            }
+            let ord = u32::from_be_bytes(k[plen * 4..plen * 4 + 4].try_into().unwrap());
+            if out.last() != Some(&ord) {
+                out.push(ord);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Children of `parent` with type `t` (their shared depth makes
+    /// the `(type, parent-prefix)` probe exact).
+    fn count_children_of_type(&self, t: TypeId, parent: &Dewey) -> MorphResult<u64> {
+        let mut key = Vec::with_capacity(4 + parent.len() * 4);
+        key.extend_from_slice(&t.0.to_be_bytes());
+        key.extend_from_slice(&parent.encode());
+        let mut n = 0u64;
+        let mut iter = self.typeseq.scan_prefix(&key);
+        while iter.next_key().in_op("scan tree \"typeseq\"")?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Move the subtree under `parent.child(old_ord)` to
+    /// `parent.child(new_ord)`, rewriting one component in every key
+    /// and folding the moves into `deltas`. The caller guarantees
+    /// `new_ord` is unoccupied (renumber targets sit above the current
+    /// maximum ordinal).
+    fn renumber_child(
+        &mut self,
+        parent: &Dewey,
+        old_ord: u32,
+        new_ord: u32,
+        deltas: &mut Deltas,
+    ) -> MorphResult<()> {
+        let prefix = parent.child(old_ord).encode();
+        let idx = parent.len();
+        let moves: Vec<(Vec<u8>, Vec<u8>)> = self.nodes.scan_prefix(&prefix).collect();
+        for (k, v) in moves {
+            let (t, text) =
+                parse_node_value(&v).ok_or(MorphError::Internal("corrupt nodes entry"))?;
+            let mut nk = k.clone();
+            nk[idx * 4..idx * 4 + 4].copy_from_slice(&new_ord.to_be_bytes());
+            self.nodes.delete(&k).in_op("delete from tree \"nodes\"")?;
+            self.nodes
+                .insert(&nk, &v)
+                .in_op("insert into tree \"nodes\"")?;
+            let tkey = |d: &[u8]| {
+                let mut out = Vec::with_capacity(4 + d.len());
+                out.extend_from_slice(&t.0.to_be_bytes());
+                out.extend_from_slice(d);
+                out
+            };
+            self.typeseq
+                .delete(&tkey(&k))
+                .in_op("delete from tree \"typeseq\"")?;
+            self.typeseq
+                .insert(&tkey(&nk), text.as_bytes())
+                .in_op("insert into tree \"typeseq\"")?;
+            let mut old_comps = Vec::new();
+            let mut new_comps = Vec::new();
+            if decode_components_into(&k, &mut old_comps)
+                && decode_components_into(&nk, &mut new_comps)
+            {
+                delta_removed(deltas, t, old_comps);
+                delta_added(deltas, t, new_comps, text);
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_fragment_at(
+        &mut self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        ordinal: u32,
+        fragment: &str,
+    ) -> MorphResult<Dewey> {
+        let root_dewey = parent.child(ordinal);
+        if self
+            .nodes
+            .get(&root_dewey.encode())
+            .in_op("read tree \"nodes\"")?
+            .is_some()
+        {
+            return Err(mutation_err(format!("label {root_dewey} is occupied")));
+        }
+        let (entries, root_type) =
+            shred_fragment(&mut self.shape, parent_type, &root_dewey, fragment)?;
+        let mut deltas = Deltas::new();
+        for (t, d, text) in &entries {
+            self.nodes
+                .insert(&d.encode(), &node_value(*t, text))
+                .in_op("insert into tree \"nodes\"")?;
+            self.typeseq
+                .insert(&typeseq_key(*t, d), text.as_bytes())
+                .in_op("insert into tree \"typeseq\"")?;
+            delta_added(&mut deltas, *t, d.components().to_vec(), text.clone());
+        }
+        // The edge into the inserted root's type: fold in this
+        // parent's new child count. `min` only moves down (a fresh
+        // type starts 0..0 and stays min-0 for the other parents that
+        // lack it); `max` widens to cover this parent.
+        let n_now = self.count_children_of_type(root_type, parent)?;
+        let old = self.shape.card(root_type);
+        self.shape.set_card(
+            root_type,
+            Card::new(old.min.min(n_now), old.max.max(CardMax::Finite(n_now))),
+        );
+        self.persist_shape()?;
+        self.dist_cache.lock().unwrap().clear();
+        self.apply_deltas(deltas)?;
+        Ok(root_dewey)
+    }
+
+    fn persist_shape(&self) -> MorphResult<()> {
+        self.meta
+            .insert(META_SHAPE_KEY, &self.shape.to_bytes())
+            .in_op("rewrite adorned shape")?;
+        Ok(())
+    }
+
+    /// Apply the per-type column maintenance for one mutation: every
+    /// touched type gets a fresh per-type generation; a cached column
+    /// merges in place (and is marked dirty for a deferred segment
+    /// rewrite), an uncached one is invalidated; either way the stale
+    /// persisted segment is dropped so its extent returns to the
+    /// store's free list.
+    fn apply_deltas(&mut self, deltas: Deltas) -> MorphResult<()> {
+        if !deltas.is_empty() {
+            // Cached join plans pin the pre-mutation column Arcs.
+            self.plan_cache.write().unwrap().clear();
+        }
+        for (t, delta) in deltas {
+            let gen = self.next_gen;
+            self.next_gen += 1;
+            self.tygens.lock().unwrap().insert(t, gen);
+            self.meta
+                .insert(&tygen_key(t), &gen.to_le_bytes())
+                .in_op("write per-type generation")?;
+            let cached = self.columns.read().unwrap().get(&t).cloned();
+            match cached {
+                Some(old) => {
+                    let merged = Arc::new(merged_column(&old, &delta));
+                    self.columns.write().unwrap().insert(t, merged);
+                    self.merged_columns += 1;
+                    self.dirty.insert(t);
+                }
+                None => {
+                    self.invalidated_columns += 1;
+                }
+            }
+            if self.store.is_persistent() {
+                self.store
+                    .delete_segment(&colseg::segment_name(t))
+                    .in_op("drop stale column segment")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::shredded::OpenOptions;
+    use xmorph_pagestore::Store;
+
+    const FIG1A: &str = "<data>\
+        <book><title>X</title><author><name>Tim</name></author><publisher><name>W</name></publisher></book>\
+        <book><title>Y</title><author><name>Tim</name></author><publisher><name>V</name></publisher></book>\
+        </data>";
+
+    fn shredded(xml: &str) -> (Store, ShreddedDoc) {
+        let store = Store::in_memory();
+        let doc = ShreddedDoc::shred_str(&store, xml).unwrap();
+        (store, doc)
+    }
+
+    fn ty(doc: &ShreddedDoc, dotted: &str) -> TypeId {
+        let path: Vec<String> = dotted.split('.').map(str::to_string).collect();
+        doc.types()
+            .lookup(&path)
+            .unwrap_or_else(|| panic!("no type {dotted}"))
+    }
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn texts(doc: &ShreddedDoc, dotted: &str) -> Vec<String> {
+        doc.scan_type(ty(doc, dotted))
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xmorph-mutate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn update_text_rewrites_both_tables_and_column() {
+        let (_s, mut doc) = shredded(FIG1A);
+        let title = ty(&doc, "data.book.title");
+        doc.column(title); // cache it → merge path
+        doc.update_text(&d("1.1.1"), "  Z  ").unwrap();
+        assert_eq!(doc.node_text(&d("1.1.1")).unwrap().as_deref(), Some("Z"));
+        assert_eq!(texts(&doc, "data.book.title"), ["Z", "Y"]);
+        assert_eq!(doc.scan_type(title), doc.scan_type_btree(title));
+        let stats = doc.maintenance_stats();
+        assert_eq!(stats.merged_columns, 1);
+        assert_eq!(stats.invalidated_columns, 0);
+    }
+
+    #[test]
+    fn update_text_on_uncached_column_invalidates_only_that_type() {
+        let (_s, mut doc) = shredded(FIG1A);
+        doc.update_text(&d("1.1.1"), "Z").unwrap();
+        let stats = doc.maintenance_stats();
+        assert_eq!(stats.merged_columns, 0);
+        assert_eq!(stats.invalidated_columns, 1);
+        assert_eq!(texts(&doc, "data.book.title"), ["Z", "Y"]);
+    }
+
+    #[test]
+    fn update_text_missing_node_errors() {
+        let (_s, mut doc) = shredded(FIG1A);
+        assert!(matches!(
+            doc.update_text(&d("1.9.9"), "x"),
+            Err(MorphError::Mutation { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_subtree_removes_descendants_and_widens_card() {
+        let (_s, mut doc) = shredded(FIG1A);
+        let author = ty(&doc, "data.book.author");
+        let name = ty(&doc, "data.book.author.name");
+        doc.column(name);
+        let removed = doc.delete_subtree(&d("1.1.2")).unwrap();
+        assert_eq!(removed, 2); // author + name
+        assert_eq!(doc.instance_count(author), 1);
+        assert_eq!(doc.instance_count(name), 1);
+        assert_eq!(texts(&doc, "data.book.author.name"), ["Tim"]);
+        assert_eq!(doc.scan_type(name), doc.scan_type_btree(name));
+        // Book 1.1 now has zero authors: the edge min must widen to 0.
+        assert_eq!(doc.shape().card(author).min, 0);
+        // The closest join no longer finds an author for book 1.1.
+        let book = ty(&doc, "data.book");
+        assert!(!doc.has_closest_child(&d("1.1"), book, author));
+        assert!(doc.has_closest_child(&d("1.2"), book, author));
+    }
+
+    #[test]
+    fn delete_root_is_rejected() {
+        let (_s, mut doc) = shredded(FIG1A);
+        assert!(matches!(
+            doc.delete_subtree(&d("1")),
+            Err(MorphError::Mutation { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_subtree_appends_densely() {
+        let (_s, mut doc) = shredded(FIG1A);
+        let dewey = doc
+            .insert_subtree(
+                &d("1"),
+                "<book><title>N</title><author><name>Ann</name></author></book>",
+            )
+            .unwrap();
+        assert_eq!(dewey.to_string(), "1.3");
+        assert_eq!(doc.instance_count(ty(&doc, "data.book")), 3);
+        assert_eq!(texts(&doc, "data.book.title"), ["X", "Y", "N"]);
+        assert_eq!(texts(&doc, "data.book.author.name"), ["Tim", "Tim", "Ann"]);
+        // Shape stayed consistent: the new book lacks a publisher, so
+        // that edge's min widened to 0.
+        assert_eq!(doc.shape().card(ty(&doc, "data.book.publisher")).min, 0);
+        let title = ty(&doc, "data.book.title");
+        assert_eq!(doc.scan_type(title), doc.scan_type_btree(title));
+    }
+
+    #[test]
+    fn insert_subtree_interns_new_types_and_attrs() {
+        let (_s, mut doc) = shredded(FIG1A);
+        doc.insert_subtree(&d("1.1"), r#"<review stars="5">good</review>"#)
+            .unwrap();
+        let review = ty(&doc, "data.book.review");
+        let stars = ty(&doc, "data.book.review.@stars");
+        assert_eq!(doc.instance_count(review), 1);
+        assert_eq!(texts(&doc, "data.book.review.@stars"), ["5"]);
+        // New type under a 2-instance parent: the other book has none.
+        assert_eq!(doc.shape().card(review).min, 0);
+        assert_eq!(doc.shape().card(stars).min, 0);
+        // The new type joins: the review's closest title is book 1's.
+        let title = ty(&doc, "data.book.title");
+        let (dewey, _) = doc.scan_type(review).remove(0);
+        let joined = doc.closest_children(&dewey, review, title);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].1, "X");
+    }
+
+    #[test]
+    fn insert_before_uses_gap_left_by_delete() {
+        let (_s, mut doc) = shredded(FIG1A);
+        // Delete book 1.1 → ordinal 1 is free; insert before book 1.2
+        // must land in the gap without renumbering 1.2.
+        doc.delete_subtree(&d("1.1")).unwrap();
+        let dewey = doc
+            .insert_subtree_before(&d("1.2"), "<book><title>G</title></book>")
+            .unwrap();
+        assert_eq!(dewey.to_string(), "1.1");
+        assert_eq!(texts(&doc, "data.book.title"), ["G", "Y"]);
+    }
+
+    #[test]
+    fn insert_before_renumbers_locally_when_gap_exhausted() {
+        let (_s, mut doc) = shredded(FIG1A);
+        let dewey = doc
+            .insert_subtree_before(&d("1.2"), "<book><title>M</title></book>")
+            .unwrap();
+        // No gap between books 1 and 2: the tail renumbers above the
+        // old maximum with stride gaps, the insert lands before it.
+        assert_eq!(dewey.to_string(), format!("1.{}", 2 + GAP_STRIDE));
+        assert_eq!(texts(&doc, "data.book.title"), ["X", "M", "Y"]);
+        let title = ty(&doc, "data.book.title");
+        assert_eq!(doc.scan_type(title), doc.scan_type_btree(title));
+        // The renumbered book still joins its own title, not its
+        // neighbour's.
+        let publisher = ty(&doc, "data.book.publisher");
+        let moved_book = doc.scan_type(ty(&doc, "data.book"))[2].0.clone();
+        let joined = doc.closest_children(&doc.scan_type(publisher)[1].0.clone(), publisher, title);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].1, "Y");
+        assert!(moved_book.components()[1] > 2);
+        // A second insert in the same place now finds a stride gap.
+        let again = doc
+            .insert_subtree_before(
+                &doc.scan_type(ty(&doc, "data.book"))[2].0,
+                "<book><title>m2</title></book>",
+            )
+            .unwrap();
+        assert_eq!(texts(&doc, "data.book.title"), ["X", "M", "m2", "Y"]);
+        assert!(again.components()[1] > GAP_STRIDE);
+    }
+
+    #[test]
+    fn mutations_clear_distance_cache() {
+        let (_s, mut doc) = shredded("<d><a><x>1</x></a><b>2</b></d>");
+        let b = ty(&doc, "d.b");
+        // x and b never co-occur below the root: distance via root = 3.
+        let x = ty(&doc, "d.a.x");
+        assert_eq!(doc.type_distance_exact(x, b), Some(3));
+        // Insert an x inside... a new b under a: now a holds both.
+        doc.insert_subtree(&d("1.1"), "<b>3</b>").unwrap();
+        let ab = ty(&doc, "d.a.b");
+        assert_eq!(doc.type_distance_exact(x, ab), Some(2));
+    }
+
+    #[test]
+    fn per_type_generation_staleness_is_scoped() {
+        // Mutating one type must not invalidate other types' persisted
+        // segments: a cold reopen still maps them, while the mutated
+        // type's segment is gone and rebuilds from typeseq.
+        let path = temp_path("scoped-gen.db");
+        {
+            let store = Store::create(&path).unwrap();
+            let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+            doc.update_text(&d("1.1.1"), "Z").unwrap();
+            store.close().unwrap();
+        }
+        let store = Store::open(&path).unwrap();
+        let doc = ShreddedDoc::open(&store).unwrap();
+        let title = ty(&doc, "data.book.title");
+        let pub_name = ty(&doc, "data.book.publisher.name");
+        assert_eq!(texts(&doc, "data.book.title"), ["Z", "Y"]);
+        assert!(!doc.column(title).is_mapped(), "mutated segment dropped");
+        assert_eq!(
+            doc.column(pub_name).is_mapped(),
+            store.supports_mmap(),
+            "untouched segment must still serve"
+        );
+        assert!(doc.segment_fallbacks().is_empty(), "no stale fallback");
+        drop((doc, store));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_dirty_columns_restores_cold_open() {
+        let path = temp_path("dirty-persist.db");
+        {
+            let store = Store::create(&path).unwrap();
+            let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+            let title = ty(&doc, "data.book.title");
+            doc.column(title);
+            doc.update_text(&d("1.1.1"), "Z").unwrap();
+            assert_eq!(doc.persist_dirty_columns().unwrap(), 1);
+            store.close().unwrap();
+        }
+        let store = Store::open(&path).unwrap();
+        let doc = ShreddedDoc::open(&store).unwrap();
+        let title = ty(&doc, "data.book.title");
+        let col = doc.column(title);
+        assert_eq!(col.is_mapped(), store.supports_mmap());
+        assert_eq!(texts(&doc, "data.book.title"), ["Z", "Y"]);
+        assert!(doc.segment_fallbacks().is_empty());
+        drop((doc, store));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reshred_supersedes_per_type_generations() {
+        let path = temp_path("reshred-tygen.db");
+        {
+            let store = Store::create(&path).unwrap();
+            let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+            doc.update_text(&d("1.1.1"), "Z").unwrap();
+            // Full re-shred: per-type overrides must clear and the new
+            // store-wide generation must outrun them.
+            let doc2 = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+            assert_eq!(
+                doc2.expected_generation(ty(&doc2, "data.book.title")),
+                doc2.expected_generation(ty(&doc2, "data.book"))
+            );
+            store.close().unwrap();
+        }
+        let store = Store::open(&path).unwrap();
+        let doc = ShreddedDoc::open(&store).unwrap();
+        assert_eq!(texts(&doc, "data.book.title"), ["X", "Y"]);
+        assert!(doc.segment_fallbacks().is_empty());
+        drop((doc, store));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mutated_doc_matches_fresh_shred_behaviourally() {
+        let (_s, mut doc) = shredded(FIG1A);
+        doc.update_text(&d("1.2.1"), "Y2").unwrap();
+        doc.delete_subtree(&d("1.1.3")).unwrap();
+        doc.insert_subtree(&d("1.2"), "<award>prize</award>")
+            .unwrap();
+        let fresh_xml = "<data>\
+            <book><title>X</title><author><name>Tim</name></author></book>\
+            <book><title>Y2</title><author><name>Tim</name></author><publisher><name>V</name></publisher><award>prize</award></book>\
+            </data>";
+        let (_s2, fresh) = shredded(fresh_xml);
+        for id in fresh.types().ids() {
+            let dotted = fresh.types().dotted(id);
+            let mirror = ty(&doc, &dotted);
+            assert_eq!(
+                doc.scan_type(mirror)
+                    .into_iter()
+                    .map(|(_, t)| t)
+                    .collect::<Vec<_>>(),
+                fresh
+                    .scan_type(id)
+                    .into_iter()
+                    .map(|(_, t)| t)
+                    .collect::<Vec<_>>(),
+                "type {dotted}"
+            );
+            assert_eq!(doc.instance_count(mirror), fresh.instance_count(id));
+        }
+        // Rendered guard output is byte-identical (the renderer is
+        // untouched by the mutation machinery).
+        let guard = crate::Guard::parse("MORPH book [ title author [ name ] ]").unwrap();
+        assert_eq!(
+            guard.apply(&doc).unwrap().xml,
+            guard.apply(&fresh).unwrap().xml
+        );
+    }
+
+    #[test]
+    fn merge_and_rebuild_agree_after_mixed_mutations() {
+        // Two docs, same mutations; one keeps every column hot (merge
+        // path), the other evicts before each mutation (invalidate +
+        // rebuild path). They must agree everywhere.
+        let (_s1, mut hot) = shredded(FIG1A);
+        let (_s2, mut cold) = shredded(FIG1A);
+        for t in hot.types().ids().collect::<Vec<_>>() {
+            hot.column(t);
+        }
+        let mutate = |doc: &mut ShreddedDoc| {
+            doc.update_text(&d("1.1.1"), "new").unwrap();
+            doc.delete_subtree(&d("1.2.2")).unwrap();
+            doc.insert_subtree(&d("1.1"), "<award>w</award>").unwrap();
+            doc.insert_subtree_before(&d("1.1.1"), "<isbn>i</isbn>")
+                .unwrap();
+        };
+        mutate(&mut hot);
+        cold.evict_columns();
+        mutate(&mut cold);
+        cold.evict_columns();
+        assert!(hot.maintenance_stats().merged_columns > 0);
+        for t in hot.types().ids().collect::<Vec<_>>() {
+            assert_eq!(hot.scan_type(t), hot.scan_type_btree(t), "hot {t:?}");
+            assert_eq!(hot.scan_type(t), cold.scan_type(t), "hot vs cold {t:?}");
+        }
+    }
+
+    #[test]
+    fn open_after_mutation_sees_updated_shape() {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        doc.insert_subtree(&d("1"), "<book><title>N</title></book>")
+            .unwrap();
+        drop(doc);
+        let doc = ShreddedDoc::open_with(&store, &OpenOptions::default()).unwrap();
+        assert_eq!(doc.instance_count(ty(&doc, "data.book")), 3);
+        assert_eq!(texts(&doc, "data.book.title"), ["X", "Y", "N"]);
+    }
+}

@@ -26,7 +26,7 @@
 //! and every closest join, co-occurrence scan, and type scan runs on
 //! that column via binary-searched prefix ranges. On a file-backed store
 //! the columns built at shred time are also **persisted** as checksummed
-//! page-aligned segments (see [`crate::store::colseg`]), so a cold
+//! page-aligned segments (the `colseg` on-disk format), so a cold
 //! reopen memory-maps them read-only instead of re-decoding the
 //! `typeseq` tree — the column cache is then not heap-bounded. Stale or
 //! corrupt segments degrade to the lazy rebuild, never to an error. The
@@ -38,12 +38,49 @@ use crate::model::shape::AdornedShape;
 use crate::model::types::{TypeId, TypeTable};
 use crate::semantics::eval::DistOracle;
 use crate::store::colseg;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use xmorph_pagestore::{SegmentData, Store, Tree, DEFAULT_FILL};
 use xmorph_xml::dewey::{decode_components_into, Dewey};
 use xmorph_xml::reader::{XmlEvent, XmlReader};
+
+/// Multiply-xor hasher for the small integer keys on the probe hot
+/// path. Every `closest_group` probe hashes into the distance cache
+/// and the column cache; SipHash's per-call setup dominates at that
+/// grain, while TypeId keys need no DoS hardening.
+#[derive(Default, Clone, Copy)]
+pub(in crate::store) struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517cc1b727220a95);
+    }
+}
+
+pub(in crate::store) type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
 
 /// Shred-time knobs, built fluently:
 ///
@@ -257,6 +294,28 @@ enum Backing {
 }
 
 impl TypeColumn {
+    /// Assemble a heap column from already-sorted parts — the mutation
+    /// path's sorted-run merge ([`crate::store::mutate`]) lands here.
+    pub(in crate::store) fn from_parts(
+        width: usize,
+        comps: Vec<u32>,
+        offsets: Vec<u32>,
+        texts: String,
+    ) -> TypeColumn {
+        debug_assert_eq!(
+            offsets.len(),
+            comps.len().checked_div(width).unwrap_or(0) + 1
+        );
+        TypeColumn {
+            width,
+            backing: Backing::Heap {
+                comps,
+                texts,
+                offsets,
+            },
+        }
+    }
+
     /// Wrap validated segment bytes. A little-endian platform serving a
     /// 4-byte-aligned mapping borrows the payload in place (zero copy);
     /// anything else — heap-read segments, exotic alignment, big-endian
@@ -419,8 +478,8 @@ impl TypeColumn {
         }
     }
 
-    /// Serialize into column-segment bytes (see [`crate::store::colseg`]).
-    fn encode_segment(&self, generation: u64) -> Vec<u8> {
+    /// Serialize into column-segment bytes (the `colseg` on-disk format).
+    pub(in crate::store) fn encode_segment(&self, generation: u64) -> Vec<u8> {
         colseg::encode(
             self.width,
             self.comps(),
@@ -457,28 +516,59 @@ impl Eq for TypeColumn {}
 /// shape (which is tiny relative to the data, as the paper notes —
 /// "prior to rendering, only the adorned shapes ... are needed").
 pub struct ShreddedDoc {
-    store: Store,
-    nodes: Tree,
-    typeseq: Tree,
-    shape: AdornedShape,
+    pub(in crate::store) store: Store,
+    pub(in crate::store) nodes: Tree,
+    pub(in crate::store) typeseq: Tree,
+    pub(in crate::store) meta: Tree,
+    pub(in crate::store) shape: AdornedShape,
     /// Monotone per-store shred counter; persisted column segments
     /// carry the generation they were built from, so segments from an
-    /// earlier shred self-invalidate.
+    /// earlier shred self-invalidate. Mutations refine this with
+    /// *per-type* generations (`tygens`): a mutated type's expected
+    /// generation moves past `generation` while the other types keep
+    /// validating against it, so one update never stales ~500 segments.
     generation: u64,
+    /// Per-type generation overrides, persisted under `meta["tygen."]`
+    /// keys. Absent type → the store-wide `generation` applies.
+    pub(in crate::store) tygens: Mutex<HashMap<TypeId, u64>>,
+    /// Next generation value a mutation hands out (always above both
+    /// `generation` and every current tygen). Only mutation methods
+    /// (`&mut self`) advance it.
+    pub(in crate::store) next_gen: u64,
     /// Open-time knobs (see [`OpenOptions`]).
     use_persisted: bool,
     prefer_mmap: bool,
     column_budget: Option<usize>,
     /// Exact typeDistance cache (the co-occurrence scan is linear; each
-    /// pair is computed at most once per document).
-    dist_cache: Mutex<HashMap<(TypeId, TypeId), Option<usize>>>,
+    /// pair is computed at most once per document). Structural
+    /// mutations clear it.
+    pub(in crate::store) dist_cache: Mutex<HashMap<(TypeId, TypeId), Option<usize>, FxBuild>>,
     /// Cached per-type columns — the columnar read path. Reads share
     /// the lock; a miss takes the write lock only to publish the
     /// freshly loaded column.
-    columns: RwLock<HashMap<TypeId, Arc<TypeColumn>>>,
+    pub(in crate::store) columns: RwLock<HashMap<TypeId, Arc<TypeColumn>, FxBuild>>,
+    /// Closest-join plan cache: per `(parent type, child type)` pair,
+    /// the precomputed join prefix length `L` (§VII) and the child
+    /// column, so a hot probe pays a single map lookup instead of a
+    /// distance lookup plus a column lookup. Cleared whenever a cached
+    /// column is evicted or replaced.
+    #[allow(clippy::type_complexity)]
+    pub(in crate::store) plan_cache:
+        RwLock<HashMap<(TypeId, TypeId), Option<(usize, Arc<TypeColumn>)>, FxBuild>>,
     /// Persisted segments that failed validation and fell back to a
     /// rebuild, as `"segment: reason"` lines.
     fallbacks: Mutex<Vec<String>>,
+    /// Full column decodes from `typeseq` (cache misses without a
+    /// usable persisted segment) — the "re-decode" cost the per-type
+    /// maintenance keeps low.
+    pub(in crate::store) rebuilds: AtomicU64,
+    /// Cached columns updated in place by sorted-run merge.
+    pub(in crate::store) merged_columns: u64,
+    /// Columns invalidated outright (not cached at mutation time).
+    pub(in crate::store) invalidated_columns: u64,
+    /// Types whose cached column is newer than any persisted segment;
+    /// [`ShreddedDoc::persist_dirty_columns`] re-persists them.
+    pub(in crate::store) dirty: HashSet<TypeId>,
 }
 
 impl std::fmt::Debug for ShreddedDoc {
@@ -490,25 +580,53 @@ impl std::fmt::Debug for ShreddedDoc {
     }
 }
 
-const META_SHAPE_KEY: &[u8] = b"shape";
+pub(in crate::store) const META_SHAPE_KEY: &[u8] = b"shape";
 /// Meta key of the column generation counter (u64 LE).
 const META_COLGEN_KEY: &[u8] = b"colgen";
+/// Meta key prefix of per-type generation overrides: `"tygen."` +
+/// big-endian type id → u64 LE. Cleared wholesale by a full re-shred.
+pub(in crate::store) const META_TYGEN_PREFIX: &[u8] = b"tygen.";
 
-fn typeseq_key(t: TypeId, dewey: &Dewey) -> Vec<u8> {
+/// Meta key of type `t`'s generation override.
+pub(in crate::store) fn tygen_key(t: TypeId) -> Vec<u8> {
+    let mut k = Vec::with_capacity(META_TYGEN_PREFIX.len() + 4);
+    k.extend_from_slice(META_TYGEN_PREFIX);
+    k.extend_from_slice(&t.0.to_be_bytes());
+    k
+}
+
+/// Scan the persisted per-type generations out of the meta tree.
+fn load_tygens(meta: &Tree) -> HashMap<TypeId, u64> {
+    let mut out = HashMap::new();
+    for (k, v) in meta.scan_prefix(META_TYGEN_PREFIX) {
+        let (Some(id), Some(gen)) = (
+            k.get(META_TYGEN_PREFIX.len()..)
+                .filter(|rest| rest.len() == 4)
+                .map(|rest| TypeId(u32::from_be_bytes(rest.try_into().unwrap()))),
+            v.try_into().ok().map(u64::from_le_bytes),
+        ) else {
+            continue;
+        };
+        out.insert(id, gen);
+    }
+    out
+}
+
+pub(in crate::store) fn typeseq_key(t: TypeId, dewey: &Dewey) -> Vec<u8> {
     let mut k = Vec::with_capacity(4 + dewey.len() * 4);
     k.extend_from_slice(&t.0.to_be_bytes());
     k.extend_from_slice(&dewey.encode());
     k
 }
 
-fn node_value(t: TypeId, text: &str) -> Vec<u8> {
+pub(in crate::store) fn node_value(t: TypeId, text: &str) -> Vec<u8> {
     let mut v = Vec::with_capacity(4 + text.len());
     v.extend_from_slice(&t.0.to_le_bytes());
     v.extend_from_slice(text.as_bytes());
     v
 }
 
-fn parse_node_value(v: &[u8]) -> Option<(TypeId, String)> {
+pub(in crate::store) fn parse_node_value(v: &[u8]) -> Option<(TypeId, String)> {
     let t = TypeId(u32::from_le_bytes(v.get(..4)?.try_into().ok()?));
     let text = String::from_utf8(v.get(4..)?.to_vec()).ok()?;
     Some((t, text))
@@ -660,27 +778,43 @@ impl ShreddedDoc {
             .in_op("insert adorned shape")?;
         // Bump the column generation unconditionally: even when this
         // shred doesn't persist columns, segments left by an earlier
-        // shred of the same store must go stale.
+        // shred of the same store must go stale. A re-shred supersedes
+        // every per-type override too: take the new store-wide
+        // generation past them all, then drop them.
+        let stale_tygens = load_tygens(&meta);
         let generation = meta
             .get(META_COLGEN_KEY)
             .in_op("read column generation")?
             .and_then(|v| Some(u64::from_le_bytes(v.try_into().ok()?)))
             .unwrap_or(0)
+            .max(stale_tygens.values().copied().max().unwrap_or(0))
             + 1;
         meta.insert(META_COLGEN_KEY, &generation.to_le_bytes())
             .in_op("write column generation")?;
+        for &t in stale_tygens.keys() {
+            meta.delete(&tygen_key(t))
+                .in_op("clear per-type generation")?;
+        }
         let doc = ShreddedDoc {
             store: store.clone(),
             nodes,
             typeseq,
+            meta,
             shape,
             generation,
+            tygens: Mutex::new(HashMap::new()),
+            next_gen: generation + 1,
             use_persisted: true,
             prefer_mmap: true,
             column_budget: None,
-            dist_cache: Mutex::new(HashMap::new()),
-            columns: RwLock::new(HashMap::new()),
+            dist_cache: Mutex::new(HashMap::default()),
+            columns: RwLock::new(HashMap::default()),
+            plan_cache: RwLock::new(HashMap::default()),
             fallbacks: Mutex::new(Vec::new()),
+            rebuilds: AtomicU64::new(0),
+            merged_columns: 0,
+            invalidated_columns: 0,
+            dirty: HashSet::new(),
         };
         if opts.persist_columns && store.is_persistent() {
             doc.persist_all_columns()?;
@@ -713,18 +847,28 @@ impl ShreddedDoc {
             .in_op("read column generation")?
             .and_then(|v| Some(u64::from_le_bytes(v.try_into().ok()?)))
             .unwrap_or(0);
+        let tygens = load_tygens(&meta);
+        let next_gen = generation.max(tygens.values().copied().max().unwrap_or(0)) + 1;
         let doc = ShreddedDoc {
             store: store.clone(),
             nodes,
             typeseq,
+            meta,
             shape,
             generation,
+            tygens: Mutex::new(tygens),
+            next_gen,
             use_persisted: opts.persisted_columns,
             prefer_mmap: opts.mmap,
             column_budget: opts.column_budget,
-            dist_cache: Mutex::new(HashMap::new()),
-            columns: RwLock::new(HashMap::new()),
+            dist_cache: Mutex::new(HashMap::default()),
+            columns: RwLock::new(HashMap::default()),
+            plan_cache: RwLock::new(HashMap::default()),
             fallbacks: Mutex::new(Vec::new()),
+            rebuilds: AtomicU64::new(0),
+            merged_columns: 0,
+            invalidated_columns: 0,
+            dirty: HashSet::new(),
         };
         match &opts.preload {
             Preload::None => {}
@@ -793,7 +937,10 @@ impl ShreddedDoc {
         let mut map = self.columns.write().unwrap();
         let col = Arc::clone(map.entry(t).or_insert(built));
         if let Some(budget) = self.column_budget {
-            Self::enforce_budget(&mut map, budget, t);
+            if Self::enforce_budget(&mut map, budget, t) {
+                // Evicted columns must not stay pinned by cached plans.
+                self.plan_cache.write().unwrap().clear();
+            }
         }
         col
     }
@@ -801,19 +948,40 @@ impl ShreddedDoc {
     /// Evict cached columns (never `keep`) until the cache fits the
     /// budget. Victims are taken in arbitrary hash order — the cache is
     /// a working set, not an LRU; evicted columns reload on next touch.
-    fn enforce_budget(map: &mut HashMap<TypeId, Arc<TypeColumn>>, budget: usize, keep: TypeId) {
-        let total = |m: &HashMap<TypeId, Arc<TypeColumn>>| {
+    fn enforce_budget(
+        map: &mut HashMap<TypeId, Arc<TypeColumn>, FxBuild>,
+        budget: usize,
+        keep: TypeId,
+    ) -> bool {
+        let total = |m: &HashMap<TypeId, Arc<TypeColumn>, FxBuild>| {
             m.values()
                 .map(|c| c.heap_bytes() + c.mapped_bytes())
                 .sum::<usize>()
         };
+        let mut evicted = false;
         while total(map) > budget && map.len() > 1 {
             let victim = map.keys().find(|&&k| k != keep).copied();
             match victim {
-                Some(v) => map.remove(&v),
+                Some(v) => {
+                    map.remove(&v);
+                    evicted = true;
+                }
                 None => break,
             };
         }
+        evicted
+    }
+
+    /// The generation a valid persisted segment of `t` must carry: the
+    /// per-type override when `t` has been mutated since the last full
+    /// shred, the store-wide shred generation otherwise.
+    pub(in crate::store) fn expected_generation(&self, t: TypeId) -> u64 {
+        self.tygens
+            .lock()
+            .unwrap()
+            .get(&t)
+            .copied()
+            .unwrap_or(self.generation)
     }
 
     fn load_column(&self, t: TypeId) -> TypeColumn {
@@ -821,7 +989,7 @@ impl ShreddedDoc {
         if self.use_persisted {
             let name = colseg::segment_name(t);
             match self.store.get_segment(&name, self.prefer_mmap) {
-                Ok(Some(seg)) => match colseg::parse(&seg, width, self.generation) {
+                Ok(Some(seg)) => match colseg::parse(&seg, width, self.expected_generation(t)) {
                     Ok(layout) => return TypeColumn::from_segment(seg, layout),
                     Err(reason) => self.record_fallback(&name, reason),
                 },
@@ -840,6 +1008,7 @@ impl ShreddedDoc {
     }
 
     fn build_column(&self, t: TypeId) -> TypeColumn {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
         let width = self.shape.types().dewey_len(t);
         let mut comps: Vec<u32> = Vec::new();
         let mut texts = String::new();
@@ -897,6 +1066,7 @@ impl ShreddedDoc {
     /// serving occasional queries.
     pub fn evict_columns(&self) {
         self.columns.write().unwrap().clear();
+        self.plan_cache.write().unwrap().clear();
     }
 
     /// Bytes currently held by cached columns, split by backing (heap
@@ -976,15 +1146,41 @@ impl ShreddedDoc {
         parent_type: TypeId,
         child_type: TypeId,
     ) -> Option<(Arc<TypeColumn>, Range<usize>)> {
-        let d = self.type_distance_exact(parent_type, child_type)?;
-        let types = self.shape.types();
-        let lp = types.dewey_len(parent_type);
-        let lc = types.dewey_len(child_type);
-        debug_assert_eq!(parent.len(), lp);
-        let l = (lp + lc).saturating_sub(d) / 2;
-        let col = self.column(child_type);
+        let (l, col) = self.join_plan(parent_type, child_type)?;
+        debug_assert_eq!(parent.len(), self.shape.types().dewey_len(parent_type));
         let range = col.prefix_range(&parent.components()[..l.min(parent.len())]);
         Some((col, range))
+    }
+
+    /// The cached plan for a closest join of `child_type` instances
+    /// under `parent_type` instances: the join prefix length
+    /// `L = (dewey(parent) + dewey(child) − typeDistance)/2` and the
+    /// child column. Computed once per pair; every later probe is one
+    /// map lookup.
+    fn join_plan(
+        &self,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<(usize, Arc<TypeColumn>)> {
+        if let Some(hit) = self
+            .plan_cache
+            .read()
+            .unwrap()
+            .get(&(parent_type, child_type))
+        {
+            return hit.clone();
+        }
+        let plan = self.type_distance_exact(parent_type, child_type).map(|d| {
+            let types = self.shape.types();
+            let lp = types.dewey_len(parent_type);
+            let lc = types.dewey_len(child_type);
+            ((lp + lc).saturating_sub(d) / 2, self.column(child_type))
+        });
+        self.plan_cache
+            .write()
+            .unwrap()
+            .insert((parent_type, child_type), plan.clone());
+        plan
     }
 
     /// The closest join, materialized ([`ShreddedDoc::closest_group`]
@@ -1010,13 +1206,9 @@ impl ShreddedDoc {
     /// the child column — never revisiting rows before the last group.
     /// Returns `None` when the two types are unrelated in the data.
     pub fn closest_cursor(&self, parent_type: TypeId, child_type: TypeId) -> Option<ClosestCursor> {
-        let d = self.type_distance_exact(parent_type, child_type)?;
-        let types = self.shape.types();
-        let lp = types.dewey_len(parent_type);
-        let lc = types.dewey_len(child_type);
-        let l = (lp + lc).saturating_sub(d) / 2;
+        let (l, col) = self.join_plan(parent_type, child_type)?;
         Some(ClosestCursor {
-            col: self.column(child_type),
+            col,
             prefix_len: l,
             pos: 0,
             group: 0..0,

@@ -13,9 +13,16 @@
 //!   copied) is byte-identical — scans, joins, and rendered guard
 //!   output — to one that rebuilds every column from the B+tree.
 
+//! * a document mutated in place (`insert_subtree` /
+//!   `insert_subtree_before` / `delete_subtree` / `update_text`) is
+//!   equivalent to a *fresh shred* of the correspondingly mutated XML —
+//!   and byte-identical at the column level when the operation mix
+//!   preserves dense Dewey labels (updates and appends only).
+
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use xmorph_core::{Guard, OpenOptions, ShredOptions, ShreddedDoc, TypeId};
 use xmorph_pagestore::Store;
 
@@ -175,5 +182,305 @@ proptest! {
         }
         drop((persisted, rebuilt, store));
         std::fs::remove_file(&path).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutation equivalence: a document mutated in place must describe the
+// same collection as a fresh shred of the mutated XML. The reference is
+// a "twin" document model — a plain tree mutated alongside the
+// ShreddedDoc, then serialized and re-shredded from scratch.
+// ---------------------------------------------------------------------
+
+/// Reference tree: element name, attributes, *concatenated* direct text
+/// (the shredder's view — placement of text among children does not
+/// survive shredding), and element children in document order.
+#[derive(Debug, Clone)]
+struct TwinNode {
+    name: String,
+    attrs: Vec<(String, String)>,
+    text: String,
+    children: Vec<TwinNode>,
+}
+
+impl TwinNode {
+    fn parse(xml: &str) -> TwinNode {
+        use xmorph_xml::reader::{XmlEvent, XmlReader};
+        let mut reader = XmlReader::new(xml);
+        let mut stack: Vec<TwinNode> = Vec::new();
+        let mut root = None;
+        loop {
+            match reader.next_event().expect("well-formed XML") {
+                XmlEvent::StartElement { name, attrs } => stack.push(TwinNode {
+                    name,
+                    attrs,
+                    text: String::new(),
+                    children: Vec::new(),
+                }),
+                XmlEvent::Text(t) => {
+                    if let Some(f) = stack.last_mut() {
+                        f.text.push_str(&t);
+                    }
+                }
+                XmlEvent::EndElement { .. } => {
+                    let mut done = stack.pop().expect("balanced");
+                    done.text = done.text.trim().to_string();
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(done),
+                        None => root = Some(done),
+                    }
+                }
+                XmlEvent::Eof => break,
+                _ => {}
+            }
+        }
+        root.expect("document has a root")
+    }
+
+    fn serialize(&self) -> String {
+        let mut w = xmorph_xml::writer::StreamWriter::with_capacity(1 << 16);
+        self.write(&mut w);
+        w.finish()
+    }
+
+    fn write(&self, w: &mut xmorph_xml::writer::StreamWriter) {
+        w.start(&self.name);
+        for (k, v) in &self.attrs {
+            w.attr(k, v);
+        }
+        w.text(&self.text);
+        for c in &self.children {
+            c.write(w);
+        }
+        w.end();
+    }
+
+    /// Child-index trail to the `n`-th instance (document order) of the
+    /// element whose root path is `path`.
+    fn locate(&self, path: &[String], depth: usize, n: &mut usize, trail: &mut Vec<usize>) -> bool {
+        if self.name != path[depth] {
+            return false;
+        }
+        if depth + 1 == path.len() {
+            if *n == 0 {
+                return true;
+            }
+            *n -= 1;
+            return false;
+        }
+        for (i, c) in self.children.iter().enumerate() {
+            trail.push(i);
+            if c.locate(path, depth + 1, n, trail) {
+                return true;
+            }
+            trail.pop();
+        }
+        false
+    }
+
+    fn node_mut(&mut self, trail: &[usize]) -> &mut TwinNode {
+        let mut cur = self;
+        for &i in trail {
+            cur = &mut cur.children[i];
+        }
+        cur
+    }
+}
+
+/// One XMark factor-0.01 base document, generated once per process.
+fn xmark_base() -> &'static str {
+    static XML: OnceLock<String> = OnceLock::new();
+    XML.get_or_init(|| xmorph_datagen::XmarkConfig::with_factor(0.01).generate())
+}
+
+const FRAGMENTS: &[&str] = &[
+    r#"<note priority="high">check</note>"#,
+    "<emph>hot</emph>",
+    "<audit><who>qa</who><when>2002</when></audit>",
+    "<status>open</status>",
+];
+
+const NEW_TEXTS: &[&str] = &["revised", "  padded  ", "", "Lorem ipsum dolor"];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OpKind {
+    Update,
+    Append,
+    Delete,
+    InsertBefore,
+}
+
+/// `(kind, type selector, instance selector)` — the selectors pick
+/// modulo whatever is live when the op applies, so every generated op
+/// resolves to a real target.
+type Op = (OpKind, usize, usize);
+
+fn ops_strategy(kinds: &'static [OpKind]) -> impl Strategy<Value = Vec<Op>> {
+    let op =
+        (0..kinds.len(), 0usize..1 << 30, 0usize..1 << 30).prop_map(|(k, a, b)| (kinds[k], a, b));
+    proptest::collection::vec(op, 1..8)
+}
+
+/// Element types with live instances; `Delete`/`InsertBefore` also
+/// exclude the root (those mutations are rejected on it).
+fn live_targets(doc: &ShreddedDoc, allow_root: bool) -> Vec<TypeId> {
+    doc.types()
+        .ids()
+        .filter(|&t| {
+            let dotted = doc.types().dotted(t);
+            doc.instance_count(t) > 0
+                && !dotted.contains('@')
+                && (allow_root || dotted.contains('.'))
+        })
+        .collect()
+}
+
+/// Apply one mutation to both the ShreddedDoc and its twin. The target
+/// is addressed positionally — the `i`-th instance of a type path — so
+/// both sides resolve it independently.
+fn apply_op(doc: &mut ShreddedDoc, twin: &mut TwinNode, op: &Op) {
+    let (kind, type_sel, inst_sel) = op;
+    let targets = live_targets(doc, *kind == OpKind::Update || *kind == OpKind::Append);
+    if targets.is_empty() {
+        return;
+    }
+    let t = targets[type_sel % targets.len()];
+    let path: Vec<String> = doc
+        .types()
+        .dotted(t)
+        .split('.')
+        .map(str::to_string)
+        .collect();
+    let rows = doc.scan_type(t);
+    let idx = inst_sel % rows.len();
+    let dewey = rows[idx].0.clone();
+    let mut n = idx;
+    let mut trail = Vec::new();
+    assert!(
+        twin.locate(&path, 0, &mut n, &mut trail),
+        "twin lost instance {idx} of {}",
+        path.join(".")
+    );
+    match kind {
+        OpKind::Update => {
+            let text = NEW_TEXTS[inst_sel % NEW_TEXTS.len()];
+            doc.update_text(&dewey, text).unwrap();
+            twin.node_mut(&trail).text = text.trim().to_string();
+        }
+        OpKind::Append => {
+            let frag = FRAGMENTS[inst_sel % FRAGMENTS.len()];
+            doc.insert_subtree(&dewey, frag).unwrap();
+            twin.node_mut(&trail).children.push(TwinNode::parse(frag));
+        }
+        OpKind::Delete => {
+            doc.delete_subtree(&dewey).unwrap();
+            let (last, parent_trail) = trail.split_last().expect("non-root target");
+            twin.node_mut(parent_trail).children.remove(*last);
+        }
+        OpKind::InsertBefore => {
+            let frag = FRAGMENTS[inst_sel % FRAGMENTS.len()];
+            doc.insert_subtree_before(&dewey, frag).unwrap();
+            let (last, parent_trail) = trail.split_last().expect("non-root target");
+            twin.node_mut(parent_trail)
+                .children
+                .insert(*last, TwinNode::parse(frag));
+        }
+    }
+}
+
+/// The behavioural comparison: every type path agrees on instance count
+/// and document-ordered text sequence, the mutated document's columns
+/// agree with its own B+tree, its conservative cards bound the fresh
+/// exact ones, and a cast guard renders byte-identically.
+fn assert_equivalent(doc: &ShreddedDoc, fresh: &ShreddedDoc) {
+    for ft in fresh.types().ids() {
+        let dotted = fresh.types().dotted(ft);
+        let path: Vec<String> = dotted.split('.').map(str::to_string).collect();
+        let dt = doc
+            .types()
+            .lookup(&path)
+            .unwrap_or_else(|| panic!("mutated doc lost type {dotted}"));
+        assert_eq!(
+            doc.instance_count(dt),
+            fresh.instance_count(ft),
+            "count of {dotted}"
+        );
+        let doc_texts: Vec<String> = doc.scan_type(dt).into_iter().map(|(_, t)| t).collect();
+        let fresh_texts: Vec<String> = fresh.scan_type(ft).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(doc_texts, fresh_texts, "texts of {dotted}");
+        let (dc, fc) = (doc.shape().card(dt), fresh.shape().card(ft));
+        assert!(
+            dc.min <= fc.min && dc.max >= fc.max,
+            "card of {dotted}: maintained {dc} must contain exact {fc}"
+        );
+    }
+    for dt in doc.types().ids() {
+        let dotted = doc.types().dotted(dt);
+        let path: Vec<String> = dotted.split('.').map(str::to_string).collect();
+        if fresh.types().lookup(&path).is_none() {
+            assert_eq!(
+                doc.instance_count(dt),
+                0,
+                "type {dotted} absent from fresh shred but live"
+            );
+        }
+        assert_eq!(
+            doc.scan_type(dt),
+            doc.scan_type_btree(dt),
+            "column vs btree for {dotted}"
+        );
+    }
+    for guard in ["CAST MORPH person [ name ]", "CAST MORPH item [ name ]"] {
+        let g = Guard::parse(guard).unwrap();
+        assert_eq!(
+            g.apply(doc).map(|o| o.xml).map_err(|e| e.to_string()),
+            g.apply(fresh).map(|o| o.xml).map_err(|e| e.to_string()),
+            "guard {guard}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn mutated_doc_equals_fresh_shred_of_mutated_xml(
+        ops in ops_strategy(&[OpKind::Update, OpKind::Append, OpKind::Delete, OpKind::InsertBefore])
+    ) {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, xmark_base()).unwrap();
+        let mut twin = TwinNode::parse(xmark_base());
+        for op in &ops {
+            apply_op(&mut doc, &mut twin, op);
+        }
+        let (_fs, fresh) = shred(&twin.serialize());
+        assert_equivalent(&doc, &fresh);
+    }
+
+    #[test]
+    fn update_and_append_mutations_are_column_byte_identical(
+        ops in ops_strategy(&[OpKind::Update, OpKind::Append])
+    ) {
+        // Updates never move labels and appends allocate densely on a
+        // freshly shredded document, so the mutated columns must be
+        // *byte-identical* to a fresh shred's — same Dewey components,
+        // same offsets, same text arena — type by type path.
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, xmark_base()).unwrap();
+        let mut twin = TwinNode::parse(xmark_base());
+        for op in &ops {
+            apply_op(&mut doc, &mut twin, op);
+        }
+        let (_fs, fresh) = shred(&twin.serialize());
+        assert_equivalent(&doc, &fresh);
+        for ft in fresh.types().ids() {
+            let dotted = fresh.types().dotted(ft);
+            let path: Vec<String> = dotted.split('.').map(str::to_string).collect();
+            let dt = doc.types().lookup(&path).unwrap();
+            prop_assert!(
+                *doc.column(dt) == *fresh.column(ft),
+                "column bytes diverge for {}", dotted
+            );
+        }
     }
 }

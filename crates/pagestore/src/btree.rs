@@ -256,11 +256,21 @@ impl<'a> BTree<'a> {
         I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
     {
         let budget = (((PAGE_SIZE - HDR) as f64) * fill_factor.clamp(0.5, 1.0)) as usize;
-        // Greedily pack raw leaf cells into per-leaf groups.
-        let mut leaves: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new(); // (first key, cells)
-        let mut cur: Vec<Vec<u8>> = Vec::new();
-        let mut cur_first: Vec<u8> = Vec::new();
-        let mut cur_bytes = 0usize;
+        // Greedily pack raw leaf cells into per-leaf groups. Cells are
+        // serialized into one flat buffer per leaf (plus per-cell
+        // sizes) so the loop allocates per leaf, not per entry, and
+        // each leaf lands on its page as a single copy.
+        struct LeafRun {
+            first: Vec<u8>,
+            flat: Vec<u8>,
+            sizes: Vec<u16>,
+        }
+        let mut leaves: Vec<LeafRun> = Vec::new();
+        let mut cur = LeafRun {
+            first: Vec::new(),
+            flat: Vec::new(),
+            sizes: Vec::new(),
+        };
         let mut last_key: Option<Vec<u8>> = None;
         for (key, value) in pairs {
             if key.len() > MAX_KEY_LEN {
@@ -278,25 +288,31 @@ impl<'a> BTree<'a> {
             } else {
                 (value, 0u8)
             };
-            let mut cell = Vec::with_capacity(leaf_cell_size(key.len(), stored.len()));
-            cell.push(flags);
-            cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
-            cell.extend_from_slice(&(vlen as u32).to_le_bytes());
-            cell.extend_from_slice(&key);
-            cell.extend_from_slice(&stored);
-            if !cur.is_empty() && cur_bytes + cell.len() + 2 > budget {
-                leaves.push((std::mem::take(&mut cur_first), std::mem::take(&mut cur)));
-                cur_bytes = 0;
+            let size = leaf_cell_size(key.len(), stored.len());
+            if !cur.sizes.is_empty() && cur.flat.len() + size + 2 * (cur.sizes.len() + 1) > budget {
+                leaves.push(std::mem::replace(
+                    &mut cur,
+                    LeafRun {
+                        first: Vec::new(),
+                        flat: Vec::new(),
+                        sizes: Vec::new(),
+                    },
+                ));
             }
-            if cur.is_empty() {
-                cur_first = key.clone();
+            if cur.sizes.is_empty() {
+                cur.first = key.clone();
             }
-            cur_bytes += cell.len() + 2;
-            cur.push(cell);
+            cur.flat.push(flags);
+            cur.flat
+                .extend_from_slice(&(key.len() as u16).to_le_bytes());
+            cur.flat.extend_from_slice(&(vlen as u32).to_le_bytes());
+            cur.flat.extend_from_slice(&key);
+            cur.flat.extend_from_slice(&stored);
+            cur.sizes.push(size as u16);
             last_key = Some(key);
         }
-        if !cur.is_empty() {
-            leaves.push((cur_first, cur));
+        if !cur.sizes.is_empty() {
+            leaves.push(cur);
         }
         if leaves.is_empty() {
             return Self::create(pool);
@@ -306,14 +322,14 @@ impl<'a> BTree<'a> {
             .map(|_| pool.allocate())
             .collect::<StoreResult<_>>()?;
         let mut level: Vec<(Vec<u8>, PageId)> = Vec::with_capacity(leaves.len());
-        for (i, (first, cells)) in leaves.into_iter().enumerate() {
+        for (i, run) in leaves.into_iter().enumerate() {
             let next = pages.get(i + 1).copied().unwrap_or(NIL);
             pool.write_with(pages[i], |p| {
                 init_leaf(p);
                 set_next_leaf(p, next);
-                rebuild_leaf(p, &cells);
+                rebuild_leaf_flat(p, &run.flat, &run.sizes);
             })?;
-            level.push((first, pages[i]));
+            level.push((run.first, pages[i]));
         }
         // Stack interior levels: within each parent, the first child
         // becomes `leftmost_child` and every later child contributes a
@@ -360,6 +376,70 @@ impl<'a> BTree<'a> {
     /// Current root page id.
     pub fn root(&self) -> PageId {
         self.root
+    }
+
+    /// Add every page reachable from this tree — interior, leaf, and
+    /// overflow pages — to `out`. This is vacuum's live-page analysis:
+    /// any allocated page not reported by some catalogued tree (and not
+    /// part of a live segment extent) is dead. Pages already in `out`
+    /// are not re-walked.
+    pub fn collect_pages(&self, out: &mut std::collections::BTreeSet<PageId>) -> StoreResult<()> {
+        self.collect_rec(self.root, out)
+    }
+
+    fn collect_rec(
+        &self,
+        page: PageId,
+        out: &mut std::collections::BTreeSet<PageId>,
+    ) -> StoreResult<()> {
+        if page == NIL || !out.insert(page) {
+            return Ok(());
+        }
+        enum Kids {
+            Children(Vec<PageId>),
+            Overflows(Vec<PageId>),
+        }
+        let kids = self.pool.read_with(page, |p| {
+            if tag(p) == TAG_INTERIOR {
+                let mut v = Vec::with_capacity(nkeys(p) + 1);
+                v.push(leftmost_child(p));
+                for i in 0..nkeys(p) {
+                    v.push(interior_cell_child(p, slot(p, i)));
+                }
+                Kids::Children(v)
+            } else {
+                let mut v = Vec::new();
+                for i in 0..nkeys(p) {
+                    let c = leaf_cell(p, slot(p, i));
+                    if c.overflow {
+                        v.push(get_u64(p, c.key_start + c.klen));
+                    }
+                }
+                Kids::Overflows(v)
+            }
+        })?;
+        match kids {
+            Kids::Children(children) => {
+                for c in children {
+                    self.collect_rec(c, out)?;
+                }
+            }
+            Kids::Overflows(heads) => {
+                for head in heads {
+                    let mut page = head;
+                    while page != NIL && out.insert(page) {
+                        page = self.pool.read_with(page, |p| {
+                            if tag(p) == TAG_OVERFLOW {
+                                get_u64(p, 1)
+                            } else {
+                                NIL
+                            }
+                        })?;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Insert or replace. Returns `true` if the key was new.
@@ -727,6 +807,53 @@ impl<'a> BTree<'a> {
     }
 }
 
+/// Rewrite every page-id reference in a raw tree page through `map`
+/// (old id → new id): an interior page's leftmost child and routing
+/// cells, a leaf's sibling link and overflow heads, an overflow page's
+/// chain link. Ids absent from the map (including `NIL`) are untouched.
+/// Returns `true` if anything changed. This is vacuum's relocation
+/// fix-up — pages move on the device, then each survivor gets its
+/// pointers re-aimed.
+pub(crate) fn rewrite_page_pointers(
+    p: &mut [u8],
+    map: &std::collections::HashMap<PageId, PageId>,
+) -> bool {
+    let mut offs: Vec<usize> = Vec::new();
+    match tag(p) {
+        TAG_LEAF => {
+            offs.push(5); // next_leaf
+            for i in 0..nkeys(p) {
+                let c = leaf_cell(p, slot(p, i));
+                if c.overflow {
+                    offs.push(c.key_start + c.klen);
+                }
+            }
+        }
+        TAG_INTERIOR => {
+            offs.push(5); // leftmost_child
+            for i in 0..nkeys(p) {
+                offs.push(slot(p, i) + 2);
+            }
+        }
+        TAG_OVERFLOW => offs.push(1),
+        _ => {}
+    }
+    let mut changed = false;
+    for off in offs {
+        let old = get_u64(p, off);
+        if old == NIL {
+            continue;
+        }
+        if let Some(&new) = map.get(&old) {
+            if new != old {
+                put_u64(p, off, new);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
 /// Write `value` into a chain of overflow pages; returns the head.
 fn write_overflow(pool: &BufferPool, value: &[u8]) -> StoreResult<PageId> {
     let mut chunks: Vec<&[u8]> = value.chunks(OVERFLOW_DATA).collect();
@@ -834,6 +961,22 @@ fn free_or_compact(p: &mut [u8], needed: usize) -> bool {
         rebuild_interior(p, &cells);
     }
     free_space(p) >= needed
+}
+
+/// Append a flat run of pre-serialized leaf cells (already sorted)
+/// into a freshly initialized leaf: one block copy, then slot fixups.
+/// Cells sit low-to-high in slot order — nothing in the page format
+/// requires the descending layout the incremental path produces.
+fn rebuild_leaf_flat(p: &mut [u8], flat: &[u8], sizes: &[u16]) {
+    let base = cell_start(p) - flat.len();
+    p[base..base + flat.len()].copy_from_slice(flat);
+    let mut off = base;
+    for (i, &sz) in sizes.iter().enumerate() {
+        set_slot(p, i, off);
+        off += sz as usize;
+    }
+    set_cell_start(p, base);
+    set_nkeys(p, sizes.len());
 }
 
 /// Append raw leaf cells (already sorted) into a freshly initialized leaf.

@@ -30,7 +30,7 @@ pub const MAX_SHARDS: usize = 64;
 
 /// Fewest frames a shard is allowed to hold; shard counts are clamped
 /// so that `capacity / shards >= MIN_FRAMES_PER_SHARD`.
-const MIN_FRAMES_PER_SHARD: usize = 4;
+pub const MIN_FRAMES_PER_SHARD: usize = 4;
 
 struct Frame {
     data: Box<[u8]>,
@@ -198,6 +198,51 @@ impl BufferPool {
         byte_len: usize,
     ) -> StoreResult<Option<crate::mmap::MmapRegion>> {
         self.pager.lock().mmap_extent(first, byte_len)
+    }
+
+    /// Return a page extent to the pager's free list.
+    pub fn free_extent(&self, first: PageId, pages: u64) {
+        self.pager.lock().free_extent(first, pages)
+    }
+
+    /// The pager's current free extents.
+    pub fn free_extents(&self) -> Vec<crate::pager::FreeExtent> {
+        self.pager.lock().free_extents().to_vec()
+    }
+
+    /// Total pages on the pager's free list.
+    pub fn free_extent_pages(&self) -> u64 {
+        self.pager.lock().free_extent_pages()
+    }
+
+    /// Replace the pager's free list (vacuum).
+    pub fn set_free_extents(&self, free: Vec<crate::pager::FreeExtent>) {
+        self.pager.lock().set_free_extents(free)
+    }
+
+    /// Drop free extents overlapping live ones (open-time reconcile).
+    pub fn reconcile_free_extents(&self, live: &[crate::pager::FreeExtent]) -> usize {
+        self.pager.lock().reconcile_free_extents(live)
+    }
+
+    /// Shrink the allocated page range (vacuum tail truncation).
+    pub fn shrink_to(&self, new_count: u64) -> StoreResult<()> {
+        self.pager.lock().shrink_to(new_count)
+    }
+
+    /// Cumulative pages reclaimed by vacuum.
+    pub fn vacuum_reclaimed_pages(&self) -> u64 {
+        self.pager.lock().vacuum_reclaimed_pages()
+    }
+
+    /// Drop cached frames for pages at or past `bound`. Vacuum calls
+    /// this after flushing, right before truncating the device, so no
+    /// stale frame of a dead tail page can be written back later and
+    /// regrow the file.
+    pub fn forget_frames_from(&self, bound: PageId) {
+        for shard in self.shards.iter() {
+            shard.lock().frames.retain(|&id, _| id < bound);
+        }
     }
 
     /// True when the device can serve read-only mappings.

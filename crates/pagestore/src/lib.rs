@@ -50,7 +50,7 @@ pub use buffer::{default_shard_count, BufferPool, DEFAULT_CAPACITY, MAX_SHARDS};
 pub use error::{StoreError, StoreResult};
 pub use mmap::MmapRegion;
 pub use segment::{SegmentData, SegmentEntry, SEGMENT_CATALOG_TREE};
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{IoSnapshot, IoStats, StoreStats};
 pub use store::{Store, StoreOptions, Tree};
 
 /// Size of every page, in bytes. 4 KiB matches the usual filesystem block

@@ -1,8 +1,28 @@
 //! Page allocation and transfer over a [`Storage`] device.
 //!
-//! Page 0 is the meta page: magic, version, page count, and the table
-//! catalog (name → root page for each named tree). All other pages belong
-//! to B+trees or overflow chains.
+//! Page 0 is the meta page: magic, version, page count, the table
+//! catalog (name → root page for each named tree), and the free-extent
+//! list. All other pages belong to B+trees, overflow chains, or segment
+//! extents.
+//!
+//! ## Free-extent list
+//!
+//! Deleting (or replacing) a segment returns its extent to a persistent
+//! free list so the allocator can hand the pages out again instead of
+//! growing the file forever. The list lives in the meta page's spare
+//! space after the catalog region:
+//!
+//! ```text
+//! offset  size  field
+//!     18     2  free-extent count (u16; absent in old files ⇒ zero)
+//!   3160    16  entry 0: first_page u64 LE, pages u64 LE
+//!   3176    16  entry 1 …  (up to MAX_FREE_EXTENTS entries)
+//! ```
+//!
+//! Entries are kept sorted by first page and adjacent extents coalesce.
+//! When the list would overflow its fixed region the smallest extent is
+//! dropped — a bounded leak that [`crate::Store::vacuum`] recovers later
+//! from live-page analysis, which never trusts this list.
 
 use crate::error::{StoreError, StoreResult};
 use crate::stats::IoStats;
@@ -24,6 +44,22 @@ pub const MAX_TREES: usize = 64;
 /// Maximum tree name length in bytes.
 pub const MAX_NAME_LEN: usize = 40;
 
+/// Meta-page offset of the free-extent count.
+const FREE_COUNT_OFF: usize = 18;
+
+/// Meta-page offset of the first free-extent entry (right after the
+/// fixed catalog region).
+const FREE_LIST_OFF: usize = 24 + MAX_TREES * (9 + MAX_NAME_LEN);
+
+/// Bytes per free-extent entry: first page + page count.
+const FREE_ENTRY_LEN: usize = 16;
+
+/// Maximum persisted free extents (the meta page's spare tail).
+pub const MAX_FREE_EXTENTS: usize = (PAGE_SIZE - FREE_LIST_OFF) / FREE_ENTRY_LEN;
+
+/// A contiguous run of unallocated pages: `(first_page, pages)`.
+pub type FreeExtent = (PageId, u64);
+
 /// A catalog entry: a named tree and its current root page.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CatalogEntry {
@@ -40,6 +76,10 @@ pub struct Pager {
     stats: IoStats,
     page_count: u64,
     catalog: Vec<CatalogEntry>,
+    /// Free page extents, sorted by first page, adjacent runs coalesced.
+    free: Vec<FreeExtent>,
+    /// Cumulative pages reclaimed by vacuum over this pager's lifetime.
+    vacuum_reclaimed: u64,
 }
 
 impl std::fmt::Debug for Pager {
@@ -47,6 +87,7 @@ impl std::fmt::Debug for Pager {
         f.debug_struct("Pager")
             .field("page_count", &self.page_count)
             .field("catalog", &self.catalog)
+            .field("free", &self.free)
             .finish()
     }
 }
@@ -61,6 +102,8 @@ impl Pager {
                 stats,
                 page_count: 1,
                 catalog: Vec::new(),
+                free: Vec::new(),
+                vacuum_reclaimed: 0,
             };
             pager.write_meta()?;
             Ok(pager)
@@ -90,11 +133,40 @@ impl Pager {
                 catalog.push(CatalogEntry { name, root });
                 off += 9 + MAX_NAME_LEN;
             }
+            // Free-extent list: pre-free-list files hold zeroes here and
+            // read back as an empty list. Entries that don't fit in the
+            // allocated page range are crash debris — drop them rather
+            // than reject the store.
+            let nfree =
+                u16::from_le_bytes(buf[FREE_COUNT_OFF..FREE_COUNT_OFF + 2].try_into().unwrap())
+                    as usize;
+            if nfree > MAX_FREE_EXTENTS {
+                return Err(StoreError::BadDatabase(
+                    "free-extent count out of range".into(),
+                ));
+            }
+            let mut free = Vec::with_capacity(nfree);
+            for i in 0..nfree {
+                let off = FREE_LIST_OFF + i * FREE_ENTRY_LEN;
+                let first = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                let pages = u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+                let ok = first > 0
+                    && pages > 0
+                    && first
+                        .checked_add(pages)
+                        .is_some_and(|end| end <= page_count);
+                if ok {
+                    free.push((first, pages));
+                }
+            }
+            free.sort_unstable();
             Ok(Pager {
                 storage,
                 stats,
                 page_count,
                 catalog,
+                free,
+                vacuum_reclaimed: 0,
             })
         }
     }
@@ -143,6 +215,8 @@ impl Pager {
         buf[0..8].copy_from_slice(MAGIC);
         buf[8..16].copy_from_slice(&self.page_count.to_le_bytes());
         buf[16..18].copy_from_slice(&(self.catalog.len() as u16).to_le_bytes());
+        buf[FREE_COUNT_OFF..FREE_COUNT_OFF + 2]
+            .copy_from_slice(&(self.free.len() as u16).to_le_bytes());
         let mut off = 24;
         for e in &self.catalog {
             buf[off..off + 8].copy_from_slice(&e.root.to_le_bytes());
@@ -150,12 +224,21 @@ impl Pager {
             buf[off + 9..off + 9 + e.name.len()].copy_from_slice(e.name.as_bytes());
             off += 9 + MAX_NAME_LEN;
         }
+        for (i, &(first, pages)) in self.free.iter().enumerate() {
+            let off = FREE_LIST_OFF + i * FREE_ENTRY_LEN;
+            buf[off..off + 8].copy_from_slice(&first.to_le_bytes());
+            buf[off + 8..off + 16].copy_from_slice(&pages.to_le_bytes());
+        }
         self.write_page_raw(META_PAGE, &buf)
     }
 
-    /// Allocate a fresh page and return its id. The page contents on the
-    /// device are undefined until first written.
+    /// Allocate a fresh page and return its id, reusing a freed extent
+    /// page when one exists. The page contents on the device are
+    /// undefined until first written.
     pub fn allocate(&mut self) -> StoreResult<PageId> {
+        if let Some(id) = self.take_free(1) {
+            return Ok(id);
+        }
         let id = self.page_count;
         self.page_count += 1;
         // Persisting the count lazily would lose allocations on crash; we
@@ -167,11 +250,131 @@ impl Pager {
 
     /// Allocate `pages` contiguous pages, returning the first id. Used
     /// by segments, which need one flat on-device run so the whole blob
-    /// can be read sequentially or memory-mapped in one piece.
+    /// can be read sequentially or memory-mapped in one piece. Freed
+    /// extents are reused (best fit) before the file grows.
     pub fn allocate_extent(&mut self, pages: u64) -> StoreResult<PageId> {
+        if let Some(id) = self.take_free(pages) {
+            return Ok(id);
+        }
         let id = self.page_count;
         self.page_count += pages;
         Ok(id)
+    }
+
+    /// Carve `pages` out of the free list, best fit: the smallest extent
+    /// that holds them, lowest address on ties. Returns the first page.
+    fn take_free(&mut self, pages: u64) -> Option<PageId> {
+        let i = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, len))| len >= pages)
+            .min_by_key(|(_, &(first, len))| (len, first))
+            .map(|(i, _)| i)?;
+        let (first, len) = self.free[i];
+        if len == pages {
+            self.free.remove(i);
+        } else {
+            self.free[i] = (first + pages, len - pages);
+        }
+        Some(first)
+    }
+
+    /// Return a page extent to the free list, coalescing with adjacent
+    /// runs. The list persists at the next meta write; until then the
+    /// in-memory copy is authoritative, like the page count.
+    pub fn free_extent(&mut self, first: PageId, pages: u64) {
+        if pages == 0 || first == 0 {
+            return;
+        }
+        let i = self.free.partition_point(|&(f, _)| f < first);
+        self.free.insert(i, (first, pages));
+        // Coalesce around the insertion point.
+        let mut i = i.saturating_sub(1);
+        while i + 1 < self.free.len() {
+            let (f0, p0) = self.free[i];
+            let (f1, p1) = self.free[i + 1];
+            if f0 + p0 >= f1 {
+                self.free[i] = (f0, p0.max(f1 + p1 - f0));
+                self.free.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+        // Bounded region: drop the smallest extent on overflow. Vacuum
+        // recovers the leak from live-page analysis.
+        while self.free.len() > MAX_FREE_EXTENTS {
+            let drop_i = self
+                .free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(_, len))| len)
+                .map(|(i, _)| i)
+                .expect("non-empty free list");
+            self.free.remove(drop_i);
+        }
+    }
+
+    /// The current free extents (sorted by first page).
+    pub fn free_extents(&self) -> &[FreeExtent] {
+        &self.free
+    }
+
+    /// Total pages sitting on the free list.
+    pub fn free_extent_pages(&self) -> u64 {
+        self.free.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Replace the free list wholesale (vacuum rebuilds it from live-page
+    /// analysis). Extents are sorted and clipped to the allocated range.
+    pub fn set_free_extents(&mut self, mut free: Vec<FreeExtent>) {
+        free.retain(|&(first, pages)| first > 0 && pages > 0 && first + pages <= self.page_count);
+        free.sort_unstable();
+        free.truncate(MAX_FREE_EXTENTS);
+        self.free = free;
+    }
+
+    /// Drop any free extent overlapping one of the `live` extents.
+    /// Called once at open: a torn shutdown can persist a free-list
+    /// append while the matching catalog delete stays buffered, and
+    /// handing such pages out again would double-allocate them under a
+    /// live segment. Returns the number of extents dropped.
+    pub fn reconcile_free_extents(&mut self, live: &[FreeExtent]) -> usize {
+        let before = self.free.len();
+        self.free.retain(|&(f, p)| {
+            !live
+                .iter()
+                .any(|&(lf, lp)| f < lf.saturating_add(lp) && lf < f.saturating_add(p))
+        });
+        before - self.free.len()
+    }
+
+    /// Shrink the allocated range to `new_count` pages: clip the free
+    /// list, drop the in-memory count, and ask the device to release the
+    /// tail. Only vacuum calls this, after proving everything at or past
+    /// `new_count` is dead.
+    pub fn shrink_to(&mut self, new_count: u64) -> StoreResult<()> {
+        if new_count >= self.page_count {
+            return Ok(());
+        }
+        let reclaimed = self.page_count - new_count;
+        self.page_count = new_count;
+        let mut clipped: Vec<FreeExtent> = Vec::with_capacity(self.free.len());
+        for &(first, pages) in &self.free {
+            if first >= new_count {
+                continue;
+            }
+            clipped.push((first, pages.min(new_count - first)));
+        }
+        self.free = clipped;
+        self.vacuum_reclaimed += reclaimed;
+        self.storage.truncate(new_count * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    /// Cumulative pages reclaimed by vacuum since this pager opened.
+    pub fn vacuum_reclaimed_pages(&self) -> u64 {
+        self.vacuum_reclaimed
     }
 
     /// Write `data` over the extent starting at `first`, padding the
@@ -358,6 +561,94 @@ mod tests {
             p.set_tree_root("one-more", 99),
             Err(StoreError::CatalogFull)
         ));
+    }
+
+    #[test]
+    fn free_extent_coalesces_adjacent_runs() {
+        let mut p = mem_pager();
+        p.allocate_extent(30).unwrap(); // pages 1..31
+        p.free_extent(5, 3);
+        p.free_extent(10, 2);
+        assert_eq!(p.free_extents(), &[(5, 3), (10, 2)]);
+        // Filling the gap merges all three into one run.
+        p.free_extent(8, 2);
+        assert_eq!(p.free_extents(), &[(5, 7)]);
+        assert_eq!(p.free_extent_pages(), 7);
+    }
+
+    #[test]
+    fn allocate_reuses_freed_pages_best_fit() {
+        let mut p = mem_pager();
+        p.allocate_extent(40).unwrap(); // 1..41
+        p.free_extent(3, 2);
+        p.free_extent(10, 6);
+        // Two pages fit the (3,2) extent exactly; the larger run stays.
+        assert_eq!(p.allocate_extent(2).unwrap(), 3);
+        assert_eq!(p.free_extents(), &[(10, 6)]);
+        // A single page carves off the front of the remaining run.
+        assert_eq!(p.allocate().unwrap(), 10);
+        assert_eq!(p.free_extents(), &[(11, 5)]);
+        // Too big for any run: the file grows instead.
+        assert_eq!(p.allocate_extent(9).unwrap(), 41);
+        assert_eq!(p.page_count(), 50);
+    }
+
+    #[test]
+    fn free_list_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("pagestore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("freelist-roundtrip.db");
+        {
+            let fs = crate::storage::FileStorage::create(&path).unwrap();
+            let mut p = Pager::new(Box::new(fs), IoStats::new()).unwrap();
+            p.allocate_extent(20).unwrap();
+            p.free_extent(4, 3);
+            p.free_extent(12, 5);
+            p.flush().unwrap();
+        }
+        {
+            let fs = crate::storage::FileStorage::open(&path).unwrap();
+            let p = Pager::new(Box::new(fs), IoStats::new()).unwrap();
+            assert_eq!(p.free_extents(), &[(4, 3), (12, 5)]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_list_overflow_drops_smallest() {
+        let mut p = mem_pager();
+        // Non-adjacent single-page extents (every other page) until the
+        // region overflows, then one big extent that must survive.
+        p.allocate_extent(4000).unwrap();
+        for i in 0..MAX_FREE_EXTENTS {
+            p.free_extent(1 + 2 * i as u64, 1);
+        }
+        assert_eq!(p.free_extents().len(), MAX_FREE_EXTENTS);
+        p.free_extent(3000, 100);
+        assert_eq!(p.free_extents().len(), MAX_FREE_EXTENTS);
+        assert!(p.free_extents().contains(&(3000, 100)));
+    }
+
+    #[test]
+    fn reconcile_drops_overlapping_free_extents() {
+        let mut p = mem_pager();
+        p.allocate_extent(30).unwrap();
+        p.free_extent(5, 4);
+        p.free_extent(20, 2);
+        let dropped = p.reconcile_free_extents(&[(6, 3)]);
+        assert_eq!(dropped, 1);
+        assert_eq!(p.free_extents(), &[(20, 2)]);
+    }
+
+    #[test]
+    fn shrink_clips_free_list_and_counts_reclaimed() {
+        let mut p = mem_pager();
+        p.allocate_extent(50).unwrap();
+        p.free_extent(40, 11); // straddles the new boundary
+        p.shrink_to(45).unwrap();
+        assert_eq!(p.page_count(), 45);
+        assert_eq!(p.free_extents(), &[(40, 5)]);
+        assert_eq!(p.vacuum_reclaimed_pages(), 6);
     }
 
     #[test]

@@ -90,6 +90,20 @@ impl IoStats {
     }
 }
 
+/// Store-level resource counters, read through
+/// [`crate::store::Store::stats`] — the allocator/segment companions to
+/// the I/O counters in [`IoSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Segments currently present in the catalog.
+    pub segments_live: u64,
+    /// Pages sitting on the free-extent list, available for reuse.
+    pub free_extent_pages: u64,
+    /// Pages returned to the filesystem by vacuum since this store
+    /// handle opened (cumulative, not persisted).
+    pub vacuum_reclaimed_pages: u64,
+}
+
 impl IoSnapshot {
     /// Total pages transferred in either direction — the paper's
     /// "cumulative block I/O" (Fig. 11).

@@ -39,6 +39,14 @@ pub trait Storage: Send {
     fn is_persistent(&self) -> bool {
         false
     }
+
+    /// Shrink the device to `len` bytes, discarding everything past it.
+    /// Devices that cannot shrink may treat this as a no-op: readers see
+    /// zeroes past the ever-written range either way, so a failed shrink
+    /// only costs disk space, never correctness.
+    fn truncate(&mut self, _len: u64) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// File-backed storage.
@@ -111,6 +119,13 @@ impl Storage for FileStorage {
     fn is_persistent(&self) -> bool {
         true
     }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if len < self.file.metadata()?.len() {
+            self.file.set_len(len)?;
+        }
+        Ok(())
+    }
 }
 
 /// In-memory storage, for tests and ephemeral stores.
@@ -156,6 +171,13 @@ impl Storage for MemStorage {
 
     fn len(&mut self) -> io::Result<u64> {
         Ok(self.data.len() as u64)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if (len as usize) < self.data.len() {
+            self.data.truncate(len as usize);
+        }
+        Ok(())
     }
 }
 

@@ -4,14 +4,16 @@
 use crate::btree::{BTree, RangeIter};
 use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
 use crate::error::{StoreError, StoreResult};
-use crate::pager::{PageId, Pager};
+use crate::pager::{FreeExtent, PageId, Pager, META_PAGE};
 use crate::segment::{SegmentData, SegmentEntry, SEGMENT_CATALOG_TREE};
-use crate::stats::{IoSnapshot, IoStats};
+use crate::stats::{IoSnapshot, IoStats, StoreStats};
 use crate::storage::{FileStorage, MemStorage, Storage};
 use crate::PAGE_SIZE;
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::ops::{Bound, RangeBounds};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Builder for a [`Store`]: buffer-pool capacity, shard count, shared
@@ -100,10 +102,21 @@ impl StoreOptions {
             Some(n) => BufferPool::with_shards(pager, self.capacity, n),
             None => BufferPool::new(pager, self.capacity),
         };
-        Ok(Store {
+        let store = Store {
             pool: Arc::new(pool),
             path: None,
-        })
+            closed: Arc::new(AtomicBool::new(false)),
+        };
+        // Reconcile the persisted free list against live segment
+        // extents: a torn shutdown between the free-list append and the
+        // catalog delete in `delete_segment` can leave a freed extent
+        // that a live segment still claims; handing it out again would
+        // double-allocate those pages.
+        let live = store.live_segment_extents()?;
+        if !live.is_empty() {
+            store.pool.reconcile_free_extents(&live);
+        }
+        Ok(store)
     }
 }
 
@@ -115,6 +128,9 @@ pub struct Store {
     pool: Arc<BufferPool>,
     /// Backing file path, when file-backed (error context only).
     path: Option<Arc<PathBuf>>,
+    /// Set by the first [`Store::close`]; shared by clones so a second
+    /// close anywhere is a no-op.
+    closed: Arc<AtomicBool>,
 }
 
 impl Store {
@@ -187,14 +203,16 @@ impl Store {
 
     // ---- segments ----
 
-    /// Store `bytes` as the named segment: allocate a fresh contiguous
-    /// extent, write the data pages straight through to the device,
-    /// *then* publish the catalog entry. The ordering means a crash can
-    /// leave an unpublished (or stale) entry but never a published entry
-    /// over unwritten pages; the entry itself becomes durable at the
-    /// next [`Store::flush`]. Re-putting a name replaces its entry (the
-    /// old extent is abandoned, the same write-once policy as overflow
-    /// replacement).
+    /// Store `bytes` as the named segment: allocate a contiguous extent
+    /// (reusing a freed one when it fits), write the data pages straight
+    /// through to the device, *then* publish the catalog entry. The
+    /// ordering means a crash can leave an unpublished (or stale) entry
+    /// but never a published entry over unwritten pages; the entry
+    /// itself becomes durable at the next [`Store::flush`]. Re-putting a
+    /// name replaces its entry and returns the old extent to the free
+    /// list — only after the new entry is published, so a crash in
+    /// between can leak the old extent but never leave the catalog
+    /// pointing at recycled pages.
     pub fn put_segment(&self, name: &str, bytes: &[u8]) -> StoreResult<()> {
         let pages = bytes.len().div_ceil(PAGE_SIZE).max(1) as u64;
         let first = self.pool.allocate_extent(pages)?;
@@ -205,7 +223,11 @@ impl Store {
             len: bytes.len() as u64,
         };
         let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+        let old = tree.get(name.as_bytes())?;
         tree.insert(name.as_bytes(), &entry.encode())?;
+        if let Some(old) = old.as_deref().and_then(SegmentEntry::decode) {
+            self.pool.free_extent(old.first_page, old.pages);
+        }
         Ok(())
     }
 
@@ -263,14 +285,39 @@ impl Store {
             .collect())
     }
 
-    /// Drop a segment's catalog entry (its extent is abandoned).
-    /// Returns `true` if the segment existed.
+    /// Drop a segment, returning its extent to the free list so later
+    /// allocations reuse the pages. Returns `true` if the segment
+    /// existed. The free-list append happens *before* the catalog
+    /// delete: if a torn shutdown persists only the append, open-time
+    /// reconciliation sees the still-live catalog entry and drops the
+    /// overlapping free extent, whereas the reverse order could leak the
+    /// extent with no record of it anywhere.
     pub fn delete_segment(&self, name: &str) -> StoreResult<bool> {
         if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_none() {
             return Ok(false);
         }
         let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+        let Some(value) = tree.get(name.as_bytes())? else {
+            return Ok(false);
+        };
+        if let Some(entry) = SegmentEntry::decode(&value) {
+            self.pool.free_extent(entry.first_page, entry.pages);
+        }
         tree.delete(name.as_bytes())
+    }
+
+    /// Every live segment's extent, straight from the catalog (malformed
+    /// entries are skipped — [`Store::get_segment`] reports those).
+    fn live_segment_extents(&self) -> StoreResult<Vec<FreeExtent>> {
+        if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_none() {
+            return Ok(Vec::new());
+        }
+        let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+        Ok(tree
+            .scan_prefix(b"")
+            .filter_map(|(_, v)| SegmentEntry::decode(&v))
+            .map(|e| (e.first_page, e.pages))
+            .collect())
     }
 
     /// True when [`Store::get_segment`] can return mapped bytes.
@@ -301,9 +348,194 @@ impl Store {
     /// [`Store::put_segment`] time, so this is what makes the segment
     /// catalog (and any dirty tree pages) durable; call it before
     /// dropping a file-backed store whose contents you intend to reopen.
-    /// Other clones of the handle stay usable.
+    ///
+    /// Idempotent: the first call flushes, every later call (from this
+    /// handle or any clone) is a no-op returning `Ok`. Reads and writes
+    /// through still-held handles keep working after a close — only the
+    /// closing flush itself is one-shot.
     pub fn close(&self) -> StoreResult<()> {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
         self.flush()
+    }
+
+    /// True once [`Store::close`] has run on this handle or any clone.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Store-level resource counters: live segments, reusable free-list
+    /// pages, and pages reclaimed by [`Store::vacuum`].
+    pub fn stats(&self) -> StoreResult<StoreStats> {
+        let segments_live = if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_none() {
+            0
+        } else {
+            self.open_tree_raw(SEGMENT_CATALOG_TREE)?.len()? as u64
+        };
+        Ok(StoreStats {
+            segments_live,
+            free_extent_pages: self.pool.free_extent_pages(),
+            vacuum_reclaimed_pages: self.pool.vacuum_reclaimed_pages(),
+        })
+    }
+
+    /// Compact the store: slide every live page down into a dense
+    /// prefix, rewrite all page references (tree child pointers, sibling
+    /// links, overflow chains, catalog roots, segment entries), rebuild
+    /// the free-extent list, and truncate the dead tail back to the
+    /// filesystem. Returns the number of pages reclaimed (the drop in
+    /// [`Store::page_count`]).
+    ///
+    /// Liveness is computed from first principles — every page reachable
+    /// from a catalogued tree plus every catalogued segment extent plus
+    /// the meta page — so vacuum also recovers extents the bounded free
+    /// list had to drop.
+    ///
+    /// Vacuum invalidates handles that cache physical locations: open
+    /// [`Tree`] handles (their cached root may have moved) and mapped
+    /// segment bytes ([`SegmentData::Mapped`] — the mapped pages can be
+    /// pulled out from under the mapping). Reopen trees and re-fetch
+    /// segments afterwards. Vacuum itself is not crash-atomic; a crash
+    /// in the middle can leave dangling segment entries, which the read
+    /// path reports as [`StoreError::SegmentInvalid`].
+    pub fn vacuum(&self) -> StoreResult<u64> {
+        // Make the device authoritative and wipe the free list —
+        // relocation targets must never race allocations for the holes,
+        // and the list is rebuilt from scratch at the end.
+        self.pool.flush()?;
+        self.pool.set_free_extents(Vec::new());
+        let old_count = self.pool.page_count();
+
+        // ---- analyze: live units (single tree pages, whole extents) ----
+        let tree_roots: Vec<(String, PageId)> = self
+            .pool
+            .tree_names()
+            .into_iter()
+            .filter_map(|n| self.pool.tree_root(&n).map(|r| (n, r)))
+            .collect();
+        let mut tree_pages: BTreeSet<PageId> = BTreeSet::new();
+        for (_, root) in &tree_roots {
+            BTree::open(&self.pool, *root).collect_pages(&mut tree_pages)?;
+        }
+        let mut segments: Vec<(String, SegmentEntry)> = Vec::new();
+        if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_some() {
+            let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+            for (k, v) in tree.scan_prefix(b"") {
+                if let (Ok(name), Some(e)) = (String::from_utf8(k), SegmentEntry::decode(&v)) {
+                    segments.push((name, e));
+                }
+            }
+        }
+        let mut units: Vec<(PageId, u64, Option<usize>)> = tree_pages
+            .iter()
+            .map(|&p| (p, 1, None))
+            .chain(
+                segments
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, e))| (e.first_page, e.pages, Some(i))),
+            )
+            .collect();
+        units.sort_unstable_by_key(|&(first, _, _)| first);
+        let mut prev_end = 1u64;
+        for &(first, pages, _) in &units {
+            if first < prev_end || first.checked_add(pages).is_none_or(|end| end > old_count) {
+                return Err(StoreError::Corrupt("vacuum: live extents overlap"));
+            }
+            prev_end = first + pages;
+        }
+
+        // ---- plan the dense layout ----
+        // Units are assigned ascending targets from page 1 up; because
+        // sources are disjoint and ascending, every target range sits at
+        // or below its source and never overlaps a later source, so the
+        // moves can be applied in order with only per-unit buffering.
+        let mut map: std::collections::HashMap<PageId, PageId> = std::collections::HashMap::new();
+        let mut moves: Vec<(PageId, u64, PageId)> = Vec::new();
+        let mut next: PageId = 1;
+        for &(first, pages, seg) in &units {
+            let target = next;
+            next += pages;
+            if target == first {
+                continue;
+            }
+            moves.push((first, pages, target));
+            match seg {
+                None => {
+                    map.insert(first, target);
+                }
+                Some(i) => {
+                    segments[i].1 = SegmentEntry {
+                        first_page: target,
+                        ..segments[i].1
+                    };
+                }
+            }
+        }
+
+        // ---- apply moves at device level, then fix references ----
+        for &(first, pages, target) in &moves {
+            let bytes = self.pool.read_extent(first, (pages as usize) * PAGE_SIZE)?;
+            self.pool.write_extent(target, &bytes)?;
+        }
+        // Frames cached during analysis describe the old layout.
+        self.pool.forget_frames_from(0);
+        if !map.is_empty() {
+            let mut page = vec![0u8; PAGE_SIZE];
+            for &p in &tree_pages {
+                let np = map.get(&p).copied().unwrap_or(p);
+                page.copy_from_slice(&self.pool.read_extent(np, PAGE_SIZE)?);
+                if crate::btree::rewrite_page_pointers(&mut page, &map) {
+                    self.pool.write_extent(np, &page)?;
+                }
+            }
+            for (name, root) in &tree_roots {
+                if let Some(&new_root) = map.get(root) {
+                    self.pool.set_tree_root(name, new_root)?;
+                }
+            }
+        }
+        // Republish entries for moved segments through the (already
+        // relocated) catalog tree.
+        let moved_entries: Vec<&(String, SegmentEntry)> = segments
+            .iter()
+            .filter(|(_, e)| moves.iter().any(|&(_, _, target)| target == e.first_page))
+            .collect();
+        if !moved_entries.is_empty() {
+            let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
+            for (name, e) in moved_entries {
+                tree.insert(name.as_bytes(), &e.encode())?;
+            }
+        }
+        self.pool.flush()?;
+
+        // ---- re-derive liveness (catalog rewrites can allocate), then
+        // rebuild the free list and drop the tail ----
+        let live = self.live_pages()?;
+        let new_count = live.iter().next_back().map_or(1, |&p| p + 1);
+        self.pool
+            .set_free_extents(free_runs(&live, new_count).into_iter().collect());
+        self.pool.forget_frames_from(new_count);
+        self.pool.shrink_to(new_count)?;
+        self.pool.flush()?;
+        Ok(old_count.saturating_sub(self.pool.page_count()))
+    }
+
+    /// Every live page: the meta page, all pages reachable from
+    /// catalogued trees, and all catalogued segment extents.
+    fn live_pages(&self) -> StoreResult<BTreeSet<PageId>> {
+        let mut live = BTreeSet::new();
+        live.insert(META_PAGE);
+        for name in self.pool.tree_names() {
+            if let Some(root) = self.pool.tree_root(&name) {
+                BTree::open(&self.pool, root).collect_pages(&mut live)?;
+            }
+        }
+        for (first, pages) in self.live_segment_extents()? {
+            live.extend(first..first + pages);
+        }
+        Ok(live)
     }
 
     /// Total allocated pages (a proxy for on-disk size).
@@ -426,6 +658,23 @@ fn clone_bound(b: Bound<&Vec<u8>>) -> Bound<Vec<u8>> {
     }
 }
 
+/// Contiguous runs of non-live pages in `[1, bound)`, ascending — the
+/// holes vacuum relocates segments into and rebuilds the free list from.
+fn free_runs(live: &BTreeSet<PageId>, bound: u64) -> Vec<FreeExtent> {
+    let mut runs = Vec::new();
+    let mut cursor: PageId = 1;
+    for &p in live.range(1..bound) {
+        if p > cursor {
+            runs.push((cursor, p - cursor));
+        }
+        cursor = p + 1;
+    }
+    if bound > cursor {
+        runs.push((cursor, bound - cursor));
+    }
+    runs
+}
+
 /// The smallest byte string greater than every string with this prefix,
 /// or `None` when the prefix is all `0xff`.
 fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
@@ -537,6 +786,88 @@ mod tests {
         assert_eq!(prefix_successor(&[0x01, 0xff]), Some(vec![0x02]));
         assert_eq!(prefix_successor(&[0xff, 0xff]), None);
         assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn close_is_idempotent() {
+        let store = Store::in_memory();
+        store.open_tree("t").unwrap().insert(b"k", b"v").unwrap();
+        assert!(!store.is_closed());
+        store.close().unwrap();
+        assert!(store.is_closed());
+        // Second close — on this handle and on a clone — is a no-op.
+        store.close().unwrap();
+        let clone = store.clone();
+        assert!(clone.is_closed());
+        clone.close().unwrap();
+    }
+
+    #[test]
+    fn stats_track_segments_and_free_pages() {
+        let store = Store::in_memory();
+        let s = store.stats().unwrap();
+        assert_eq!(s.segments_live, 0);
+        assert_eq!(s.free_extent_pages, 0);
+        store.put_segment("a", &vec![1u8; PAGE_SIZE * 3]).unwrap();
+        store.put_segment("b", &vec![2u8; PAGE_SIZE]).unwrap();
+        assert_eq!(store.stats().unwrap().segments_live, 2);
+        store.delete_segment("a").unwrap();
+        let s = store.stats().unwrap();
+        assert_eq!(s.segments_live, 1);
+        assert_eq!(s.free_extent_pages, 3);
+    }
+
+    #[test]
+    fn vacuum_reclaims_dead_tail() {
+        let store = Store::in_memory();
+        let t = store.open_tree("t").unwrap();
+        for i in 0..100u32 {
+            t.insert(&i.to_be_bytes(), &[7u8; 50]).unwrap();
+        }
+        let keep = vec![3u8; PAGE_SIZE + 5];
+        store.put_segment("keep", &keep).unwrap();
+        store
+            .put_segment("dead", &vec![9u8; PAGE_SIZE * 20])
+            .unwrap();
+        let before = store.page_count();
+        store.delete_segment("dead").unwrap();
+        let reclaimed = store.vacuum().unwrap();
+        assert!(reclaimed >= 20, "reclaimed only {reclaimed} pages");
+        assert_eq!(store.page_count(), before - reclaimed);
+        assert_eq!(store.stats().unwrap().vacuum_reclaimed_pages, reclaimed);
+        // Everything live survives.
+        assert_eq!(t.len().unwrap(), 100);
+        assert_eq!(&*store.get_segment("keep", false).unwrap().unwrap(), &keep);
+    }
+
+    #[test]
+    fn vacuum_relocates_segments_into_holes() {
+        // A big dead extent below a small live one: vacuum must slide the
+        // live segment down so truncation can take the whole tail.
+        let store = Store::in_memory();
+        store
+            .put_segment("low", &vec![1u8; PAGE_SIZE * 30])
+            .unwrap();
+        let hi = vec![5u8; PAGE_SIZE * 2 + 13];
+        store.put_segment("hi", &hi).unwrap();
+        store.delete_segment("low").unwrap();
+        let reclaimed = store.vacuum().unwrap();
+        assert!(reclaimed >= 28, "reclaimed only {reclaimed} pages");
+        assert_eq!(&*store.get_segment("hi", false).unwrap().unwrap(), &hi);
+        assert_eq!(store.stats().unwrap().free_extent_pages, 0);
+    }
+
+    #[test]
+    fn vacuum_on_compact_store_is_noop() {
+        let store = Store::in_memory();
+        let t = store.open_tree("t").unwrap();
+        for i in 0..50u32 {
+            t.insert(&i.to_be_bytes(), b"v").unwrap();
+        }
+        let before = store.page_count();
+        assert_eq!(store.vacuum().unwrap(), 0);
+        assert_eq!(store.page_count(), before);
+        assert_eq!(t.len().unwrap(), 50);
     }
 
     #[test]

@@ -159,6 +159,102 @@ fn dangling_entry_is_reported_invalid() {
 }
 
 #[test]
+fn deleted_extent_is_reused_not_regrown() {
+    let store = Store::in_memory();
+    store.put_segment("a", &payload(PAGE_SIZE * 4)).unwrap();
+    store.put_segment("b", &payload(PAGE_SIZE * 2)).unwrap();
+    let before = store.page_count();
+    store.delete_segment("a").unwrap();
+    // A same-size replacement must land in the freed hole.
+    let newer = payload(PAGE_SIZE * 4 - 3);
+    store.put_segment("c", &newer).unwrap();
+    assert_eq!(store.page_count(), before);
+    assert_eq!(&*store.get_segment("c", false).unwrap().unwrap(), &newer);
+    assert_eq!(
+        &*store.get_segment("b", false).unwrap().unwrap(),
+        &payload(PAGE_SIZE * 2)
+    );
+}
+
+#[test]
+fn torn_free_list_append_is_reconciled_on_open() {
+    // Crash ordering for delete-then-reuse: `delete_segment` appends to
+    // the free list before deleting the catalog entry, and the two
+    // persist independently (meta page vs. buffered tree pages). Forge
+    // the torn outcome — free-list entry durable, catalog delete lost —
+    // and prove reopening neither serves garbage nor double-allocates
+    // the extent under the still-live segment.
+    let path = temp_path("torn-free-list.db");
+    let keep = payload(PAGE_SIZE * 2 + 11);
+    {
+        let store = Store::create(&path).unwrap();
+        store.put_segment("keep", &keep).unwrap();
+        store.close().unwrap();
+    }
+    {
+        // Locate keep's catalog entry to learn its extent, then write
+        // that same extent into the meta page's free list.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let entry_pos = (0..=bytes.len() - 24)
+            .find(|&pos| {
+                SegmentEntry::decode(&bytes[pos..pos + 24])
+                    .is_some_and(|e| e.len == keep.len() as u64 && e.pages == 3 && e.first_page > 0)
+            })
+            .expect("catalog entry present in file");
+        let entry = SegmentEntry::decode(&bytes[entry_pos..entry_pos + 24]).unwrap();
+        let free_list_off =
+            24 + xmorph_pagestore::pager::MAX_TREES * (9 + xmorph_pagestore::pager::MAX_NAME_LEN);
+        bytes[18..20].copy_from_slice(&1u16.to_le_bytes());
+        bytes[free_list_off..free_list_off + 8].copy_from_slice(&entry.first_page.to_le_bytes());
+        bytes[free_list_off + 8..free_list_off + 16].copy_from_slice(&entry.pages.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let store = Store::open(&path).unwrap();
+    // The overlapping free extent was dropped at open.
+    assert_eq!(store.stats().unwrap().free_extent_pages, 0);
+    assert_eq!(&*store.get_segment("keep", false).unwrap().unwrap(), &keep);
+    // New allocations must not land under the live segment.
+    let fresh = payload(PAGE_SIZE * 3);
+    store.put_segment("fresh", &fresh).unwrap();
+    assert_eq!(&*store.get_segment("keep", false).unwrap().unwrap(), &keep);
+    assert_eq!(
+        &*store.get_segment("fresh", false).unwrap().unwrap(),
+        &fresh
+    );
+    store.close().unwrap();
+    drop(store);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn vacuum_survives_reopen_with_segments() {
+    // End-to-end: delete + vacuum on a file-backed store, then reopen
+    // cold and verify both trees and surviving segments.
+    let path = temp_path("vacuum-reopen.db");
+    let keep = payload(PAGE_SIZE + 77);
+    {
+        let store = Store::create(&path).unwrap();
+        let tree = store.open_tree("t").unwrap();
+        for i in 0..300u32 {
+            tree.insert(&i.to_be_bytes(), &payload(40)).unwrap();
+        }
+        store.put_segment("dead", &payload(PAGE_SIZE * 16)).unwrap();
+        store.put_segment("keep", &keep).unwrap();
+        store.delete_segment("dead").unwrap();
+        let reclaimed = store.vacuum().unwrap();
+        assert!(reclaimed >= 14, "reclaimed only {reclaimed} pages");
+        store.close().unwrap();
+    }
+    let on_disk = std::fs::metadata(&path).unwrap().len();
+    let store = Store::open(&path).unwrap();
+    assert_eq!(on_disk, store.page_count() * PAGE_SIZE as u64);
+    assert_eq!(store.open_tree("t").unwrap().len().unwrap(), 300);
+    assert_eq!(&*store.get_segment("keep", true).unwrap().unwrap(), &keep);
+    drop(store);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn segments_survive_many_tree_writes() {
     // Interleave segment puts with tree traffic to shake out extent /
     // page-allocation interference.

@@ -2,7 +2,7 @@
 //!
 //! The build environment resolves every dependency from the source tree,
 //! so this crate reimplements the slice of proptest's API the workspace
-//! test suites use: the [`Strategy`] trait with `prop_map` /
+//! test suites use: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
 //! `prop_filter` / `prop_recursive` / `boxed`, regex-flavoured string
 //! strategies, integer-range and tuple strategies, `prop::collection`,
 //! `prop::option`, `prop::bool`, weighted `prop_oneof!`, and the
