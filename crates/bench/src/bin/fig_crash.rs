@@ -1,0 +1,203 @@
+//! Crash-consistency sweep over the full document pipeline
+//! (repository extension, not a paper figure).
+//!
+//! Replays shred → flush → mutate → re-persist → vacuum → close on an
+//! XMark document over the deterministic fault-injection storage layer
+//! ([`xmorph_pagestore::FaultStorage`]), crashing at **every** write
+//! index the fault-free run performs. Each crash freezes the torn
+//! device image; the image is reopened and the document queried, and
+//! any panic, non-typed failure, or malformed fallback report is a
+//! violation. A fixed-seed torn-write matrix re-checks a handful of
+//! crash points under different torn-prefix lengths.
+//!
+//! Flags: `--sweep` runs the exhaustive sweep (the default is the same
+//! sweep — the flag exists so invocations read as what they are),
+//! `--smoke` shrinks the document for CI, `--scale <f>` scales it up.
+//! Exits nonzero if any crash point violates an invariant.
+
+use std::time::Instant;
+use xmorph_core::{MorphError, MorphResult, OpenOptions, ShredOptions, ShreddedDoc, TypeId};
+use xmorph_datagen::XmarkConfig;
+use xmorph_pagestore::{FaultHandle, FaultScript, FaultStorage, Store, StoreError};
+
+const BASE_SEED: u64 = 0xC0FFEE;
+
+fn store_err(e: StoreError) -> MorphError {
+    MorphError::Store {
+        op: "crash sweep".into(),
+        source: e,
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct Marks {
+    flush_done: u64,
+    vacuum_start: u64,
+}
+
+/// The measured pipeline. Every step propagates errors: under an
+/// injected crash this returns `Err`, and a panic anywhere is a sweep
+/// failure.
+fn pipeline(
+    xml: &str,
+    storage: Box<dyn xmorph_pagestore::storage::Storage>,
+    handle: Option<&FaultHandle>,
+    marks: &mut Marks,
+) -> MorphResult<()> {
+    let store = Store::options()
+        .capacity(32)
+        .shards(1)
+        .with_storage(storage)
+        .map_err(store_err)?;
+    let opts = ShredOptions::builder().persist_columns(true);
+    let mut doc = ShreddedDoc::shred_str_with(&store, xml, &opts)?;
+    store.flush().map_err(store_err)?;
+    if let Some(h) = handle {
+        marks.flush_done = h.writes();
+    }
+
+    // Mutate the densest type: update a few texts, delete one subtree.
+    let hot = hottest_type(&doc).ok_or(MorphError::Internal("document has no types"))?;
+    let rows = doc.scan_type(hot);
+    if rows.len() < 4 {
+        return Err(MorphError::Internal("hot column shorter than expected"));
+    }
+    for (dewey, _) in rows.iter().take(3) {
+        doc.update_text(dewey, "crash sweep rewrote this")?;
+    }
+    doc.delete_subtree(&rows[3].0)?;
+    doc.persist_dirty_columns()?;
+    if let Some(h) = handle {
+        marks.vacuum_start = h.writes();
+    }
+    store.vacuum().map_err(store_err)?;
+    store.close().map_err(store_err)?;
+    Ok(())
+}
+
+/// The leaf type with the most instances — a dense mutation target
+/// that exists at any XMark factor.
+fn hottest_type(doc: &ShreddedDoc) -> Option<TypeId> {
+    doc.types().ids().max_by_key(|&t| doc.instance_count(t))
+}
+
+/// Reopen a frozen crash image and exercise every read surface.
+/// Returns a violation description, or `None` when the image honours
+/// the crash contract (typed refusal, or a queryable document).
+fn check_image(image: Vec<u8>, crash_at: u64) -> Option<String> {
+    let (storage, _h) = FaultStorage::with_image(image, FaultScript::none());
+    let store = match Store::options()
+        .capacity(32)
+        .with_storage(Box::new(storage))
+    {
+        Ok(s) => s,
+        Err(_) => return None,
+    };
+    let opts = OpenOptions::builder().persisted_columns(true).mmap(false);
+    let doc = match ShreddedDoc::open_with(&store, &opts) {
+        Ok(d) => d,
+        Err(_) => return None,
+    };
+    let types: Vec<TypeId> = doc.types().ids().collect();
+    for &t in &types {
+        let rows = doc.scan_type(t);
+        if rows.len() as u64 > 1_000_000 {
+            return Some(format!("crash@{crash_at}: type {t:?} scan exploded"));
+        }
+        for (dewey, _) in rows.iter().take(1) {
+            let _ = doc.node_text(dewey);
+            let _ = doc.node_type(dewey);
+        }
+    }
+    for line in doc.segment_fallbacks() {
+        if !line.contains(':') {
+            return Some(format!(
+                "crash@{crash_at}: malformed fallback report {line:?}"
+            ));
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let _sweep = args.iter().any(|a| a == "--sweep");
+    let scale = xmorph_bench::parse_scale();
+
+    let factor = if smoke { 0.0015 } else { 0.004 * scale };
+    let xml = XmarkConfig::with_factor(factor).generate();
+    println!("Crash sweep (XMark factor {factor}, {} bytes)", xml.len());
+
+    let started = Instant::now();
+    let mut marks = Marks::default();
+    let (storage, handle) = FaultStorage::new(FaultScript::none());
+    pipeline(&xml, Box::new(storage), Some(&handle), &mut marks)
+        .expect("fault-free pipeline must succeed");
+    let total_writes = handle.writes();
+    println!(
+        "recording run: {total_writes} writes ({} before mutation, {} before vacuum)",
+        marks.flush_done, marks.vacuum_start
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut reopened = 0u64;
+    for k in 0..total_writes {
+        let script = FaultScript::none().crash_at(k).torn_seed(BASE_SEED ^ k);
+        let (storage, handle) = FaultStorage::new(script);
+        let mut ignored = Marks::default();
+        if pipeline(&xml, Box::new(storage), None, &mut ignored).is_ok() {
+            violations.push(format!("crash@{k}: pipeline survived a crashed device"));
+            continue;
+        }
+        reopened += 1;
+        if let Some(v) = check_image(handle.image(), k) {
+            violations.push(v);
+        }
+    }
+    println!(
+        "exhaustive sweep: {total_writes} crash points, {reopened} images checked, {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+
+    // Fixed-seed torn-write matrix on a spread of crash points: the
+    // invariants may not depend on how much of the cut write landed.
+    let points = [
+        1,
+        total_writes / 4,
+        marks.flush_done.saturating_sub(1),
+        marks.flush_done + 1,
+        marks.vacuum_start + 1,
+        total_writes - 1,
+    ];
+    let seeds = [0u64, 1, 0xDEAD_BEEF, u64::MAX];
+    for &k in &points {
+        for &seed in &seeds {
+            let script = FaultScript::none().crash_at(k).torn_seed(seed);
+            let (storage, handle) = FaultStorage::new(script);
+            let mut ignored = Marks::default();
+            if pipeline(&xml, Box::new(storage), None, &mut ignored).is_ok() {
+                violations.push(format!("crash@{k} seed {seed:#x}: pipeline survived"));
+                continue;
+            }
+            if let Some(v) = check_image(handle.image(), k) {
+                violations.push(format!("{v} (seed {seed:#x})"));
+            }
+        }
+    }
+    println!(
+        "torn-write matrix: {} points x {} seeds, total {:.1}s",
+        points.len(),
+        seeds.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    if violations.is_empty() {
+        println!("no violations");
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

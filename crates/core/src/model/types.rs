@@ -220,8 +220,17 @@ impl TypeTable {
             Some(v)
         };
         let n = read_u32(bytes, &mut off)?;
+        // Torn shape bytes must decode to `None`, not panic or balloon:
+        // every entry and path segment costs at least 4 bytes, so a
+        // count the remaining bytes cannot hold is corruption.
+        if n as usize > bytes.len() / 4 {
+            return None;
+        }
         for _ in 0..n {
             let plen = read_u32(bytes, &mut off)? as usize;
+            if plen == 0 || plen > (bytes.len() - off) / 4 {
+                return None;
+            }
             let mut path = Vec::with_capacity(plen);
             for _ in 0..plen {
                 let slen = read_u32(bytes, &mut off)? as usize;

@@ -400,7 +400,11 @@ impl ShreddedDoc {
             self.dirty.clear();
             return Ok(0);
         }
-        let dirty: Vec<TypeId> = self.dirty.drain().collect();
+        // Sorted, so the device sees the same write sequence on every
+        // run — crash points in the fault-injection sweep stay
+        // reproducible.
+        let mut dirty: Vec<TypeId> = self.dirty.drain().collect();
+        dirty.sort_by_key(|t| t.0);
         let mut written = 0usize;
         for t in dirty {
             let col = self.columns.read().unwrap().get(&t).cloned();

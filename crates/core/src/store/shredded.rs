@@ -1015,7 +1015,14 @@ impl ShreddedDoc {
         let mut offsets: Vec<u32> = vec![0];
         for (k, v) in self.typeseq.scan_prefix(&t.0.to_be_bytes()) {
             let mark = comps.len();
-            if !decode_components_into(&k[4..], &mut comps) || comps.len() - mark != width {
+            // A torn tree can surface keys that violate the scan bounds,
+            // including ones shorter than the type prefix — skip them
+            // like any other malformed entry instead of slicing past
+            // the end.
+            if !k.starts_with(&t.0.to_be_bytes())
+                || !decode_components_into(&k[4..], &mut comps)
+                || comps.len() - mark != width
+            {
                 comps.truncate(mark);
                 continue;
             }
@@ -1319,7 +1326,7 @@ impl ShreddedDoc {
         self.typeseq
             .scan_prefix(&key)
             .filter_map(|(k, v)| {
-                let dewey = Dewey::decode(&k[4..])?;
+                let dewey = Dewey::decode(k.get(4..)?)?;
                 let text = String::from_utf8(v).ok()?;
                 Some((dewey, text))
             })
@@ -1331,7 +1338,7 @@ impl ShreddedDoc {
         self.typeseq
             .scan_prefix(&t.0.to_be_bytes())
             .filter_map(|(k, v)| {
-                let dewey = Dewey::decode(&k[4..])?;
+                let dewey = Dewey::decode(k.get(4..)?)?;
                 let text = String::from_utf8(v).ok()?;
                 Some((dewey, text))
             })

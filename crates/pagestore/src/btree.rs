@@ -62,6 +62,13 @@ const FLAG_OVERFLOW: u8 = 1;
 const OVERFLOW_HDR: usize = 11;
 const OVERFLOW_DATA: usize = PAGE_SIZE - OVERFLOW_HDR;
 
+/// Upper bound on root-to-leaf descent length. A healthy tree with
+/// fanout ≥ 2 can't exceed 64 levels (that would need 2^64 entries), so
+/// hitting the bound means a child pointer cycle — a torn page's stale
+/// pointer aimed back up the tree — and the descent reports corruption
+/// instead of looping forever.
+const MAX_DEPTH: usize = 64;
+
 // ---- little-endian helpers over raw pages ----
 
 fn get_u16(p: &[u8], off: usize) -> u16 {
@@ -194,6 +201,68 @@ fn interior_cell_size(klen: usize) -> usize {
 /// Free bytes between the slot array and the cell area.
 fn free_space(p: &[u8]) -> usize {
     cell_start(p) - (HDR + 2 * nkeys(p))
+}
+
+/// Structural validation of a raw tree page, installed into the buffer
+/// pool (see [`crate::buffer::BufferPool::set_page_check`]) so it runs
+/// once per device load — cache misses only, never hits. A torn write
+/// can persist any 512-byte prefix of a page over arbitrary stale
+/// bytes, so every offset the accessors above dereference must be
+/// proven in-bounds here; with that done once, the hot-path accessors
+/// stay unchecked. An all-zero header passes as "uninitialized": bulk
+/// load allocates all its pages before writing them, and an eviction in
+/// between legitimately round-trips a zeroed page through the device.
+pub(crate) fn validate_page(p: &[u8]) -> Result<(), &'static str> {
+    if p.len() != PAGE_SIZE {
+        return Err("tree page has wrong length");
+    }
+    match tag(p) {
+        0 => {
+            if nkeys(p) == 0 && cell_start(p) == 0 {
+                Ok(())
+            } else {
+                Err("untagged page with nonzero header")
+            }
+        }
+        TAG_LEAF | TAG_INTERIOR => {
+            let n = nkeys(p);
+            let cs = cell_start(p);
+            if cs > PAGE_SIZE || cs < HDR + 2 * n {
+                return Err("cell area overlaps slot array");
+            }
+            let is_leaf = tag(p) == TAG_LEAF;
+            for i in 0..n {
+                let off = slot(p, i);
+                if off < cs {
+                    return Err("slot points outside the cell area");
+                }
+                let end = if is_leaf {
+                    if off + 7 > PAGE_SIZE {
+                        return Err("leaf cell header out of bounds");
+                    }
+                    let c = leaf_cell(p, off);
+                    let stored = if c.overflow { 8 } else { c.vlen };
+                    off + leaf_cell_size(c.klen, stored)
+                } else {
+                    if off + 10 > PAGE_SIZE {
+                        return Err("interior cell header out of bounds");
+                    }
+                    off + interior_cell_size(get_u16(p, off) as usize)
+                };
+                if end > PAGE_SIZE {
+                    return Err("cell extends past the page");
+                }
+            }
+            Ok(())
+        }
+        TAG_OVERFLOW => {
+            if get_u16(p, 9) as usize > OVERFLOW_DATA {
+                return Err("overflow chunk longer than a page");
+            }
+            Ok(())
+        }
+        _ => Err("unknown page tag"),
+    }
 }
 
 /// Binary search the slot array. `Ok(i)` = exact match at slot `i`;
@@ -398,16 +467,18 @@ impl<'a> BTree<'a> {
         enum Kids {
             Children(Vec<PageId>),
             Overflows(Vec<PageId>),
+            NotATreePage,
         }
-        let kids = self.pool.read_with(page, |p| {
-            if tag(p) == TAG_INTERIOR {
+        let kids = self.pool.read_with(page, |p| match tag(p) {
+            TAG_INTERIOR => {
                 let mut v = Vec::with_capacity(nkeys(p) + 1);
                 v.push(leftmost_child(p));
                 for i in 0..nkeys(p) {
                     v.push(interior_cell_child(p, slot(p, i)));
                 }
                 Kids::Children(v)
-            } else {
+            }
+            TAG_LEAF => {
                 let mut v = Vec::new();
                 for i in 0..nkeys(p) {
                     let c = leaf_cell(p, slot(p, i));
@@ -417,8 +488,12 @@ impl<'a> BTree<'a> {
                 }
                 Kids::Overflows(v)
             }
+            _ => Kids::NotATreePage,
         })?;
         match kids {
+            Kids::NotATreePage => {
+                return Err(StoreError::Corrupt("tree walk reached a non-tree page"))
+            }
             Kids::Children(children) => {
                 for c in children {
                     self.collect_rec(c, out)?;
@@ -473,31 +548,29 @@ impl<'a> BTree<'a> {
     /// Look up a key.
     pub fn get(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
         let mut page = self.root;
-        loop {
+        for _ in 0..MAX_DEPTH {
             enum Next {
                 Child(PageId),
                 Found(Option<Vec<u8>>, Option<(PageId, usize)>),
+                NotATreePage,
             }
-            let next = self.pool.read_with(page, |p| {
-                if tag(p) == TAG_INTERIOR {
-                    Next::Child(child_for_key(p, key))
-                } else {
-                    match search_slots(p, key, leaf_cell_key) {
-                        Ok(i) => {
-                            let off = slot(p, i);
-                            let c = leaf_cell(p, off);
-                            if c.overflow {
-                                let head = get_u64(p, c.key_start + c.klen);
-                                Next::Found(None, Some((head, c.vlen)))
-                            } else {
-                                let v =
-                                    p[c.key_start + c.klen..c.key_start + c.klen + c.vlen].to_vec();
-                                Next::Found(Some(v), None)
-                            }
+            let next = self.pool.read_with(page, |p| match tag(p) {
+                TAG_INTERIOR => Next::Child(child_for_key(p, key)),
+                TAG_LEAF => match search_slots(p, key, leaf_cell_key) {
+                    Ok(i) => {
+                        let off = slot(p, i);
+                        let c = leaf_cell(p, off);
+                        if c.overflow {
+                            let head = get_u64(p, c.key_start + c.klen);
+                            Next::Found(None, Some((head, c.vlen)))
+                        } else {
+                            let v = p[c.key_start + c.klen..c.key_start + c.klen + c.vlen].to_vec();
+                            Next::Found(Some(v), None)
                         }
-                        Err(_) => Next::Found(None, None),
                     }
-                }
+                    Err(_) => Next::Found(None, None),
+                },
+                _ => Next::NotATreePage,
             })?;
             match next {
                 Next::Child(c) => page = c,
@@ -505,8 +578,12 @@ impl<'a> BTree<'a> {
                 Next::Found(_, Some((head, total))) => {
                     return Ok(Some(read_overflow(self.pool, head, total)?))
                 }
+                Next::NotATreePage => {
+                    return Err(StoreError::Corrupt("descent reached a non-tree page"))
+                }
             }
         }
+        Err(StoreError::Corrupt("tree deeper than the descent bound"))
     }
 
     /// True if the key is present.
@@ -518,29 +595,32 @@ impl<'a> BTree<'a> {
     /// rebalanced (see module docs).
     pub fn delete(&mut self, key: &[u8]) -> StoreResult<bool> {
         let mut page = self.root;
-        loop {
+        for _ in 0..MAX_DEPTH {
             enum Next {
                 Child(PageId),
                 Done(bool),
+                NotATreePage,
             }
-            let next = self.pool.write_with(page, |p| {
-                if tag(p) == TAG_INTERIOR {
-                    Next::Child(child_for_key(p, key))
-                } else {
-                    match search_slots(p, key, leaf_cell_key) {
-                        Ok(i) => {
-                            remove_slot(p, i);
-                            Next::Done(true)
-                        }
-                        Err(_) => Next::Done(false),
+            let next = self.pool.write_with(page, |p| match tag(p) {
+                TAG_INTERIOR => Next::Child(child_for_key(p, key)),
+                TAG_LEAF => match search_slots(p, key, leaf_cell_key) {
+                    Ok(i) => {
+                        remove_slot(p, i);
+                        Next::Done(true)
                     }
-                }
+                    Err(_) => Next::Done(false),
+                },
+                _ => Next::NotATreePage,
             })?;
             match next {
                 Next::Child(c) => page = c,
                 Next::Done(found) => return Ok(found),
+                Next::NotATreePage => {
+                    return Err(StoreError::Corrupt("descent reached a non-tree page"))
+                }
             }
         }
+        Err(StoreError::Corrupt("tree deeper than the descent bound"))
     }
 
     /// Ordered scan of `[start, end)` style bounds over (key, value) pairs.
@@ -551,18 +631,29 @@ impl<'a> BTree<'a> {
             Bound::Unbounded => &[],
         };
         let mut page = self.root;
+        let mut depth = 0usize;
         loop {
-            let (is_leaf, child) = self.pool.read_with(page, |p| {
-                if tag(p) == TAG_INTERIOR {
-                    (false, child_for_key(p, start_key))
-                } else {
-                    (true, NIL)
-                }
-            })?;
-            if is_leaf {
-                break;
+            depth += 1;
+            if depth > MAX_DEPTH {
+                return Err(StoreError::Corrupt("tree deeper than the descent bound"));
             }
-            page = child;
+            enum Down {
+                Leaf,
+                Child(PageId),
+                NotATreePage,
+            }
+            let down = self.pool.read_with(page, |p| match tag(p) {
+                TAG_INTERIOR => Down::Child(child_for_key(p, start_key)),
+                TAG_LEAF => Down::Leaf,
+                _ => Down::NotATreePage,
+            })?;
+            match down {
+                Down::Leaf => break,
+                Down::Child(c) => page = c,
+                Down::NotATreePage => {
+                    return Err(StoreError::Corrupt("descent reached a non-tree page"))
+                }
+            }
         }
         let mut iter = RangeIter {
             pool: self.pool,
@@ -571,6 +662,7 @@ impl<'a> BTree<'a> {
             pos: 0,
             end,
             error: None,
+            hops: 0,
         };
         iter.fill_from_leaf()?;
         // Skip entries before the start bound.
@@ -1043,6 +1135,9 @@ pub struct RangeIter<'a> {
     pos: usize,
     end: Bound<Vec<u8>>,
     error: Option<StoreError>,
+    /// Sibling links followed so far; more hops than allocated pages
+    /// means the chain loops (a torn page's stale `next_leaf`).
+    hops: u64,
 }
 
 enum StoredValue {
@@ -1051,6 +1146,23 @@ enum StoredValue {
 }
 
 impl<'a> RangeIter<'a> {
+    /// An iterator that yields only `err`: the error-path stand-in for a
+    /// scan whose setup failed, so infallible signatures like
+    /// [`crate::store::Tree::range`] can hand back the error through
+    /// [`RangeIter::next_entry`] / [`RangeIter::error`] instead of
+    /// panicking.
+    pub(crate) fn failed(pool: &'a BufferPool, err: StoreError) -> RangeIter<'a> {
+        RangeIter {
+            pool,
+            leaf: NIL,
+            buffered: Vec::new(),
+            pos: 0,
+            end: Bound::Unbounded,
+            error: Some(err),
+            hops: 0,
+        }
+    }
+
     fn peek_key(&self) -> Option<&[u8]> {
         self.buffered.get(self.pos).map(|(k, _)| k.as_slice())
     }
@@ -1063,6 +1175,9 @@ impl<'a> RangeIter<'a> {
             return Ok(());
         }
         let entries = self.pool.read_with(self.leaf, |p| {
+            if tag(p) != TAG_LEAF {
+                return None;
+            }
             let mut out = Vec::with_capacity(nkeys(p));
             for i in 0..nkeys(p) {
                 let off = slot(p, i);
@@ -1080,10 +1195,15 @@ impl<'a> RangeIter<'a> {
                 };
                 out.push((key, val));
             }
-            out
+            Some(out)
         })?;
-        self.buffered = entries;
-        Ok(())
+        match entries {
+            Some(entries) => {
+                self.buffered = entries;
+                Ok(())
+            }
+            None => Err(StoreError::Corrupt("leaf chain reached a non-leaf page")),
+        }
     }
 
     fn advance_leaf(&mut self) -> StoreResult<()> {
@@ -1091,11 +1211,13 @@ impl<'a> RangeIter<'a> {
             self.buffered.clear();
             return Ok(());
         }
+        self.hop()?;
         let next = self.pool.read_with(self.leaf, next_leaf)?;
         self.leaf = next;
         self.fill_from_leaf()?;
         // Skip empty leaves (possible after heavy deletion).
         while self.leaf != NIL && self.buffered.is_empty() {
+            self.hop()?;
             let next = self.pool.read_with(self.leaf, next_leaf)?;
             self.leaf = next;
             self.fill_from_leaf()?;
@@ -1103,8 +1225,19 @@ impl<'a> RangeIter<'a> {
         Ok(())
     }
 
+    fn hop(&mut self) -> StoreResult<()> {
+        self.hops += 1;
+        if self.hops > self.pool.page_count() {
+            return Err(StoreError::Corrupt("leaf sibling chain does not terminate"));
+        }
+        Ok(())
+    }
+
     /// Pull the next entry, resolving overflow values.
     pub fn next_entry(&mut self) -> StoreResult<Option<(Vec<u8>, Vec<u8>)>> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
         loop {
             if self.pos >= self.buffered.len() {
                 if self.leaf == NIL {
@@ -1140,6 +1273,9 @@ impl<'a> RangeIter<'a> {
     /// the co-occurrence pass behind `typeDistance` — compare keys
     /// alone, so this skips one value allocation per step.
     pub fn next_key(&mut self) -> StoreResult<Option<Vec<u8>>> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
         loop {
             if self.pos >= self.buffered.len() {
                 if self.leaf == NIL {

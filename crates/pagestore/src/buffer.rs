@@ -38,6 +38,10 @@ struct Frame {
     last_used: u64,
 }
 
+/// Structural validator run on device-loaded pages; returns the
+/// corruption reason on failure.
+pub type PageCheck = fn(&[u8]) -> Result<(), &'static str>;
+
 struct ShardInner {
     frames: HashMap<PageId, Frame>,
     tick: u64,
@@ -55,6 +59,13 @@ pub struct BufferPool {
     /// Clone of the pager's (atomic, `Arc`-shared) counters so cache
     /// hits and misses are recorded without taking the pager lock.
     stats: IoStats,
+    /// Structural check run on every page loaded from the device (cache
+    /// misses only, never hits), so a torn page surfaces as a typed
+    /// error at load instead of a panic when its garbage offsets are
+    /// dereferenced. `None` (the default) skips the check; the `Store`
+    /// installs the B+tree validator since tree pages are the only
+    /// pages this cache ever holds.
+    page_check: Option<PageCheck>,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -121,7 +132,15 @@ impl BufferPool {
             shards: shards.into_boxed_slice(),
             pager: Mutex::new(pager),
             stats,
+            page_check: None,
         }
+    }
+
+    /// Install a structural check run on every device-loaded page (see
+    /// the `page_check` field). Called once at store construction,
+    /// before the pool is shared.
+    pub fn set_page_check(&mut self, check: PageCheck) {
+        self.page_check = Some(check);
     }
 
     /// Number of shards the frame cache is split into.
@@ -304,6 +323,12 @@ impl BufferPool {
         self.stats.snapshot()
     }
 
+    /// Count a swallowed best-effort flush failure (the store's drop
+    /// path, which must not panic or return).
+    pub fn record_flush_failure(&self) {
+        self.stats.record_flush_failure();
+    }
+
     /// Number of allocated pages (including meta).
     pub fn page_count(&self) -> u64 {
         self.pager.lock().page_count()
@@ -325,6 +350,9 @@ impl BufferPool {
         self.stats.record_miss();
         let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
         self.pager.lock().read_page(id, &mut data)?;
+        if let Some(check) = self.page_check {
+            check(&data).map_err(crate::error::StoreError::Corrupt)?;
+        }
         shard.frames.insert(
             id,
             Frame {
@@ -337,7 +365,11 @@ impl BufferPool {
     }
 
     /// Evict `shard`'s least-recently-used frames down to its capacity,
-    /// writing dirty victims back through the pager.
+    /// writing dirty victims back through the pager. A dirty victim is
+    /// written back *before* it leaves the cache: if the device write
+    /// fails the frame stays resident (still dirty), so the only copy
+    /// of the data survives and a later flush retries — removing first
+    /// would drop the bytes on the floor when the write errors.
     fn evict_to_capacity(&self, shard: &mut ShardInner) -> StoreResult<()> {
         while shard.frames.len() > shard.capacity {
             let victim = shard
@@ -346,10 +378,12 @@ impl BufferPool {
                 .min_by_key(|(_, fr)| fr.last_used)
                 .map(|(&id, _)| id)
                 .expect("non-empty frames");
-            let frame = shard.frames.remove(&victim).expect("victim cached");
+            let frame = shard.frames.get_mut(&victim).expect("victim cached");
             if frame.dirty {
                 self.pager.lock().write_page_raw(victim, &frame.data)?;
+                frame.dirty = false;
             }
+            shard.frames.remove(&victim);
         }
         Ok(())
     }

@@ -1,0 +1,433 @@
+//! Deterministic fault injection behind the [`Storage`] trait.
+//!
+//! PR 3/4 made durability claims — data-before-catalog ordering, a
+//! reconciled free-extent list, validate-or-absent segment reads — that
+//! nothing in the tree exercised: no test ever saw an I/O error mid-write
+//! or a crash between two sync points. [`FaultStorage`] closes that gap.
+//! It wraps an in-memory byte image and executes a [`FaultScript`]:
+//! transient `read_at`/`write_at`/`sync` errors by op index, byte-range
+//! write faults, and a hard "crash here" cut that applies only a torn
+//! prefix of the in-flight write (rounded down to a 512-byte device
+//! sector), freezes the image, and fails every subsequent op. The frozen
+//! image is exactly what a reopen after power loss would see; the crash
+//! harness feeds it back through [`FaultStorage::with_image`] and checks
+//! the store's invariants.
+//!
+//! Everything is deterministic: torn-write lengths come from a splitmix64
+//! stream seeded by [`FaultScript::torn_seed`], so a failing crash point
+//! reproduces from its `(crash_at_write, torn_seed)` pair alone.
+//!
+//! The wrapper costs nothing when unused: plain stores keep constructing
+//! `FileStorage`/`MemStorage` directly, and the pager already works
+//! through `Box<dyn Storage>`, so no production code path changes shape.
+
+use crate::storage::Storage;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::io;
+use std::sync::Arc;
+
+/// Sector granularity for torn writes: a crash mid-write persists a
+/// prefix rounded down to this boundary, modelling a disk that completes
+/// whole 512-byte sectors but tears multi-sector page writes.
+pub const TORN_BLOCK: usize = 512;
+
+/// A scripted fault plan. Ops are counted per kind from 0 in call order;
+/// byte ranges address the device image.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    /// Read op indexes that fail with an injected error (no state change).
+    pub fail_reads: BTreeSet<u64>,
+    /// Write op indexes that fail with an injected error (no state change).
+    pub fail_writes: BTreeSet<u64>,
+    /// Sync op indexes that fail with an injected error.
+    pub fail_syncs: BTreeSet<u64>,
+    /// Fail any write touching `[start, end)` of the device image.
+    pub fail_write_range: Option<(u64, u64)>,
+    /// Crash at this write op index: the write persists only a torn
+    /// prefix, the image freezes, and every later op fails.
+    pub crash_at_write: Option<u64>,
+    /// Decline-with-error on `mmap` instead of `Ok(None)`.
+    pub fail_mmap: bool,
+    /// Seed for the torn-write length stream.
+    pub torn_seed: u64,
+}
+
+impl FaultScript {
+    /// Script with no faults.
+    pub fn none() -> Self {
+        FaultScript::default()
+    }
+
+    /// Fail the `i`-th read op.
+    pub fn fail_read(mut self, i: u64) -> Self {
+        self.fail_reads.insert(i);
+        self
+    }
+
+    /// Fail the `i`-th write op.
+    pub fn fail_write(mut self, i: u64) -> Self {
+        self.fail_writes.insert(i);
+        self
+    }
+
+    /// Fail the `i`-th sync op.
+    pub fn fail_sync(mut self, i: u64) -> Self {
+        self.fail_syncs.insert(i);
+        self
+    }
+
+    /// Fail every write overlapping `[start, end)` bytes of the image.
+    pub fn fail_writes_in(mut self, start: u64, end: u64) -> Self {
+        self.fail_write_range = Some((start, end));
+        self
+    }
+
+    /// Crash at the `i`-th write op (torn prefix, then frozen image).
+    pub fn crash_at(mut self, i: u64) -> Self {
+        self.crash_at_write = Some(i);
+        self
+    }
+
+    /// Make `mmap` fail instead of declining.
+    pub fn fail_mmap(mut self) -> Self {
+        self.fail_mmap = true;
+        self
+    }
+
+    /// Seed the torn-write length stream.
+    pub fn torn_seed(mut self, seed: u64) -> Self {
+        self.torn_seed = seed;
+        self
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    reads: u64,
+    writes: u64,
+    syncs: u64,
+    injected: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    image: Vec<u8>,
+    script: FaultScript,
+    counters: Counters,
+    crashed: bool,
+    rng: u64,
+}
+
+impl Inner {
+    fn next_rand(&mut self) -> u64 {
+        // splitmix64: tiny, seedable, and plenty for torn-length draws.
+        self.rng = self.rng.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn injected(kind: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {kind}"))
+}
+
+/// A scripted-fault memory device. Construct with [`FaultStorage::new`]
+/// (fresh image) or [`FaultStorage::with_image`] (reopen a frozen crash
+/// image); the paired [`FaultHandle`] observes op counts and extracts
+/// the image from outside the store.
+#[derive(Debug)]
+pub struct FaultStorage {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// Shared observer for a [`FaultStorage`]: op counters, crash state, and
+/// the device image (for reopen-after-crash checks).
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultStorage {
+    /// Fresh empty device running `script`.
+    pub fn new(script: FaultScript) -> (FaultStorage, FaultHandle) {
+        FaultStorage::with_image(Vec::new(), script)
+    }
+
+    /// Device primed with `image` (e.g. a frozen crash image) running
+    /// `script`.
+    pub fn with_image(image: Vec<u8>, script: FaultScript) -> (FaultStorage, FaultHandle) {
+        let rng = script.torn_seed;
+        let inner = Arc::new(Mutex::new(Inner {
+            image,
+            script,
+            counters: Counters::default(),
+            crashed: false,
+            rng,
+        }));
+        (
+            FaultStorage {
+                inner: inner.clone(),
+            },
+            FaultHandle { inner },
+        )
+    }
+}
+
+impl FaultHandle {
+    /// Write ops issued so far (including the crashing one).
+    pub fn writes(&self) -> u64 {
+        self.inner.lock().counters.writes
+    }
+
+    /// Read ops issued so far.
+    pub fn reads(&self) -> u64 {
+        self.inner.lock().counters.reads
+    }
+
+    /// Sync ops issued so far.
+    pub fn syncs(&self) -> u64 {
+        self.inner.lock().counters.syncs
+    }
+
+    /// Faults injected so far (errors returned, including the crash).
+    pub fn injected_faults(&self) -> u64 {
+        self.inner.lock().counters.injected
+    }
+
+    /// True once the scripted crash point has been hit.
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Copy of the device image — after a crash, exactly the bytes a
+    /// reopen would see.
+    pub fn image(&self) -> Vec<u8> {
+        self.inner.lock().image.clone()
+    }
+}
+
+impl Storage for FaultStorage {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut g = self.inner.lock();
+        if g.crashed {
+            g.counters.injected += 1;
+            return Err(injected("read after crash"));
+        }
+        let i = g.counters.reads;
+        g.counters.reads += 1;
+        if g.script.fail_reads.contains(&i) {
+            g.counters.injected += 1;
+            return Err(injected("read_at"));
+        }
+        let off = offset as usize;
+        let end = off.saturating_add(buf.len()).min(g.image.len());
+        if off < g.image.len() {
+            let n = end - off;
+            buf[..n].copy_from_slice(&g.image[off..end]);
+            buf[n..].fill(0);
+        } else {
+            buf.fill(0);
+        }
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut g = self.inner.lock();
+        if g.crashed {
+            g.counters.injected += 1;
+            return Err(injected("write after crash"));
+        }
+        let i = g.counters.writes;
+        g.counters.writes += 1;
+        if g.script.fail_writes.contains(&i) {
+            g.counters.injected += 1;
+            return Err(injected("write_at"));
+        }
+        if let Some((start, end)) = g.script.fail_write_range {
+            let wend = offset.saturating_add(data.len() as u64);
+            if offset < end && wend > start {
+                g.counters.injected += 1;
+                return Err(injected("write_at range"));
+            }
+        }
+        if g.script.crash_at_write == Some(i) {
+            // Persist a torn prefix rounded down to a sector boundary,
+            // then freeze the image: all later ops fail.
+            let draw = g.next_rand();
+            let torn = if data.is_empty() {
+                0
+            } else {
+                (draw as usize % (data.len() + 1)) / TORN_BLOCK * TORN_BLOCK
+            };
+            apply_write(&mut g.image, offset, &data[..torn]);
+            g.crashed = true;
+            g.counters.injected += 1;
+            return Err(injected("crash"));
+        }
+        apply_write(&mut g.image, offset, data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut g = self.inner.lock();
+        if g.crashed {
+            g.counters.injected += 1;
+            return Err(injected("sync after crash"));
+        }
+        let i = g.counters.syncs;
+        g.counters.syncs += 1;
+        if g.script.fail_syncs.contains(&i) {
+            g.counters.injected += 1;
+            return Err(injected("sync"));
+        }
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        let mut g = self.inner.lock();
+        if g.crashed {
+            g.counters.injected += 1;
+            return Err(injected("len after crash"));
+        }
+        Ok(g.image.len() as u64)
+    }
+
+    fn mmap(&mut self, _offset: u64, _len: usize) -> io::Result<Option<crate::MmapRegion>> {
+        let mut g = self.inner.lock();
+        if g.script.fail_mmap {
+            g.counters.injected += 1;
+            return Err(injected("mmap"));
+        }
+        Ok(None)
+    }
+
+    fn is_persistent(&self) -> bool {
+        // Report persistent so callers exercise their durable paths
+        // (persisted column segments, free-list reconciliation).
+        true
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let mut g = self.inner.lock();
+        if g.crashed {
+            g.counters.injected += 1;
+            return Err(injected("truncate after crash"));
+        }
+        if (len as usize) < g.image.len() {
+            g.image.truncate(len as usize);
+        }
+        Ok(())
+    }
+}
+
+fn apply_write(image: &mut Vec<u8>, offset: u64, data: &[u8]) {
+    if data.is_empty() {
+        return;
+    }
+    let off = offset as usize;
+    let end = off + data.len();
+    if end > image.len() {
+        image.resize(end, 0);
+    }
+    image[off..end].copy_from_slice(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_script_behaves_like_memory() {
+        let (mut s, h) = FaultStorage::new(FaultScript::none());
+        s.write_at(0, b"hello").unwrap();
+        s.write_at(10, b"world").unwrap();
+        let mut buf = [9u8; 5];
+        s.read_at(5, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 5]);
+        s.read_at(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        s.sync().unwrap();
+        assert_eq!((h.reads(), h.writes(), h.syncs()), (2, 2, 1));
+        assert_eq!(h.injected_faults(), 0);
+    }
+
+    #[test]
+    fn indexed_faults_fire_once_and_leave_state_unchanged() {
+        let (mut s, h) =
+            FaultStorage::new(FaultScript::none().fail_write(1).fail_read(0).fail_sync(0));
+        s.write_at(0, b"aaaa").unwrap(); // write 0: fine
+        assert!(s.write_at(0, b"bbbb").is_err()); // write 1: injected
+        let mut buf = [0u8; 4];
+        assert!(s.read_at(0, &mut buf).is_err()); // read 0: injected
+        s.read_at(0, &mut buf).unwrap(); // read 1: fine
+        assert_eq!(&buf, b"aaaa"); // failed write didn't land
+        assert!(s.sync().is_err());
+        s.sync().unwrap();
+        assert_eq!(h.injected_faults(), 3);
+    }
+
+    #[test]
+    fn range_faults_hit_overlapping_writes_only() {
+        let (mut s, _) = FaultStorage::new(FaultScript::none().fail_writes_in(100, 200));
+        s.write_at(0, &[1u8; 100]).unwrap(); // [0,100): clear
+        assert!(s.write_at(150, &[2u8; 10]).is_err()); // inside
+        assert!(s.write_at(90, &[3u8; 20]).is_err()); // straddles start
+        assert!(s.write_at(199, &[4u8; 1]).is_err()); // last byte
+        s.write_at(200, &[5u8; 8]).unwrap(); // [200,208): clear
+    }
+
+    #[test]
+    fn crash_tears_at_sector_boundary_and_freezes() {
+        let (mut s, h) = FaultStorage::new(FaultScript::none().crash_at(1).torn_seed(42));
+        s.write_at(0, &[0xAA; 4096]).unwrap();
+        assert!(s.write_at(0, &[0xBB; 4096]).is_err());
+        assert!(h.crashed());
+        // Every later op fails.
+        let mut buf = [0u8; 8];
+        assert!(s.read_at(0, &mut buf).is_err());
+        assert!(s.write_at(0, b"x").is_err());
+        assert!(s.sync().is_err());
+        assert!(s.len().is_err());
+        // The frozen image holds a 512-aligned prefix of the torn write.
+        let img = h.image();
+        assert_eq!(img.len(), 4096);
+        let torn = img.iter().take_while(|&&b| b == 0xBB).count();
+        assert_eq!(torn % TORN_BLOCK, 0);
+        assert!(img[torn..].iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn torn_lengths_are_deterministic_per_seed() {
+        let torn_len = |seed: u64| {
+            let (mut s, h) = FaultStorage::new(FaultScript::none().crash_at(0).torn_seed(seed));
+            assert!(s.write_at(0, &[1u8; 4096]).is_err());
+            h.image().len()
+        };
+        assert_eq!(torn_len(7), torn_len(7));
+        // Different seeds explore different tear points somewhere in 0..=8.
+        let distinct: std::collections::BTreeSet<usize> = (0..32).map(torn_len).collect();
+        assert!(distinct.len() > 1, "seed has no effect on tear length");
+    }
+
+    #[test]
+    fn image_reopens_into_fresh_storage() {
+        let (mut s, h) = FaultStorage::new(FaultScript::none());
+        s.write_at(0, b"survives").unwrap();
+        let (mut reopened, _) = FaultStorage::with_image(h.image(), FaultScript::none());
+        let mut buf = [0u8; 8];
+        reopened.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"survives");
+    }
+
+    #[test]
+    fn mmap_declines_or_fails_per_script() {
+        let (mut ok, _) = FaultStorage::new(FaultScript::none());
+        assert!(ok.mmap(0, 4096).unwrap().is_none());
+        let (mut bad, h) = FaultStorage::new(FaultScript::none().fail_mmap());
+        assert!(bad.mmap(0, 4096).is_err());
+        assert_eq!(h.injected_faults(), 1);
+    }
+}

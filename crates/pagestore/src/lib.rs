@@ -12,6 +12,9 @@
 //! * [`stats`] — cumulative I/O instrumentation (block counts and wall
 //!   time spent blocked on I/O). The Figure 11/12 experiment harness reads
 //!   these counters the way the paper read `vmstat`.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultStorage`]):
+//!   scripted I/O errors, torn writes, and crash points for the
+//!   crash-consistency harness.
 //! * [`pager`] — fixed-size page allocation and transfer, with a meta page
 //!   holding the table catalog.
 //! * [`buffer`] — an LRU buffer pool with write-back of dirty pages.
@@ -38,6 +41,7 @@
 pub mod btree;
 pub mod buffer;
 pub mod error;
+pub mod fault;
 pub mod mmap;
 pub mod pager;
 pub mod segment;
@@ -48,6 +52,7 @@ pub mod store;
 pub use btree::DEFAULT_FILL;
 pub use buffer::{default_shard_count, BufferPool, DEFAULT_CAPACITY, MAX_SHARDS};
 pub use error::{StoreError, StoreResult};
+pub use fault::{FaultHandle, FaultScript, FaultStorage, TORN_BLOCK};
 pub use mmap::MmapRegion;
 pub use segment::{SegmentData, SegmentEntry, SEGMENT_CATALOG_TREE};
 pub use stats::{IoSnapshot, IoStats, StoreStats};

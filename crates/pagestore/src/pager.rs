@@ -60,6 +60,15 @@ pub const MAX_FREE_EXTENTS: usize = (PAGE_SIZE - FREE_LIST_OFF) / FREE_ENTRY_LEN
 /// A contiguous run of unallocated pages: `(first_page, pages)`.
 pub type FreeExtent = (PageId, u64);
 
+/// Byte offset of a page, refusing ids whose offset would overflow —
+/// the shape a torn meta page or catalog entry takes when a crash
+/// leaves a huge page id behind (a plain multiply wraps in release
+/// builds and would silently alias a low offset).
+fn page_offset(id: PageId) -> StoreResult<u64> {
+    id.checked_mul(PAGE_SIZE as u64)
+        .ok_or(StoreError::Corrupt("page id overflows device offset"))
+}
+
 /// A catalog entry: a named tree and its current root page.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CatalogEntry {
@@ -116,6 +125,11 @@ impl Pager {
                 return Err(StoreError::BadDatabase("bad magic".into()));
             }
             let page_count = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            if page_count == 0 {
+                // A zero count would let `allocate` hand out the meta
+                // page itself and overwrite the catalog.
+                return Err(StoreError::BadDatabase("page count out of range".into()));
+            }
             let ntrees = u16::from_le_bytes(buf[16..18].try_into().unwrap()) as usize;
             if ntrees > MAX_TREES {
                 return Err(StoreError::BadDatabase("catalog count out of range".into()));
@@ -382,14 +396,14 @@ impl Pager {
     /// page-granular. Goes straight to the device — extent pages never
     /// enter the buffer pool.
     pub fn write_extent(&mut self, first: PageId, data: &[u8]) -> StoreResult<()> {
+        let off = page_offset(first)?;
         let pages = data.len().div_ceil(PAGE_SIZE).max(1);
         let start = Instant::now();
-        self.storage.write_at(first * PAGE_SIZE as u64, data)?;
+        self.storage.write_at(off, data)?;
         let tail = pages * PAGE_SIZE - data.len();
         if tail > 0 {
             let pad = vec![0u8; tail];
-            self.storage
-                .write_at(first * PAGE_SIZE as u64 + data.len() as u64, &pad)?;
+            self.storage.write_at(off + data.len() as u64, &pad)?;
         }
         self.stats.record_write(pages as u64, start.elapsed());
         Ok(())
@@ -400,7 +414,7 @@ impl Pager {
     pub fn read_extent(&mut self, first: PageId, byte_len: usize) -> StoreResult<Vec<u8>> {
         let mut buf = vec![0u8; byte_len];
         let start = Instant::now();
-        self.storage.read_at(first * PAGE_SIZE as u64, &mut buf)?;
+        self.storage.read_at(page_offset(first)?, &mut buf)?;
         self.stats
             .record_read(byte_len.div_ceil(PAGE_SIZE).max(1) as u64, start.elapsed());
         Ok(buf)
@@ -413,7 +427,7 @@ impl Pager {
         first: PageId,
         byte_len: usize,
     ) -> StoreResult<Option<crate::mmap::MmapRegion>> {
-        Ok(self.storage.mmap(first * PAGE_SIZE as u64, byte_len)?)
+        Ok(self.storage.mmap(page_offset(first)?, byte_len)?)
     }
 
     /// True when the device can serve read-only mappings.
@@ -432,7 +446,7 @@ impl Pager {
     pub fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> StoreResult<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         let start = Instant::now();
-        self.storage.read_at(id * PAGE_SIZE as u64, buf)?;
+        self.storage.read_at(page_offset(id)?, buf)?;
         self.stats.record_read(1, start.elapsed());
         Ok(())
     }
@@ -441,7 +455,7 @@ impl Pager {
     pub fn write_page_raw(&mut self, id: PageId, buf: &[u8]) -> StoreResult<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         let start = Instant::now();
-        self.storage.write_at(id * PAGE_SIZE as u64, buf)?;
+        self.storage.write_at(page_offset(id)?, buf)?;
         self.stats.record_write(1, start.elapsed());
         Ok(())
     }

@@ -25,6 +25,7 @@ struct Inner {
     write_ns: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    flush_failures: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -42,6 +43,10 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     /// Buffer-pool misses (each miss implies a device read).
     pub cache_misses: u64,
+    /// Best-effort flushes that failed and were swallowed (the drop
+    /// path must never panic; this counter is how those errors stay
+    /// observable).
+    pub flush_failures: u64,
 }
 
 impl IoStats {
@@ -77,6 +82,10 @@ impl IoStats {
         self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_flush_failure(&self) {
+        self.inner.flush_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -86,6 +95,7 @@ impl IoStats {
             write_time: Duration::from_nanos(self.inner.write_ns.load(Ordering::Relaxed)),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+            flush_failures: self.inner.flush_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -134,6 +144,7 @@ impl IoSnapshot {
             write_time: self.write_time - earlier.write_time,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
+            flush_failures: self.flush_failures - earlier.flush_failures,
         }
     }
 }

@@ -109,11 +109,16 @@ impl Storage for FileStorage {
     fn mmap(&mut self, offset: u64, len: usize) -> io::Result<Option<MmapRegion>> {
         // Never map past the ever-written length: accessing pages wholly
         // beyond EOF faults. (The written range is page-padded, so any
-        // in-range mapping is backed.)
-        if offset + len as u64 > self.file.metadata()?.len() {
+        // in-range mapping is backed.) A failed metadata query or an
+        // overflowing range declines rather than errors — the caller
+        // falls back to reading, which reports real device trouble.
+        let Ok(meta) = self.file.metadata() else {
             return Ok(None);
+        };
+        match offset.checked_add(len as u64) {
+            Some(end) if end <= meta.len() => Ok(MmapRegion::map(&self.file, offset, len)),
+            _ => Ok(None),
         }
-        Ok(MmapRegion::map(&self.file, offset, len))
     }
 
     fn is_persistent(&self) -> bool {

@@ -98,10 +98,15 @@ impl StoreOptions {
     /// Terminal: wrap an arbitrary storage device.
     pub fn with_storage(self, storage: Box<dyn Storage>) -> StoreResult<Store> {
         let pager = Pager::new(storage, self.stats)?;
-        let pool = match self.shards {
+        let mut pool = match self.shards {
             Some(n) => BufferPool::with_shards(pager, self.capacity, n),
             None => BufferPool::new(pager, self.capacity),
         };
+        // The pool only ever caches B+tree pages (meta and segment
+        // extents bypass it), so every device load can be structurally
+        // validated: a torn page becomes `StoreError::Corrupt` at load
+        // instead of an out-of-bounds panic at first use.
+        pool.set_page_check(crate::btree::validate_page);
         let store = Store {
             pool: Arc::new(pool),
             path: None,
@@ -264,7 +269,10 @@ impl Store {
             return Err(invalid("extent outside allocated pages"));
         }
         if prefer_mmap && byte_len > 0 {
-            if let Some(map) = self.pool.mmap_extent(entry.first_page, byte_len)? {
+            // A mapping failure on a valid store degrades to the heap
+            // read below — which reports real device trouble — rather
+            // than aborting the fetch.
+            if let Ok(Some(map)) = self.pool.mmap_extent(entry.first_page, byte_len) {
                 return Ok(Some(SegmentData::Mapped { map, len: byte_len }));
             }
         }
@@ -275,14 +283,41 @@ impl Store {
 
     /// Names of all stored segments.
     pub fn segment_names(&self) -> StoreResult<Vec<String>> {
+        Ok(self
+            .segment_entries()?
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect())
+    }
+
+    /// Every live segment's name and catalog entry, in name order
+    /// (malformed entries are skipped — [`Store::get_segment`] reports
+    /// those). The crash-consistency harness checks free-list overlap
+    /// and extent bounds against this.
+    pub fn segment_entries(&self) -> StoreResult<Vec<(String, SegmentEntry)>> {
         if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_none() {
             return Ok(Vec::new());
         }
         let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
-        Ok(tree
-            .scan_prefix(b"")
-            .filter_map(|(k, _)| String::from_utf8(k).ok())
-            .collect())
+        // Explicit `next_entry` loop: the `Iterator` sugar swallows scan
+        // errors into an empty tail, and "no segments" is load-bearing
+        // here (open-time reconcile skips entirely on an empty list and
+        // could hand out pages a live segment still claims).
+        let mut it = tree.scan_prefix(b"");
+        let mut out = Vec::new();
+        while let Some((k, v)) = it.next_entry()? {
+            if let (Ok(name), Some(e)) = (String::from_utf8(k), SegmentEntry::decode(&v)) {
+                out.push((name, e));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The pager's current free extents (`(first_page, pages)` runs,
+    /// sorted by first page) — exposed for the crash harness's overlap
+    /// checks.
+    pub fn free_extents(&self) -> Vec<FreeExtent> {
+        self.pool.free_extents()
     }
 
     /// Drop a segment, returning its extent to the free list so later
@@ -306,17 +341,12 @@ impl Store {
         tree.delete(name.as_bytes())
     }
 
-    /// Every live segment's extent, straight from the catalog (malformed
-    /// entries are skipped — [`Store::get_segment`] reports those).
+    /// Every live segment's extent, straight from the catalog.
     fn live_segment_extents(&self) -> StoreResult<Vec<FreeExtent>> {
-        if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_none() {
-            return Ok(Vec::new());
-        }
-        let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
-        Ok(tree
-            .scan_prefix(b"")
-            .filter_map(|(_, v)| SegmentEntry::decode(&v))
-            .map(|e| (e.first_page, e.pages))
+        Ok(self
+            .segment_entries()?
+            .into_iter()
+            .map(|(_, e)| (e.first_page, e.pages))
             .collect())
     }
 
@@ -349,15 +379,21 @@ impl Store {
     /// catalog (and any dirty tree pages) durable; call it before
     /// dropping a file-backed store whose contents you intend to reopen.
     ///
-    /// Idempotent: the first call flushes, every later call (from this
-    /// handle or any clone) is a no-op returning `Ok`. Reads and writes
-    /// through still-held handles keep working after a close — only the
-    /// closing flush itself is one-shot.
+    /// Idempotent: the first *successful* call flushes, every later call
+    /// (from this handle or any clone) is a no-op returning `Ok`. A
+    /// failed close does not latch — the error comes back and the store
+    /// stays open so the caller can retry once the device recovers
+    /// (latching first would report the failure once and then swallow
+    /// it forever). Reads and writes through still-held handles keep
+    /// working after a close — only the closing flush itself is
+    /// one-shot.
     pub fn close(&self) -> StoreResult<()> {
-        if self.closed.swap(true, Ordering::SeqCst) {
+        if self.closed.load(Ordering::SeqCst) {
             return Ok(());
         }
-        self.flush()
+        self.flush()?;
+        self.closed.store(true, Ordering::SeqCst);
+        Ok(())
     }
 
     /// True once [`Store::close`] has run on this handle or any clone.
@@ -418,15 +454,7 @@ impl Store {
         for (_, root) in &tree_roots {
             BTree::open(&self.pool, *root).collect_pages(&mut tree_pages)?;
         }
-        let mut segments: Vec<(String, SegmentEntry)> = Vec::new();
-        if self.pool.tree_root(SEGMENT_CATALOG_TREE).is_some() {
-            let tree = self.open_tree_raw(SEGMENT_CATALOG_TREE)?;
-            for (k, v) in tree.scan_prefix(b"") {
-                if let (Ok(name), Some(e)) = (String::from_utf8(k), SegmentEntry::decode(&v)) {
-                    segments.push((name, e));
-                }
-            }
-        }
+        let mut segments: Vec<(String, SegmentEntry)> = self.segment_entries()?;
         let mut units: Vec<(PageId, u64, Option<usize>)> = tree_pages
             .iter()
             .map(|&p| (p, 1, None))
@@ -486,6 +514,9 @@ impl Store {
             for &p in &tree_pages {
                 let np = map.get(&p).copied().unwrap_or(p);
                 page.copy_from_slice(&self.pool.read_extent(np, PAGE_SIZE)?);
+                // These reads bypass the pool (and its load-time check),
+                // so validate before parsing slot offsets out of them.
+                crate::btree::validate_page(&page).map_err(StoreError::Corrupt)?;
                 if crate::btree::rewrite_page_pointers(&mut page, &map) {
                     self.pool.write_extent(np, &page)?;
                 }
@@ -546,6 +577,24 @@ impl Store {
     /// Approximate on-disk size in bytes.
     pub fn size_bytes(&self) -> u64 {
         self.page_count() * crate::PAGE_SIZE as u64
+    }
+}
+
+impl Drop for Store {
+    /// Best-effort flush when the last handle goes away without an
+    /// explicit [`Store::close`]. Drop must never panic (it may run
+    /// during another panic's unwind) and has no way to return an
+    /// error, so a failed flush is swallowed into the
+    /// [`IoSnapshot::flush_failures`] counter. Only the final handle
+    /// flushes, and only while open [`Tree`] handles (which share the
+    /// pool) don't outlive it.
+    fn drop(&mut self) {
+        if Arc::strong_count(&self.pool) == 1
+            && !self.closed.load(Ordering::SeqCst)
+            && self.pool.flush().is_err()
+        {
+            self.pool.record_flush_failure();
+        }
     }
 }
 
@@ -620,9 +669,13 @@ impl Tree {
             Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
             Bound::Unbounded => Bound::Unbounded,
         };
-        BTree::open(&self.pool, root)
-            .range(start_ref, end)
-            .expect("range scan setup failed")
+        match BTree::open(&self.pool, root).range(start_ref, end) {
+            Ok(it) => it,
+            // Setup failure (an I/O error or torn page on the descent)
+            // must not panic a read path; the error surfaces through
+            // `next_entry`/`error()` on the returned iterator.
+            Err(e) => RangeIter::failed(&self.pool, e),
+        }
     }
 
     /// Scan all keys beginning with `prefix`, in order.
@@ -632,9 +685,10 @@ impl Tree {
             Some(e) => Bound::Excluded(e),
             None => Bound::Unbounded,
         };
-        BTree::open(&self.pool, root)
-            .range(Bound::Included(prefix), end)
-            .expect("prefix scan setup failed")
+        match BTree::open(&self.pool, root).range(Bound::Included(prefix), end) {
+            Ok(it) => it,
+            Err(e) => RangeIter::failed(&self.pool, e),
+        }
     }
 
     /// Number of entries — O(n).

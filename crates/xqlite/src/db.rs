@@ -1,7 +1,7 @@
 //! Document storage in document order.
 
 use crate::query::{self, QueryError};
-use xmorph_pagestore::{Store, StoreResult};
+use xmorph_pagestore::{Store, StoreError, StoreResult};
 
 /// Chunk size for document segments: most of a page, so a sequential
 /// scan of chunks is a sequential scan of pages.
@@ -81,9 +81,12 @@ impl XqliteDb {
         if !found {
             return Ok(None);
         }
-        Ok(Some(
-            String::from_utf8(out).expect("chunks split on UTF-8 boundaries"),
-        ))
+        // Chunks are split on UTF-8 boundaries at write time, but a
+        // torn shutdown can hand back corrupt chunk bytes — report,
+        // don't panic.
+        String::from_utf8(out)
+            .map(Some)
+            .map_err(|_| StoreError::Corrupt("document chunks are not valid UTF-8"))
     }
 
     /// List stored document names.

@@ -190,7 +190,9 @@ fn eval(expr: &Expr, ctx: &mut Ctx<'_>) -> Result<Seq, QueryError> {
             let doc = Rc::new(
                 Document::parse_str(&xml).map_err(|e| QueryError::BadStoredXml(e.to_string()))?,
             );
-            let root = doc.root_element().expect("constructed element");
+            let root = doc.root_element().ok_or_else(|| {
+                QueryError::BadStoredXml("constructed element has no root".into())
+            })?;
             Ok(vec![Item::Node(doc, root)])
         }
         Expr::Count(e) => {
@@ -591,6 +593,58 @@ mod tests {
             db.query(r#""str"/a"#),
             Err(QueryError::NotANode(_))
         ));
+    }
+
+    #[test]
+    fn malformed_queries_are_parse_errors() {
+        let db = db_with("d", BOOKS);
+        for q in [
+            "for $b in",
+            "doc(",
+            r#"doc("d")/data/book["#,
+            "let $x := return $x",
+            "<unclosed>{1}",
+        ] {
+            assert!(
+                matches!(db.query(q), Err(QueryError::Parse(_, _))),
+                "query {q:?} should be a parse error, got {:?}",
+                db.query(q)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_stored_documents_are_query_errors() {
+        let db = XqliteDb::in_memory();
+        // store_document does not validate — a caller can persist text
+        // that is not well-formed XML; doc() must report, not panic.
+        db.store_document("bad", "<open><unclosed>").unwrap();
+        assert!(matches!(
+            db.query(r#"doc("bad")/a"#),
+            Err(QueryError::BadStoredXml(_))
+        ));
+        db.store_document("junk", "not xml at all").unwrap();
+        assert!(matches!(
+            db.query(r#"doc("junk")/a"#),
+            Err(QueryError::BadStoredXml(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_document_chunks_are_reported_not_panicked() {
+        let db = db_with("d", BOOKS);
+        // Simulate a torn shutdown: overwrite one chunk with bytes that
+        // are not valid UTF-8, straight into the documents tree.
+        let tree = db.store().open_tree("documents").unwrap();
+        let mut key = b"d".to_vec();
+        key.push(0);
+        key.extend_from_slice(&0u32.to_be_bytes());
+        tree.insert(&key, &[0xFF, 0xFE, 0x80]).unwrap();
+        assert!(matches!(
+            db.query(r#"doc("d")/data/book/title"#),
+            Err(QueryError::Store(_))
+        ));
+        assert!(db.load_document("d").is_err());
     }
 
     #[test]
