@@ -4,11 +4,17 @@
 //! Replays shred → flush → mutate → re-persist → vacuum → close on an
 //! XMark document over the deterministic fault-injection storage layer
 //! ([`xmorph_pagestore::FaultStorage`]), crashing at **every** write
-//! index the fault-free run performs. Each crash freezes the torn
-//! device image; the image is reopened and the document queried, and
-//! any panic, non-typed failure, or malformed fallback report is a
-//! violation. A fixed-seed torn-write matrix re-checks a handful of
-//! crash points under different torn-prefix lengths.
+//! index and **every** sync index the fault-free run performs. Each
+//! crash freezes the torn device image; the image is reopened and the
+//! document queried, and any panic, non-typed failure, or malformed
+//! fallback report is a violation. Because file-backed stores now run
+//! the page-image WAL, reopening a crash image *replays the log* — so
+//! for every frozen image the sweep additionally crashes the recovery
+//! itself at each write recovery performs (head reset, replayed page
+//! homes) and re-checks the doubly-crashed image: recovery must be
+//! restartable from any point. A fixed-seed torn-write matrix
+//! re-checks a handful of crash points under different torn-prefix
+//! lengths.
 //!
 //! Flags: `--sweep` runs the exhaustive sweep (the default is the same
 //! sweep — the flag exists so invocations read as what they are),
@@ -84,7 +90,7 @@ fn hottest_type(doc: &ShreddedDoc) -> Option<TypeId> {
 /// Reopen a frozen crash image and exercise every read surface.
 /// Returns a violation description, or `None` when the image honours
 /// the crash contract (typed refusal, or a queryable document).
-fn check_image(image: Vec<u8>, crash_at: u64) -> Option<String> {
+fn check_image(image: Vec<u8>, crash_at: &str) -> Option<String> {
     let (storage, _h) = FaultStorage::with_image(image, FaultScript::none());
     let store = match Store::options()
         .capacity(32)
@@ -119,6 +125,40 @@ fn check_image(image: Vec<u8>, crash_at: u64) -> Option<String> {
     None
 }
 
+/// Crash the *recovery* of a frozen crash image at every write the
+/// recovery itself performs (WAL head reset, replayed page homes),
+/// then verify that a clean reopen of the doubly-crashed image still
+/// honours the crash contract. Returns the number of recovery crash
+/// points exercised plus any violations.
+fn sweep_recovery_crashes(image: &[u8], origin: &str) -> (u64, Vec<String>) {
+    // Recording pass: a clean recovery of this image, counting the
+    // writes it performs. The open may legitimately refuse (pre-setup
+    // crash images) — then there is nothing to sweep.
+    let (storage, h) = FaultStorage::with_image(image.to_vec(), FaultScript::none());
+    let opened = Store::options()
+        .capacity(32)
+        .with_storage(Box::new(storage));
+    let recovery_writes = h.writes();
+    drop(opened);
+
+    let mut violations = Vec::new();
+    for j in 0..recovery_writes {
+        let script = FaultScript::none()
+            .crash_at(j)
+            .torn_seed(BASE_SEED.rotate_left(17) ^ j);
+        let (storage, h2) = FaultStorage::with_image(image.to_vec(), script);
+        // The interrupted recovery fails; its half-recovered image must
+        // still reopen to a consistent state (recovery is restartable).
+        let _ = Store::options()
+            .capacity(32)
+            .with_storage(Box::new(storage));
+        if let Some(v) = check_image(h2.image(), &format!("{origin} recovery@{j}")) {
+            violations.push(v);
+        }
+    }
+    (recovery_writes, violations)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -135,13 +175,15 @@ fn main() {
     pipeline(&xml, Box::new(storage), Some(&handle), &mut marks)
         .expect("fault-free pipeline must succeed");
     let total_writes = handle.writes();
+    let total_syncs = handle.syncs();
     println!(
-        "recording run: {total_writes} writes ({} before mutation, {} before vacuum)",
+        "recording run: {total_writes} writes, {total_syncs} syncs ({} before mutation, {} before vacuum)",
         marks.flush_done, marks.vacuum_start
     );
 
     let mut violations: Vec<String> = Vec::new();
     let mut reopened = 0u64;
+    let mut recovery_points = 0u64;
     for k in 0..total_writes {
         let script = FaultScript::none().crash_at(k).torn_seed(BASE_SEED ^ k);
         let (storage, handle) = FaultStorage::new(script);
@@ -151,12 +193,44 @@ fn main() {
             continue;
         }
         reopened += 1;
-        if let Some(v) = check_image(handle.image(), k) {
+        let image = handle.image();
+        if let Some(v) = check_image(image.clone(), &format!("write@{k}")) {
             violations.push(v);
         }
+        let (points, mut vs) = sweep_recovery_crashes(&image, &format!("write@{k}"));
+        recovery_points += points;
+        violations.append(&mut vs);
     }
     println!(
-        "exhaustive sweep: {total_writes} crash points, {reopened} images checked, {:.1}s",
+        "exhaustive write sweep: {total_writes} crash points, {reopened} images checked, \
+         {recovery_points} crash-during-recovery points, {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+
+    // Sync-boundary sweep: crash exactly at each fsync — the commit
+    // points of the WAL'd pipeline — with the cut write left whole.
+    let mut sync_recovery_points = 0u64;
+    for k in 0..total_syncs {
+        let script = FaultScript::none().crash_at_sync(k);
+        let (storage, handle) = FaultStorage::new(script);
+        let mut ignored = Marks::default();
+        if pipeline(&xml, Box::new(storage), None, &mut ignored).is_ok() {
+            violations.push(format!(
+                "sync-crash@{k}: pipeline survived a crashed device"
+            ));
+            continue;
+        }
+        let image = handle.image();
+        if let Some(v) = check_image(image.clone(), &format!("sync@{k}")) {
+            violations.push(v);
+        }
+        let (points, mut vs) = sweep_recovery_crashes(&image, &format!("sync@{k}"));
+        sync_recovery_points += points;
+        violations.append(&mut vs);
+    }
+    println!(
+        "sync sweep: {total_syncs} crash points, {sync_recovery_points} crash-during-recovery \
+         points, total {:.1}s",
         started.elapsed().as_secs_f64()
     );
 
@@ -180,7 +254,7 @@ fn main() {
                 violations.push(format!("crash@{k} seed {seed:#x}: pipeline survived"));
                 continue;
             }
-            if let Some(v) = check_image(handle.image(), k) {
+            if let Some(v) = check_image(handle.image(), &format!("write@{k}")) {
                 violations.push(format!("{v} (seed {seed:#x})"));
             }
         }

@@ -562,13 +562,26 @@ pub struct ShreddedDoc {
     /// usable persisted segment) — the "re-decode" cost the per-type
     /// maintenance keeps low.
     pub(in crate::store) rebuilds: AtomicU64,
-    /// Cached columns updated in place by sorted-run merge.
-    pub(in crate::store) merged_columns: u64,
+    /// Cached columns updated by sorted-run merge — counted when the
+    /// deferred merge actually runs (on the first read after a burst of
+    /// mutations), not per mutation.
+    pub(in crate::store) merged_columns: AtomicU64,
+    /// Mutation deltas awaiting their deferred merge, folded per type.
+    /// [`ShreddedDoc::column`] settles the entry for a type before
+    /// serving it; mutations are cheap because they only fold here.
+    pub(in crate::store) pending_deltas: Mutex<HashMap<TypeId, super::mutate::TypeDelta>>,
     /// Columns invalidated outright (not cached at mutation time).
     pub(in crate::store) invalidated_columns: u64,
     /// Types whose cached column is newer than any persisted segment;
     /// [`ShreddedDoc::persist_dirty_columns`] re-persists them.
     pub(in crate::store) dirty: HashSet<TypeId>,
+    /// Types whose generation was already bumped — and whose persisted
+    /// segment already dropped — since the last column persist. A
+    /// repeat mutation of such a type skips the meta write and segment
+    /// delete: the on-store state it would produce already holds.
+    /// [`ShreddedDoc::persist_dirty_columns`] clears this set when it
+    /// writes fresh segments.
+    pub(in crate::store) bumped_since_persist: HashSet<TypeId>,
 }
 
 impl std::fmt::Debug for ShreddedDoc {
@@ -812,9 +825,11 @@ impl ShreddedDoc {
             plan_cache: RwLock::new(HashMap::default()),
             fallbacks: Mutex::new(Vec::new()),
             rebuilds: AtomicU64::new(0),
-            merged_columns: 0,
+            merged_columns: AtomicU64::new(0),
+            pending_deltas: Mutex::new(HashMap::new()),
             invalidated_columns: 0,
             dirty: HashSet::new(),
+            bumped_since_persist: HashSet::new(),
         };
         if opts.persist_columns && store.is_persistent() {
             doc.persist_all_columns()?;
@@ -866,9 +881,11 @@ impl ShreddedDoc {
             plan_cache: RwLock::new(HashMap::default()),
             fallbacks: Mutex::new(Vec::new()),
             rebuilds: AtomicU64::new(0),
-            merged_columns: 0,
+            merged_columns: AtomicU64::new(0),
+            pending_deltas: Mutex::new(HashMap::new()),
             invalidated_columns: 0,
             dirty: HashSet::new(),
+            bumped_since_persist: HashSet::new(),
         };
         match &opts.preload {
             Preload::None => {}
@@ -930,6 +947,23 @@ impl ShreddedDoc {
     /// skipped, matching the lenient decoding of the scans this
     /// replaces.
     pub fn column(&self, t: TypeId) -> Arc<TypeColumn> {
+        // Settle deferred maintenance first: the lock is held across
+        // the merge so a concurrent reader can't serve the stale
+        // column while this one folds the pending delta in. The merge
+        // is idempotent, so a base rebuilt from the already-mutated
+        // typeseq (cache evicted since the mutation) is fine too.
+        let mut pending = self.pending_deltas.lock().unwrap();
+        if let Some(delta) = pending.remove(&t) {
+            let base = match self.columns.read().unwrap().get(&t) {
+                Some(col) => Arc::clone(col),
+                None => Arc::new(self.load_column(t)),
+            };
+            let merged = Arc::new(super::mutate::merged_column(&base, &delta));
+            self.columns.write().unwrap().insert(t, Arc::clone(&merged));
+            self.merged_columns.fetch_add(1, Ordering::Relaxed);
+            return merged;
+        }
+        drop(pending);
         if let Some(col) = self.columns.read().unwrap().get(&t) {
             return Arc::clone(col);
         }

@@ -15,11 +15,13 @@
 //! deadlock-free by construction.
 
 use crate::error::StoreResult;
-use crate::pager::{PageId, Pager};
+use crate::pager::{PageId, Pager, META_PAGE};
 use crate::stats::{IoSnapshot, IoStats};
 use crate::PAGE_SIZE;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
 
 /// Default number of cached pages (4 MiB at 4 KiB pages).
 pub const DEFAULT_CAPACITY: usize = 1024;
@@ -32,10 +34,43 @@ pub const MAX_SHARDS: usize = 64;
 /// so that `capacity / shards >= MIN_FRAMES_PER_SHARD`.
 pub const MIN_FRAMES_PER_SHARD: usize = 4;
 
+/// Group commit window: a commit triggers a group sync once this many
+/// transactions have committed since the last one. Until then commits
+/// are a handful of in-memory flag flips — the fsync is amortized
+/// across the window.
+pub const COMMIT_WINDOW: u64 = 512;
+
+/// Space-pressure trigger: a commit also triggers a group sync when
+/// this many distinct pages are pinned awaiting the next WAL batch,
+/// keeping one batch comfortably inside the log region.
+pub const PENDING_PRESSURE: usize = 256;
+
+/// Pre-transaction state of a page, captured on its first write inside
+/// a transaction. `data: None` marks a page allocated *by* the
+/// transaction — rollback drops the frame instead of restoring bytes.
+struct Undo {
+    data: Option<Box<[u8]>>,
+    dirty: bool,
+    wal_pending: bool,
+}
+
 struct Frame {
     data: Box<[u8]>,
+    /// Dirty via the legacy (non-transactional) write path.
     dirty: bool,
+    /// Written by the open transaction; pinned until commit/rollback.
+    txn_dirty: bool,
+    /// Committed but awaiting the next WAL group sync; pinned until the
+    /// batch is logged and the home page written.
+    wal_pending: bool,
+    undo: Option<Undo>,
     last_used: u64,
+}
+
+impl Frame {
+    fn pinned(&self) -> bool {
+        self.txn_dirty || self.wal_pending
+    }
 }
 
 /// Structural validator run on device-loaded pages; returns the
@@ -46,6 +81,29 @@ struct ShardInner {
     frames: HashMap<PageId, Frame>,
     tick: u64,
     capacity: usize,
+}
+
+/// Single-writer transaction gate. `locked` covers both open
+/// transactions and exclusive maintenance (flush, vacuum); `pages`
+/// lists every page the open transaction has touched, in first-touch
+/// order, so commit/rollback know exactly which frames to visit.
+struct TxnCtl {
+    locked: bool,
+    pages: Vec<PageId>,
+}
+
+/// Exclusive (no open transaction) section guard returned by
+/// [`BufferPool::txn_exclusion`]; releases the gate on drop.
+pub struct TxnExclusion<'a> {
+    pool: &'a BufferPool,
+}
+
+impl Drop for TxnExclusion<'_> {
+    fn drop(&mut self) {
+        let mut ctl = self.pool.txn.lock().expect("txn gate poisoned");
+        ctl.locked = false;
+        self.pool.txn_cv.notify_all();
+    }
 }
 
 /// A buffer pool: caches page frames across independent shards,
@@ -66,6 +124,14 @@ pub struct BufferPool {
     /// installs the B+tree validator since tree pages are the only
     /// pages this cache ever holds.
     page_check: Option<PageCheck>,
+    /// Transaction gate (see [`TxnCtl`]). A `std` mutex because it
+    /// pairs with `txn_cv` — the `parking_lot` shim has no condvar.
+    txn: StdMutex<TxnCtl>,
+    txn_cv: Condvar,
+    /// True while a *writing* transaction is open, so `write_with`
+    /// knows to capture undo state. Exclusive maintenance sections
+    /// (flush, vacuum) hold the gate without setting this.
+    txn_writes: AtomicBool,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -133,6 +199,12 @@ impl BufferPool {
             pager: Mutex::new(pager),
             stats,
             page_check: None,
+            txn: StdMutex::new(TxnCtl {
+                locked: false,
+                pages: Vec::new(),
+            }),
+            txn_cv: Condvar::new(),
+            txn_writes: AtomicBool::new(false),
         }
     }
 
@@ -163,32 +235,59 @@ impl BufferPool {
     }
 
     /// Run `f` over the page's bytes mutably; the page is marked dirty.
+    /// Inside an open transaction the frame's pre-image is captured on
+    /// first touch so rollback can restore it byte-for-byte.
     pub fn write_with<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> StoreResult<R> {
         let mut shard = self.shard_for(id).lock();
         self.touch(&mut shard, id)?;
         let frame = shard.frames.get_mut(&id).expect("frame just loaded");
-        frame.dirty = true;
+        if self.txn_writes.load(Ordering::Acquire) {
+            if !frame.txn_dirty {
+                frame.undo = Some(Undo {
+                    data: Some(frame.data.clone()),
+                    dirty: frame.dirty,
+                    wal_pending: frame.wal_pending,
+                });
+                frame.txn_dirty = true;
+                self.txn.lock().expect("txn gate poisoned").pages.push(id);
+            }
+        } else {
+            frame.dirty = true;
+        }
         let r = f(&mut frame.data);
         self.evict_to_capacity(&mut shard)?;
         Ok(r)
     }
 
     /// Allocate a fresh zeroed page (cached dirty, so it reaches the
-    /// device on flush/eviction).
+    /// device on flush/eviction). Inside a transaction the frame is
+    /// born transaction-dirty with a "did not exist" undo marker, so
+    /// rollback simply drops it (the pager unwinds the allocation).
     pub fn allocate(&self) -> StoreResult<PageId> {
         // The pager lock is released before the shard lock is taken:
         // the only permitted nesting is shard → pager.
         let id = self.pager.lock().allocate()?;
+        let in_txn = self.txn_writes.load(Ordering::Acquire);
         let mut shard = self.shard_for(id).lock();
         let tick = bump_tick(&mut shard);
         shard.frames.insert(
             id,
             Frame {
                 data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
-                dirty: true,
+                dirty: !in_txn,
+                txn_dirty: in_txn,
+                wal_pending: false,
+                undo: in_txn.then_some(Undo {
+                    data: None,
+                    dirty: false,
+                    wal_pending: false,
+                }),
                 last_used: tick,
             },
         );
+        if in_txn {
+            self.txn.lock().expect("txn gate poisoned").pages.push(id);
+        }
         self.evict_to_capacity(&mut shard)?;
         Ok(id)
     }
@@ -294,14 +393,178 @@ impl BufferPool {
             .collect()
     }
 
-    /// Write back all dirty frames and sync the device.
+    /// Block until no transaction is open, then hold the gate for the
+    /// returned guard's lifetime. Maintenance that must see a quiesced
+    /// pool (flush, vacuum) runs under this; unlike [`begin_txn`] it
+    /// does *not* arm undo capture.
+    ///
+    /// [`begin_txn`]: BufferPool::begin_txn
+    pub fn txn_exclusion(&self) -> TxnExclusion<'_> {
+        let mut ctl = self.txn.lock().expect("txn gate poisoned");
+        while ctl.locked {
+            ctl = self.txn_cv.wait(ctl).expect("txn gate poisoned");
+        }
+        ctl.locked = true;
+        drop(ctl);
+        TxnExclusion { pool: self }
+    }
+
+    /// Open a transaction. Blocks until the single-writer gate is free;
+    /// all `write_with`/`allocate` calls until the matching
+    /// [`commit_txn`]/[`rollback_txn`] belong to this transaction.
+    ///
+    /// [`commit_txn`]: BufferPool::commit_txn
+    /// [`rollback_txn`]: BufferPool::rollback_txn
+    pub fn begin_txn(&self) {
+        let mut ctl = self.txn.lock().expect("txn gate poisoned");
+        while ctl.locked {
+            ctl = self.txn_cv.wait(ctl).expect("txn gate poisoned");
+        }
+        ctl.locked = true;
+        ctl.pages.clear();
+        drop(ctl);
+        self.txn_writes.store(true, Ordering::Release);
+        self.pager.lock().begin_txn();
+    }
+
+    /// Commit the open transaction. On a WAL-backed store the touched
+    /// frames flip to `wal_pending` (pinned, not yet home) and the
+    /// fsync is deferred to the group commit window; without a WAL they
+    /// flip to plain dirty and the metadata write happens immediately.
+    pub fn commit_txn(&self) -> StoreResult<()> {
+        self.txn_writes.store(false, Ordering::Release);
+        let pages = std::mem::take(&mut self.txn.lock().expect("txn gate poisoned").pages);
+        let wal = self.pager.lock().wal_enabled();
+        let mut committed: Vec<PageId> = Vec::with_capacity(pages.len());
+        for id in pages {
+            let mut shard = self.shard_for(id).lock();
+            let frame = shard.frames.get_mut(&id).expect("txn frame pinned");
+            frame.txn_dirty = false;
+            frame.undo = None;
+            if wal {
+                if !frame.wal_pending {
+                    frame.wal_pending = true;
+                    committed.push(id);
+                }
+            } else {
+                frame.dirty = true;
+            }
+        }
+        let result = self.pager.lock().commit_txn(&committed);
+        let should_sync = result.is_ok() && wal && {
+            let pager = self.pager.lock();
+            pager.unsynced_commits() >= COMMIT_WINDOW || pager.pending_len() >= PENDING_PRESSURE
+        };
+        let result = if should_sync {
+            result.and(self.group_sync_locked())
+        } else {
+            result
+        };
+        let mut ctl = self.txn.lock().expect("txn gate poisoned");
+        ctl.locked = false;
+        drop(ctl);
+        self.txn_cv.notify_all();
+        result
+    }
+
+    /// Abort the open transaction: every touched frame is restored from
+    /// its undo image (frames the transaction allocated are dropped),
+    /// then the pager unwinds allocations, root moves, and metadata.
+    pub fn rollback_txn(&self) {
+        self.txn_writes.store(false, Ordering::Release);
+        let pages = std::mem::take(&mut self.txn.lock().expect("txn gate poisoned").pages);
+        for id in pages {
+            let mut shard = self.shard_for(id).lock();
+            let frame = shard.frames.get_mut(&id).expect("txn frame pinned");
+            match frame.undo.take() {
+                Some(Undo {
+                    data: Some(data),
+                    dirty,
+                    wal_pending,
+                }) => {
+                    frame.data = data;
+                    frame.dirty = dirty;
+                    frame.wal_pending = wal_pending;
+                    frame.txn_dirty = false;
+                }
+                // Allocated by this transaction: never existed before.
+                Some(Undo { data: None, .. }) | None => {
+                    shard.frames.remove(&id);
+                }
+            }
+        }
+        self.pager.lock().rollback_txn();
+        let mut ctl = self.txn.lock().expect("txn gate poisoned");
+        ctl.locked = false;
+        drop(ctl);
+        self.txn_cv.notify_all();
+    }
+
+    /// Group commit: append every `wal_pending` page image plus the
+    /// serialized metadata page to the WAL as one batch (the single
+    /// fsync inside is the commit point), then write the images to
+    /// their home offsets and unpin the frames. Must only run while the
+    /// transaction gate is held by the caller (commit path or an
+    /// exclusion section) — pending frames cannot change underneath.
+    fn group_sync_locked(&self) -> StoreResult<()> {
+        let pending = {
+            let pager = self.pager.lock();
+            if !pager.wal_enabled() || (pager.pending_len() == 0 && pager.unsynced_commits() == 0) {
+                return Ok(());
+            }
+            pager.pending_pages()
+        };
+        let mut images: Vec<(PageId, Box<[u8]>)> = Vec::with_capacity(pending.len());
+        for id in pending {
+            let shard = self.shard_for(id).lock();
+            let frame = shard.frames.get(&id).expect("wal-pending frame pinned");
+            images.push((id, frame.data.clone()));
+        }
+        {
+            let mut pager = self.pager.lock();
+            let meta = pager.serialize_meta();
+            let mut batch: Vec<(PageId, &[u8])> = images
+                .iter()
+                .map(|(id, data)| (*id, data.as_ref()))
+                .collect();
+            batch.push((META_PAGE, meta.as_slice()));
+            // Commit point: one append, one fsync.
+            pager.wal_append_commit(&batch)?;
+            // Home writes after the log is durable; a crash anywhere in
+            // here replays the batch from the WAL on reopen.
+            pager.write_meta_home(&meta)?;
+            for (id, data) in &images {
+                pager.write_page_raw(*id, data)?;
+            }
+            pager.after_group_sync();
+        }
+        for (id, _) in &images {
+            let mut shard = self.shard_for(*id).lock();
+            if let Some(frame) = shard.frames.get_mut(id) {
+                frame.wal_pending = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write back all dirty frames and sync the device. Blocks until no
+    /// transaction is open; on WAL stores this also drains the pending
+    /// group-commit batch and checkpoints (truncates) the log.
     pub fn flush(&self) -> StoreResult<()> {
+        let _excl = self.txn_exclusion();
+        self.flush_locked()
+    }
+
+    /// [`flush`](BufferPool::flush) body, for callers already holding a
+    /// [`txn_exclusion`](BufferPool::txn_exclusion) guard (vacuum).
+    pub(crate) fn flush_locked(&self) -> StoreResult<()> {
+        self.group_sync_locked()?;
         for shard in self.shards.iter() {
             let mut shard = shard.lock();
             let dirty: Vec<PageId> = shard
                 .frames
                 .iter()
-                .filter(|(_, fr)| fr.dirty)
+                .filter(|(_, fr)| fr.dirty && !fr.pinned())
                 .map(|(&id, _)| id)
                 .collect();
             if dirty.is_empty() {
@@ -315,7 +578,20 @@ impl BufferPool {
                 frame.dirty = false;
             }
         }
-        self.pager.lock().flush()
+        let mut pager = self.pager.lock();
+        pager.flush()?;
+        pager.checkpoint()
+    }
+
+    /// First page id usable for data (pages below it are the metadata
+    /// page and the WAL region).
+    pub fn first_data_page(&self) -> PageId {
+        self.pager.lock().first_data_page()
+    }
+
+    /// True when this pool's device carries a write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.pager.lock().wal_enabled()
     }
 
     /// Snapshot of the cumulative I/O counters (shared by all shards).
@@ -358,6 +634,9 @@ impl BufferPool {
             Frame {
                 data,
                 dirty: false,
+                txn_dirty: false,
+                wal_pending: false,
+                undo: None,
                 last_used: tick,
             },
         );
@@ -370,14 +649,21 @@ impl BufferPool {
     /// fails the frame stays resident (still dirty), so the only copy
     /// of the data survives and a later flush retries — removing first
     /// would drop the bytes on the floor when the write errors.
+    /// Frames pinned by an open transaction or an unsynced WAL batch
+    /// are never eviction victims — their cached bytes are the only
+    /// committed copy until the group sync writes them home — so a
+    /// shard may transiently exceed its capacity mid-transaction.
     fn evict_to_capacity(&self, shard: &mut ShardInner) -> StoreResult<()> {
         while shard.frames.len() > shard.capacity {
             let victim = shard
                 .frames
                 .iter()
+                .filter(|(_, fr)| !fr.pinned())
                 .min_by_key(|(_, fr)| fr.last_used)
-                .map(|(&id, _)| id)
-                .expect("non-empty frames");
+                .map(|(&id, _)| id);
+            let Some(victim) = victim else {
+                break;
+            };
             let frame = shard.frames.get_mut(&victim).expect("victim cached");
             if frame.dirty {
                 self.pager.lock().write_page_raw(victim, &frame.data)?;

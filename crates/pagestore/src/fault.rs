@@ -47,6 +47,11 @@ pub struct FaultScript {
     /// Crash at this write op index: the write persists only a torn
     /// prefix, the image freezes, and every later op fails.
     pub crash_at_write: Option<u64>,
+    /// Crash at this sync op index: the sync fails, the image freezes
+    /// as-is (every prior write landed, the barrier itself did not),
+    /// and every later op fails. Exercises crash points *between* a
+    /// WAL append's write and its commit-point fsync.
+    pub crash_at_sync: Option<u64>,
     /// Decline-with-error on `mmap` instead of `Ok(None)`.
     pub fail_mmap: bool,
     /// Seed for the torn-write length stream.
@@ -86,6 +91,12 @@ impl FaultScript {
     /// Crash at the `i`-th write op (torn prefix, then frozen image).
     pub fn crash_at(mut self, i: u64) -> Self {
         self.crash_at_write = Some(i);
+        self
+    }
+
+    /// Crash at the `i`-th sync op (image freezes un-torn, sync fails).
+    pub fn crash_at_sync(mut self, i: u64) -> Self {
+        self.crash_at_sync = Some(i);
         self
     }
 
@@ -279,6 +290,11 @@ impl Storage for FaultStorage {
         }
         let i = g.counters.syncs;
         g.counters.syncs += 1;
+        if g.script.crash_at_sync == Some(i) {
+            g.crashed = true;
+            g.counters.injected += 1;
+            return Err(injected("crash at sync"));
+        }
         if g.script.fail_syncs.contains(&i) {
             g.counters.injected += 1;
             return Err(injected("sync"));

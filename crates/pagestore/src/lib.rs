@@ -17,7 +17,11 @@
 //!   crash-consistency harness.
 //! * [`pager`] — fixed-size page allocation and transfer, with a meta page
 //!   holding the table catalog.
-//! * [`buffer`] — an LRU buffer pool with write-back of dirty pages.
+//! * [`wal`] — a page-image write-ahead log living in a reserved page
+//!   region of the same device: checksummed, LSN-stamped page images
+//!   plus commit records, replayed (torn-tail aware) on open.
+//! * [`buffer`] — an LRU buffer pool with write-back of dirty pages,
+//!   single-writer transactions, and WAL group commit.
 //! * [`btree`] — a slotted-page B+tree with variable-length keys and
 //!   values, overflow chains for large values, and ordered range scans.
 //! * [`mmap`] — a minimal read-only memory-map wrapper (unix only;
@@ -48,6 +52,7 @@ pub mod segment;
 pub mod stats;
 pub mod storage;
 pub mod store;
+pub mod wal;
 
 pub use btree::DEFAULT_FILL;
 pub use buffer::{default_shard_count, BufferPool, DEFAULT_CAPACITY, MAX_SHARDS};
@@ -56,7 +61,8 @@ pub use fault::{FaultHandle, FaultScript, FaultStorage, TORN_BLOCK};
 pub use mmap::MmapRegion;
 pub use segment::{SegmentData, SegmentEntry, SEGMENT_CATALOG_TREE};
 pub use stats::{IoSnapshot, IoStats, StoreStats};
-pub use store::{Store, StoreOptions, Tree};
+pub use store::{Store, StoreOptions, Tree, Txn};
+pub use wal::DEFAULT_WAL_RECORD_PAGES;
 
 /// Size of every page, in bytes. 4 KiB matches the usual filesystem block
 /// size, so one page transfer ≈ one "block" in the Figure 11 sense.

@@ -27,6 +27,7 @@
 use crate::error::{StoreError, StoreResult};
 use crate::stats::IoStats;
 use crate::storage::Storage;
+use crate::wal::{self, WalLayout, DEFAULT_WAL_RECORD_PAGES, RECORD_HEADER_LEN, WAL_HEADER_PAGE};
 use crate::PAGE_SIZE;
 use std::time::Instant;
 
@@ -78,6 +79,18 @@ pub struct CatalogEntry {
     pub root: PageId,
 }
 
+/// Runtime cursor into the WAL record region.
+#[derive(Debug)]
+struct WalState {
+    layout: WalLayout,
+    /// Byte offset of the next append.
+    off: u64,
+    /// Epoch stamped on every record of the current run.
+    epoch: u64,
+    /// Next LSN to stamp.
+    lsn: u64,
+}
+
 /// Pager: page-granular reads and writes plus allocation, with I/O
 /// accounting.
 pub struct Pager {
@@ -89,6 +102,37 @@ pub struct Pager {
     free: Vec<FreeExtent>,
     /// Cumulative pages reclaimed by vacuum over this pager's lifetime.
     vacuum_reclaimed: u64,
+    /// The write-ahead log, when this device carries one (persistent
+    /// stores created with a WAL extent; `None` for memory stores and
+    /// pre-WAL files).
+    wal: Option<WalState>,
+    /// True while a transaction is open (single writer). Suppresses
+    /// meta-page home writes and routes frees/allocations into the
+    /// transaction-scoped lists below.
+    in_txn: bool,
+    /// Meta changed while suppressed; persisted at the next group sync
+    /// (WAL stores) or commit (no-WAL stores).
+    meta_dirty: bool,
+    /// Extents handed out during the open transaction — returned to the
+    /// free list on rollback.
+    txn_allocs: Vec<FreeExtent>,
+    /// Catalog roots changed by the open transaction: `(name, previous
+    /// root)`, `None` when the entry didn't exist — restored on rollback.
+    txn_roots: Vec<(String, Option<PageId>)>,
+    /// Extents freed during the open transaction — quarantined so the
+    /// allocator can't recycle them while the freeing operation can
+    /// still roll back.
+    txn_free: Vec<FreeExtent>,
+    /// Extents freed while the WAL holds un-checkpointed batches. Merged
+    /// into `free` only at checkpoint: a replayed batch may rewrite any
+    /// page it imaged, so pages freed (and directly overwritten) before
+    /// the log is truncated would be resurrected with stale bytes.
+    wal_free: Vec<FreeExtent>,
+    /// Pages committed but not yet logged+synced (deduplicated; their
+    /// frames are pinned in the buffer pool until the group sync).
+    pending_pages: Vec<PageId>,
+    /// Commits since the last group sync.
+    unsynced_commits: u64,
 }
 
 impl std::fmt::Debug for Pager {
@@ -102,21 +146,95 @@ impl std::fmt::Debug for Pager {
 }
 
 impl Pager {
-    /// Wrap a device. If the device is empty a fresh meta page is
-    /// written; otherwise the existing meta page is validated and loaded.
-    pub fn new(mut storage: Box<dyn Storage>, stats: IoStats) -> StoreResult<Self> {
+    /// Wrap a device with the default WAL size. If the device is empty a
+    /// fresh meta page (and, on persistent devices, a WAL extent) is
+    /// written; otherwise any WAL is replayed and the existing meta page
+    /// is validated and loaded.
+    pub fn new(storage: Box<dyn Storage>, stats: IoStats) -> StoreResult<Self> {
+        Pager::with_wal_pages(storage, stats, DEFAULT_WAL_RECORD_PAGES)
+    }
+
+    /// Like [`Pager::new`] with an explicit WAL record-region size for
+    /// *fresh* devices (`0` disables the WAL entirely). Reopened devices
+    /// use the size recorded in their WAL header, ignoring this value.
+    pub fn with_wal_pages(
+        mut storage: Box<dyn Storage>,
+        stats: IoStats,
+        wal_record_pages: u64,
+    ) -> StoreResult<Self> {
         if storage.is_empty()? {
+            let wal = if storage.is_persistent() && wal_record_pages > 0 {
+                Some(WalState {
+                    layout: WalLayout {
+                        record_pages: wal_record_pages,
+                    },
+                    off: 0,
+                    epoch: 1,
+                    lsn: 0,
+                })
+            } else {
+                None
+            };
+            let page_count = wal.as_ref().map_or(1, |w| w.layout.first_data_page());
             let mut pager = Pager {
                 storage,
                 stats,
-                page_count: 1,
+                page_count,
                 catalog: Vec::new(),
                 free: Vec::new(),
                 vacuum_reclaimed: 0,
+                wal,
+                in_txn: false,
+                meta_dirty: false,
+                txn_allocs: Vec::new(),
+                txn_roots: Vec::new(),
+                txn_free: Vec::new(),
+                wal_free: Vec::new(),
+                pending_pages: Vec::new(),
+                unsynced_commits: 0,
             };
+            if let Some(w) = &mut pager.wal {
+                w.off = w.layout.first_record_off();
+                let header = wal::encode_header_page(w.layout.record_pages);
+                let start = Instant::now();
+                pager
+                    .storage
+                    .write_at(WAL_HEADER_PAGE * PAGE_SIZE as u64, &header)?;
+                pager.stats.record_write(1, start.elapsed());
+            }
             pager.write_meta()?;
+            if pager.wal.is_some() {
+                // Pin the header before any data lands: replay trusts it
+                // to find the record region and the data-page boundary.
+                pager.storage.sync()?;
+            }
             Ok(pager)
         } else {
+            // Probe for a WAL header *before* touching the meta page: a
+            // crash can tear the meta home write that a committed batch
+            // covers, and replay is what restores it.
+            let mut wal_state = None;
+            {
+                let mut hdr = vec![0u8; PAGE_SIZE];
+                storage.read_at(WAL_HEADER_PAGE * PAGE_SIZE as u64, &mut hdr)?;
+                if let Some(record_pages) = wal::decode_header_page(&hdr) {
+                    let layout = WalLayout { record_pages };
+                    let outcome = wal::replay(storage.as_mut(), &layout)?;
+                    if outcome.head_dirty {
+                        // Start a fresh run: zero the head so stale
+                        // records can never chain onto the next epoch.
+                        storage.write_at(layout.first_record_off(), &[0u8; RECORD_HEADER_LEN])?;
+                        storage.sync()?;
+                    }
+                    wal_state = Some(WalState {
+                        off: layout.first_record_off(),
+                        epoch: outcome.next_epoch,
+                        lsn: 0,
+                        layout,
+                    });
+                }
+            }
+            let first_data = wal_state.as_ref().map_or(1, |w| w.layout.first_data_page());
             let mut buf = vec![0u8; PAGE_SIZE];
             let start = Instant::now();
             storage.read_at(0, &mut buf)?;
@@ -125,9 +243,9 @@ impl Pager {
                 return Err(StoreError::BadDatabase("bad magic".into()));
             }
             let page_count = u64::from_le_bytes(buf[8..16].try_into().unwrap());
-            if page_count == 0 {
-                // A zero count would let `allocate` hand out the meta
-                // page itself and overwrite the catalog.
+            if page_count < first_data.max(1) {
+                // A count inside the meta/WAL extent would let `allocate`
+                // hand out those pages and overwrite the catalog or log.
                 return Err(StoreError::BadDatabase("page count out of range".into()));
             }
             let ntrees = u16::from_le_bytes(buf[16..18].try_into().unwrap()) as usize;
@@ -164,7 +282,7 @@ impl Pager {
                 let off = FREE_LIST_OFF + i * FREE_ENTRY_LEN;
                 let first = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
                 let pages = u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
-                let ok = first > 0
+                let ok = first >= first_data.max(1)
                     && pages > 0
                     && first
                         .checked_add(pages)
@@ -181,8 +299,28 @@ impl Pager {
                 catalog,
                 free,
                 vacuum_reclaimed: 0,
+                wal: wal_state,
+                in_txn: false,
+                meta_dirty: false,
+                txn_allocs: Vec::new(),
+                txn_roots: Vec::new(),
+                txn_free: Vec::new(),
+                wal_free: Vec::new(),
+                pending_pages: Vec::new(),
+                unsynced_commits: 0,
             })
         }
+    }
+
+    /// First page id past the meta page and WAL extent — where data
+    /// pages (trees, segments) begin. `1` when the store has no WAL.
+    pub fn first_data_page(&self) -> PageId {
+        self.wal.as_ref().map_or(1, |w| w.layout.first_data_page())
+    }
+
+    /// True when this store carries a write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// I/O counters shared with the owning store.
@@ -210,6 +348,10 @@ impl Pager {
         if name.len() > MAX_NAME_LEN {
             return Err(StoreError::NameTooLong(name.to_string()));
         }
+        if self.in_txn && !self.txn_roots.iter().any(|(n, _)| n == name) {
+            let old = self.catalog.iter().find(|e| e.name == name).map(|e| e.root);
+            self.txn_roots.push((name.to_string(), old));
+        }
         if let Some(e) = self.catalog.iter_mut().find(|e| e.name == name) {
             e.root = root;
         } else {
@@ -224,7 +366,8 @@ impl Pager {
         self.write_meta()
     }
 
-    fn write_meta(&mut self) -> StoreResult<()> {
+    /// Serialize the current meta state into a fresh page buffer.
+    pub fn serialize_meta(&self) -> Vec<u8> {
         let mut buf = vec![0u8; PAGE_SIZE];
         buf[0..8].copy_from_slice(MAGIC);
         buf[8..16].copy_from_slice(&self.page_count.to_le_bytes());
@@ -243,22 +386,48 @@ impl Pager {
             buf[off..off + 8].copy_from_slice(&first.to_le_bytes());
             buf[off + 8..off + 16].copy_from_slice(&pages.to_le_bytes());
         }
+        buf
+    }
+
+    fn write_meta(&mut self) -> StoreResult<()> {
+        if self.in_txn {
+            // An uncommitted transaction must never reach the meta home
+            // page: the batch's meta image goes through the WAL at the
+            // group sync instead (or is written at commit for no-WAL
+            // stores).
+            self.meta_dirty = true;
+            return Ok(());
+        }
+        let buf = self.serialize_meta();
         self.write_page_raw(META_PAGE, &buf)
+    }
+
+    /// Write pre-serialized meta bytes straight to the home page (the
+    /// group sync writes the exact bytes it just logged).
+    pub fn write_meta_home(&mut self, bytes: &[u8]) -> StoreResult<()> {
+        self.write_page_raw(META_PAGE, bytes)
     }
 
     /// Allocate a fresh page and return its id, reusing a freed extent
     /// page when one exists. The page contents on the device are
     /// undefined until first written.
     pub fn allocate(&mut self) -> StoreResult<PageId> {
-        if let Some(id) = self.take_free(1) {
-            return Ok(id);
+        let id = match self.take_free(1) {
+            Some(id) => id,
+            None => {
+                let id = self.page_count;
+                self.page_count += 1;
+                // Persisting the count lazily would lose allocations on
+                // crash; we accept writing the meta page on every
+                // allocation burst instead of per allocation by deferring
+                // to `flush`. The in-memory count is authoritative while
+                // the store is open.
+                id
+            }
+        };
+        if self.in_txn {
+            self.txn_allocs.push((id, 1));
         }
-        let id = self.page_count;
-        self.page_count += 1;
-        // Persisting the count lazily would lose allocations on crash; we
-        // accept writing the meta page on every allocation burst instead
-        // of per allocation by deferring to `flush`. The in-memory count
-        // is authoritative while the store is open.
         Ok(id)
     }
 
@@ -267,11 +436,17 @@ impl Pager {
     /// can be read sequentially or memory-mapped in one piece. Freed
     /// extents are reused (best fit) before the file grows.
     pub fn allocate_extent(&mut self, pages: u64) -> StoreResult<PageId> {
-        if let Some(id) = self.take_free(pages) {
-            return Ok(id);
+        let id = match self.take_free(pages) {
+            Some(id) => id,
+            None => {
+                let id = self.page_count;
+                self.page_count += pages;
+                id
+            }
+        };
+        if self.in_txn {
+            self.txn_allocs.push((id, pages));
         }
-        let id = self.page_count;
-        self.page_count += pages;
         Ok(id)
     }
 
@@ -297,7 +472,32 @@ impl Pager {
     /// Return a page extent to the free list, coalescing with adjacent
     /// runs. The list persists at the next meta write; until then the
     /// in-memory copy is authoritative, like the page count.
+    ///
+    /// Frees are quarantined in two situations. During a transaction
+    /// they park in `txn_free` so a rollback simply forgets them. While
+    /// the WAL holds un-checkpointed batches they park in `wal_free`:
+    /// replay rewrites every page a committed batch imaged, so recycling
+    /// a freed page for a direct extent write before the log truncates
+    /// would let recovery resurrect stale bytes over fresh data.
     pub fn free_extent(&mut self, first: PageId, pages: u64) {
+        if pages == 0 || first < self.first_data_page() {
+            return;
+        }
+        if self.in_txn {
+            self.txn_free.push((first, pages));
+            return;
+        }
+        if let Some(w) = &self.wal {
+            if w.off > w.layout.first_record_off() {
+                self.wal_free.push((first, pages));
+                return;
+            }
+        }
+        self.free_extent_now(first, pages)
+    }
+
+    /// Unconditional free-list insert (quarantine release path).
+    fn free_extent_now(&mut self, first: PageId, pages: u64) {
         if pages == 0 || first == 0 {
             return;
         }
@@ -342,7 +542,10 @@ impl Pager {
     /// Replace the free list wholesale (vacuum rebuilds it from live-page
     /// analysis). Extents are sorted and clipped to the allocated range.
     pub fn set_free_extents(&mut self, mut free: Vec<FreeExtent>) {
-        free.retain(|&(first, pages)| first > 0 && pages > 0 && first + pages <= self.page_count);
+        let floor = self.first_data_page();
+        free.retain(|&(first, pages)| {
+            first >= floor && pages > 0 && first + pages <= self.page_count
+        });
         free.sort_unstable();
         free.truncate(MAX_FREE_EXTENTS);
         self.free = free;
@@ -368,6 +571,7 @@ impl Pager {
     /// tail. Only vacuum calls this, after proving everything at or past
     /// `new_count` is dead.
     pub fn shrink_to(&mut self, new_count: u64) -> StoreResult<()> {
+        let new_count = new_count.max(self.first_data_page());
         if new_count >= self.page_count {
             return Ok(());
         }
@@ -464,6 +668,149 @@ impl Pager {
     pub fn flush(&mut self) -> StoreResult<()> {
         self.write_meta()?;
         self.storage.sync()?;
+        Ok(())
+    }
+
+    // ---- transactions and the write-ahead log ----
+
+    /// Enter transaction scope. The buffer pool's single-writer lock
+    /// serializes callers; this just flips the bookkeeping mode.
+    pub fn begin_txn(&mut self) {
+        debug_assert!(!self.in_txn, "nested transaction");
+        self.in_txn = true;
+    }
+
+    /// Commit the open transaction: adopt its allocations and root
+    /// changes, move its frees into the WAL quarantine (or straight to
+    /// the free list on no-WAL stores), and count it toward the group
+    /// commit window. `pending` are the pages the buffer pool newly
+    /// marked for the next WAL batch.
+    pub fn commit_txn(&mut self, pending: &[PageId]) -> StoreResult<()> {
+        debug_assert!(self.in_txn, "commit without begin");
+        self.in_txn = false;
+        self.txn_allocs.clear();
+        self.txn_roots.clear();
+        let freed = std::mem::take(&mut self.txn_free);
+        if self.wal.is_some() {
+            self.pending_pages.extend_from_slice(pending);
+            self.wal_free.extend(freed);
+            self.unsynced_commits += 1;
+        } else {
+            for (first, pages) in freed {
+                self.free_extent(first, pages);
+            }
+            if self.meta_dirty {
+                self.meta_dirty = false;
+                self.write_meta()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Roll the open transaction back: return its allocations to the
+    /// free list, restore the catalog roots it changed, and forget its
+    /// frees (the freeing operations never happened).
+    pub fn rollback_txn(&mut self) {
+        debug_assert!(self.in_txn, "rollback without begin");
+        self.in_txn = false;
+        self.meta_dirty = false;
+        self.txn_free.clear();
+        for (name, old) in std::mem::take(&mut self.txn_roots) {
+            match old {
+                Some(root) => {
+                    if let Some(e) = self.catalog.iter_mut().find(|e| e.name == name) {
+                        e.root = root;
+                    }
+                }
+                None => self.catalog.retain(|e| e.name != name),
+            }
+        }
+        for (first, pages) in std::mem::take(&mut self.txn_allocs) {
+            self.free_extent(first, pages);
+        }
+    }
+
+    /// Pages committed but not yet logged (deduplicated by the pool).
+    pub fn pending_pages(&self) -> Vec<PageId> {
+        self.pending_pages.clone()
+    }
+
+    /// Number of pages awaiting the next WAL batch.
+    pub fn pending_len(&self) -> usize {
+        self.pending_pages.len()
+    }
+
+    /// Commits since the last group sync.
+    pub fn unsynced_commits(&self) -> u64 {
+        self.unsynced_commits
+    }
+
+    /// Append one batch — `images` then a commit record — with a single
+    /// device write, then sync: that sync is the commit point for every
+    /// transaction in the batch. If the batch doesn't fit in the space
+    /// left, the log is checkpointed first (safe: every earlier batch
+    /// already wrote its home pages, and the checkpoint syncs them).
+    /// On failure the append cursor does not advance, so the caller's
+    /// pending state stays intact for a retry.
+    pub fn wal_append_commit(&mut self, images: &[(PageId, &[u8])]) -> StoreResult<()> {
+        let Some(w) = &self.wal else {
+            return Ok(());
+        };
+        let need =
+            images.len() as u64 * (RECORD_HEADER_LEN + PAGE_SIZE) as u64 + RECORD_HEADER_LEN as u64;
+        let end = w.layout.end_off();
+        if w.off + need > end {
+            self.checkpoint()?;
+            let w = self.wal.as_ref().expect("wal present");
+            if w.off + need > end {
+                return Err(StoreError::Corrupt("wal batch exceeds the log region"));
+            }
+        }
+        let w = self.wal.as_ref().expect("wal present");
+        let (off, lsn) = (w.off, w.lsn);
+        let batch = wal::encode_batch(images, w.epoch, lsn);
+        debug_assert_eq!(batch.len() as u64, need);
+        let start = Instant::now();
+        self.storage.write_at(off, &batch)?;
+        self.storage.sync()?;
+        self.stats
+            .record_write(batch.len().div_ceil(PAGE_SIZE) as u64, start.elapsed());
+        let w = self.wal.as_mut().expect("wal present");
+        w.off = off + batch.len() as u64;
+        w.lsn = lsn + images.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// The group sync logged and home-wrote everything pending; reset
+    /// the window counters.
+    pub fn after_group_sync(&mut self) {
+        self.pending_pages.clear();
+        self.unsynced_commits = 0;
+        self.meta_dirty = false;
+    }
+
+    /// Truncate the log: make every home page durable, zero the head
+    /// record, sync again, and start a new epoch at the head. Releases
+    /// the free-extent quarantine — nothing in the (now empty) log can
+    /// resurrect those pages anymore.
+    pub fn checkpoint(&mut self) -> StoreResult<()> {
+        let Some(w) = &self.wal else {
+            return Ok(());
+        };
+        let head = w.layout.first_record_off();
+        if w.off == head && self.wal_free.is_empty() {
+            return Ok(());
+        }
+        self.storage.sync()?;
+        self.storage.write_at(head, &[0u8; RECORD_HEADER_LEN])?;
+        self.storage.sync()?;
+        let w = self.wal.as_mut().expect("wal present");
+        w.off = head;
+        w.epoch += 1;
+        w.lsn = 0;
+        for (first, pages) in std::mem::take(&mut self.wal_free) {
+            self.free_extent_now(first, pages);
+        }
         Ok(())
     }
 }
@@ -612,18 +959,20 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pagestore-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("freelist-roundtrip.db");
+        let base;
         {
             let fs = crate::storage::FileStorage::create(&path).unwrap();
             let mut p = Pager::new(Box::new(fs), IoStats::new()).unwrap();
-            p.allocate_extent(20).unwrap();
-            p.free_extent(4, 3);
-            p.free_extent(12, 5);
+            base = p.allocate_extent(20).unwrap();
+            assert_eq!(base, p.first_data_page());
+            p.free_extent(base + 3, 3);
+            p.free_extent(base + 11, 5);
             p.flush().unwrap();
         }
         {
             let fs = crate::storage::FileStorage::open(&path).unwrap();
             let p = Pager::new(Box::new(fs), IoStats::new()).unwrap();
-            assert_eq!(p.free_extents(), &[(4, 3), (12, 5)]);
+            assert_eq!(p.free_extents(), &[(base + 3, 3), (base + 11, 5)]);
         }
         std::fs::remove_file(&path).ok();
     }

@@ -33,6 +33,7 @@ pub struct StoreOptions {
     capacity: usize,
     shards: Option<usize>,
     stats: IoStats,
+    wal_pages: Option<u64>,
 }
 
 impl Default for StoreOptions {
@@ -41,6 +42,7 @@ impl Default for StoreOptions {
             capacity: DEFAULT_CAPACITY,
             shards: None,
             stats: IoStats::new(),
+            wal_pages: None,
         }
     }
 }
@@ -72,6 +74,16 @@ impl StoreOptions {
         self
     }
 
+    /// Size of the write-ahead-log region, in pages, reserved when a
+    /// fresh persistent device is initialized (`0` disables the WAL;
+    /// default [`crate::wal::DEFAULT_WAL_RECORD_PAGES`]). Existing
+    /// devices keep whatever layout they were created with — this only
+    /// affects creation.
+    pub fn wal_pages(mut self, pages: u64) -> Self {
+        self.wal_pages = Some(pages);
+        self
+    }
+
     /// Terminal: an ephemeral in-memory store.
     pub fn open_memory(self) -> Store {
         self.with_storage(Box::new(MemStorage::new()))
@@ -97,7 +109,10 @@ impl StoreOptions {
 
     /// Terminal: wrap an arbitrary storage device.
     pub fn with_storage(self, storage: Box<dyn Storage>) -> StoreResult<Store> {
-        let pager = Pager::new(storage, self.stats)?;
+        let pager = match self.wal_pages {
+            Some(pages) => Pager::with_wal_pages(storage, self.stats, pages)?,
+            None => Pager::new(storage, self.stats)?,
+        };
         let mut pool = match self.shards {
             Some(n) => BufferPool::with_shards(pager, self.capacity, n),
             None => BufferPool::new(pager, self.capacity),
@@ -259,7 +274,7 @@ impl Store {
         let entry = SegmentEntry::decode(&value).ok_or_else(|| invalid("malformed entry"))?;
         let byte_len =
             usize::try_from(entry.len).map_err(|_| invalid("length exceeds address space"))?;
-        if entry.first_page == 0
+        if entry.first_page < self.pool.first_data_page()
             || entry.len > entry.pages * PAGE_SIZE as u64
             || entry
                 .first_page
@@ -368,9 +383,54 @@ impl Store {
         self.pool.io_snapshot()
     }
 
-    /// Write back dirty pages and sync the device.
+    /// Write back dirty pages and sync the device. On a WAL-backed
+    /// store this also drains the pending group-commit batch and
+    /// checkpoints (truncates) the log. Blocks while a transaction is
+    /// open — do not call with an un-committed [`Txn`] on the same
+    /// thread.
     pub fn flush(&self) -> StoreResult<()> {
         self.pool.flush()
+    }
+
+    /// Begin an atomic transaction. All tree writes, segment puts, and
+    /// deletes through this store until the matching [`Txn::commit`]
+    /// become visible and durable together: on a WAL-backed store the
+    /// commit stages one log batch (fsynced at the group-commit
+    /// window), and a crash before the batch is logged rolls the whole
+    /// transaction back on reopen. Dropping the returned [`Txn`]
+    /// without committing rolls back immediately.
+    ///
+    /// Transactions are single-writer: `begin` blocks until no other
+    /// transaction (or exclusive maintenance section) is open. They are
+    /// not reentrant — a second `begin`, or a [`Store::flush`] /
+    /// [`Store::vacuum`], from the same thread while a `Txn` is open
+    /// deadlocks.
+    pub fn begin(&self) -> StoreResult<Txn> {
+        self.pool.begin_txn();
+        Ok(Txn {
+            pool: Arc::clone(&self.pool),
+            done: false,
+        })
+    }
+
+    /// True when the backing device carries a write-ahead log (i.e. the
+    /// store was created persistent with a non-zero WAL region).
+    pub fn wal_enabled(&self) -> bool {
+        self.pool.wal_enabled()
+    }
+
+    /// First page id usable for data; pages below it hold the metadata
+    /// page and the WAL region.
+    pub fn first_data_page(&self) -> PageId {
+        self.pool.first_data_page()
+    }
+
+    /// Number of currently *live* pages: meta + WAL region + reachable
+    /// tree pages + catalogued segment extents. The complement of this
+    /// within [`Store::page_count`] is the dead space vacuum can
+    /// reclaim — benchmarks use the pair to compute recovery fractions.
+    pub fn live_page_count(&self) -> StoreResult<u64> {
+        Ok(self.live_pages()?.len() as u64)
     }
 
     /// Flush everything and sync before the store handle goes away —
@@ -436,10 +496,16 @@ impl Store {
     /// in the middle can leave dangling segment entries, which the read
     /// path reports as [`StoreError::SegmentInvalid`].
     pub fn vacuum(&self) -> StoreResult<u64> {
+        // Vacuum holds the transaction gate for its whole run: no
+        // transaction may commit while pages are being relocated, and
+        // the opening flush drains + checkpoints the WAL so no pending
+        // batch images describe the old layout.
+        let _excl = self.pool.txn_exclusion();
+        let first_data = self.pool.first_data_page();
         // Make the device authoritative and wipe the free list —
         // relocation targets must never race allocations for the holes,
         // and the list is rebuilt from scratch at the end.
-        self.pool.flush()?;
+        self.pool.flush_locked()?;
         self.pool.set_free_extents(Vec::new());
         let old_count = self.pool.page_count();
 
@@ -466,7 +532,7 @@ impl Store {
             )
             .collect();
         units.sort_unstable_by_key(|&(first, _, _)| first);
-        let mut prev_end = 1u64;
+        let mut prev_end = first_data;
         for &(first, pages, _) in &units {
             if first < prev_end || first.checked_add(pages).is_none_or(|end| end > old_count) {
                 return Err(StoreError::Corrupt("vacuum: live extents overlap"));
@@ -475,13 +541,14 @@ impl Store {
         }
 
         // ---- plan the dense layout ----
-        // Units are assigned ascending targets from page 1 up; because
+        // Units are assigned ascending targets from the first data page
+        // up; because
         // sources are disjoint and ascending, every target range sits at
         // or below its source and never overlaps a later source, so the
         // moves can be applied in order with only per-unit buffering.
         let mut map: std::collections::HashMap<PageId, PageId> = std::collections::HashMap::new();
         let mut moves: Vec<(PageId, u64, PageId)> = Vec::new();
-        let mut next: PageId = 1;
+        let mut next: PageId = first_data;
         for &(first, pages, seg) in &units {
             let target = next;
             next += pages;
@@ -539,25 +606,28 @@ impl Store {
                 tree.insert(name.as_bytes(), &e.encode())?;
             }
         }
-        self.pool.flush()?;
+        self.pool.flush_locked()?;
 
         // ---- re-derive liveness (catalog rewrites can allocate), then
         // rebuild the free list and drop the tail ----
         let live = self.live_pages()?;
-        let new_count = live.iter().next_back().map_or(1, |&p| p + 1);
+        let new_count = live.iter().next_back().map_or(first_data, |&p| p + 1);
         self.pool
             .set_free_extents(free_runs(&live, new_count).into_iter().collect());
         self.pool.forget_frames_from(new_count);
         self.pool.shrink_to(new_count)?;
-        self.pool.flush()?;
+        self.pool.flush_locked()?;
         Ok(old_count.saturating_sub(self.pool.page_count()))
     }
 
-    /// Every live page: the meta page, all pages reachable from
-    /// catalogued trees, and all catalogued segment extents.
+    /// Every live page: the meta page and WAL region, all pages
+    /// reachable from catalogued trees, and all catalogued segment
+    /// extents.
     fn live_pages(&self) -> StoreResult<BTreeSet<PageId>> {
         let mut live = BTreeSet::new();
         live.insert(META_PAGE);
+        // The WAL header + record region is infrastructure, always live.
+        live.extend(META_PAGE + 1..self.pool.first_data_page());
         for name in self.pool.tree_names() {
             if let Some(root) = self.pool.tree_root(&name) {
                 BTree::open(&self.pool, root).collect_pages(&mut live)?;
@@ -594,6 +664,55 @@ impl Drop for Store {
             && self.pool.flush().is_err()
         {
             self.pool.record_flush_failure();
+        }
+    }
+}
+
+/// An open transaction on a [`Store`], returned by [`Store::begin`].
+///
+/// Holds the store's single-writer gate until resolved. [`commit`]
+/// publishes every write made since `begin` atomically; [`rollback`]
+/// (or dropping the guard) restores the pre-transaction state
+/// byte-for-byte — pages are un-written, allocations un-made, root
+/// moves un-done.
+///
+/// [`commit`]: Txn::commit
+/// [`rollback`]: Txn::rollback
+#[must_use = "dropping a Txn rolls it back"]
+pub struct Txn {
+    pool: Arc<BufferPool>,
+    done: bool,
+}
+
+impl std::fmt::Debug for Txn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn").field("done", &self.done).finish()
+    }
+}
+
+impl Txn {
+    /// Commit: everything written since [`Store::begin`] becomes
+    /// visible atomically. On a WAL-backed store durability arrives
+    /// with the group-commit fsync (at the latest, the next
+    /// [`Store::flush`]); an error here means the transaction state is
+    /// already published in memory but the log append failed — the
+    /// caller should surface it and flush.
+    pub fn commit(mut self) -> StoreResult<()> {
+        self.done = true;
+        self.pool.commit_txn()
+    }
+
+    /// Roll back: restore the exact pre-transaction state.
+    pub fn rollback(mut self) {
+        self.done = true;
+        self.pool.rollback_txn();
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.done {
+            self.pool.rollback_txn();
         }
     }
 }

@@ -305,7 +305,9 @@ fn eviction_write_error_propagates_and_data_survives() {
 /// `close()` and does not latch the store shut — the retry succeeds.
 #[test]
 fn failed_close_reports_and_retries() {
-    let (storage, _handle) = FaultStorage::new(FaultScript::none().fail_sync(0));
+    // Sync 0 pins the fresh device's WAL header at creation; sync 1 is
+    // the closing flush under test.
+    let (storage, _handle) = FaultStorage::new(FaultScript::none().fail_sync(1));
     let store = Store::options().with_storage(Box::new(storage)).unwrap();
     let tree = store.open_tree("t").unwrap();
     tree.insert(b"k", b"v").unwrap();
@@ -329,7 +331,9 @@ fn failed_close_reports_and_retries() {
 fn drop_with_failing_flush_counts_instead_of_panicking() {
     let stats = IoStats::default();
     {
-        let (storage, _handle) = FaultStorage::new(FaultScript::none().fail_sync(0));
+        // Sync 0 is the WAL-header pin at creation; sync 1 is the
+        // drop-path flush under test.
+        let (storage, _handle) = FaultStorage::new(FaultScript::none().fail_sync(1));
         let store = Store::options()
             .stats(stats.clone())
             .with_storage(Box::new(storage))

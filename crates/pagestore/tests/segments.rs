@@ -121,22 +121,24 @@ fn dangling_entry_is_reported_invalid() {
     // data-extent allocation didn't. The typed error carries the name
     // so callers can report which segment fell back.
     let path = temp_path("dangling.db");
-    {
+    let good = {
         let store = Store::create(&path).unwrap();
         store.put_segment("good", b"fine").unwrap();
         store.close().unwrap();
-    }
+        let (_, entry) = store
+            .segment_entries()
+            .unwrap()
+            .into_iter()
+            .find(|(n, _)| n == "good")
+            .expect("segment just written");
+        entry
+    };
     // The public API refuses to write the reserved tree, so corrupt the
     // entry with byte-level surgery: locate its encoding in the file and
     // point first_page far past the allocated range.
     {
         let mut bytes = std::fs::read(&path).unwrap();
-        let good = SegmentEntry {
-            first_page: 1,
-            pages: 1,
-            len: 4,
-        }
-        .encode();
+        let good = good.encode();
         let pos = bytes
             .windows(good.len())
             .position(|w| w == good)

@@ -1,0 +1,310 @@
+//! WAL recovery properties: crash anywhere, reopen to a committed
+//! state — never a hybrid — and recover idempotently.
+//!
+//! The sweep harness runs a transactional workload over [`FaultStorage`]
+//! (whose `is_persistent() == true` enables the WAL), crashes it at
+//! every write index and at every sync index, reopens the frozen image,
+//! and checks that the visible tree contents equal exactly one of the
+//! states that existed at a commit boundary. Group commit means the
+//! recovered state can be *any* committed prefix (commits between group
+//! syncs are not yet durable), but it can never mix two transactions.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xmorph_pagestore::storage::Storage;
+use xmorph_pagestore::{FaultHandle, FaultScript, FaultStorage, Store, StoreError, StoreResult};
+
+type Model = BTreeMap<Vec<u8>, Vec<u8>>;
+
+/// One transaction: `(key_tag, op_tag)` pairs; `op_tag % 4 == 0` is a
+/// delete, anything else an insert.
+type Batch = Vec<(u8, u8)>;
+
+fn key(tag: u8) -> Vec<u8> {
+    format!("key{:03}", tag % 24).into_bytes()
+}
+
+/// Values encode the batch index, so a page image from batch `i`
+/// surviving next to one from batch `j` (a hybrid state) produces a
+/// contents map matching no committed prefix.
+fn value(batch: usize, tag: u8) -> Vec<u8> {
+    vec![batch as u8 ^ tag; 16 + (tag as usize % 48)]
+}
+
+fn open_wal_store(storage: Box<dyn Storage>) -> StoreResult<Store> {
+    Store::options()
+        .capacity(32)
+        .shards(1)
+        .wal_pages(128)
+        .with_storage(storage)
+}
+
+/// Run the batches as one transaction each, flushing (group sync +
+/// checkpoint) after every other commit so the sweep crosses appends,
+/// home writes, and checkpoints. Returns the `(write, sync)` indexes
+/// recorded right after store setup became durable — crash points below
+/// them may refuse to open (store creation is not itself WAL-covered).
+fn workload(
+    storage: Box<dyn Storage>,
+    handle: Option<&FaultHandle>,
+    batches: &[Batch],
+) -> StoreResult<(u64, u64)> {
+    let store = open_wal_store(storage)?;
+    // Tree creation inside a transaction: the catalog update rides the
+    // WAL like every later mutation.
+    let setup = store.begin()?;
+    let tree = store.open_tree("t")?;
+    setup.commit()?;
+    store.flush()?;
+    let setup_done = handle.map_or((0, 0), |h| (h.writes(), h.syncs()));
+    for (bi, batch) in batches.iter().enumerate() {
+        let txn = store.begin()?;
+        for &(ktag, op) in batch {
+            if op % 4 == 0 {
+                tree.delete(&key(ktag))?;
+            } else {
+                tree.insert(&key(ktag), &value(bi, ktag))?;
+            }
+        }
+        txn.commit()?;
+        if bi % 2 == 1 {
+            store.flush()?;
+        }
+    }
+    store.close()?;
+    Ok(setup_done)
+}
+
+/// The model state after each commit boundary: `states[0]` is the empty
+/// pre-workload store, `states[b]` the contents after batch `b - 1`.
+fn committed_states(batches: &[Batch]) -> Vec<Model> {
+    let mut states = vec![Model::new()];
+    let mut m = Model::new();
+    for (bi, batch) in batches.iter().enumerate() {
+        for &(ktag, op) in batch {
+            if op % 4 == 0 {
+                m.remove(&key(ktag));
+            } else {
+                m.insert(key(ktag), value(bi, ktag));
+            }
+        }
+        states.push(m.clone());
+    }
+    states
+}
+
+/// Read the full tree contents of a reopened image. `Err` means the
+/// image refused to open or scan — allowed only for pre-setup crashes.
+fn contents(image: Vec<u8>) -> StoreResult<Model> {
+    let (storage, _h) = FaultStorage::with_image(image, FaultScript::none());
+    let store = open_wal_store(Box::new(storage))?;
+    let mut m = Model::new();
+    if !store.tree_names().iter().any(|n| n == "t") {
+        return Ok(m);
+    }
+    let tree = store.open_tree("t")?;
+    let mut it = tree.range(..);
+    while let Some((k, v)) = it.next_entry()? {
+        m.insert(k, v);
+    }
+    Ok(m)
+}
+
+fn assert_committed_state(
+    got: &StoreResult<Model>,
+    states: &[Model],
+    setup_done: u64,
+    point: &str,
+    k: u64,
+) {
+    match got {
+        Ok(m) => {
+            assert!(
+                states.contains(m),
+                "{point}@{k}: recovered contents ({} keys) match no commit \
+                 boundary — a hybrid state",
+                m.len()
+            );
+        }
+        Err(StoreError::Io(_)) | Err(StoreError::BadDatabase(_)) | Err(StoreError::Corrupt(_)) => {
+            assert!(
+                k < setup_done,
+                "{point}@{k}: post-setup crash image refused to open: {got:?}"
+            );
+        }
+        Err(e) => panic!("{point}@{k}: unexpected error class {e:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Crash at every write index *and* every sync index of a random
+    // transactional workload; the reopened image must show exactly a
+    // committed prefix of the batches.
+    #[test]
+    fn crash_anywhere_recovers_a_committed_state(
+        batches in prop::collection::vec(
+            prop::collection::vec((any::<u8>(), any::<u8>()), 1..6),
+            1..6,
+        )
+    ) {
+        let states = committed_states(&batches);
+
+        // Fault-free recording run pins the sweep width.
+        let (storage, handle) = FaultStorage::new(FaultScript::none());
+        let (setup_writes, setup_syncs) = workload(Box::new(storage), Some(&handle), &batches)
+            .expect("fault-free workload must succeed");
+        let (total_writes, total_syncs) = (handle.writes(), handle.syncs());
+        prop_assert!(total_writes > 4);
+
+        for k in 0..total_writes {
+            let script = FaultScript::none().crash_at(k).torn_seed(0xC0FFEE ^ k);
+            let (storage, handle) = FaultStorage::new(script);
+            prop_assert!(workload(Box::new(storage), None, &batches).is_err());
+            let got = contents(handle.image());
+            assert_committed_state(&got, &states, setup_writes, "write", k);
+        }
+        for k in 0..total_syncs {
+            let script = FaultScript::none().crash_at_sync(k);
+            let (storage, handle) = FaultStorage::new(script);
+            prop_assert!(workload(Box::new(storage), None, &batches).is_err());
+            let got = contents(handle.image());
+            assert_committed_state(&got, &states, setup_syncs, "sync", k);
+        }
+    }
+}
+
+/// Recovery is idempotent: replaying a crash image once, twice, or
+/// replaying the already-replayed image yields identical contents at
+/// every crash point of a fixed workload.
+#[test]
+fn recovery_is_idempotent_at_every_crash_point() {
+    let batches: Vec<Batch> = (0..4u8)
+        .map(|b| (0..4u8).map(|i| (b * 4 + i, 1)).collect())
+        .collect();
+    let states = committed_states(&batches);
+
+    let (storage, handle) = FaultStorage::new(FaultScript::none());
+    let (setup_writes, _) = workload(Box::new(storage), Some(&handle), &batches).unwrap();
+    let total_writes = handle.writes();
+
+    for k in 0..total_writes {
+        let script = FaultScript::none().crash_at(k).torn_seed(0xBEEF ^ k);
+        let (storage, handle) = FaultStorage::new(script);
+        assert!(workload(Box::new(storage), None, &batches).is_err());
+        let image = handle.image();
+
+        // First recovery, capturing the post-replay device image.
+        let (storage, h1) = FaultStorage::with_image(image.clone(), FaultScript::none());
+        let first = match open_wal_store(Box::new(storage)).and_then(|store| {
+            let c = contents_of(&store)?;
+            drop(store);
+            Ok(c)
+        }) {
+            Ok(c) => Some((c, h1.image())),
+            Err(_) => {
+                assert!(
+                    k < setup_writes,
+                    "write@{k}: post-setup image refused to open"
+                );
+                None
+            }
+        };
+        let Some((first, replayed_image)) = first else {
+            continue;
+        };
+        assert_committed_state(&Ok(first.clone()), &states, setup_writes, "write", k);
+
+        // Second independent recovery of the *original* image.
+        let again = contents(image).expect("second recovery of the same image");
+        assert_eq!(first, again, "write@{k}: recovery is not deterministic");
+
+        // Recovery of the already-replayed image (crash during
+        // recovery, then recover again) must also agree.
+        let twice = contents(replayed_image).expect("recovery of a replayed image");
+        assert_eq!(first, twice, "write@{k}: recover-twice diverged");
+    }
+}
+
+fn contents_of(store: &Store) -> StoreResult<Model> {
+    let mut m = Model::new();
+    if !store.tree_names().iter().any(|n| n == "t") {
+        return Ok(m);
+    }
+    let tree = store.open_tree("t")?;
+    let mut it = tree.range(..);
+    while let Some((k, v)) = it.next_entry()? {
+        m.insert(k, v);
+    }
+    Ok(m)
+}
+
+/// Group commit under contention: N threads each run M transactions
+/// writing a two-key pair (and rolling back every third), interleaved
+/// through the single-writer gate. Afterwards every committed pair is
+/// fully present, every rolled-back pair fully absent — all-or-nothing
+/// per transaction — both live and after a reopen of the device image.
+#[test]
+fn group_commit_concurrency_is_all_or_nothing() {
+    const THREADS: u8 = 4;
+    const TXNS: u8 = 25;
+
+    let (storage, handle) = FaultStorage::new(FaultScript::none());
+    let store = open_wal_store(Box::new(storage)).unwrap();
+    // Create the tree before the threads race to first-create it.
+    store.open_tree("pairs").unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            s.spawn(move || {
+                for i in 0..TXNS {
+                    let txn = store.begin().unwrap();
+                    // Fresh handle per txn: rollback invalidates cached
+                    // tree roots.
+                    let tree = store.open_tree("pairs").unwrap();
+                    let a = format!("a/{t:02}/{i:02}");
+                    let b = format!("b/{t:02}/{i:02}");
+                    let v = vec![t ^ i; 64];
+                    tree.insert(a.as_bytes(), &v).unwrap();
+                    tree.insert(b.as_bytes(), &v).unwrap();
+                    if i % 3 == 2 {
+                        txn.rollback();
+                    } else {
+                        txn.commit().unwrap();
+                    }
+                }
+            });
+        }
+    });
+    store.close().unwrap();
+
+    let check = |store: &Store| {
+        let tree = store.open_tree("pairs").unwrap();
+        for t in 0..THREADS {
+            for i in 0..TXNS {
+                let a = tree.get(format!("a/{t:02}/{i:02}").as_bytes()).unwrap();
+                let b = tree.get(format!("b/{t:02}/{i:02}").as_bytes()).unwrap();
+                if i % 3 == 2 {
+                    assert!(
+                        a.is_none() && b.is_none(),
+                        "rolled-back txn {t}/{i} left data behind"
+                    );
+                } else {
+                    let v = [t ^ i; 64];
+                    assert_eq!(a.as_deref(), Some(&v[..]), "txn {t}/{i} lost key a");
+                    assert_eq!(b.as_deref(), Some(&v[..]), "txn {t}/{i} lost key b");
+                }
+            }
+        }
+    };
+    check(&store);
+
+    // Same invariants through a cold reopen of the synced image.
+    let image = handle.image();
+    drop(store);
+    let (storage, _h) = FaultStorage::with_image(image, FaultScript::none());
+    let reopened = open_wal_store(Box::new(storage)).unwrap();
+    check(&reopened);
+}
