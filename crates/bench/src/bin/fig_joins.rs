@@ -9,13 +9,18 @@
 //! 2. **Closest-join probes** — `closest_children` resolved through a
 //!    B+tree prefix probe per parent (`closest_children_btree`, the
 //!    seed hot path) vs the columnar path (two binary searches on the
-//!    decoded type column), plus the `has_closest_child` existence
-//!    probe. Both sides are verified to return identical groups before
-//!    timing.
+//!    decoded type column), vs the batched kernel
+//!    (`closest_children_batch`: one forward gallop pass resolving the
+//!    whole document-ordered parent set), plus the `has_closest_child`
+//!    existence probe. All sides are verified to return identical
+//!    groups before timing.
 //! 3. **Cold open** — reopen a file-backed store and touch every type
-//!    column once: persisted column segments (mmap-served where the
-//!    platform allows) vs the lazy rebuild that decodes the `typeseq`
-//!    B+tree. This is the PR-3 persistence win.
+//!    column once: persisted column segments (delta/varint-compressed
+//!    v2 records, mmap-backed where the platform allows) vs the lazy
+//!    rebuild that decodes the `typeseq` B+tree, plus a third pass over
+//!    the same document rewritten in the uncompressed v1 wire format so
+//!    the compression ratio is measured, not estimated. This is the
+//!    PR-3 persistence win plus the PR-7 compression win.
 //! 4. **Update workload** — mutate ~1% of the document's nodes in
 //!    place (`update_text` concentrated on the highest-count types),
 //!    re-run the closest-join probes against the merged columns, then
@@ -26,10 +31,12 @@
 //!    is the PR-4 mutation work.
 //!
 //! Flags: `--scale <f>` scales the document, `--smoke` runs a tiny
-//! document with few iterations (the CI invocation), `--json` writes
-//! the measurements to `BENCH_PR6.json` in the current directory, and
-//! `--floors` exits non-zero when a headline ratio regresses below the
-//! floors CI enforces (mean join speed-up ≥ 102x, shred ≥ 1.6x).
+//! document with few iterations, `--json` writes the measurements to
+//! `BENCH_PR7.json` in the current directory, and `--floors` exits
+//! non-zero when a headline ratio regresses below the floors CI
+//! enforces (mean join speed-up ≥ 110x, shred ≥ 1.6x, compressed
+//! segments smaller than v1; at the CI scale, mapped bytes must stay
+//! ≤ 70% of the v1 baseline recorded in `BENCH_PR6.json`).
 
 use std::time::Instant;
 use xmorph_bench::harness::{BenchStore, StoreKind};
@@ -47,6 +54,12 @@ const JOIN_PAIRS: &[(&str, &str)] = &[
     ("site.people.person", "site.people.person.address.city"),
     ("site.people.person.name", "site.people.person.address.city"),
 ];
+
+/// `cold_open.mapped_bytes` from the committed `BENCH_PR6.json`: the
+/// uncompressed v1 segment footprint at XMark factor 0.05 that the v2
+/// delta/varint format is gated against (CI runs this binary at that
+/// exact scale).
+const V1_MAPPED_BYTES_BASELINE: usize = 973_774;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -91,6 +104,7 @@ fn main() {
         "parents",
         "btree probes/s",
         "columnar probes/s",
+        "batched probes/s",
         "speed-up",
         "exists probes/s",
     ]);
@@ -100,13 +114,27 @@ fn main() {
             j.parents.to_string(),
             format!("{:.0}", j.btree_probes_per_s),
             format!("{:.0}", j.columnar_probes_per_s),
+            format!("{:.0}", j.batched_probes_per_s),
             format!("{:.2}x", j.speedup()),
             format!("{:.0}", j.exists_probes_per_s),
         ]);
     }
     table.print();
-    let total_speedup = joins.iter().map(JoinBench::speedup).sum::<f64>() / joins.len() as f64;
-    println!("\nmean closest-join speed-up: {total_speedup:.2}x");
+    // The headline gates the shipped path: the batched kernel (what
+    // the renderer routes joins through) against the seed B+tree path.
+    // The per-parent columnar ratio stays reported as the ablation.
+    let total_speedup = joins
+        .iter()
+        .map(JoinBench::batch_speedup_vs_btree)
+        .sum::<f64>()
+        / joins.len() as f64;
+    let scalar_speedup = joins.iter().map(JoinBench::speedup).sum::<f64>() / joins.len() as f64;
+    let batch_speedup =
+        joins.iter().map(JoinBench::batch_speedup).sum::<f64>() / joins.len() as f64;
+    println!(
+        "\nmean closest-join speed-up: {total_speedup:.2}x batched vs btree (per-parent \
+         columnar {scalar_speedup:.2}x, batch amortization {batch_speedup:.2}x)"
+    );
 
     let cold = bench_cold_open(&xml);
     let mut table = Table::new(&["cold-open first touch", "seconds", "col bytes"]);
@@ -123,12 +151,23 @@ fn main() {
         format!("{:.4}", cold.rebuild_s),
         format!("{} heap", cold.rebuild_heap_bytes),
     ]);
+    table.row(&[
+        "v1 (uncompressed) segments".into(),
+        "-".into(),
+        format!("{} mapped", cold.mapped_bytes_v1),
+    ]);
     table.print();
     println!(
-        "\ncold-open first-touch speed-up: {:.2}x ({} types, {} rows)\n",
+        "\ncold-open first-touch speed-up: {:.2}x ({} types, {} rows)",
         cold.speedup(),
         cold.types,
         cold.rows
+    );
+    println!(
+        "v2 segment footprint: {} bytes vs {} uncompressed v1 ({:.1}% smaller)\n",
+        cold.mapped_bytes,
+        cold.mapped_bytes_v1,
+        (1.0 - cold.mapped_bytes as f64 / cold.mapped_bytes_v1.max(1) as f64) * 100.0
     );
 
     let upd = bench_update(&xml, iters);
@@ -175,12 +214,12 @@ fn main() {
     );
 
     if json {
-        let path = "BENCH_PR6.json";
+        let path = "BENCH_PR7.json";
         std::fs::write(
             path,
             render_json(&xml, factor, shred_inc_s, shred_bulk_s, &joins, &cold, &upd),
         )
-        .expect("write BENCH_PR6.json");
+        .expect("write BENCH_PR7.json");
         println!("wrote {path}");
     }
 
@@ -188,22 +227,44 @@ fn main() {
         // The regression wall CI enforces: the headline ratios from the
         // committed benchmark results, with slack for machine noise.
         // Probe correctness is gated separately by the assert_eq checks
-        // above — reaching this point means both paths agreed.
+        // above — reaching this point means all probe paths agreed.
         let shred_speedup = shred_inc_s / shred_bulk_s.max(1e-9);
         let mut failed = false;
-        if total_speedup < 102.0 {
-            eprintln!("FLOOR VIOLATED: mean_join_speedup {total_speedup:.2} < 102");
+        if total_speedup < 110.0 {
+            eprintln!("FLOOR VIOLATED: mean_join_speedup {total_speedup:.2} < 110");
             failed = true;
         }
         if shred_speedup < 1.6 {
             eprintln!("FLOOR VIOLATED: shred speedup {shred_speedup:.2} < 1.6");
             failed = true;
         }
+        // The compressed format must beat uncompressed v1 at any scale;
+        // at the CI scale (non-smoke, scale 1) the absolute footprint
+        // is additionally held to <= 70% of the committed v1 baseline.
+        if cold.mapped_bytes >= cold.mapped_bytes_v1 {
+            eprintln!(
+                "FLOOR VIOLATED: v2 mapped_bytes {} >= v1 mapped_bytes {}",
+                cold.mapped_bytes, cold.mapped_bytes_v1
+            );
+            failed = true;
+        }
+        if !smoke && (scale - 1.0).abs() < 1e-9 {
+            let limit = V1_MAPPED_BYTES_BASELINE * 7 / 10;
+            if cold.mapped_bytes > limit {
+                eprintln!(
+                    "FLOOR VIOLATED: mapped_bytes {} > {limit} (70% of v1 baseline {})",
+                    cold.mapped_bytes, V1_MAPPED_BYTES_BASELINE
+                );
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
-            "floors held: mean join {total_speedup:.2}x >= 102, shred {shred_speedup:.2}x >= 1.6"
+            "floors held: mean join {total_speedup:.2}x >= 110, shred {shred_speedup:.2}x >= \
+             1.6, v2 segments {} bytes < v1 {}",
+            cold.mapped_bytes, cold.mapped_bytes_v1
         );
     }
 }
@@ -420,7 +481,11 @@ fn bench_update(xml: &str, iters: usize) -> UpdateBench {
 struct ColdOpen {
     persisted_s: f64,
     rebuild_s: f64,
+    /// Mapped bytes served from the current (v2, compressed) segments.
     mapped_bytes: usize,
+    /// Mapped bytes after rewriting the same columns in the v1
+    /// uncompressed wire format — the measured compression baseline.
+    mapped_bytes_v1: usize,
     persisted_heap_bytes: usize,
     rebuild_heap_bytes: usize,
     types: usize,
@@ -484,12 +549,39 @@ fn bench_cold_open(xml: &str) -> ColdOpen {
     let rebuild_bytes = doc.column_bytes();
     drop(doc);
     drop(store);
+    // v1-format side: rewrite the same columns in the uncompressed v1
+    // wire format, reopen, and measure the mapped footprint so the
+    // compression ratio is reported against the same document.
+    let store = Store::options()
+        .capacity(4096)
+        .open(&path)
+        .expect("reopen store");
+    let doc = ShreddedDoc::open(&store).expect("open doc");
+    doc.persist_all_columns_v1().expect("persist v1 segments");
+    drop(doc);
+    store.close().expect("close");
+    let store = Store::options()
+        .capacity(4096)
+        .open(&path)
+        .expect("reopen store");
+    let doc = ShreddedDoc::open(&store).expect("open doc");
+    let rows_v1 = touch_all(&doc);
+    assert_eq!(rows, rows_v1, "v1 cold open disagrees on row count");
+    assert!(
+        doc.segment_fallbacks().is_empty(),
+        "v1 segments failed validation: {:?}",
+        doc.segment_fallbacks()
+    );
+    let v1_bytes = doc.column_bytes();
+    drop(doc);
+    drop(store);
     std::fs::remove_file(&path).ok();
 
     ColdOpen {
         persisted_s,
         rebuild_s,
         mapped_bytes: persisted_bytes.mapped,
+        mapped_bytes_v1: v1_bytes.mapped,
         persisted_heap_bytes: persisted_bytes.heap,
         rebuild_heap_bytes: rebuild_bytes.heap,
         types,
@@ -535,12 +627,23 @@ struct JoinBench {
     parents: usize,
     btree_probes_per_s: f64,
     columnar_probes_per_s: f64,
+    batched_probes_per_s: f64,
     exists_probes_per_s: f64,
 }
 
 impl JoinBench {
+    /// Per-parent columnar vs the seed B+tree path — the PR-2 ablation.
     fn speedup(&self) -> f64 {
         self.columnar_probes_per_s / self.btree_probes_per_s.max(1e-9)
+    }
+    /// Batch amortization: the batched kernel vs per-parent columnar.
+    fn batch_speedup(&self) -> f64 {
+        self.batched_probes_per_s / self.columnar_probes_per_s.max(1e-9)
+    }
+    /// The headline ratio: the shipped execution path (batched kernel,
+    /// what the renderer routes joins through) vs the seed B+tree path.
+    fn batch_speedup_vs_btree(&self) -> f64 {
+        self.batched_probes_per_s / self.btree_probes_per_s.max(1e-9)
     }
 }
 
@@ -561,7 +664,9 @@ fn bench_joins(doc: &ShreddedDoc, iters: usize) -> Vec<JoinBench> {
             println!("skipping {ppath} -> {cpath}: no parent instances");
             continue;
         }
-        // Correctness gate: both paths must return identical groups.
+        // Correctness gate: all probe paths must return identical
+        // groups — per-parent columnar vs B+tree, and the batched
+        // kernel's ranges vs the per-parent groups.
         for (p, _) in &parents {
             assert_eq!(
                 doc.closest_children(p, pt, ct),
@@ -569,6 +674,20 @@ fn bench_joins(doc: &ShreddedDoc, iters: usize) -> Vec<JoinBench> {
                 "columnar/btree divergence at {p}"
             );
         }
+        let parent_deweys: Vec<Dewey> = parents.iter().map(|(d, _)| d.clone()).collect();
+        let (batch_col, batch_ranges) = doc
+            .closest_children_batch(&parent_deweys, pt, ct)
+            .expect("join pair types are related");
+        assert_eq!(batch_ranges.len(), parent_deweys.len());
+        for (p, r) in parent_deweys.iter().zip(&batch_ranges) {
+            let (scol, want) = doc.closest_group(p, pt, ct).expect("related types");
+            assert_eq!(*r, want, "batched/per-parent divergence at {p}");
+            assert!(
+                std::sync::Arc::ptr_eq(&batch_col, &scol),
+                "batched kernel resolved a different column"
+            );
+        }
+        drop((batch_col, batch_ranges));
         let probes = parents.len() * iters;
 
         // The columnar side rebuilds its own columns (first pass);
@@ -586,6 +705,18 @@ fn bench_joins(doc: &ShreddedDoc, iters: usize) -> Vec<JoinBench> {
             parents.len()
         });
 
+        // Batched side: one forward gallop pass per call resolves the
+        // whole parent set, so a single call counts parents.len()
+        // probes.
+        let mut touched_batch = 0usize;
+        let batched = best_rate(iters, || {
+            let (_col, ranges) = doc
+                .closest_children_batch(&parent_deweys, pt, ct)
+                .expect("related types");
+            touched_batch += ranges.iter().map(|r| r.len()).sum::<usize>();
+            parent_deweys.len()
+        });
+
         let mut touched_bt = 0usize;
         let btree = best_rate(iters, || {
             for (p, _) in &parents {
@@ -594,6 +725,10 @@ fn bench_joins(doc: &ShreddedDoc, iters: usize) -> Vec<JoinBench> {
             parents.len()
         });
         assert_eq!(touched, touched_bt, "probe passes visited different rows");
+        assert_eq!(
+            touched, touched_batch,
+            "batched pass visited different rows"
+        );
 
         let mut hits = 0usize;
         let exists = best_rate(iters, || {
@@ -609,6 +744,7 @@ fn bench_joins(doc: &ShreddedDoc, iters: usize) -> Vec<JoinBench> {
             parents: parents.len(),
             btree_probes_per_s: btree,
             columnar_probes_per_s: columnar,
+            batched_probes_per_s: batched,
             exists_probes_per_s: exists,
         });
     }
@@ -649,10 +785,22 @@ fn render_json(
             j.columnar_probes_per_s
         ));
         s.push_str(&format!(
+            "      \"batched_probes_per_s\": {:.0},\n",
+            j.batched_probes_per_s
+        ));
+        s.push_str(&format!(
             "      \"exists_probes_per_s\": {:.0},\n",
             j.exists_probes_per_s
         ));
-        s.push_str(&format!("      \"speedup\": {:.2}\n", j.speedup()));
+        s.push_str(&format!("      \"speedup\": {:.2},\n", j.speedup()));
+        s.push_str(&format!(
+            "      \"batch_speedup\": {:.2},\n",
+            j.batch_speedup()
+        ));
+        s.push_str(&format!(
+            "      \"batch_speedup_vs_btree\": {:.2}\n",
+            j.batch_speedup_vs_btree()
+        ));
         s.push_str(if i + 1 == joins.len() {
             "    }\n"
         } else {
@@ -660,8 +808,18 @@ fn render_json(
         });
     }
     s.push_str("  ],\n");
-    let mean = joins.iter().map(JoinBench::speedup).sum::<f64>() / joins.len().max(1) as f64;
+    // mean_join_speedup gates the shipped (batched) path; the scalar
+    // per-parent mean stays alongside for continuity with BENCH_PR6.
+    let mean = joins
+        .iter()
+        .map(JoinBench::batch_speedup_vs_btree)
+        .sum::<f64>()
+        / joins.len().max(1) as f64;
+    let mean_scalar = joins.iter().map(JoinBench::speedup).sum::<f64>() / joins.len().max(1) as f64;
     s.push_str(&format!("  \"mean_join_speedup\": {mean:.2},\n"));
+    s.push_str(&format!(
+        "  \"mean_scalar_join_speedup\": {mean_scalar:.2},\n"
+    ));
     s.push_str("  \"cold_open\": {\n");
     s.push_str(&format!(
         "    \"persisted_first_touch_s\": {:.4},\n",
@@ -673,6 +831,14 @@ fn render_json(
     ));
     s.push_str(&format!("    \"speedup\": {:.2},\n", cold.speedup()));
     s.push_str(&format!("    \"mapped_bytes\": {},\n", cold.mapped_bytes));
+    s.push_str(&format!(
+        "    \"mapped_bytes_v2\": {},\n",
+        cold.mapped_bytes
+    ));
+    s.push_str(&format!(
+        "    \"mapped_bytes_v1\": {},\n",
+        cold.mapped_bytes_v1
+    ));
     s.push_str(&format!(
         "    \"rebuild_heap_bytes\": {},\n",
         cold.rebuild_heap_bytes

@@ -70,3 +70,6 @@ pub use store::mutate::MaintenanceStats;
 pub use store::shredded::{
     ColumnBytes, OpenOptions, Preload, ShredOptions, ShreddedDoc, TypeColumn,
 };
+
+#[doc(hidden)]
+pub use store::colseg::testing as colseg_testing;

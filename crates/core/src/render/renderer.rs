@@ -7,6 +7,17 @@
 //! type's sequence — the whole transformation is a single pass over the
 //! source lists, producing output in document order, streaming node by
 //! node.
+//!
+//! The root level goes one step further: before any instance renders,
+//! every direct source-backed edge of the root (element children,
+//! attribute children, and RESTRICT filters) is resolved for the *whole*
+//! root slice in one batched gallop pass over its child column
+//! ([`ShreddedDoc::closest_group_batch`]), so per-instance guard
+//! evaluation and child joins at the top level become plain indexed
+//! lookups into the precomputed groups. The parallel driver
+//! ([`crate::semantics::parallel`]) gets this per partition: each
+//! column-range slice builds its own batch. Deeper edges keep their
+//! monotone cursors; output is byte-identical either way.
 
 use crate::error::MorphResult;
 use crate::model::types::TypeId;
@@ -94,6 +105,7 @@ fn render_with(
         target,
         opts,
         cursors: HashMap::new(),
+        root_batch: None,
     };
     let mut w = StreamWriter::with_capacity(4096);
     if let Some(wrapper) = &opts.wrapper {
@@ -130,10 +142,16 @@ pub(crate) fn render_root_slice(
         target,
         opts,
         cursors: HashMap::new(),
+        root_batch: opts
+            .pipelined
+            .then(|| RootBatch::build(doc, target, root, root_type, col, rows.clone())),
     };
     let mut w = StreamWriter::with_capacity(4096);
     let mut out = String::new();
     for i in rows {
+        if let Some(b) = renderer.root_batch.as_mut() {
+            b.current = i;
+        }
         let dewey = col.dewey(i);
         renderer.render_instance(root, &dewey, root_type, col.text(i), &mut w)?;
         out.push_str(&w.drain());
@@ -155,6 +173,7 @@ pub(crate) fn render_root_plain(
         target,
         opts,
         cursors: HashMap::new(),
+        root_batch: None,
     };
     let mut w = StreamWriter::with_capacity(4096);
     renderer.render_new(root, None, &mut w)?;
@@ -192,12 +211,73 @@ impl Joined {
     }
 }
 
+/// The batched closest-join groups of one root slice: for every direct
+/// source-backed edge of the root node (element children, attribute
+/// children, and RESTRICT filters), the child column and one
+/// precomputed row range per root instance in the slice — produced by a
+/// single forward gallop pass per edge before rendering starts. Each
+/// target node appears at exactly one place in the shape tree, so an
+/// edge in `groups` is only ever joined against a root-instance anchor,
+/// and `current` (maintained by the root loops) names which one.
+struct RootBatch {
+    root_type: TypeId,
+    /// Row index of the first root instance in the slice.
+    lo: usize,
+    /// Row index of the instance currently rendering.
+    current: usize,
+    /// Per direct edge: child column plus one group range per instance.
+    groups: HashMap<SId, (Arc<TypeColumn>, Vec<Range<usize>>)>,
+}
+
+impl RootBatch {
+    fn build(
+        doc: &ShreddedDoc,
+        target: &Shape,
+        root: SId,
+        root_type: TypeId,
+        col: &TypeColumn,
+        rows: Range<usize>,
+    ) -> RootBatch {
+        let node = &target.nodes[root];
+        let mut groups = HashMap::new();
+        for &c in node.children.iter().chain(node.filters.iter()) {
+            if let Some(ct) = target.nodes[c].base {
+                // Unrelated pairs stay absent: the per-instance paths
+                // fall back to their probe, which answers "no group"
+                // the same way.
+                if let Some(batch) = doc.closest_group_batch(col, rows.clone(), root_type, ct) {
+                    groups.insert(c, batch);
+                }
+            }
+        }
+        RootBatch {
+            root_type,
+            lo: rows.start,
+            current: rows.start,
+            groups,
+        }
+    }
+
+    /// The precomputed group of edge `node` for the currently rendering
+    /// instance, when `anchor` is that instance.
+    fn group(&self, node: SId, anchor_type: TypeId) -> Option<(&Arc<TypeColumn>, Range<usize>)> {
+        if anchor_type != self.root_type {
+            return None;
+        }
+        let (col, ranges) = self.groups.get(&node)?;
+        Some((col, ranges[self.current - self.lo].clone()))
+    }
+}
+
 struct Renderer<'a> {
     doc: &'a ShreddedDoc,
     target: &'a Shape,
     opts: &'a RenderOptions,
     /// One pipelined join cursor per (target node, anchor type) edge.
     cursors: HashMap<(SId, TypeId), ClosestCursor>,
+    /// Batched groups for the root currently rendering (pipelined mode
+    /// with a source-backed root only).
+    root_batch: Option<RootBatch>,
 }
 
 impl<'a> Renderer<'a> {
@@ -212,11 +292,19 @@ impl<'a> Renderer<'a> {
         match self.target.nodes[root].base {
             Some(t) => {
                 let col = self.doc.column(t);
+                self.root_batch = self
+                    .opts
+                    .pipelined
+                    .then(|| RootBatch::build(self.doc, self.target, root, t, &col, 0..col.len()));
                 for i in 0..col.len() {
+                    if let Some(b) = self.root_batch.as_mut() {
+                        b.current = i;
+                    }
                     let dewey = col.dewey(i);
                     self.render_instance(root, &dewey, t, col.text(i), w)?;
                     emit(&w.drain())?;
                 }
+                self.root_batch = None;
             }
             None => {
                 self.render_new(root, None, w)?;
@@ -237,6 +325,12 @@ impl<'a> Renderer<'a> {
                 anchor.type_id,
                 child_type,
             ));
+        }
+        // Root-level edges were resolved up front for the whole slice.
+        if let Some(batch) = &self.root_batch {
+            if let Some((col, range)) = batch.group(node, anchor.type_id) {
+                return Joined::Columnar(Arc::clone(col), range);
+            }
         }
         let key = (node, anchor.type_id);
         if !self.cursors.contains_key(&key) {
@@ -397,20 +491,31 @@ impl<'a> Renderer<'a> {
 
     /// Recursive RESTRICT filter check: some closest instance of the
     /// filter type exists and itself satisfies the filter's children.
-    /// (Filters use direct prefix-scan joins: they probe out of document
-    /// order, so the pipelined cursors do not apply.)
+    /// Root-level filters read their precomputed batch group; deeper
+    /// filters use direct prefix-scan joins (they probe out of document
+    /// order, so the pipelined cursors do not apply).
     fn passes_filter(&self, filter: SId, anchor: Anchor<'_>) -> bool {
         let Some(ft) = self.target.nodes[filter].base else {
             // A NEW filter can never match data.
             return false;
         };
         let fnode = &self.target.nodes[filter];
+        let batched = self
+            .root_batch
+            .as_ref()
+            .and_then(|b| b.group(filter, anchor.type_id))
+            .map(|(col, range)| (Arc::clone(col), range));
         if fnode.children.is_empty() && fnode.filters.is_empty() {
             // A leaf filter is a pure existence test — probe the prefix
-            // range, materialize nothing.
-            return self.doc.has_closest_child(anchor.dewey, anchor.type_id, ft);
+            // range (or read the batched group), materialize nothing.
+            return match &batched {
+                Some((_, range)) => !range.is_empty(),
+                None => self.doc.has_closest_child(anchor.dewey, anchor.type_id, ft),
+            };
         }
-        let Some((col, range)) = self.doc.closest_group(anchor.dewey, anchor.type_id, ft) else {
+        let Some((col, range)) =
+            batched.or_else(|| self.doc.closest_group(anchor.dewey, anchor.type_id, ft))
+        else {
             return false;
         };
         range.into_iter().any(|i| {

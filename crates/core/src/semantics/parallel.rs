@@ -21,6 +21,15 @@
 //! [`crate::render::render`] by construction. Roots that are NEW (not
 //! source-backed) instantiate once per document, not once per group, and
 //! render on a single thread.
+//!
+//! Each partition's column-range slice also goes through the batched
+//! closest-join kernel: before rendering, the slice resolves every
+//! direct root edge (children, attributes, RESTRICT filters) for all of
+//! its instances in one forward gallop pass per edge
+//! ([`crate::store::shredded::ShreddedDoc::closest_group_batch`]), so
+//! worker threads spend their time emitting output, not re-searching
+//! the child columns. The batch is per slice, so workers share nothing
+//! mutable and the byte-identity argument is unchanged.
 
 use crate::error::MorphResult;
 use crate::guard::{Guard, GuardOutput};

@@ -1012,6 +1012,49 @@ mod tests {
     }
 
     #[test]
+    fn batched_probes_agree_after_mutations() {
+        // Delta folding must produce columns the batch kernel reads
+        // exactly like the per-parent path — across merges, pending
+        // deltas, and a persisted (v2-segment) cold reopen.
+        let path = temp_path("batch-mutate.db");
+        {
+            let store = Store::create(&path).unwrap();
+            let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+            for t in doc.types().ids().collect::<Vec<_>>() {
+                doc.column(t);
+            }
+            doc.update_text(&d("1.1.1"), "Z").unwrap();
+            doc.insert_subtree(&d("1.2"), "<award>prize</award>")
+                .unwrap();
+            doc.delete_subtree(&d("1.1.3")).unwrap();
+            let check = |doc: &ShreddedDoc| {
+                for a in doc.types().ids().collect::<Vec<_>>() {
+                    let parents: Vec<Dewey> =
+                        doc.scan_type(a).into_iter().map(|(p, _)| p).collect();
+                    for b in doc.types().ids().collect::<Vec<_>>() {
+                        let Some((_, ranges)) = doc.closest_children_batch(&parents, a, b) else {
+                            continue;
+                        };
+                        for (p, r) in parents.iter().zip(&ranges) {
+                            let (_, want) = doc.closest_group(p, a, b).unwrap();
+                            assert_eq!(*r, want, "batch group {p} {a:?}->{b:?}");
+                        }
+                    }
+                }
+            };
+            check(&doc);
+            doc.persist_dirty_columns().unwrap();
+            store.close().unwrap();
+            let store = Store::open(&path).unwrap();
+            let doc = ShreddedDoc::open(&store).unwrap();
+            check(&doc);
+            assert!(doc.segment_fallbacks().is_empty());
+            store.close().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn open_after_mutation_sees_updated_shape() {
         let store = Store::in_memory();
         let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();

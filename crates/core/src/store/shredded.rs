@@ -38,6 +38,7 @@ use crate::model::shape::AdornedShape;
 use crate::model::types::{TypeId, TypeTable};
 use crate::semantics::eval::DistOracle;
 use crate::store::colseg;
+use std::cmp::Ordering as Cmp;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -283,14 +284,127 @@ enum Backing {
         /// `len() + 1` byte offsets into `texts`.
         offsets: Vec<u32>,
     },
-    /// A validated column segment, borrowed in place. Constructed only
-    /// when the platform lets the payload be reinterpreted directly
-    /// (little-endian, 4-byte-aligned mapping); see
+    /// A validated v1 column segment, borrowed in place. Constructed
+    /// only when the platform lets the payload be reinterpreted
+    /// directly (little-endian, 4-byte-aligned mapping); see
     /// [`TypeColumn::from_segment`].
     Mapped {
         seg: SegmentData,
         layout: colseg::SegmentLayout,
     },
+    /// A validated v2 (delta/varint-compressed) segment served from a
+    /// read-only mapping: the component and offset arrays were decoded
+    /// to the heap at load time (varints cannot be indexed in place),
+    /// while the text arena — typically the bulk of the bytes — is
+    /// still served zero-copy out of the mapping. `mapped_bytes`
+    /// reports the compressed segment length: the cold-open I/O
+    /// actually paid.
+    Compressed {
+        seg: SegmentData,
+        comps: Vec<u32>,
+        offsets: Vec<u32>,
+        /// UTF-8-validated arena range within `seg`.
+        texts: Range<usize>,
+    },
+}
+
+/// Three-way compare of a row's leading components against a clamped
+/// prefix (`pre.len()` ≤ row length). Chunked 8 components at a time:
+/// each chunk first runs a branch-free XOR-OR inequality test — eight
+/// independent word ops the compiler can keep in flight (or vectorize)
+/// — and only a chunk that proves unequal pays for per-word ordering.
+/// Dewey rows in one closest-join group share long prefixes, so the
+/// cheap path is the common one on wide columns; narrow rows fall
+/// through to the scalar tail immediately.
+fn cmp_prefix(row: &[u32], pre: &[u32]) -> Cmp {
+    debug_assert!(row.len() >= pre.len());
+    let n = pre.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let a = &row[i..i + 8];
+        let b = &pre[i..i + 8];
+        let ne = (a[0] ^ b[0])
+            | (a[1] ^ b[1])
+            | (a[2] ^ b[2])
+            | (a[3] ^ b[3])
+            | (a[4] ^ b[4])
+            | (a[5] ^ b[5])
+            | (a[6] ^ b[6])
+            | (a[7] ^ b[7]);
+        if ne != 0 {
+            for k in 0..8 {
+                match a[k].cmp(&b[k]) {
+                    Cmp::Equal => {}
+                    other => return other,
+                }
+            }
+        }
+        i += 8;
+    }
+    while i < n {
+        match row[i].cmp(&pre[i]) {
+            Cmp::Equal => i += 1,
+            other => return other,
+        }
+    }
+    Cmp::Equal
+}
+
+/// First index in `[lo, hi)` of the row-major `comps` (width `w`)
+/// where the monotone `pred` turns false, by plain binary search.
+fn binary_partition(
+    comps: &[u32],
+    w: usize,
+    mut lo: usize,
+    mut hi: usize,
+    pred: impl Fn(&[u32]) -> bool,
+) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(&comps[mid * w..(mid + 1) * w]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// First index in `[from, n)` where the monotone `pred` turns false,
+/// found by galloping: exponential probes from `from` bracket the flip
+/// point, then a binary search inside the bracket pins it. Cost is
+/// O(log d) in the distance `d` actually advanced — so a sweep that
+/// calls this repeatedly with an increasing `from` does O(n + m) total
+/// work over m calls, instead of the O(m log n) of restarting a binary
+/// search each time.
+fn gallop_partition(
+    comps: &[u32],
+    w: usize,
+    from: usize,
+    n: usize,
+    pred: impl Fn(&[u32]) -> bool,
+) -> usize {
+    let row = |i: usize| &comps[i * w..(i + 1) * w];
+    if from >= n || !pred(row(from)) {
+        return from.min(n);
+    }
+    // Row `from` still satisfies `pred`: double the step until a probe
+    // fails (or the end of the column brackets the flip point).
+    let mut last = from;
+    let mut step = 1usize;
+    let hi = loop {
+        let probe = from + step;
+        if probe >= n {
+            break n;
+        }
+        if pred(row(probe)) {
+            last = probe;
+            step <<= 1;
+        } else {
+            break probe;
+        }
+    };
+    binary_partition(comps, w, last + 1, hi, pred)
 }
 
 impl TypeColumn {
@@ -316,45 +430,77 @@ impl TypeColumn {
         }
     }
 
-    /// Wrap validated segment bytes. A little-endian platform serving a
-    /// 4-byte-aligned mapping borrows the payload in place (zero copy);
-    /// anything else — heap-read segments, exotic alignment, big-endian
-    /// — decodes the payload into owned arrays, which still skips the
-    /// B+tree walk and per-key Dewey decode of a full rebuild.
-    fn from_segment(seg: SegmentData, layout: colseg::SegmentLayout) -> TypeColumn {
-        let width = layout.width;
-        let aligned = (seg.as_ptr() as usize + layout.comps.start).is_multiple_of(4);
-        if cfg!(target_endian = "little") && seg.is_mapped() && aligned {
-            return TypeColumn {
-                width,
-                backing: Backing::Mapped { seg, layout },
-            };
-        }
-        let le_words = |range: Range<usize>| {
-            seg[range]
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                .collect::<Vec<u32>>()
-        };
-        let comps = le_words(layout.comps.clone());
-        let offsets = le_words(layout.offsets.clone());
-        // UTF-8 was validated by `colseg::parse`.
-        let texts = std::str::from_utf8(&seg[layout.texts.clone()])
-            .expect("validated arena")
-            .to_string();
-        TypeColumn {
-            width,
-            backing: Backing::Heap {
-                comps,
-                texts,
-                offsets,
-            },
+    /// Wrap a validated, parsed segment. A v1 segment on a little-endian
+    /// platform serving a 4-byte-aligned mapping borrows the payload in
+    /// place (zero copy); a v2 segment on a mapping keeps its decoded
+    /// arrays but serves texts zero-copy; anything else — heap-read
+    /// segments, exotic alignment, big-endian — lands fully on the
+    /// heap, which still skips the B+tree walk and per-key Dewey decode
+    /// of a full rebuild.
+    fn from_segment(seg: SegmentData, parsed: colseg::ParsedSegment) -> TypeColumn {
+        match parsed {
+            colseg::ParsedSegment::V1(layout) => {
+                let width = layout.width;
+                let aligned = (seg.as_ptr() as usize + layout.comps.start).is_multiple_of(4);
+                if cfg!(target_endian = "little") && seg.is_mapped() && aligned {
+                    return TypeColumn {
+                        width,
+                        backing: Backing::Mapped { seg, layout },
+                    };
+                }
+                let le_words = |range: Range<usize>| {
+                    seg[range]
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect::<Vec<u32>>()
+                };
+                let comps = le_words(layout.comps.clone());
+                let offsets = le_words(layout.offsets.clone());
+                // UTF-8 was validated by `colseg::parse`.
+                let texts = std::str::from_utf8(&seg[layout.texts.clone()])
+                    .expect("validated arena")
+                    .to_string();
+                TypeColumn {
+                    width,
+                    backing: Backing::Heap {
+                        comps,
+                        texts,
+                        offsets,
+                    },
+                }
+            }
+            colseg::ParsedSegment::V2(dec) => {
+                let width = dec.width;
+                if seg.is_mapped() {
+                    return TypeColumn {
+                        width,
+                        backing: Backing::Compressed {
+                            comps: dec.comps,
+                            offsets: dec.offsets,
+                            texts: dec.texts,
+                            seg,
+                        },
+                    };
+                }
+                let texts = std::str::from_utf8(&seg[dec.texts.clone()])
+                    .expect("validated arena")
+                    .to_string();
+                TypeColumn {
+                    width,
+                    backing: Backing::Heap {
+                        comps: dec.comps,
+                        texts,
+                        offsets: dec.offsets,
+                    },
+                }
+            }
         }
     }
 
     fn comps(&self) -> &[u32] {
         match &self.backing {
             Backing::Heap { comps, .. } => comps,
+            Backing::Compressed { comps, .. } => comps,
             Backing::Mapped { seg, layout } => {
                 let bytes = &seg[layout.comps.clone()];
                 // SAFETY: constructed only on little-endian with the
@@ -368,6 +514,7 @@ impl TypeColumn {
     fn offsets(&self) -> &[u32] {
         match &self.backing {
             Backing::Heap { offsets, .. } => offsets,
+            Backing::Compressed { offsets, .. } => offsets,
             Backing::Mapped { seg, layout } => {
                 let bytes = &seg[layout.offsets.clone()];
                 // SAFETY: as in `comps` — alignment holds because the
@@ -384,6 +531,11 @@ impl TypeColumn {
                 // SAFETY: `colseg::parse` validated the arena (and every
                 // offset boundary) as UTF-8 before this column existed.
                 unsafe { std::str::from_utf8_unchecked(&seg[layout.texts.clone()]) }
+            }
+            Backing::Compressed { seg, texts, .. } => {
+                // SAFETY: as in `Mapped` — the v2 parse validated the
+                // arena and every offset boundary as UTF-8.
+                unsafe { std::str::from_utf8_unchecked(&seg[texts.clone()]) }
             }
         }
     }
@@ -403,10 +555,15 @@ impl TypeColumn {
         self.width
     }
 
-    /// True when the rows are served from a read-only memory map of the
-    /// persisted segment rather than the heap.
+    /// True when the column is served out of a read-only memory map of
+    /// the persisted segment rather than rebuilt from the B+tree: a v1
+    /// segment borrowed in place, or a v2 segment whose text arena the
+    /// mapping still serves zero-copy.
     pub fn is_mapped(&self) -> bool {
-        matches!(self.backing, Backing::Mapped { .. })
+        matches!(
+            self.backing,
+            Backing::Mapped { .. } | Backing::Compressed { .. }
+        )
     }
 
     /// Components of instance `i`.
@@ -425,39 +582,80 @@ impl TypeColumn {
         Dewey::from_slice(self.components(i))
     }
 
-    /// First row index in `[lo, hi)` where `pred` turns false (`pred`
-    /// must be monotone over the sorted rows).
-    fn partition(&self, mut lo: usize, mut hi: usize, pred: impl Fn(&[u32]) -> bool) -> usize {
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if pred(self.components(mid)) {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
-    }
-
     /// Row range of instances whose components start with `prefix` —
     /// the closest-join group of a parent whose join prefix this is.
-    /// Two binary searches; no allocation.
+    /// One binary search for the lower bound, one short gallop for the
+    /// upper (groups are small, so galloping beats a second full binary
+    /// search); no allocation.
     pub fn prefix_range(&self, prefix: &[u32]) -> Range<usize> {
         self.prefix_range_from(0, prefix)
     }
 
     /// [`TypeColumn::prefix_range`] restricted to rows at or after
-    /// `from` — the monotone-cursor variant.
+    /// `from` — the monotone-cursor variant. A fresh probe (`from == 0`)
+    /// binary-searches, since the group can be anywhere; a cursor or
+    /// batch sweep (`from > 0`) gallops forward from `from`, whose cost
+    /// is logarithmic in the distance actually advanced, so a full
+    /// sweep over m parents is O(n + m) instead of O(m log n).
     fn prefix_range_from(&self, from: usize, prefix: &[u32]) -> Range<usize> {
         let p = prefix.len().min(self.width);
         let pre = &prefix[..p];
+        let comps = self.comps();
+        let w = self.width;
         let n = self.len();
-        let lo = self.partition(from, n, |row| row[..p] < *pre);
-        let hi = self.partition(lo, n, |row| row[..p] == *pre);
+        let below = |row: &[u32]| cmp_prefix(row, pre) == Cmp::Less;
+        let lo = if from == 0 {
+            binary_partition(comps, w, 0, n, below)
+        } else {
+            gallop_partition(comps, w, from, n, below)
+        };
+        let hi = gallop_partition(comps, w, lo, n, |row| cmp_prefix(row, pre) != Cmp::Greater);
         lo..hi
     }
 
-    /// Heap bytes held by the column (zero for a mapped column).
+    /// Row ranges matching each prefix of a **document-ordered** batch
+    /// (prefixes non-decreasing, e.g. the join prefixes of a sorted
+    /// parent column): one forward pass over the column, galloping each
+    /// group's bounds from the end of the previous group instead of
+    /// restarting at row 0, with runs of equal prefixes served from the
+    /// last group — the [`ClosestCursor`] contract, vectorized. The
+    /// result is elementwise equal to calling
+    /// [`TypeColumn::prefix_range`] per prefix.
+    pub fn prefix_ranges<'p>(
+        &self,
+        prefixes: impl IntoIterator<Item = &'p [u32]>,
+    ) -> Vec<Range<usize>> {
+        let comps = self.comps();
+        let w = self.width;
+        let n = self.len();
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut prev: Option<&[u32]> = None;
+        let mut group = 0..0;
+        for prefix in prefixes {
+            let p = prefix.len().min(w);
+            let pre = &prefix[..p];
+            if prev == Some(pre) {
+                out.push(group.clone());
+                continue;
+            }
+            debug_assert!(
+                prev.is_none_or(|q| q <= pre),
+                "batch prefixes must be document-ordered"
+            );
+            let below = |row: &[u32]| cmp_prefix(row, pre) == Cmp::Less;
+            let lo = gallop_partition(comps, w, pos, n, below);
+            let hi = gallop_partition(comps, w, lo, n, |row| cmp_prefix(row, pre) != Cmp::Greater);
+            pos = hi;
+            group = lo..hi;
+            prev = Some(pre);
+            out.push(group.clone());
+        }
+        out
+    }
+
+    /// Heap bytes held by the column (zero for a v1 mapped column; the
+    /// decoded component and offset arrays for a compressed one).
     pub fn heap_bytes(&self) -> usize {
         match &self.backing {
             Backing::Heap {
@@ -466,21 +664,27 @@ impl TypeColumn {
                 offsets,
             } => comps.capacity() * 4 + texts.capacity() + offsets.capacity() * 4,
             Backing::Mapped { .. } => 0,
+            Backing::Compressed { comps, offsets, .. } => {
+                comps.capacity() * 4 + offsets.capacity() * 4
+            }
         }
     }
 
     /// Bytes served from a memory-mapped segment (zero for a heap
-    /// column). These live in the page cache, not the heap.
+    /// column). These live in the page cache, not the heap — for a v2
+    /// segment this is the compressed length, i.e. the bytes a cold
+    /// open actually reads.
     pub fn mapped_bytes(&self) -> usize {
         match &self.backing {
             Backing::Heap { .. } => 0,
-            Backing::Mapped { seg, .. } => seg.len(),
+            Backing::Mapped { seg, .. } | Backing::Compressed { seg, .. } => seg.len(),
         }
     }
 
-    /// Serialize into column-segment bytes (the `colseg` on-disk format).
+    /// Serialize into column-segment bytes (the v2 compressed `colseg`
+    /// on-disk format — the only format the write path emits).
     pub(in crate::store) fn encode_segment(&self, generation: u64) -> Vec<u8> {
-        colseg::encode(
+        colseg::encode_v2(
             self.width,
             self.comps(),
             self.offsets(),
@@ -646,17 +850,28 @@ pub(in crate::store) fn parse_node_value(v: &[u8]) -> Option<(TypeId, String)> {
 }
 
 /// Do two columns share a row prefix of `level` components? Sorted-merge
-/// over the flat component arrays — no key decoding, no allocation.
+/// over the flat component arrays — no key decoding, no allocation. The
+/// trailing side gallops to the other side's prefix instead of stepping
+/// row by row, so a skewed pair (one type far denser than the other)
+/// costs the sparse side's length times a logarithmic skip, not a full
+/// linear merge.
 fn co_occur_columns(a: &TypeColumn, b: &TypeColumn, level: usize) -> bool {
     debug_assert!(level <= a.width() && level <= b.width());
+    let (ac, bc) = (a.comps(), b.comps());
+    let (aw, bw) = (a.width(), b.width());
+    let (an, bn) = (a.len(), b.len());
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        let x = &a.components(i)[..level];
-        let y = &b.components(j)[..level];
-        match x.cmp(y) {
-            std::cmp::Ordering::Equal => return true,
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+    while i < an && j < bn {
+        let x = &ac[i * aw..i * aw + level];
+        let y = &bc[j * bw..j * bw + level];
+        match cmp_prefix(x, y) {
+            Cmp::Equal => return true,
+            Cmp::Less => {
+                i = gallop_partition(ac, aw, i + 1, an, |row| cmp_prefix(row, y) == Cmp::Less)
+            }
+            Cmp::Greater => {
+                j = gallop_partition(bc, bw, j + 1, bn, |row| cmp_prefix(row, x) == Cmp::Less)
+            }
         }
     }
     false
@@ -1024,7 +1239,7 @@ impl ShreddedDoc {
             let name = colseg::segment_name(t);
             match self.store.get_segment(&name, self.prefer_mmap) {
                 Ok(Some(seg)) => match colseg::parse(&seg, width, self.expected_generation(t)) {
-                    Ok(layout) => return TypeColumn::from_segment(seg, layout),
+                    Ok(parsed) => return TypeColumn::from_segment(seg, parsed),
                     Err(reason) => self.record_fallback(&name, reason),
                 },
                 Ok(None) => {}
@@ -1087,6 +1302,30 @@ impl ShreddedDoc {
             let col = self.column(t);
             let name = colseg::segment_name(t);
             let bytes = col.encode_segment(self.generation);
+            self.store
+                .put_segment(&name, &bytes)
+                .in_op(&format!("write column segment {name:?}"))?;
+        }
+        self.store.flush().in_op("flush column segments")?;
+        Ok(())
+    }
+
+    /// Test-only: persist every column in the legacy v1 (uncompressed)
+    /// segment format, exactly as a pre-upgrade store wrote it, so the
+    /// compatibility tests can prove the current read path still opens
+    /// v1 stores byte-identically. Not part of the public API.
+    #[doc(hidden)]
+    pub fn persist_all_columns_v1(&self) -> MorphResult<()> {
+        for t in self.shape.types().ids() {
+            let col = self.column(t);
+            let name = colseg::segment_name(t);
+            let bytes = colseg::encode_v1(
+                col.width,
+                col.comps(),
+                col.offsets(),
+                col.texts(),
+                self.expected_generation(t),
+            );
             self.store
                 .put_segment(&name, &bytes)
                 .in_op(&format!("write column segment {name:?}"))?;
@@ -1222,6 +1461,46 @@ impl ShreddedDoc {
             .unwrap()
             .insert((parent_type, child_type), plan.clone());
         plan
+    }
+
+    /// Batched closest join for a **document-ordered** parent batch:
+    /// one plan lookup and one forward gallop pass over the child
+    /// column resolve every parent's group
+    /// ([`TypeColumn::prefix_ranges`]), instead of one independent
+    /// binary search per parent. Returns the child column and one row
+    /// range per parent, elementwise equal to
+    /// [`ShreddedDoc::closest_group`] on each parent; `None` when the
+    /// two types are unrelated in the data.
+    pub fn closest_children_batch(
+        &self,
+        parents: &[Dewey],
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<(Arc<TypeColumn>, Vec<Range<usize>>)> {
+        let (l, col) = self.join_plan(parent_type, child_type)?;
+        let ranges = col.prefix_ranges(parents.iter().map(|p| &p.components()[..l.min(p.len())]));
+        Some((col, ranges))
+    }
+
+    /// [`ShreddedDoc::closest_children_batch`] over a row range of an
+    /// already-loaded parent column — the renderer's form: the parents
+    /// are the root instances of one top-level partition, already
+    /// document-ordered by column construction, and no Dewey objects
+    /// are materialized.
+    pub fn closest_group_batch(
+        &self,
+        parent_col: &TypeColumn,
+        rows: Range<usize>,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<(Arc<TypeColumn>, Vec<Range<usize>>)> {
+        let (l, col) = self.join_plan(parent_type, child_type)?;
+        let width = parent_col.width();
+        let ranges = col.prefix_ranges(rows.map(|i| {
+            let row = parent_col.components(i);
+            &row[..l.min(width)]
+        }));
+        Some((col, ranges))
     }
 
     /// The closest join, materialized ([`ShreddedDoc::closest_group`]
@@ -1674,6 +1953,86 @@ mod tests {
     }
 
     #[test]
+    fn batched_groups_match_direct_joins() {
+        let doc = shredded(FIG1A);
+        let types: Vec<TypeId> = doc.types().ids().collect();
+        for &a in &types {
+            let parents: Vec<Dewey> = doc.scan_type(a).into_iter().map(|(d, _)| d).collect();
+            for &b in &types {
+                let batch = doc.closest_children_batch(&parents, a, b);
+                match batch {
+                    None => {
+                        for p in &parents {
+                            assert!(doc.closest_group(p, a, b).is_none());
+                        }
+                    }
+                    Some((col, ranges)) => {
+                        assert_eq!(ranges.len(), parents.len());
+                        for (p, r) in parents.iter().zip(&ranges) {
+                            let (scol, sr) = doc.closest_group(p, a, b).unwrap();
+                            assert_eq!(*r, sr, "batch group for {p} under {a:?}->{b:?}");
+                            assert_eq!(*col, *scol);
+                        }
+                        // Row-range form agrees with the Dewey form.
+                        let pcol = doc.column(a);
+                        let (_, rranges) =
+                            doc.closest_group_batch(&pcol, 0..pcol.len(), a, b).unwrap();
+                        assert_eq!(rranges, ranges);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_ranges_handles_repeats_and_empty_groups() {
+        let doc = shredded(FIG1A);
+        let title = doc.column(ty(&doc, "data.book.title"));
+        let probes: Vec<&[u32]> = vec![&[1, 1], &[1, 1], &[1, 2], &[1, 3], &[2]];
+        let got = title.prefix_ranges(probes.iter().copied());
+        let want: Vec<Range<usize>> = probes.iter().map(|p| title.prefix_range(p)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cmp_prefix_matches_slice_ordering_on_wide_rows() {
+        // Exercise both the 8-wide chunked path and the scalar tail.
+        let base: Vec<u32> = (0..19).collect();
+        for flip in 0..19 {
+            for delta in [-1i64, 0, 1] {
+                let mut row = base.clone();
+                row[flip] = (i64::from(row[flip]) + delta).max(0) as u32;
+                for plen in [0usize, 3, 8, 11, 16, 19] {
+                    let pre = &base[..plen];
+                    assert_eq!(
+                        cmp_prefix(&row, pre),
+                        row[..plen].cmp(pre),
+                        "flip {flip} delta {delta} plen {plen}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_partition_matches_binary_partition() {
+        // One-component rows 0,0,1,1,1,2,5,5,9.
+        let comps: Vec<u32> = vec![0, 0, 1, 1, 1, 2, 5, 5, 9];
+        let n = comps.len();
+        for target in 0..=10u32 {
+            for from in 0..=n {
+                let pred = |row: &[u32]| row[0] < target;
+                let want = binary_partition(&comps, 1, from, n, pred).max(from);
+                assert_eq!(
+                    gallop_partition(&comps, 1, from, n, pred),
+                    want,
+                    "target {target} from {from}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn bulk_and_incremental_shreds_agree() {
         let store_inc = Store::in_memory();
         let incremental = ShreddedDoc::shred_str_with(
@@ -1866,7 +2225,7 @@ mod tests {
         // each magic and damaging a byte far past the header.
         {
             let mut bytes = std::fs::read(&path).unwrap();
-            let magic = crate::store::colseg::COLSEG_MAGIC;
+            let magic = crate::store::colseg::COLSEG_MAGIC_V2;
             let positions: Vec<usize> = bytes
                 .windows(magic.len())
                 .enumerate()

@@ -484,3 +484,163 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Column wire formats and the batched closest-join kernel.
+// ---------------------------------------------------------------------
+
+/// Short texts covering the empty string and multi-byte UTF-8, so the
+/// roundtrip exercises arena offsets on non-trivial char boundaries.
+const ARENA_TEXTS: &[&str] = &["", "a", "bc", "é", "€x", "déjà vu"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn colseg_v2_roundtrips_arbitrary_sorted_rows(
+        width_sel in 0usize..5,
+        raw in proptest::collection::vec(
+            (proptest::collection::vec(0u32..1 << 20, 6), 0usize..1 << 30),
+            0..48
+        ),
+    ) {
+        use xmorph_core::colseg_testing::{decode_column, encode_column_v1, encode_column_v2};
+        let width = width_sel + 1;
+        let mut rows: Vec<(Vec<u32>, &str)> = raw
+            .iter()
+            .map(|(r, t)| (r[..width].to_vec(), ARENA_TEXTS[t % ARENA_TEXTS.len()]))
+            .collect();
+        rows.sort();
+        let mut comps = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut texts = String::new();
+        for (r, t) in &rows {
+            comps.extend_from_slice(r);
+            texts.push_str(t);
+            offsets.push(texts.len() as u32);
+        }
+        let generation = 42u64;
+        // Both wire formats decode back to exactly the arrays encoded.
+        let v2 = encode_column_v2(width, &comps, &offsets, &texts, generation);
+        let (c2, o2, t2) = decode_column(&v2, width, generation).expect("v2 roundtrip");
+        prop_assert_eq!(&c2, &comps);
+        prop_assert_eq!(&o2, &offsets);
+        prop_assert_eq!(&t2, &texts);
+        let v1 = encode_column_v1(width, &comps, &offsets, &texts, generation);
+        let (c1, o1, t1) = decode_column(&v1, width, generation).expect("v1 roundtrip");
+        prop_assert_eq!(&c1, &comps);
+        prop_assert_eq!(&o1, &offsets);
+        prop_assert_eq!(&t1, &texts);
+        // A stale generation or a damaged payload is an error, not a
+        // panic or a wrong answer.
+        prop_assert!(decode_column(&v2, width, generation + 1).is_err());
+        let mut bad = v2.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        prop_assert!(decode_column(&bad, width, generation).is_err());
+    }
+}
+
+/// The per-dataset batch check: on every generated corpus, batched
+/// probes must agree elementwise with per-parent probes for every type
+/// pair among the densest types (densest = most parents, i.e. the
+/// probes the batch kernel actually amortizes).
+fn assert_batch_matches_scalar(doc: &ShreddedDoc, label: &str) {
+    let mut types: Vec<TypeId> = doc
+        .types()
+        .ids()
+        .filter(|&t| doc.instance_count(t) > 0)
+        .collect();
+    types.sort_by_key(|&t| std::cmp::Reverse(doc.instance_count(t)));
+    types.truncate(12);
+    let mut related = 0usize;
+    for &a in &types {
+        let parents: Vec<_> = doc.scan_type(a).into_iter().map(|(d, _)| d).collect();
+        for &b in &types {
+            let Some((col, ranges)) = doc.closest_children_batch(&parents, a, b) else {
+                for p in &parents {
+                    assert!(
+                        doc.closest_group(p, a, b).is_none(),
+                        "{label}: scalar finds a group batch denies at {p}"
+                    );
+                }
+                continue;
+            };
+            related += 1;
+            assert_eq!(ranges.len(), parents.len());
+            for (p, r) in parents.iter().zip(&ranges) {
+                let (scol, want) = doc.closest_group(p, a, b).unwrap();
+                assert_eq!(r.clone(), want, "{label}: group at {p} for {a:?}->{b:?}");
+                assert_eq!(*col, *scol, "{label}: column identity for {a:?}->{b:?}");
+                // And the materialized form agrees with the reference.
+                let materialized: Vec<_> = r
+                    .clone()
+                    .map(|i| (col.dewey(i), col.text(i).to_string()))
+                    .collect();
+                assert_eq!(
+                    materialized,
+                    doc.closest_children(p, a, b),
+                    "{label}: children at {p}"
+                );
+            }
+        }
+    }
+    assert!(related > 0, "{label}: no related type pairs exercised");
+}
+
+#[test]
+fn batched_probes_match_scalar_on_xmark_dblp_nasa() {
+    for (label, xml) in [
+        ("xmark", xmark_base().to_string()),
+        (
+            "dblp",
+            xmorph_datagen::DblpConfig::with_approx_bytes(120_000).generate(),
+        ),
+        (
+            "nasa",
+            xmorph_datagen::NasaConfig::with_approx_bytes(120_000).generate(),
+        ),
+    ] {
+        let (_s, doc) = shred(&xml);
+        assert_batch_matches_scalar(&doc, label);
+    }
+}
+
+#[test]
+fn v1_segments_still_open_byte_identically() {
+    // A store persisted by the previous (v1, uncompressed) format must
+    // keep opening with zero fallbacks now that the write path emits
+    // v2 — and serve byte-identical columns.
+    let xml = xmark_base();
+    let path = temp_path("v1-compat");
+    {
+        let store = Store::create(&path).unwrap();
+        let doc = ShreddedDoc::shred_str_with(
+            &store,
+            xml,
+            &ShredOptions::builder().persist_columns(false),
+        )
+        .unwrap();
+        doc.persist_all_columns_v1().unwrap();
+        store.close().unwrap();
+    }
+    let store = Store::open(&path).unwrap();
+    let v1doc = ShreddedDoc::open(&store).unwrap();
+    let (_fs, fresh) = shred(xml);
+    for ft in fresh.types().ids() {
+        let dotted = fresh.types().dotted(ft);
+        let path: Vec<String> = dotted.split('.').map(str::to_string).collect();
+        let vt = v1doc.types().lookup(&path).unwrap();
+        assert!(
+            *v1doc.column(vt) == *fresh.column(ft),
+            "v1-opened column diverges for {dotted}"
+        );
+    }
+    assert!(
+        v1doc.segment_fallbacks().is_empty(),
+        "v1 segments must validate: {:?}",
+        v1doc.segment_fallbacks()
+    );
+    drop((v1doc, store));
+    std::fs::remove_file(&path).ok();
+}
