@@ -10,7 +10,7 @@
 //!    throughput should climb monotonically from 1 to 4 threads. The same
 //!    workload on a single-shard pool shows the serialized baseline.
 //! 2. **Parallel guard evaluation** — the `MUTATE site` / benchmark
-//!    MORPHs of §IX rendered via `apply_parallel` at growing thread
+//!    MORPHs of §IX run through the [`Engine`] facade at growing thread
 //!    counts, with speed-up over the sequential renderer and a
 //!    byte-identity check against it.
 
@@ -19,8 +19,7 @@ use std::time::{Duration, Instant};
 use xmorph_bench::harness::{prepare, StoreKind};
 use xmorph_bench::table::Table;
 use xmorph_core::render::{render, RenderOptions};
-use xmorph_core::semantics::parallel::{render_parallel, ParallelOptions};
-use xmorph_core::Guard;
+use xmorph_core::{Engine, Guard, QueryRequest};
 use xmorph_datagen::XmarkConfig;
 use xmorph_pagestore::Store;
 use xmorph_xml::dom::Document;
@@ -119,6 +118,8 @@ fn parallel_eval(scale: f64) {
     let factor = 0.05 * scale;
     let xml = XmarkConfig::with_factor(factor).generate();
     let prep = prepare(&xml, StoreKind::Memory);
+    let engine = Engine::from_parts(prep.bench_store.store.clone(), prep.doc);
+    let mut session = engine.session();
     let guards = [
         "MUTATE site",
         "MORPH people [ person [ address [ city ] ] ]",
@@ -131,10 +132,12 @@ fn parallel_eval(scale: f64) {
     );
     let mut table = Table::new(&["guard", "threads", "render s", "speed-up", "byte-identical"]);
     for guard_text in guards {
+        // Sequential baseline via the raw renderer — the primitive the
+        // Engine's partitioned render must stay byte-identical to.
         let guard = Guard::parse(guard_text).expect("guard");
-        let analysis = guard.analyze(&prep.doc).expect("analyze");
+        let analysis = guard.analyze(engine.doc()).expect("analyze");
         let (sequential, seq_time) = timed(|| {
-            render(&prep.doc, &analysis.target, &RenderOptions::default()).expect("render")
+            render(engine.doc(), &analysis.target, &RenderOptions::default()).expect("render")
         });
         table.row(&[
             guard_text.to_string(),
@@ -144,11 +147,15 @@ fn parallel_eval(scale: f64) {
             "-".to_string(),
         ]);
         for &t in &THREADS {
-            let opts = ParallelOptions::with_threads(t);
-            let (out, par_time) = timed(|| {
-                render_parallel(&prep.doc, &analysis.target, &opts).expect("render_parallel")
-            });
-            let identical = out == sequential;
+            let request = QueryRequest::builder(guard_text)
+                .threads(t)
+                .stats(true)
+                .build();
+            let response = session.query(&request).expect("engine query");
+            // The per-query stats frame isolates render time from the
+            // (cached) guard compile.
+            let par_time = response.stats.expect("stats requested").render;
+            let identical = response.xml == sequential;
             assert!(
                 identical,
                 "parallel output diverged for {guard_text} at {t} threads"

@@ -29,11 +29,15 @@
 //! * [`render`] — the Render algorithm (§VII): Dewey-prefix closest joins,
 //!   streaming document-order output.
 //! * [`guard`] — the high-level [`Guard`] API tying it all together.
+//! * [`engine`] — the unified [`Engine`]/[`Session`] query surface the
+//!   serving layer, the CLI, and the benchmarks all go through:
+//!   [`QueryRequest::builder`] in, [`QueryResponse`] (XML + typing +
+//!   per-query stats) out.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use xmorph_core::Guard;
+//! use xmorph_core::{Engine, QueryRequest};
 //!
 //! // The paper's Figure 1(a): book-rooted data.
 //! let data = "<data>\
@@ -41,14 +45,20 @@
 //!   <book><title>Y</title><author><name>Tim</name></author></book>\
 //! </data>";
 //!
-//! // A guard asking for author-rooted data.
-//! let guard = Guard::parse("MORPH author [ name book [ title ] ]").unwrap();
-//! let out = guard.apply_to_str(data).unwrap();
+//! // One engine per open store; a query asking for author-rooted data.
+//! let engine = Engine::from_xml(data).unwrap();
+//! let req = QueryRequest::builder("MORPH author [ name book [ title ] ]").build();
+//! let out = engine.query(&req).unwrap();
 //! assert!(out.xml.contains("<name>Tim</name>"));
 //! ```
+//!
+//! [`Guard`] remains the single-document, parse-once building block
+//! underneath ([`Guard::apply_to_str`] etc. still work); [`Engine`] is
+//! the surface services should hold.
 
 pub mod algebra;
 pub mod analysis;
+pub mod engine;
 pub mod error;
 pub mod guard;
 pub mod infer;
@@ -59,6 +69,7 @@ pub mod report;
 pub mod semantics;
 pub mod store;
 
+pub use engine::{Engine, QueryRequest, QueryRequestBuilder, QueryResponse, QueryStats, Session};
 pub use error::{MorphError, MorphResult};
 pub use guard::{Guard, GuardAnalysis, GuardOutput};
 pub use model::card::{Card, CardMax};

@@ -89,7 +89,9 @@ fn partition_bounds(n: usize, parts: usize) -> Vec<(usize, usize)> {
 
 /// Render `target` against `doc` using multiple threads, producing
 /// output byte-identical to [`crate::render::render`] with the same
-/// options.
+/// options. This is the partitioned render primitive behind
+/// [`crate::engine::Engine`]; query code should go through the engine,
+/// which adds guard caching, typing enforcement, and per-query stats.
 pub fn render_parallel(
     doc: &ShreddedDoc,
     target: &Shape,
@@ -154,9 +156,11 @@ pub fn render_parallel(
 }
 
 /// Analyze, enforce the typing discipline, and render in parallel — the
-/// multi-threaded counterpart of [`Guard::apply_with`]. The compile
-/// phase (parse, ξ evaluation, loss analysis) is cheap and stays
-/// sequential; rendering, which dominates (§IX, Fig. 10), fans out.
+/// multi-threaded counterpart of [`Guard::apply_with`]. Superseded as a
+/// query entry point by [`crate::engine::Engine::query`] (which this
+/// now mirrors); kept as a thin wrapper so existing callers and tests
+/// stay source-compatible.
+#[doc(hidden)]
 pub fn apply_parallel(
     guard: &Guard,
     doc: &ShreddedDoc,

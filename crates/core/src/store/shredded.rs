@@ -41,7 +41,7 @@ use crate::store::colseg;
 use std::cmp::Ordering as Cmp;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use xmorph_pagestore::{SegmentData, Store, Tree, DEFAULT_FILL};
 use xmorph_xml::dewey::{decode_components_into, Dewey};
@@ -742,7 +742,11 @@ pub struct ShreddedDoc {
     /// Open-time knobs (see [`OpenOptions`]).
     use_persisted: bool,
     prefer_mmap: bool,
-    column_budget: Option<usize>,
+    /// Column-cache budget in bytes; `usize::MAX` means unbounded.
+    /// Atomic (not a plain field) so the engine facade can retune the
+    /// budget per query on a document shared across server sessions
+    /// ([`ShreddedDoc::set_column_budget`]).
+    column_budget: AtomicUsize,
     /// Exact typeDistance cache (the co-occurrence scan is linear; each
     /// pair is computed at most once per document). Structural
     /// mutations clear it.
@@ -1034,7 +1038,7 @@ impl ShreddedDoc {
             next_gen: generation + 1,
             use_persisted: true,
             prefer_mmap: true,
-            column_budget: None,
+            column_budget: AtomicUsize::new(usize::MAX),
             dist_cache: Mutex::new(HashMap::default()),
             columns: RwLock::new(HashMap::default()),
             plan_cache: RwLock::new(HashMap::default()),
@@ -1090,7 +1094,7 @@ impl ShreddedDoc {
             next_gen,
             use_persisted: opts.persisted_columns,
             prefer_mmap: opts.mmap,
-            column_budget: opts.column_budget,
+            column_budget: AtomicUsize::new(opts.column_budget.unwrap_or(usize::MAX)),
             dist_cache: Mutex::new(HashMap::default()),
             columns: RwLock::new(HashMap::default()),
             plan_cache: RwLock::new(HashMap::default()),
@@ -1185,13 +1189,30 @@ impl ShreddedDoc {
         let built = Arc::new(self.load_column(t));
         let mut map = self.columns.write().unwrap();
         let col = Arc::clone(map.entry(t).or_insert(built));
-        if let Some(budget) = self.column_budget {
-            if Self::enforce_budget(&mut map, budget, t) {
-                // Evicted columns must not stay pinned by cached plans.
-                self.plan_cache.write().unwrap().clear();
-            }
+        let budget = self.column_budget.load(Ordering::Relaxed);
+        if budget != usize::MAX && Self::enforce_budget(&mut map, budget, t) {
+            // Evicted columns must not stay pinned by cached plans.
+            self.plan_cache.write().unwrap().clear();
         }
         col
+    }
+
+    /// The current column-cache budget, if bounded.
+    pub fn column_budget(&self) -> Option<usize> {
+        match self.column_budget.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            b => Some(b),
+        }
+    }
+
+    /// Retune the column-cache budget on a live document (`None` lifts
+    /// the bound). Takes effect on the next column load; already-cached
+    /// columns shrink to a lowered budget the next time any column is
+    /// touched. Shared across everything holding this document — on a
+    /// served store the last query to set a budget wins.
+    pub fn set_column_budget(&self, budget: Option<usize>) {
+        self.column_budget
+            .store(budget.unwrap_or(usize::MAX), Ordering::Relaxed);
     }
 
     /// Evict cached columns (never `keep`) until the cache fits the

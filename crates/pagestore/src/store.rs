@@ -378,9 +378,20 @@ impl Store {
 
     // ---- lifecycle ----
 
-    /// Cumulative I/O counters.
-    pub fn io_snapshot(&self) -> IoSnapshot {
+    /// Snapshot the cumulative I/O counters. Two snapshots bracket a
+    /// unit of work; [`IoSnapshot::since`] yields the pages and cache
+    /// traffic that work actually caused — the per-query attribution
+    /// the serving layer reports in its stats frames. Counters are
+    /// store-wide, so concurrent work on the same store shows up in
+    /// overlapping deltas.
+    pub fn io_stats_snapshot(&self) -> IoSnapshot {
         self.pool.io_snapshot()
+    }
+
+    /// Former name of [`Store::io_stats_snapshot`].
+    #[doc(hidden)]
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.io_stats_snapshot()
     }
 
     /// Write back dirty pages and sync the device. On a WAL-backed

@@ -1,0 +1,669 @@
+//! The wire protocol: length-prefixed frames with checksummed headers.
+//!
+//! Every message in either direction is one *frame*: a fixed 40-byte
+//! header followed by `len` payload bytes. The header carries the same
+//! discipline as the on-disk `colseg`/WAL headers — magic, version,
+//! opcode, length, an FNV-1a64 of the payload, and an FNV-1a64 of the
+//! header itself — so a desynchronized, truncated, or corrupted stream
+//! is *detected* and surfaces as a typed [`ProtoError`], never as a
+//! panic, a hang, or a misparsed request.
+//!
+//! ```text
+//! offset  size  field (integers little-endian)
+//!      0     8  magic "XMFRAME1"
+//!      8     4  protocol version (1)
+//!     12     4  opcode
+//!     16     8  payload length, bytes (bounded by the receiver)
+//!     24     8  FNV-1a64 of the payload
+//!     32     8  FNV-1a64 of header bytes 0..32
+//!     40     —  payload
+//! ```
+//!
+//! Request opcodes: `PING`, `QUERY` (an XMorph guard), `XQUERY` (an
+//! XQuery, served by guard inference), `STATS`, `LIST_STORES`.
+//! Response opcodes: `PONG`, `RESULT`, `STATS_REPLY`, `ERROR`, `BUSY`,
+//! `STORES`. A `QUERY`/`XQUERY` with the `WANT_STATS` flag is answered
+//! by a `RESULT` frame immediately followed by a `STATS_REPLY` frame;
+//! everything else is one frame per request. `BUSY` is the admission
+//! controller's overload answer — see `DESIGN.md` §4h for the
+//! contract.
+//!
+//! Validation order on receive: magic, header checksum, version,
+//! opcode, length bound, then (after the payload arrives) payload
+//! checksum. Payload *decoding* (the per-opcode layouts below) is
+//! likewise total: short buffers and malformed fields return
+//! [`ProtoError::BadPayload`], and every allocation is bounded by the
+//! frame's actual byte length.
+
+use std::io::{Read, Write};
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: &[u8; 8] = b"XMFRAME1";
+/// Protocol version this build speaks.
+pub const PROTO_VERSION: u32 = 1;
+/// Header size on the wire.
+pub const HEADER_LEN: usize = 40;
+/// Default cap on payload length, either direction (16 MiB).
+pub const DEFAULT_MAX_PAYLOAD: u64 = 16 << 20;
+
+/// `QUERY`/`XQUERY` flag: emit the bare instance stream, no wrapper.
+pub const FLAG_NO_WRAPPER: u8 = 1 << 0;
+/// `QUERY`/`XQUERY` flag: follow the `RESULT` with a `STATS_REPLY`.
+pub const FLAG_WANT_STATS: u8 = 1 << 1;
+
+/// Frame opcodes. Requests are < 128, responses >= 128.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum OpCode {
+    /// Liveness probe; empty payload.
+    Ping = 1,
+    /// Evaluate an XMorph guard ([`QueryPayload`]).
+    Query = 2,
+    /// Evaluate an XQuery via guard inference ([`QueryPayload`]).
+    XQuery = 3,
+    /// Store-wide I/O counters for one store ([`StorePayload`]).
+    Stats = 4,
+    /// List registered store names; empty payload.
+    ListStores = 5,
+    /// Answer to [`OpCode::Ping`]; empty payload.
+    Pong = 128,
+    /// Rendered XML + typing class ([`ResultPayload`]).
+    Result = 129,
+    /// Per-query or store-wide counters ([`WireStats`]).
+    StatsReply = 130,
+    /// Typed failure ([`ErrorPayload`]).
+    Error = 131,
+    /// Admission control rejected the request; payload is the `u32`
+    /// in-flight limit that was full. Retry later.
+    Busy = 132,
+    /// Answer to [`OpCode::ListStores`]: `u16` count, then per store a
+    /// `u16` length + UTF-8 name.
+    Stores = 133,
+}
+
+impl OpCode {
+    /// Decode a wire opcode.
+    pub fn from_u32(v: u32) -> Option<OpCode> {
+        Some(match v {
+            1 => OpCode::Ping,
+            2 => OpCode::Query,
+            3 => OpCode::XQuery,
+            4 => OpCode::Stats,
+            5 => OpCode::ListStores,
+            128 => OpCode::Pong,
+            129 => OpCode::Result,
+            130 => OpCode::StatsReply,
+            131 => OpCode::Error,
+            132 => OpCode::Busy,
+            133 => OpCode::Stores,
+            _ => return None,
+        })
+    }
+}
+
+/// Error codes carried by [`OpCode::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame itself was malformed (bad magic/version/checksum);
+    /// the server closes the connection after sending this.
+    BadFrame = 1,
+    /// Unknown or inapplicable opcode.
+    BadOpcode = 2,
+    /// The frame was well-formed but its payload didn't decode.
+    BadPayload = 3,
+    /// Payload length exceeded the server's cap; connection closes.
+    Oversized = 4,
+    /// No store registered under the requested name.
+    UnknownStore = 5,
+    /// The guard failed to parse.
+    GuardParse = 6,
+    /// The typing discipline rejected the guard (add a CAST).
+    Rejected = 7,
+    /// Query evaluation failed (store error, bad XQuery, …).
+    Query = 8,
+    /// The server is draining for shutdown.
+    Shutdown = 9,
+}
+
+impl ErrorCode {
+    /// Decode a wire error code.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadOpcode,
+            3 => ErrorCode::BadPayload,
+            4 => ErrorCode::Oversized,
+            5 => ErrorCode::UnknownStore,
+            6 => ErrorCode::GuardParse,
+            7 => ErrorCode::Rejected,
+            8 => ErrorCode::Query,
+            9 => ErrorCode::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a frame or payload failed to decode.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// First eight bytes were not [`FRAME_MAGIC`].
+    BadMagic([u8; 8]),
+    /// Header checksum mismatch — torn or corrupted header.
+    HeaderChecksum,
+    /// Unsupported protocol version.
+    BadVersion(u32),
+    /// Unknown opcode.
+    BadOpcode(u32),
+    /// Payload length above the receiver's cap.
+    Oversized {
+        /// Length the header declared.
+        len: u64,
+        /// The receiver's cap.
+        max: u64,
+    },
+    /// Stream ended mid-frame.
+    Truncated,
+    /// Payload checksum mismatch.
+    PayloadChecksum,
+    /// The payload bytes didn't decode as the opcode's layout.
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "stream error: {e}"),
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            ProtoError::HeaderChecksum => write!(f, "frame header checksum mismatch"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtoError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds cap {max}")
+            }
+            ProtoError::Truncated => write!(f, "stream ended mid-frame"),
+            ProtoError::PayloadChecksum => write!(f, "payload checksum mismatch"),
+            ProtoError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> ProtoError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated
+        } else {
+            ProtoError::Io(e)
+        }
+    }
+}
+
+/// 64-bit FNV-1a — the same checksum the `colseg` and WAL headers use.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload means.
+    pub opcode: OpCode,
+    /// The payload bytes (layout per opcode).
+    pub payload: Vec<u8>,
+}
+
+/// Encode a frame into a byte vector (header + payload).
+pub fn encode_frame(opcode: OpCode, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(FRAME_MAGIC);
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out.extend_from_slice(&(opcode as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    let header_sum = fnv1a64(&out[..32]);
+    out.extend_from_slice(&header_sum.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Write one frame to `w` (single `write_all`, then flush is the
+/// caller's business).
+pub fn write_frame(w: &mut impl Write, opcode: OpCode, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(opcode, payload))
+}
+
+/// Parse and validate a frame header. Returns `(opcode, payload_len)`.
+pub fn parse_header(
+    header: &[u8; HEADER_LEN],
+    max_payload: u64,
+) -> Result<(OpCode, u64), ProtoError> {
+    let magic: [u8; 8] = header[0..8].try_into().expect("slice len");
+    if &magic != FRAME_MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let declared = u64::from_le_bytes(header[32..40].try_into().expect("slice len"));
+    if declared != fnv1a64(&header[..32]) {
+        return Err(ProtoError::HeaderChecksum);
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("slice len"));
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let opcode_raw = u32::from_le_bytes(header[12..16].try_into().expect("slice len"));
+    let opcode = OpCode::from_u32(opcode_raw).ok_or(ProtoError::BadOpcode(opcode_raw))?;
+    let len = u64::from_le_bytes(header[16..24].try_into().expect("slice len"));
+    if len > max_payload {
+        return Err(ProtoError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    Ok((opcode, len))
+}
+
+/// Read one complete frame from `r`, enforcing `max_payload`. Blocks
+/// until a full frame (or an error) arrives; a clean EOF before the
+/// first header byte also reports [`ProtoError::Truncated`] — use the
+/// server's idle-aware reader when EOF-at-boundary must be told apart.
+pub fn read_frame(r: &mut impl Read, max_payload: u64) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (opcode, len) = parse_header(&header, max_payload)?;
+    read_payload(r, &header, opcode, len)
+}
+
+/// Read and verify the payload for an already-parsed header.
+pub fn read_payload(
+    r: &mut impl Read,
+    header: &[u8; HEADER_LEN],
+    opcode: OpCode,
+    len: u64,
+) -> Result<Frame, ProtoError> {
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let declared = u64::from_le_bytes(header[24..32].try_into().expect("slice len"));
+    if declared != fnv1a64(&payload) {
+        return Err(ProtoError::PayloadChecksum);
+    }
+    Ok(Frame { opcode, payload })
+}
+
+// ---- payload layouts ----
+
+/// A `QUERY` / `XQUERY` request: which store, how to run, and the
+/// program text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPayload {
+    /// Registered store name.
+    pub store: String,
+    /// Render worker threads (`0` = server default).
+    pub threads: u32,
+    /// [`FLAG_NO_WRAPPER`] | [`FLAG_WANT_STATS`].
+    pub flags: u8,
+    /// Guard (or XQuery) text.
+    pub text: String,
+}
+
+impl QueryPayload {
+    /// Wire encoding: `u16` store length, store bytes, `u32` threads,
+    /// `u8` flags, then the text to end of payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7 + self.store.len() + self.text.len());
+        out.extend_from_slice(&(self.store.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.store.as_bytes());
+        out.extend_from_slice(&self.threads.to_le_bytes());
+        out.push(self.flags);
+        out.extend_from_slice(self.text.as_bytes());
+        out
+    }
+
+    /// Total decode of the wire layout.
+    pub fn decode(bytes: &[u8]) -> Result<QueryPayload, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let store = c.take_short_string("store name")?;
+        let threads = c.take_u32("threads")?;
+        let flags = c.take_u8("flags")?;
+        let text = std::str::from_utf8(c.rest())
+            .map_err(|_| ProtoError::BadPayload("query text is not UTF-8"))?
+            .to_string();
+        Ok(QueryPayload {
+            store,
+            threads,
+            flags,
+            text,
+        })
+    }
+}
+
+/// A `STATS` request: just the store name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorePayload {
+    /// Registered store name.
+    pub store: String,
+}
+
+impl StorePayload {
+    /// Wire encoding: `u16` length + name bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.store.len());
+        out.extend_from_slice(&(self.store.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.store.as_bytes());
+        out
+    }
+
+    /// Total decode.
+    pub fn decode(bytes: &[u8]) -> Result<StorePayload, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let store = c.take_short_string("store name")?;
+        c.expect_end()?;
+        Ok(StorePayload { store })
+    }
+}
+
+/// A `RESULT` response: the typing class and the rendered document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultPayload {
+    /// Typing class code: 0 strong, 1 narrowing, 2 widening, 3 weak.
+    pub typing: u8,
+    /// Rendered XML.
+    pub xml: String,
+}
+
+impl ResultPayload {
+    /// Wire encoding: `u8` typing, then the XML to end of payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.xml.len());
+        out.push(self.typing);
+        out.extend_from_slice(self.xml.as_bytes());
+        out
+    }
+
+    /// Total decode.
+    pub fn decode(bytes: &[u8]) -> Result<ResultPayload, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let typing = c.take_u8("typing")?;
+        if typing > 3 {
+            return Err(ProtoError::BadPayload("typing code out of range"));
+        }
+        let xml = std::str::from_utf8(c.rest())
+            .map_err(|_| ProtoError::BadPayload("result XML is not UTF-8"))?
+            .to_string();
+        Ok(ResultPayload { typing, xml })
+    }
+}
+
+/// An `ERROR` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorPayload {
+    /// What failed.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorPayload {
+    /// Wire encoding: `u16` code, then the message to end of payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.message.len());
+        out.extend_from_slice(&(self.code as u16).to_le_bytes());
+        out.extend_from_slice(self.message.as_bytes());
+        out
+    }
+
+    /// Total decode.
+    pub fn decode(bytes: &[u8]) -> Result<ErrorPayload, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let raw = c.take_u16("error code")?;
+        let code = ErrorCode::from_u16(raw).ok_or(ProtoError::BadPayload("unknown error code"))?;
+        let message = std::str::from_utf8(c.rest())
+            .map_err(|_| ProtoError::BadPayload("error message is not UTF-8"))?
+            .to_string();
+        Ok(ErrorPayload { code, message })
+    }
+}
+
+/// A `STATS_REPLY` payload: fixed-width little-endian counters. For a
+/// per-query reply these are the *deltas* the query caused; for a
+/// store-wide `STATS` answer they are cumulative and the phase timings
+/// are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Pages read from the device.
+    pub blocks_read: u64,
+    /// Pages written to the device.
+    pub blocks_written: u64,
+    /// Buffer-pool hits.
+    pub cache_hits: u64,
+    /// Buffer-pool misses.
+    pub cache_misses: u64,
+    /// Nanoseconds inside device reads.
+    pub read_ns: u64,
+    /// Nanoseconds inside device writes.
+    pub write_ns: u64,
+    /// Compile-phase nanoseconds (0 for store-wide stats).
+    pub compile_ns: u64,
+    /// Render-phase nanoseconds (0 for store-wide stats).
+    pub render_ns: u64,
+    /// Column bytes faulted in (per-query) or resident (store-wide).
+    pub column_bytes: u64,
+    /// Render worker threads used (0 for store-wide stats).
+    pub threads: u32,
+}
+
+impl WireStats {
+    /// Encoded size: nine `u64`s and one `u32`.
+    pub const ENCODED_LEN: usize = 76;
+
+    /// Wire encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        for v in [
+            self.blocks_read,
+            self.blocks_written,
+            self.cache_hits,
+            self.cache_misses,
+            self.read_ns,
+            self.write_ns,
+            self.compile_ns,
+            self.render_ns,
+            self.column_bytes,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.threads.to_le_bytes());
+        out
+    }
+
+    /// Total decode (exact length required).
+    pub fn decode(bytes: &[u8]) -> Result<WireStats, ProtoError> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return Err(ProtoError::BadPayload("stats payload has wrong length"));
+        }
+        let mut c = Cursor::new(bytes);
+        Ok(WireStats {
+            blocks_read: c.take_u64("stats counter")?,
+            blocks_written: c.take_u64("stats counter")?,
+            cache_hits: c.take_u64("stats counter")?,
+            cache_misses: c.take_u64("stats counter")?,
+            read_ns: c.take_u64("stats counter")?,
+            write_ns: c.take_u64("stats counter")?,
+            compile_ns: c.take_u64("stats counter")?,
+            render_ns: c.take_u64("stats counter")?,
+            column_bytes: c.take_u64("stats counter")?,
+            threads: c.take_u32("threads")?,
+        })
+    }
+}
+
+/// Encode a `STORES` payload from a name list.
+pub fn encode_stores(names: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(names.len() as u16).to_le_bytes());
+    for name in names {
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    out
+}
+
+/// Decode a `STORES` payload.
+pub fn decode_stores(bytes: &[u8]) -> Result<Vec<String>, ProtoError> {
+    let mut c = Cursor::new(bytes);
+    let count = c.take_u16("store count")?;
+    let mut names = Vec::with_capacity(usize::from(count).min(bytes.len() / 2 + 1));
+    for _ in 0..count {
+        names.push(c.take_short_string("store name")?);
+    }
+    c.expect_end()?;
+    Ok(names)
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ProtoError::BadPayload(what))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn take_u8(&mut self, what: &'static str) -> Result<u8, ProtoError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn take_u16(&mut self, what: &'static str) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("len"),
+        ))
+    }
+
+    fn take_u32(&mut self, what: &'static str) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("len"),
+        ))
+    }
+
+    fn take_u64(&mut self, what: &'static str) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("len"),
+        ))
+    }
+
+    /// A `u16`-length-prefixed UTF-8 string.
+    fn take_short_string(&mut self, what: &'static str) -> Result<String, ProtoError> {
+        let len = self.take_u16(what)?;
+        let bytes = self.take(usize::from(len), what)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| ProtoError::BadPayload(what))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        slice
+    }
+
+    fn expect_end(&self) -> Result<(), ProtoError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::BadPayload("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_every_opcode() {
+        for op in [
+            OpCode::Ping,
+            OpCode::Query,
+            OpCode::XQuery,
+            OpCode::Stats,
+            OpCode::ListStores,
+            OpCode::Pong,
+            OpCode::Result,
+            OpCode::StatsReply,
+            OpCode::Error,
+            OpCode::Busy,
+            OpCode::Stores,
+        ] {
+            let payload = format!("payload for {op:?}").into_bytes();
+            let bytes = encode_frame(op, &payload);
+            let frame = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+            assert_eq!(frame.opcode, op);
+            assert_eq!(frame.payload, payload);
+        }
+    }
+
+    #[test]
+    fn oversized_is_rejected_from_header_alone() {
+        let bytes = encode_frame(OpCode::Query, &[0u8; 128]);
+        match read_frame(&mut bytes.as_slice(), 64) {
+            Err(ProtoError::Oversized { len: 128, max: 64 }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_payload_roundtrip() {
+        let p = QueryPayload {
+            store: "xmark".into(),
+            threads: 4,
+            flags: FLAG_WANT_STATS,
+            text: "MORPH item [ name ]".into(),
+        };
+        assert_eq!(QueryPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn wire_stats_roundtrip() {
+        let s = WireStats {
+            blocks_read: 1,
+            blocks_written: 2,
+            cache_hits: 3,
+            cache_misses: 4,
+            read_ns: 5,
+            write_ns: 6,
+            compile_ns: 7,
+            render_ns: 8,
+            column_bytes: 9,
+            threads: 10,
+        };
+        let enc = s.encode();
+        assert_eq!(enc.len(), WireStats::ENCODED_LEN);
+        assert_eq!(WireStats::decode(&enc).unwrap(), s);
+    }
+
+    #[test]
+    fn stores_roundtrip() {
+        let names = vec!["a".to_string(), "library".to_string()];
+        assert_eq!(decode_stores(&encode_stores(&names)).unwrap(), names);
+    }
+}

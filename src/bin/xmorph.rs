@@ -13,14 +13,16 @@
 //! $ xmorph apply   --guard 'MORPH title' --store lib.db
 //! $ xmorph infer   --query 'for $a in doc("d")/result/author return $a/name'
 //! $ xmorph query   --input data.xml --query 'doc("doc.xml")//title'
+//! $ xmorph serve   --addr 127.0.0.1:7878 --store lib.db --name library
 //! ```
 
 use std::io::Read;
 use std::path::Path;
 use std::process::ExitCode;
 use xmorph_core::model::shape::AdornedShape;
-use xmorph_core::{Guard, ShreddedDoc};
+use xmorph_core::{Engine, Guard, QueryRequest, ShreddedDoc};
 use xmorph_pagestore::Store;
+use xmorph_server::{Server, ServerConfig};
 use xmorph_xml::dom::Document;
 use xmorph_xqlite::XqliteDb;
 
@@ -38,13 +40,18 @@ COMMANDS:
     shred     shred a document into a store file for reuse
     infer     infer a guard from an XQuery's paths
     query     run an XQuery against a document (baseline engine)
+    serve     serve a store over TCP (framed protocol; see DESIGN.md §4h)
 
 OPTIONS:
-    --guard <text>    the guard program (apply/analyze/quantify)
-    --input <file>    XML document ('-' for stdin)
-    --store <file>    shredded store to create (shred) or reuse (apply/…)
-    --query <text>    XQuery text (infer/query)
-    --no-wrapper      emit the instance stream without a <result> wrapper
+    --guard <text>        the guard program (apply/analyze/quantify)
+    --input <file>        XML document ('-' for stdin)
+    --store <file>        shredded store to create (shred) or reuse (apply/serve/…)
+    --query <text>        XQuery text (infer/query)
+    --no-wrapper          emit the instance stream without a <result> wrapper
+    --addr <host:port>    listen address (serve; default 127.0.0.1:7878)
+    --name <store-name>   name clients address the store by (serve; default 'default')
+    --max-sessions <n>    concurrent connections before BUSY (serve; default 64)
+    --max-inflight <n>    concurrent queries before BUSY (serve; default = CPUs)
 ";
 
 struct Args {
@@ -54,6 +61,10 @@ struct Args {
     store: Option<String>,
     query: Option<String>,
     no_wrapper: bool,
+    addr: String,
+    name: String,
+    max_sessions: Option<usize>,
+    max_inflight: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +77,10 @@ fn parse_args() -> Result<Args, String> {
         store: None,
         query: None,
         no_wrapper: false,
+        addr: "127.0.0.1:7878".to_string(),
+        name: "default".to_string(),
+        max_sessions: None,
+        max_inflight: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -74,6 +89,16 @@ fn parse_args() -> Result<Args, String> {
             "--store" => args.store = Some(argv.next().ok_or("--store needs a value")?),
             "--query" => args.query = Some(argv.next().ok_or("--query needs a value")?),
             "--no-wrapper" => args.no_wrapper = true,
+            "--addr" => args.addr = argv.next().ok_or("--addr needs a value")?,
+            "--name" => args.name = argv.next().ok_or("--name needs a value")?,
+            "--max-sessions" => {
+                let v = argv.next().ok_or("--max-sessions needs a value")?;
+                args.max_sessions = Some(v.parse().map_err(|_| "--max-sessions needs a number")?);
+            }
+            "--max-inflight" => {
+                let v = argv.next().ok_or("--max-inflight needs a value")?;
+                args.max_inflight = Some(v.parse().map_err(|_| "--max-inflight needs a number")?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n\n{USAGE}")),
         }
@@ -121,19 +146,16 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     match args.command.as_str() {
         "apply" => {
-            let guard = require_guard(&args)?;
-            let (_store, doc) = load_doc(&args)?;
-            let opts = xmorph_core::render::RenderOptions {
-                wrapper: if args.no_wrapper {
-                    None
-                } else {
-                    Some("result".into())
-                },
-                ..Default::default()
-            };
-            let out = guard.apply_with(&doc, &opts).map_err(|e| e.to_string())?;
+            let guard_text = args.guard.as_deref().ok_or("need --guard '<program>'")?;
+            let (store, doc) = load_doc(&args)?;
+            let engine = Engine::from_parts(store, doc);
+            let mut request = QueryRequest::builder(guard_text);
+            if args.no_wrapper {
+                request = request.no_wrapper();
+            }
+            let out = engine.query(&request.build()).map_err(|e| e.to_string())?;
             println!("{}", out.xml);
-            eprintln!("typing: {}", out.analysis.loss.typing);
+            eprintln!("typing: {}", out.typing);
             Ok(())
         }
         "analyze" => {
@@ -211,6 +233,34 @@ fn run() -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             println!("{}", db.query(query).map_err(|e| e.to_string())?);
             Ok(())
+        }
+        "serve" => {
+            let (store, doc) = load_doc(&args)?;
+            let engine = Engine::from_parts(store, doc);
+            let mut config = ServerConfig::default();
+            if let Some(n) = args.max_sessions {
+                config.max_sessions = n;
+            }
+            if let Some(n) = args.max_inflight {
+                config.max_inflight = n;
+            }
+            let handle = Server::builder()
+                .register(args.name.clone(), engine)
+                .config(config)
+                .bind(args.addr.as_str())
+                .map_err(|e| format!("binding {}: {e}", args.addr))?;
+            eprintln!(
+                "serving store {:?} on {} (framed protocol v1; kill the process to stop)",
+                args.name,
+                handle.addr()
+            );
+            // No signal handling without external crates: serve until
+            // the process is killed. The WAL makes an unclosed store
+            // crash-consistent; a clean drain needs ServerHandle::shutdown,
+            // which embedders get through the library API.
+            loop {
+                std::thread::park();
+            }
         }
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
