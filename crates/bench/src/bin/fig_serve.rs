@@ -12,8 +12,12 @@
 //! path and the wire, not the parser).
 //!
 //! Flags: `--scale <f>` scales the document, `--smoke` runs a tiny
-//! document and short windows (the CI gate), `--json` writes
-//! `BENCH_PR8.json` in the current directory.
+//! document and short windows (the CI gate), `--threads-per-query <n>`
+//! sets the render worker count each query requests (`0` = server
+//! default — the historical flat-qps configuration: every query fans
+//! out across all cores, so concurrent clients just time-slice the
+//! same pool), `--json` writes `BENCH_PR8.json` in the current
+//! directory.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -52,6 +56,12 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let json = args.iter().any(|a| a == "--json");
     let scale = xmorph_bench::parse_scale();
+    let threads_per_query: u32 = args
+        .iter()
+        .position(|a| a == "--threads-per-query")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads-per-query takes an integer"))
+        .unwrap_or(1);
 
     let factor = if smoke { 0.004 } else { 0.02 * scale };
     let window = if smoke {
@@ -68,7 +78,8 @@ fn main() {
     let xml = XmarkConfig::with_factor(factor).generate();
     println!(
         "Serving — sustained throughput and tail latency over the framed protocol\n\
-         (XMark factor {factor}, {} bytes, {:?} per load point)\n",
+         (XMark factor {factor}, {} bytes, {:?} per load point, \
+         {threads_per_query} render thread(s) per query)\n",
         xml.len(),
         window
     );
@@ -84,7 +95,7 @@ fn main() {
     let mut points = Vec::new();
     let mut table = Table::new(&["clients", "queries/s", "p50 ms", "p99 ms", "ok", "busy"]);
     for &clients in client_counts {
-        let point = drive(handle.addr(), clients, window);
+        let point = drive(handle.addr(), clients, window, threads_per_query);
         table.row(&[
             point.clients.to_string(),
             format!("{:.0}", point.qps),
@@ -112,8 +123,11 @@ fn main() {
 
     if json {
         let path = "BENCH_PR8.json";
-        std::fs::write(path, render_json(&xml, factor, &points, &overload))
-            .expect("write BENCH_PR8.json");
+        std::fs::write(
+            path,
+            render_json(&xml, factor, threads_per_query, &points, &overload),
+        )
+        .expect("write BENCH_PR8.json");
         println!("\nwrote {path}");
     }
 
@@ -126,7 +140,12 @@ fn main() {
 /// Run `clients` concurrent connections against `addr` for `window`,
 /// each cycling the guard mix; returns aggregate throughput and the
 /// latency distribution.
-fn drive(addr: std::net::SocketAddr, clients: usize, window: Duration) -> LoadPoint {
+fn drive(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    window: Duration,
+    threads_per_query: u32,
+) -> LoadPoint {
     let stop = AtomicBool::new(false);
     let t0 = Instant::now();
     let results: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
@@ -142,15 +161,17 @@ fn drive(addr: std::net::SocketAddr, clients: usize, window: Duration) -> LoadPo
                         let guard = GUARDS[i % GUARDS.len()];
                         i += 1;
                         let q0 = Instant::now();
-                        match client
-                            .query(STORE, guard, QueryOpts::default())
-                            .expect("query")
-                        {
+                        let opts = QueryOpts {
+                            threads: threads_per_query,
+                            ..QueryOpts::default()
+                        };
+                        match client.query(STORE, guard, opts).expect("query") {
                             Reply::Result { .. } => latencies.push(q0.elapsed()),
                             Reply::Busy(_) => busy += 1,
                             Reply::Error { code, message } => {
                                 panic!("unexpected error {code:?}: {message}")
                             }
+                            other => panic!("unexpected reply {other:?}"),
                         }
                     }
                     (latencies, busy)
@@ -221,6 +242,7 @@ fn overload_probe(xml: &str, clients: usize) -> OverloadProbe {
                             Reply::Error { code, message } => {
                                 panic!("unexpected error {code:?}: {message}")
                             }
+                            other => panic!("unexpected reply {other:?}"),
                         }
                     }
                     (ok, busy)
@@ -243,10 +265,17 @@ fn overload_probe(xml: &str, clients: usize) -> OverloadProbe {
     }
 }
 
-fn render_json(xml: &str, factor: f64, points: &[LoadPoint], overload: &OverloadProbe) -> String {
+fn render_json(
+    xml: &str,
+    factor: f64,
+    threads_per_query: u32,
+    points: &[LoadPoint],
+    overload: &OverloadProbe,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"xmark_factor\": {factor},\n"));
     s.push_str(&format!("  \"input_bytes\": {},\n", xml.len()));
+    s.push_str(&format!("  \"threads_per_query\": {threads_per_query},\n"));
     s.push_str("  \"load\": [\n");
     for (i, p) in points.iter().enumerate() {
         s.push_str("    {\n");

@@ -26,8 +26,11 @@
 //! ```
 //!
 //! An [`Engine`] owns one open store and its shredded document and is
-//! shared immutably across threads (`Arc<Engine>` in the server; the
-//! parallel renderer already shares `&ShreddedDoc` across workers). A
+//! shared across threads (`Arc<Engine>` in the server). Queries pin a
+//! copy-on-write [`Snapshot`] of the document and run against that one
+//! epoch; [`Engine::mutate`] is the single-writer entry point that
+//! publishes the next epoch — so the server serves writes concurrently
+//! with reads, and no reader ever sees a half-applied mutation. A
 //! [`Session`] is the cheap per-client layer on top: it caches parsed
 //! guards by source text — "the same guard will be reused for many
 //! queries" (§I) — so a client replaying its guard pays parsing once.
@@ -45,12 +48,14 @@ use crate::error::{MorphError, MorphResult};
 use crate::guard::Guard;
 use crate::render::RenderOptions;
 use crate::report::GuardTyping;
-use crate::semantics::parallel::{render_parallel, ParallelOptions};
-use crate::store::shredded::{OpenOptions, ShredOptions, ShreddedDoc};
+use crate::semantics::parallel::{render_parallel_snapshot, ParallelOptions};
+use crate::store::shredded::{OpenOptions, ShredOptions, ShreddedDoc, Snapshot};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 use xmorph_pagestore::{IoSnapshot, Store};
+use xmorph_xml::dewey::Dewey;
 
 /// One guard evaluation, described declaratively. Build with
 /// [`QueryRequest::builder`]; the zero-configuration request (auto
@@ -181,13 +186,62 @@ pub struct QueryResponse {
 /// One open store + shredded document behind the unified query surface.
 ///
 /// Cheap to share: all query paths take `&self`, so wrap an `Engine` in
-/// an `Arc` and hand clones to every connection handler. Mutation
-/// (`ShreddedDoc::update_text` etc.) needs `&mut ShreddedDoc` and is
-/// deliberately *not* exposed here — a served document is read-only for
-/// now (single-writer snapshots are a ROADMAP item).
+/// an `Arc` and hand clones to every connection handler. Writes go
+/// through [`Engine::mutate`], also `&self`: internally the document
+/// sits behind an `RwLock`, but a query holds the read lock only long
+/// enough to pin a [`Snapshot`] — the analysis and render then run
+/// entirely against that immutable epoch, so readers proceed at full
+/// speed while a single writer mutates and publishes the next epoch.
 pub struct Engine {
     store: Store,
-    doc: ShreddedDoc,
+    doc: RwLock<ShreddedDoc>,
+}
+
+/// One document write, described declaratively for [`Engine::mutate`]
+/// (and the server's `Update`/`Insert`/`Delete` opcodes).
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// Replace the direct text of the node at `target`
+    /// ([`ShreddedDoc::update_text`]).
+    UpdateText {
+        /// Dewey number of the node to retext.
+        target: Dewey,
+        /// New direct text (trimmed, matching the shredder).
+        text: String,
+    },
+    /// Parse `xml` (one rooted element) and append it as the last
+    /// child of `parent` ([`ShreddedDoc::insert_subtree`]).
+    InsertSubtree {
+        /// Dewey number of the insertion parent.
+        parent: Dewey,
+        /// The XML fragment to shred in.
+        xml: String,
+    },
+    /// Insert `xml` immediately before the node at `sibling`
+    /// ([`ShreddedDoc::insert_subtree_before`]).
+    InsertBefore {
+        /// Dewey number of the sibling to insert before.
+        sibling: Dewey,
+        /// The XML fragment to shred in.
+        xml: String,
+    },
+    /// Delete the node at `target` and its whole subtree
+    /// ([`ShreddedDoc::delete_subtree`]).
+    DeleteSubtree {
+        /// Dewey number of the subtree root to remove.
+        target: Dewey,
+    },
+}
+
+/// What an applied [`Mutation`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationOutcome {
+    /// The text update landed.
+    Updated,
+    /// An insert landed; the new subtree root's Dewey number.
+    Inserted(Dewey),
+    /// A delete landed; the number of vertices removed.
+    Deleted(u64),
 }
 
 impl Engine {
@@ -195,13 +249,13 @@ impl Engine {
     pub fn from_xml(xml: &str) -> MorphResult<Engine> {
         let store = Store::in_memory();
         let doc = ShreddedDoc::shred_str(&store, xml)?;
-        Ok(Engine { store, doc })
+        Ok(Engine::from_parts(store, doc))
     }
 
     /// Shred `xml` into `store` with explicit shred options.
     pub fn shred(store: Store, xml: &str, opts: &ShredOptions) -> MorphResult<Engine> {
         let doc = ShreddedDoc::shred_str_with(&store, xml, opts)?;
-        Ok(Engine { store, doc })
+        Ok(Engine::from_parts(store, doc))
     }
 
     /// Open an existing store file holding a shredded document.
@@ -221,17 +275,34 @@ impl Engine {
     /// [`Engine::open_store`] with explicit open options.
     pub fn open_store_with(store: Store, opts: &OpenOptions) -> MorphResult<Engine> {
         let doc = ShreddedDoc::open_with(&store, opts)?;
-        Ok(Engine { store, doc })
+        Ok(Engine::from_parts(store, doc))
     }
 
     /// Wrap an already-open store/document pair.
     pub fn from_parts(store: Store, doc: ShreddedDoc) -> Engine {
-        Engine { store, doc }
+        Engine {
+            store,
+            doc: RwLock::new(doc),
+        }
     }
 
-    /// The underlying shredded document (read-only probes).
-    pub fn doc(&self) -> &ShreddedDoc {
-        &self.doc
+    /// The underlying shredded document (read-only probes). Holding
+    /// the returned guard blocks [`Engine::mutate`]; prefer
+    /// [`Engine::snapshot`] for anything longer than a probe or two.
+    pub fn doc(&self) -> RwLockReadGuard<'_, ShreddedDoc> {
+        self.doc.read().unwrap()
+    }
+
+    /// Pin the current epoch: an immutable view every probe of which
+    /// answers from the document state as of this call, regardless of
+    /// concurrent [`Engine::mutate`] calls.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.doc.read().unwrap().snapshot()
+    }
+
+    /// The document epoch: bumps once per applied mutation.
+    pub fn epoch(&self) -> u64 {
+        self.doc.read().unwrap().epoch()
     }
 
     /// The underlying store.
@@ -256,15 +327,24 @@ impl Engine {
     }
 
     /// Run an already-parsed guard under `req`'s execution knobs.
+    ///
+    /// The document read lock is held only long enough to pin a
+    /// [`Snapshot`]; analysis and rendering then run lock-free against
+    /// that one epoch, so a query never observes a half-applied
+    /// mutation and never blocks the writer for its whole duration.
     pub fn query_parsed(&self, guard: &Guard, req: &QueryRequest) -> MorphResult<QueryResponse> {
-        if let Some(bytes) = req.column_budget {
-            self.doc.set_column_budget(Some(bytes));
-        }
+        let snap = {
+            let doc = self.doc.read().unwrap();
+            if let Some(bytes) = req.column_budget {
+                doc.set_column_budget(Some(bytes));
+            }
+            doc.snapshot()
+        };
         let before_io = req.collect_stats.then(|| self.store.io_stats_snapshot());
-        let before_cols = req.collect_stats.then(|| self.doc.column_bytes().total());
+        let before_cols = req.collect_stats.then(|| snap.column_bytes().total());
 
         let t0 = Instant::now();
-        let analysis = guard.analyze(&self.doc)?;
+        let analysis = guard.analyze_snapshot(&snap)?;
         analysis.enforce()?;
         let compile = t0.elapsed();
 
@@ -283,7 +363,7 @@ impl Engine {
             },
         };
         let t1 = Instant::now();
-        let xml = render_parallel(&self.doc, &analysis.target, &popts)?;
+        let xml = render_parallel_snapshot(&snap, &analysis.target, &popts)?;
         let render = t1.elapsed();
 
         let stats = before_io.map(|before| QueryStats {
@@ -291,8 +371,7 @@ impl Engine {
             render,
             threads,
             io: self.store.io_stats_snapshot().since(&before),
-            column_bytes_delta: self
-                .doc
+            column_bytes_delta: snap
                 .column_bytes()
                 .total()
                 .saturating_sub(before_cols.unwrap_or(0)) as u64,
@@ -302,6 +381,29 @@ impl Engine {
             typing: analysis.loss.typing,
             stats,
         })
+    }
+
+    /// Apply one document write. Takes the document write lock for the
+    /// mutation's duration; queries already running keep reading their
+    /// pinned snapshots, and the next [`Engine::snapshot`] (or query)
+    /// publishes the new epoch.
+    pub fn mutate(&self, m: &Mutation) -> MorphResult<MutationOutcome> {
+        let mut doc = self.doc.write().unwrap();
+        match m {
+            Mutation::UpdateText { target, text } => {
+                doc.update_text(target, text)?;
+                Ok(MutationOutcome::Updated)
+            }
+            Mutation::InsertSubtree { parent, xml } => {
+                Ok(MutationOutcome::Inserted(doc.insert_subtree(parent, xml)?))
+            }
+            Mutation::InsertBefore { sibling, xml } => Ok(MutationOutcome::Inserted(
+                doc.insert_subtree_before(sibling, xml)?,
+            )),
+            Mutation::DeleteSubtree { target } => {
+                Ok(MutationOutcome::Deleted(doc.delete_subtree(target)?))
+            }
+        }
     }
 
     /// Shut the engine down: flush and close the store. Idempotent at
@@ -318,7 +420,7 @@ impl Engine {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("types", &self.doc.types().len())
+            .field("types", &self.doc().types().len())
             .field("persistent", &self.store.is_persistent())
             .finish()
     }
@@ -380,7 +482,7 @@ mod tests {
     fn engine_matches_guard_apply() {
         let engine = Engine::from_xml(FIG1A).unwrap();
         let guard = Guard::parse("MORPH author [ name book [ title ] ]").unwrap();
-        let direct = guard.apply(engine.doc()).unwrap().xml;
+        let direct = guard.apply(&engine.doc()).unwrap().xml;
         for threads in [0usize, 1, 2, 4] {
             let req = QueryRequest::builder("MORPH author [ name book [ title ] ]")
                 .threads(threads)
@@ -464,5 +566,75 @@ mod tests {
         let engine = Engine::from_xml(FIG1A).unwrap();
         engine.close().unwrap();
         engine.close().unwrap();
+    }
+
+    #[test]
+    fn mutate_then_query_sees_new_epoch() {
+        let engine = Engine::from_xml(FIG1A).unwrap();
+        let req = QueryRequest::builder("MORPH title").build();
+        assert!(engine.query(&req).unwrap().xml.contains("<title>X</title>"));
+        let e0 = engine.epoch();
+        let out = engine
+            .mutate(&Mutation::UpdateText {
+                target: "1.1.1".parse().unwrap(),
+                text: "Z".to_string(),
+            })
+            .unwrap();
+        assert_eq!(out, MutationOutcome::Updated);
+        assert!(engine.epoch() > e0);
+        let xml = engine.query(&req).unwrap().xml;
+        assert!(xml.contains("<title>Z</title>"), "{xml}");
+        assert!(!xml.contains("<title>X</title>"), "{xml}");
+    }
+
+    #[test]
+    fn mutate_insert_and_delete_roundtrip() {
+        let engine = Engine::from_xml(FIG1A).unwrap();
+        let inserted = engine
+            .mutate(&Mutation::InsertSubtree {
+                parent: "1".parse().unwrap(),
+                xml: "<book><title>N</title></book>".to_string(),
+            })
+            .unwrap();
+        let MutationOutcome::Inserted(at) = inserted else {
+            panic!("expected Inserted, got {inserted:?}");
+        };
+        assert_eq!(at.to_string(), "1.3");
+        let req = QueryRequest::builder("MORPH title").build();
+        assert!(engine.query(&req).unwrap().xml.contains("<title>N</title>"));
+        let deleted = engine
+            .mutate(&Mutation::DeleteSubtree { target: at })
+            .unwrap();
+        assert_eq!(deleted, MutationOutcome::Deleted(2)); // book + title
+        assert!(!engine.query(&req).unwrap().xml.contains("<title>N</title>"));
+    }
+
+    #[test]
+    fn pinned_snapshot_is_stable_across_mutations() {
+        let engine = Engine::from_xml(FIG1A).unwrap();
+        let snap = engine.snapshot();
+        engine
+            .mutate(&Mutation::UpdateText {
+                target: "1.1.1".parse().unwrap(),
+                text: "Z".to_string(),
+            })
+            .unwrap();
+        let title = snap
+            .types()
+            .lookup(&["data".into(), "book".into(), "title".into()])
+            .unwrap();
+        let texts: Vec<String> = snap.scan_type(title).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["X", "Y"]);
+    }
+
+    #[test]
+    fn mutate_error_reports_and_leaves_doc_usable() {
+        let engine = Engine::from_xml(FIG1A).unwrap();
+        let err = engine.mutate(&Mutation::DeleteSubtree {
+            target: "1".parse().unwrap(),
+        });
+        assert!(matches!(err, Err(MorphError::Mutation { .. })));
+        let req = QueryRequest::builder("MORPH title").build();
+        assert!(engine.query(&req).unwrap().xml.contains("<title>X</title>"));
     }
 }

@@ -180,6 +180,30 @@ impl Guard {
         })
     }
 
+    /// [`Guard::analyze`] against a pinned [`Snapshot`]: the same
+    /// compile phase, but evaluated on the snapshot's frozen shape and
+    /// columns so analysis and the render that follows read one epoch.
+    ///
+    /// [`Snapshot`]: crate::store::shredded::Snapshot
+    pub fn analyze_snapshot(
+        &self,
+        snap: &crate::store::shredded::Snapshot,
+    ) -> MorphResult<GuardAnalysis> {
+        let src = Shape::from_adorned(snap.shape());
+        let mut ctx = EvalCtx::new(snap);
+        let target = eval_guard(&self.op, &src, &mut ctx)?;
+        let loss = analyze_loss(&src, &target, |s| {
+            snap.shape()
+                .instance_count(crate::model::types::TypeId(s as u32))
+        });
+        Ok(GuardAnalysis {
+            target,
+            labels: ctx.labels,
+            loss,
+            allowed: self.allowed(),
+        })
+    }
+
     /// Analyze, enforce the typing discipline, and render.
     pub fn apply(&self, doc: &ShreddedDoc) -> MorphResult<GuardOutput> {
         self.apply_with(doc, &RenderOptions::default())

@@ -69,18 +69,25 @@ pub mod report;
 pub mod semantics;
 pub mod store;
 
-pub use engine::{Engine, QueryRequest, QueryRequestBuilder, QueryResponse, QueryStats, Session};
+pub use engine::{
+    Engine, Mutation, MutationOutcome, QueryRequest, QueryRequestBuilder, QueryResponse,
+    QueryStats, Session,
+};
 pub use error::{MorphError, MorphResult};
 pub use guard::{Guard, GuardAnalysis, GuardOutput};
 pub use model::card::{Card, CardMax};
 pub use model::shape::AdornedShape;
 pub use model::types::{TypeId, TypeTable};
 pub use report::{GuardTyping, LabelReport, LossReport};
-pub use semantics::parallel::{apply_parallel, render_parallel, ParallelOptions};
-pub use store::mutate::MaintenanceStats;
-pub use store::shredded::{
-    ColumnBytes, OpenOptions, Preload, ShredOptions, ShreddedDoc, TypeColumn,
+pub use semantics::parallel::{
+    apply_parallel, render_parallel, render_parallel_snapshot, ParallelOptions,
 };
+pub use store::mutate::MaintenanceStats;
+// Re-exported because [`Mutation`] addresses vertices by Dewey number.
+pub use store::shredded::{
+    ColumnBytes, OpenOptions, Preload, ShredOptions, ShreddedDoc, Snapshot, TypeColumn,
+};
+pub use xmorph_xml::dewey::Dewey;
 
 #[doc(hidden)]
 pub use store::colseg::testing as colseg_testing;

@@ -13,5 +13,5 @@
 pub mod renderer;
 pub mod xquery_view;
 
-pub use renderer::{render, render_to_writer, RenderOptions};
+pub use renderer::{render, render_snapshot, render_to_writer, RenderOptions};
 pub use xquery_view::{guard_to_xquery_view, ViewError};

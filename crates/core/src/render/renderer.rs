@@ -22,7 +22,7 @@
 use crate::error::MorphResult;
 use crate::model::types::TypeId;
 use crate::semantics::shape::{SId, Shape};
-use crate::store::shredded::{ClosestCursor, ShreddedDoc, TypeColumn};
+use crate::store::shredded::{ClosestCursor, ShreddedDoc, Snapshot, TypeColumn};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -65,10 +65,23 @@ struct Anchor<'d> {
     type_id: TypeId,
 }
 
-/// Render the target shape against a shredded document.
+/// Render the target shape against a shredded document. Pins a
+/// [`Snapshot`] for the duration, so the whole pass reads one epoch
+/// even if a writer publishes new column versions mid-render.
 pub fn render(doc: &ShreddedDoc, target: &Shape, opts: &RenderOptions) -> MorphResult<String> {
+    render_snapshot(&doc.snapshot(), target, opts)
+}
+
+/// [`render`] against an explicitly pinned snapshot — the form the
+/// engine's query path uses so one `QueryRequest` reads one epoch
+/// across analysis and rendering.
+pub fn render_snapshot(
+    snap: &Snapshot,
+    target: &Shape,
+    opts: &RenderOptions,
+) -> MorphResult<String> {
     let mut out = String::new();
-    render_with(doc, target, opts, |chunk| {
+    render_with(snap, target, opts, |chunk| {
         out.push_str(chunk);
         Ok(())
     })?;
@@ -86,7 +99,7 @@ pub fn render_to_writer(
     opts: &RenderOptions,
     sink: &mut dyn std::io::Write,
 ) -> MorphResult<()> {
-    render_with(doc, target, opts, |chunk| {
+    render_with(&doc.snapshot(), target, opts, |chunk| {
         sink.write_all(chunk.as_bytes())
             .map_err(|_| crate::error::MorphError::Internal("sink write failed"))
     })
@@ -95,7 +108,7 @@ pub fn render_to_writer(
 /// Core render loop: emits chunks (one per root instance, plus the
 /// wrapper tags) to `emit`.
 fn render_with(
-    doc: &ShreddedDoc,
+    doc: &Snapshot,
     target: &Shape,
     opts: &RenderOptions,
     mut emit: impl FnMut(&str) -> MorphResult<()>,
@@ -129,7 +142,7 @@ fn render_with(
 /// independently against the same shredded document, so concatenating
 /// the slices in order reproduces the sequential output byte for byte.
 pub(crate) fn render_root_slice(
-    doc: &ShreddedDoc,
+    doc: &Snapshot,
     target: &Shape,
     opts: &RenderOptions,
     root: SId,
@@ -163,7 +176,7 @@ pub(crate) fn render_root_slice(
 /// renderer does. NEW roots instantiate per document, not per group, so
 /// the parallel driver runs them on a single thread.
 pub(crate) fn render_root_plain(
-    doc: &ShreddedDoc,
+    doc: &Snapshot,
     target: &Shape,
     opts: &RenderOptions,
     root: SId,
@@ -231,7 +244,7 @@ struct RootBatch {
 
 impl RootBatch {
     fn build(
-        doc: &ShreddedDoc,
+        doc: &Snapshot,
         target: &Shape,
         root: SId,
         root_type: TypeId,
@@ -270,7 +283,7 @@ impl RootBatch {
 }
 
 struct Renderer<'a> {
-    doc: &'a ShreddedDoc,
+    doc: &'a Snapshot,
     target: &'a Shape,
     opts: &'a RenderOptions,
     /// One pipelined join cursor per (target node, anchor type) edge.

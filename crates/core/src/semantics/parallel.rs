@@ -36,7 +36,7 @@ use crate::guard::{Guard, GuardOutput};
 use crate::render::renderer::{render_root_plain, render_root_slice};
 use crate::render::RenderOptions;
 use crate::semantics::shape::Shape;
-use crate::store::shredded::ShreddedDoc;
+use crate::store::shredded::{ShreddedDoc, Snapshot};
 
 /// Options for the parallel driver.
 #[derive(Debug, Clone, Default)]
@@ -94,6 +94,18 @@ fn partition_bounds(n: usize, parts: usize) -> Vec<(usize, usize)> {
 /// which adds guard caching, typing enforcement, and per-query stats.
 pub fn render_parallel(
     doc: &ShreddedDoc,
+    target: &Shape,
+    opts: &ParallelOptions,
+) -> MorphResult<String> {
+    render_parallel_snapshot(&doc.snapshot(), target, opts)
+}
+
+/// [`render_parallel`] against an explicitly pinned snapshot. All
+/// workers share the one `&Snapshot` (it is `Sync`), so the whole
+/// fan-out reads a single epoch regardless of concurrent writers —
+/// this is what makes the engine's reads snapshot-isolated.
+pub fn render_parallel_snapshot(
+    doc: &Snapshot,
     target: &Shape,
     opts: &ParallelOptions,
 ) -> MorphResult<String> {

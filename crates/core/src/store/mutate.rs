@@ -38,9 +38,18 @@
 //!   mutation still holds after it.
 //!
 //! Mutations take `&mut self`: the borrow checker serializes writers
-//! against readers on the same handle. Snapshots already handed out
-//! (an `Arc<TypeColumn>`, a [`ClosestCursor`]) keep serving the
-//! pre-mutation state; re-acquire them after mutating.
+//! against readers on the same handle. Concurrent readers go through
+//! [`Snapshot`] handles (see `ShreddedDoc::snapshot`), and every
+//! public mutation here upholds the snapshot protocol: it takes the
+//! shared writer gate for the span of its tree writes (excluding
+//! snapshot lazy loads from torn ranges), copy-on-write pins the
+//! pre-mutation column of every touched type into each live snapshot
+//! *before* the first tree write, and bumps the document epoch +
+//! per-type touched map when the deltas land. Snapshots already
+//! handed out (an `Arc<TypeColumn>`, a [`ClosestCursor`]) keep
+//! serving the pre-mutation state; re-acquire them after mutating.
+//!
+//! [`Snapshot`]: crate::store::shredded::Snapshot
 //!
 //! ```
 //! use xmorph_core::ShreddedDoc;
@@ -69,6 +78,7 @@ use crate::store::shredded::{
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use xmorph_xml::dewey::{decode_components_into, Dewey};
 use xmorph_xml::reader::{XmlEvent, XmlReader};
 
@@ -289,6 +299,12 @@ impl ShreddedDoc {
             .ok_or_else(|| mutation_err(format!("no node {dewey}")))?;
         let (t, _) = parse_node_value(&value).ok_or(MorphError::Internal("corrupt nodes entry"))?;
         let text = text.trim();
+        // Snapshot protocol: exclude snapshot lazy loads for the span
+        // of the tree writes, and pin the pre-mutation column into
+        // every live snapshot before the first write lands.
+        let shared = Arc::clone(&self.shared);
+        let _gate = shared.gate.write().unwrap();
+        self.cow_pin([t]);
         // One logical mutation = one store transaction: both table
         // writes and the per-type maintenance land atomically, and an
         // error path rolls the lot back (the txn guard's Drop).
@@ -330,6 +346,9 @@ impl ShreddedDoc {
             return Err(mutation_err(format!("no node {dewey}")));
         }
         let root_type = victims[0].1;
+        let shared = Arc::clone(&self.shared);
+        let _gate = shared.gate.write().unwrap();
+        self.cow_pin(victims.iter().map(|(_, t)| *t));
         let txn = self.store.begin().in_op("begin mutation transaction")?;
         let mut deltas = Deltas::new();
         let mut removed_per_type: HashMap<TypeId, i64> = HashMap::new();
@@ -356,7 +375,6 @@ impl ShreddedDoc {
         self.shape
             .set_card(root_type, Card::new(old.min.min(remaining), old.max));
         self.persist_shape()?;
-        self.dist_cache.lock().unwrap().clear();
         let n = victims.len() as u64;
         self.apply_deltas(deltas)?;
         txn.commit().in_op("commit mutation transaction")?;
@@ -375,6 +393,8 @@ impl ShreddedDoc {
         let ord = max
             .checked_add(1)
             .ok_or_else(|| mutation_err("child ordinal space exhausted"))?;
+        let shared = Arc::clone(&self.shared);
+        let _gate = shared.gate.write().unwrap();
         let txn = self.store.begin().in_op("begin mutation transaction")?;
         let dewey = self.insert_fragment_at(parent, ptype, ord, fragment)?;
         txn.commit().in_op("commit mutation transaction")?;
@@ -399,6 +419,8 @@ impl ShreddedDoc {
         let ords = self.child_ordinals(&parent)?;
         let b = *sibling.components().last().expect("non-root dewey");
         let a = ords.iter().copied().filter(|&o| o < b).max().unwrap_or(0);
+        let shared = Arc::clone(&self.shared);
+        let _gate = shared.gate.write().unwrap();
         // Both arms — midpoint insert or local renumber + insert — are
         // a single logical mutation, so one transaction covers them.
         let txn = self.store.begin().in_op("begin mutation transaction")?;
@@ -420,7 +442,6 @@ impl ShreddedDoc {
             let new_o = fresh(i as u32 + 2)?;
             self.renumber_child(&parent, o, new_o, &mut deltas)?;
         }
-        self.dist_cache.lock().unwrap().clear();
         self.apply_deltas(deltas)?;
         let dewey = self.insert_fragment_at(&parent, ptype, insert_ord, fragment)?;
         txn.commit().in_op("commit mutation transaction")?;
@@ -438,6 +459,10 @@ impl ShreddedDoc {
             self.bumped_since_persist.clear();
             return Ok(0);
         }
+        // Segment rewrites race snapshot lazy loads the same way tree
+        // writes do; hold the writer gate across the burst.
+        let shared = Arc::clone(&self.shared);
+        let _gate = shared.gate.write().unwrap();
         // Sorted, so the device sees the same write sequence on every
         // run — crash points in the fault-injection sweep stay
         // reproducible.
@@ -537,6 +562,11 @@ impl ShreddedDoc {
         let prefix = parent.child(old_ord).encode();
         let idx = parent.len();
         let moves: Vec<(Vec<u8>, Vec<u8>)> = self.nodes.scan_prefix(&prefix).collect();
+        self.cow_pin(
+            moves
+                .iter()
+                .filter_map(|(_, v)| parse_node_value(v).map(|(t, _)| t)),
+        );
         for (k, v) in moves {
             let (t, text) =
                 parse_node_value(&v).ok_or(MorphError::Internal("corrupt nodes entry"))?;
@@ -588,6 +618,11 @@ impl ShreddedDoc {
         }
         let (entries, root_type) =
             shred_fragment(&mut self.shape, parent_type, &root_dewey, fragment)?;
+        // Pin before the first tree write. Types the fragment merely
+        // interned pin an empty column — harmless, since no snapshot's
+        // frozen shape knows them. (Shape edits above don't need the
+        // pin: snapshots hold their own `Arc` clone of the shape.)
+        self.cow_pin(entries.iter().map(|(t, _, _)| *t));
         let mut deltas = Deltas::new();
         for (t, d, text) in &entries {
             self.nodes
@@ -609,7 +644,6 @@ impl ShreddedDoc {
             Card::new(old.min.min(n_now), old.max.max(CardMax::Finite(n_now))),
         );
         self.persist_shape()?;
-        self.dist_cache.lock().unwrap().clear();
         self.apply_deltas(deltas)?;
         Ok(root_dewey)
     }
@@ -629,8 +663,32 @@ impl ShreddedDoc {
     /// store's free list.
     fn apply_deltas(&mut self, deltas: Deltas) -> MorphResult<()> {
         if !deltas.is_empty() {
-            // Cached join plans pin the pre-mutation column Arcs.
-            self.plan_cache.write().unwrap().clear();
+            // Publish the new epoch: snapshots published from here on
+            // see the post-mutation state, and the touched map records
+            // which epoch last moved each type (the staleness signal
+            // snapshot republication and lazy loads check against —
+            // per-type generations can't serve that role because
+            // repeat touches between persists skip the bump).
+            self.epoch += 1;
+            let epoch = self.epoch;
+            let mut touched = self.shared.touched.lock().unwrap();
+            for t in deltas.keys() {
+                touched.insert(*t, epoch);
+            }
+            drop(touched);
+            // Scoped invalidation: a cached distance or join plan
+            // depends only on its two types' columns and instance
+            // counts, so entries where neither side moved stay exact.
+            // (Plans additionally pin a column Arc — stale for moved
+            // types, hence they retire with the same predicate.)
+            self.plan_cache
+                .write()
+                .unwrap()
+                .retain(|(a, b), _| !deltas.contains_key(a) && !deltas.contains_key(b));
+            self.dist_cache
+                .lock()
+                .unwrap()
+                .retain(|(a, b), _| !deltas.contains_key(a) && !deltas.contains_key(b));
         }
         for (t, delta) in deltas {
             // First touch since the last persist pays the bump: a new

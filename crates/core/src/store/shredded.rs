@@ -42,7 +42,7 @@ use std::cmp::Ordering as Cmp;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use xmorph_pagestore::{SegmentData, Store, Tree, DEFAULT_FILL};
 use xmorph_xml::dewey::{decode_components_into, Dewey};
 use xmorph_xml::reader::{XmlEvent, XmlReader};
@@ -790,6 +790,19 @@ pub struct ShreddedDoc {
     /// [`ShreddedDoc::persist_dirty_columns`] clears this set when it
     /// writes fresh segments.
     pub(in crate::store) bumped_since_persist: HashSet<TypeId>,
+    /// Document epoch: bumped once per applied mutation batch. A
+    /// [`Snapshot`] pins one epoch; the published snapshot is reused
+    /// while the epoch has not moved.
+    pub(in crate::store) epoch: u64,
+    /// Coordination state shared with every published snapshot (the
+    /// writer gate, the per-type touch epochs, and the live-snapshot
+    /// registry the copy-on-write pin walks).
+    pub(in crate::store) shared: Arc<DocShared>,
+    /// The most recently published snapshot, kept so repeated
+    /// [`ShreddedDoc::snapshot`] calls between mutations are one Arc
+    /// clone, and so republication after a mutation can inherit the
+    /// old snapshot's still-current lazily-resolved columns.
+    published: Mutex<Option<Arc<Snapshot>>>,
 }
 
 impl std::fmt::Debug for ShreddedDoc {
@@ -879,6 +892,80 @@ fn co_occur_columns(a: &TypeColumn, b: &TypeColumn, level: usize) -> bool {
         }
     }
     false
+}
+
+/// State a [`ShreddedDoc`] shares with every [`Snapshot`] it has
+/// published — the coordination points of the single-writer /
+/// many-snapshot-readers protocol.
+///
+/// * `gate` — excludes snapshot *lazy column loads* from the span of a
+///   mutation's tree writes: a load takes the read side, a mutation
+///   holds the write side across its whole transaction. Without it a
+///   snapshot faulting in a column mid-mutation could decode a torn
+///   `typeseq` range.
+/// * `touched` — the document epoch at which each type was last
+///   mutated. Per-type *generations* are not a precise version signal
+///   (repeat touches between persists skip the bump), so this map is
+///   the staleness check snapshots and republication use.
+/// * `live` — weak registry of outstanding snapshots; the writer
+///   copy-on-writes the pre-mutation column into each live snapshot
+///   that has not resolved the touched type yet ([`ShreddedDoc`]'s
+///   `cow_pin`), which is what makes lazy snapshot loads sound.
+pub(in crate::store) struct DocShared {
+    pub(in crate::store) gate: RwLock<()>,
+    pub(in crate::store) touched: Mutex<HashMap<TypeId, u64>>,
+    pub(in crate::store) live: Mutex<Vec<Weak<Snapshot>>>,
+}
+
+impl DocShared {
+    fn new() -> Arc<DocShared> {
+        Arc::new(DocShared {
+            gate: RwLock::new(()),
+            touched: Mutex::new(HashMap::new()),
+            live: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// Decode one type's column straight from the `typeseq` tree — the
+/// shared fallback build both [`ShreddedDoc::column`] and
+/// [`Snapshot::column`] use when no valid persisted segment exists.
+/// Malformed entries are skipped, matching the lenient decoding of the
+/// scans this replaces.
+fn decode_typeseq_column(typeseq: &Tree, width: usize, t: TypeId) -> TypeColumn {
+    let mut comps: Vec<u32> = Vec::new();
+    let mut texts = String::new();
+    let mut offsets: Vec<u32> = vec![0];
+    for (k, v) in typeseq.scan_prefix(&t.0.to_be_bytes()) {
+        let mark = comps.len();
+        // A torn tree can surface keys that violate the scan bounds,
+        // including ones shorter than the type prefix — skip them
+        // like any other malformed entry instead of slicing past
+        // the end.
+        if !k.starts_with(&t.0.to_be_bytes())
+            || !decode_components_into(&k[4..], &mut comps)
+            || comps.len() - mark != width
+        {
+            comps.truncate(mark);
+            continue;
+        }
+        match std::str::from_utf8(&v) {
+            Ok(text) => texts.push_str(text),
+            Err(_) => {
+                comps.truncate(mark);
+                continue;
+            }
+        }
+        offsets.push(texts.len() as u32);
+    }
+    TypeColumn {
+        width,
+        backing: Backing::Heap {
+            comps,
+            texts,
+            offsets,
+        },
+    }
 }
 
 impl ShreddedDoc {
@@ -1049,6 +1136,9 @@ impl ShreddedDoc {
             invalidated_columns: 0,
             dirty: HashSet::new(),
             bumped_since_persist: HashSet::new(),
+            epoch: 0,
+            shared: DocShared::new(),
+            published: Mutex::new(None),
         };
         if opts.persist_columns && store.is_persistent() {
             doc.persist_all_columns()?;
@@ -1105,6 +1195,9 @@ impl ShreddedDoc {
             invalidated_columns: 0,
             dirty: HashSet::new(),
             bumped_since_persist: HashSet::new(),
+            epoch: 0,
+            shared: DocShared::new(),
+            published: Mutex::new(None),
         };
         match &opts.preload {
             Preload::None => {}
@@ -1154,6 +1247,122 @@ impl ShreddedDoc {
             .in_op("read tree \"nodes\"")?
             .and_then(|v| parse_node_value(&v))
             .map(|(t, _)| t))
+    }
+
+    // ---- snapshot publication (single writer, many readers) ----
+
+    /// The document epoch: how many mutation batches have been applied
+    /// to this handle. A [`Snapshot`] pins one epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Pin an immutable, epoch-versioned view of the document.
+    ///
+    /// The snapshot is self-contained: it freezes the adorned shape,
+    /// the per-type generations, and every currently resolved column
+    /// `Arc`, and it resolves further columns lazily from the store —
+    /// which stays sound because the writer copy-on-writes the
+    /// pre-mutation column into every live snapshot *before* touching
+    /// the trees (`cow_pin`), so a type a snapshot has not resolved is
+    /// by construction unchanged since the snapshot's epoch.
+    ///
+    /// Publication is cached: while the epoch has not moved, every call
+    /// returns the same `Arc`. Republication after a mutation settles
+    /// all pending column deltas first (snapshots only ever hold
+    /// settled columns) and inherits the previous snapshot's resolved
+    /// columns for types the interim mutations did not touch.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        if let Some(snap) = self.published.lock().unwrap().as_ref() {
+            if snap.epoch == self.epoch {
+                return Arc::clone(snap);
+            }
+        }
+        // Settle every pending delta outside the publication lock: the
+        // snapshot must only see merged columns, and `column` both
+        // settles and caches them on this handle.
+        let pending: Vec<TypeId> = self
+            .pending_deltas
+            .lock()
+            .unwrap()
+            .keys()
+            .copied()
+            .collect();
+        for t in pending {
+            let _ = self.column(t);
+        }
+        let mut published = self.published.lock().unwrap();
+        if let Some(snap) = published.as_ref() {
+            if snap.epoch == self.epoch {
+                return Arc::clone(snap);
+            }
+        }
+        let mut columns = self.columns.read().unwrap().clone();
+        if let Some(old) = published.as_ref() {
+            // Carry over the old snapshot's lazily-resolved columns for
+            // types untouched since its epoch — they are still current,
+            // and dropping them would re-fault the whole working set
+            // after every mutation.
+            let touched = self.shared.touched.lock().unwrap();
+            for (t, col) in old.columns.read().unwrap().iter() {
+                if touched.get(t).copied().unwrap_or(0) <= old.epoch {
+                    columns.entry(*t).or_insert_with(|| Arc::clone(col));
+                }
+            }
+        }
+        let snap = Arc::new(Snapshot {
+            epoch: self.epoch,
+            shape: Arc::new(self.shape.clone()),
+            store: self.store.clone(),
+            typeseq: self.typeseq.clone(),
+            generation: self.generation,
+            tygens: self.tygens.lock().unwrap().clone(),
+            use_persisted: self.use_persisted,
+            prefer_mmap: self.prefer_mmap,
+            columns: RwLock::new(columns),
+            // The document caches are kept current by scoped
+            // invalidation (entries touching a mutated type retire at
+            // mutation time), so seeding from them is sound.
+            dist_cache: Mutex::new(self.dist_cache.lock().unwrap().clone()),
+            plan_cache: RwLock::new(self.plan_cache.read().unwrap().clone()),
+            shared: Arc::clone(&self.shared),
+        });
+        let mut live = self.shared.live.lock().unwrap();
+        live.retain(|w| w.strong_count() > 0);
+        live.push(Arc::downgrade(&snap));
+        *published = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// The writer half of copy-on-write: resolve the *pre-mutation*
+    /// column of every type in `types` into each live snapshot that has
+    /// not resolved it yet. Mutations call this before their first tree
+    /// write; afterwards every live snapshot either already held the
+    /// type (some earlier state, pinned by its own `Arc`) or now holds
+    /// the state current up to this mutation — so no snapshot will ever
+    /// lazily load a post-mutation column for a type it predates.
+    pub(in crate::store) fn cow_pin<I: IntoIterator<Item = TypeId>>(&mut self, types: I) {
+        let live: Vec<Arc<Snapshot>> = {
+            let mut registry = self.shared.live.lock().unwrap();
+            registry.retain(|w| w.strong_count() > 0);
+            registry.iter().filter_map(Weak::upgrade).collect()
+        };
+        if live.is_empty() {
+            return;
+        }
+        for t in types {
+            let mut resolved: Option<Arc<TypeColumn>> = None;
+            for snap in &live {
+                if snap.columns.read().unwrap().contains_key(&t) {
+                    continue;
+                }
+                // `column` settles any pending delta, so this is the
+                // fully merged pre-mutation state; computed once per
+                // type however many snapshots need the pin.
+                let col = Arc::clone(resolved.get_or_insert_with(|| self.column(t)));
+                snap.columns.write().unwrap().insert(t, col);
+            }
+        }
     }
 
     // ---- the columnar read path ----
@@ -1279,40 +1488,7 @@ impl ShreddedDoc {
 
     fn build_column(&self, t: TypeId) -> TypeColumn {
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
-        let width = self.shape.types().dewey_len(t);
-        let mut comps: Vec<u32> = Vec::new();
-        let mut texts = String::new();
-        let mut offsets: Vec<u32> = vec![0];
-        for (k, v) in self.typeseq.scan_prefix(&t.0.to_be_bytes()) {
-            let mark = comps.len();
-            // A torn tree can surface keys that violate the scan bounds,
-            // including ones shorter than the type prefix — skip them
-            // like any other malformed entry instead of slicing past
-            // the end.
-            if !k.starts_with(&t.0.to_be_bytes())
-                || !decode_components_into(&k[4..], &mut comps)
-                || comps.len() - mark != width
-            {
-                comps.truncate(mark);
-                continue;
-            }
-            match std::str::from_utf8(&v) {
-                Ok(text) => texts.push_str(text),
-                Err(_) => {
-                    comps.truncate(mark);
-                    continue;
-                }
-            }
-            offsets.push(texts.len() as u32);
-        }
-        TypeColumn {
-            width,
-            backing: Backing::Heap {
-                comps,
-                texts,
-                offsets,
-            },
-        }
+        decode_typeseq_column(&self.typeseq, self.shape.types().dewey_len(t), t)
     }
 
     /// Write every type's column as a persisted segment, then flush so
@@ -1722,6 +1898,343 @@ impl ClosestCursor {
 }
 
 impl DistOracle for ShreddedDoc {
+    fn type_distance(&self, a: TypeId, b: TypeId) -> Option<usize> {
+        self.type_distance_exact(a, b)
+    }
+}
+
+/// An immutable, epoch-versioned view of a [`ShreddedDoc`] — the unit
+/// of snapshot isolation. Obtained from [`ShreddedDoc::snapshot`];
+/// cheap to clone (`Arc`), safe to share across threads, and stable
+/// under concurrent mutation of the document that published it: every
+/// probe answers from the state at the snapshot's epoch.
+///
+/// A snapshot freezes the adorned shape and the per-type generations
+/// at publication, seeds its column/distance/plan caches from the
+/// document, and resolves columns it has not seen **lazily** from the
+/// store. Lazy resolution is sound because of the single-writer
+/// protocol: a mutation first copy-on-writes the pre-mutation column
+/// of every type it touches into every live snapshot (so a type this
+/// snapshot has *not* resolved is unchanged since its epoch), and the
+/// shared `gate` lock excludes a lazy load from the span of a
+/// mutation's tree writes (so the load never decodes a torn range).
+///
+/// Snapshots are not subject to the document's column budget: columns
+/// they resolve or get pinned stay alive until the snapshot drops.
+pub struct Snapshot {
+    pub(in crate::store) epoch: u64,
+    shape: Arc<AdornedShape>,
+    store: Store,
+    typeseq: Tree,
+    /// Store-wide shred generation at publication.
+    generation: u64,
+    /// Per-type generation overrides frozen at publication. For a type
+    /// this snapshot may still lazily load, the frozen value equals the
+    /// live one (a later mutation would have pinned the column), so
+    /// segment fencing validates against the right generation.
+    tygens: HashMap<TypeId, u64>,
+    use_persisted: bool,
+    prefer_mmap: bool,
+    pub(in crate::store) columns: RwLock<HashMap<TypeId, Arc<TypeColumn>, FxBuild>>,
+    dist_cache: Mutex<HashMap<(TypeId, TypeId), Option<usize>, FxBuild>>,
+    #[allow(clippy::type_complexity)]
+    plan_cache: RwLock<HashMap<(TypeId, TypeId), Option<(usize, Arc<TypeColumn>)>, FxBuild>>,
+    shared: Arc<DocShared>,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .field("types", &self.shape.types().len())
+            .field("resolved", &self.columns.read().unwrap().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Snapshot {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The adorned shape at the snapshot's epoch.
+    pub fn shape(&self) -> &AdornedShape {
+        &self.shape
+    }
+
+    /// The type table at the snapshot's epoch.
+    pub fn types(&self) -> &TypeTable {
+        self.shape.types()
+    }
+
+    /// Number of instances of a type at the snapshot's epoch.
+    pub fn instance_count(&self, t: TypeId) -> u64 {
+        self.shape.instance_count(t)
+    }
+
+    /// Footprint of the columns this snapshot holds resolved (see
+    /// [`ShreddedDoc::column_bytes`]); the engine uses the delta across
+    /// a query as the "columns this query faulted in" stat.
+    pub fn column_bytes(&self) -> ColumnBytes {
+        let map = self.columns.read().unwrap();
+        let mut out = ColumnBytes::default();
+        for c in map.values() {
+            out.heap += c.heap_bytes();
+            out.mapped += c.mapped_bytes();
+        }
+        out
+    }
+
+    /// The [`TypeColumn`] of `t` as of this snapshot's epoch: the
+    /// pinned `Arc` when the type was resolved at publication or by a
+    /// later writer pin, otherwise loaded from the store under the
+    /// writer-exclusion gate and cached on the snapshot.
+    pub fn column(&self, t: TypeId) -> Arc<TypeColumn> {
+        if let Some(col) = self.columns.read().unwrap().get(&t) {
+            return Arc::clone(col);
+        }
+        // Exclude writers for the load's duration, then re-check: a
+        // mutation that ran while we waited for the gate has pinned the
+        // pre-state of every type it touched into this snapshot.
+        let _gate = self.shared.gate.read().unwrap();
+        if let Some(col) = self.columns.read().unwrap().get(&t) {
+            return Arc::clone(col);
+        }
+        // Unresolved under the gate ⇒ no mutation has touched `t`
+        // since this epoch (cow_pin would have resolved it), so the
+        // store's current state of `t` *is* the epoch state.
+        debug_assert!(
+            self.shared
+                .touched
+                .lock()
+                .unwrap()
+                .get(&t)
+                .copied()
+                .unwrap_or(0)
+                <= self.epoch,
+            "snapshot lazily loading a type mutated after its epoch"
+        );
+        let built = Arc::new(self.load_column(t));
+        let mut map = self.columns.write().unwrap();
+        Arc::clone(map.entry(t).or_insert(built))
+    }
+
+    /// The generation a valid persisted segment of `t` must carry,
+    /// per the generations frozen at publication.
+    fn expected_generation(&self, t: TypeId) -> u64 {
+        self.tygens.get(&t).copied().unwrap_or(self.generation)
+    }
+
+    fn load_column(&self, t: TypeId) -> TypeColumn {
+        let width = self.shape.types().dewey_len(t);
+        if self.use_persisted {
+            let name = colseg::segment_name(t);
+            if let Ok(Some(seg)) = self.store.get_segment(&name, self.prefer_mmap) {
+                if let Ok(parsed) = colseg::parse(&seg, width, self.expected_generation(t)) {
+                    return TypeColumn::from_segment(seg, parsed);
+                }
+                // Stale or corrupt segments degrade to the tree
+                // rebuild, same as the document path; fallback
+                // accounting stays a document-handle concern.
+            }
+        }
+        decode_typeseq_column(&self.typeseq, width, t)
+    }
+
+    /// All instances of a type at the snapshot's epoch, in document
+    /// order, with their direct text.
+    pub fn scan_type(&self, t: TypeId) -> Vec<(Dewey, String)> {
+        let col = self.column(t);
+        (0..col.len())
+            .map(|i| (col.dewey(i), col.text(i).to_string()))
+            .collect()
+    }
+
+    /// Exact `typeDistance` (Def. 2) over the snapshot's columns.
+    /// Cached per pair on the snapshot.
+    pub fn type_distance_exact(&self, a: TypeId, b: TypeId) -> Option<usize> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&hit) = self.dist_cache.lock().unwrap().get(&key) {
+            return hit;
+        }
+        let result = self.compute_distance(key.0, key.1);
+        self.dist_cache.lock().unwrap().insert(key, result);
+        result
+    }
+
+    fn compute_distance(&self, a: TypeId, b: TypeId) -> Option<usize> {
+        let types = self.shape.types();
+        if self.instance_count(a) == 0 || self.instance_count(b) == 0 {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        let la = types.dewey_len(a);
+        let lb = types.dewey_len(b);
+        let k = types.common_prefix_len(a, b);
+        let ca = self.column(a);
+        let cb = self.column(b);
+        for level in (1..=k).rev() {
+            if co_occur_columns(&ca, &cb, level) {
+                return Some(la + lb - 2 * level);
+            }
+        }
+        None
+    }
+
+    fn join_plan(
+        &self,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<(usize, Arc<TypeColumn>)> {
+        if let Some(hit) = self
+            .plan_cache
+            .read()
+            .unwrap()
+            .get(&(parent_type, child_type))
+        {
+            return hit.clone();
+        }
+        let plan = self.type_distance_exact(parent_type, child_type).map(|d| {
+            let types = self.shape.types();
+            let lp = types.dewey_len(parent_type);
+            let lc = types.dewey_len(child_type);
+            ((lp + lc).saturating_sub(d) / 2, self.column(child_type))
+        });
+        self.plan_cache
+            .write()
+            .unwrap()
+            .insert((parent_type, child_type), plan.clone());
+        plan
+    }
+
+    /// The closest join (§VII), zero-copy, at the snapshot's epoch —
+    /// elementwise equal to [`ShreddedDoc::closest_group`] on the
+    /// document state the snapshot pinned.
+    pub fn closest_group(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<(Arc<TypeColumn>, Range<usize>)> {
+        let (l, col) = self.join_plan(parent_type, child_type)?;
+        debug_assert_eq!(parent.len(), self.shape.types().dewey_len(parent_type));
+        let range = col.prefix_range(&parent.components()[..l.min(parent.len())]);
+        Some((col, range))
+    }
+
+    /// Batched closest join over a parent row range — the renderer's
+    /// form; see [`ShreddedDoc::closest_group_batch`].
+    pub fn closest_group_batch(
+        &self,
+        parent_col: &TypeColumn,
+        rows: Range<usize>,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<(Arc<TypeColumn>, Vec<Range<usize>>)> {
+        let (l, col) = self.join_plan(parent_type, child_type)?;
+        let width = parent_col.width();
+        let ranges = col.prefix_ranges(rows.map(|i| {
+            let row = parent_col.components(i);
+            &row[..l.min(width)]
+        }));
+        Some((col, ranges))
+    }
+
+    /// Batched closest join for a document-ordered parent batch; see
+    /// [`ShreddedDoc::closest_children_batch`].
+    pub fn closest_children_batch(
+        &self,
+        parents: &[Dewey],
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Option<(Arc<TypeColumn>, Vec<Range<usize>>)> {
+        let (l, col) = self.join_plan(parent_type, child_type)?;
+        let ranges = col.prefix_ranges(parents.iter().map(|p| &p.components()[..l.min(p.len())]));
+        Some((col, ranges))
+    }
+
+    /// The closest join, materialized; see
+    /// [`ShreddedDoc::closest_children`].
+    pub fn closest_children(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Vec<(Dewey, String)> {
+        match self.closest_group(parent, parent_type, child_type) {
+            Some((col, range)) => range
+                .map(|i| (col.dewey(i), col.text(i).to_string()))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A streaming closest-join cursor at the snapshot's epoch; see
+    /// [`ShreddedDoc::closest_cursor`].
+    pub fn closest_cursor(&self, parent_type: TypeId, child_type: TypeId) -> Option<ClosestCursor> {
+        let (l, col) = self.join_plan(parent_type, child_type)?;
+        Some(ClosestCursor {
+            col,
+            prefix_len: l,
+            pos: 0,
+            group: 0..0,
+            group_prefix: Vec::new(),
+            has_group: false,
+        })
+    }
+
+    /// Existence probe for RESTRICT filters; see
+    /// [`ShreddedDoc::has_closest_child`].
+    pub fn has_closest_child(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> bool {
+        self.closest_group(parent, parent_type, child_type)
+            .is_some_and(|(_, range)| !range.is_empty())
+    }
+
+    /// The B+tree reference join (the ablation path, `pipelined:
+    /// false`). The scan runs under the writer-exclusion gate so it
+    /// never decodes a torn range, but unlike the columnar paths it
+    /// reads the *live* trees: under concurrent mutation its answers
+    /// reflect the current document, not the snapshot's epoch. The
+    /// engine's query path always uses the pipelined columnar join.
+    pub fn closest_children_btree(
+        &self,
+        parent: &Dewey,
+        parent_type: TypeId,
+        child_type: TypeId,
+    ) -> Vec<(Dewey, String)> {
+        let Some(d) = self.type_distance_exact(parent_type, child_type) else {
+            return Vec::new();
+        };
+        let types = self.shape.types();
+        let lp = types.dewey_len(parent_type);
+        let lc = types.dewey_len(child_type);
+        debug_assert_eq!(parent.len(), lp);
+        let l = (lp + lc).saturating_sub(d) / 2;
+        let prefix = parent.prefix(l);
+        let mut key = Vec::with_capacity(4 + prefix.len() * 4);
+        key.extend_from_slice(&child_type.0.to_be_bytes());
+        key.extend_from_slice(&prefix.encode());
+        let _gate = self.shared.gate.read().unwrap();
+        self.typeseq
+            .scan_prefix(&key)
+            .filter_map(|(k, v)| {
+                let dewey = Dewey::decode(k.get(4..)?)?;
+                let text = String::from_utf8(v).ok()?;
+                Some((dewey, text))
+            })
+            .collect()
+    }
+}
+
+impl DistOracle for Snapshot {
     fn type_distance(&self, a: TypeId, b: TypeId) -> Option<usize> {
         self.type_distance_exact(a, b)
     }
@@ -2280,5 +2793,152 @@ mod tests {
         let store = Store::in_memory();
         ShreddedDoc::shred_str(&store, FIG1A).unwrap();
         assert!(store.segment_names().unwrap().is_empty());
+    }
+
+    // ---- snapshot isolation ----
+
+    #[test]
+    fn snapshot_is_cached_until_a_mutation_publishes_a_new_epoch() {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let s1 = doc.snapshot();
+        let s2 = doc.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2), "same epoch → same published Arc");
+        assert_eq!(s1.epoch(), 0);
+        doc.update_text(&"1.1.1".parse().unwrap(), "Z").unwrap();
+        let s3 = doc.snapshot();
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        assert!(s3.epoch() > s1.epoch());
+    }
+
+    #[test]
+    fn snapshot_pins_pre_mutation_state() {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let title = ty(&doc, "data.book.title");
+        let author = ty(&doc, "data.book.author");
+        let snap = doc.snapshot();
+        doc.update_text(&"1.1.1".parse().unwrap(), "Z").unwrap();
+        doc.delete_subtree(&"1.2.2".parse().unwrap()).unwrap();
+        doc.insert_subtree(&"1.1".parse().unwrap(), "<award>w</award>")
+            .unwrap();
+        // The snapshot still reads epoch-0 everywhere, including types
+        // it had not resolved when the mutations ran (cow_pin).
+        let texts: Vec<String> = snap.scan_type(title).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["X", "Y"]);
+        assert_eq!(snap.instance_count(author), 2);
+        assert!(snap.has_closest_child(&"1.2".parse().unwrap(), ty(&doc, "data.book"), author));
+        assert!(snap
+            .shape()
+            .types()
+            .lookup(&["data".into(), "book".into(), "award".into()])
+            .is_none());
+        // The document itself sees the post-mutation state.
+        assert_eq!(doc.instance_count(author), 1);
+        let now: Vec<String> = doc.scan_type(title).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(now, ["Z", "Y"]);
+    }
+
+    #[test]
+    fn snapshot_lazily_loads_untouched_types_after_mutations() {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let pub_name = ty(&doc, "data.book.publisher.name");
+        let snap = doc.snapshot();
+        // Mutate a disjoint type: publisher.name is neither pinned nor
+        // resolved in the snapshot, so this read exercises the lazy
+        // load path against the live trees — sound because the type
+        // was never touched past the snapshot's epoch.
+        doc.update_text(&"1.1.1".parse().unwrap(), "Z").unwrap();
+        let texts: Vec<String> = snap
+            .scan_type(pub_name)
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(texts, ["W", "V"]);
+    }
+
+    #[test]
+    fn snapshot_joins_match_document_joins_at_same_epoch() {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        doc.insert_subtree(&"1.2".parse().unwrap(), "<award>prize</award>")
+            .unwrap();
+        let snap = doc.snapshot();
+        for a in doc.types().ids().collect::<Vec<_>>() {
+            for b in doc.types().ids().collect::<Vec<_>>() {
+                assert_eq!(
+                    snap.type_distance_exact(a, b),
+                    doc.type_distance_exact(a, b),
+                    "distance {a:?}->{b:?}"
+                );
+                let parents: Vec<Dewey> = doc.scan_type(a).into_iter().map(|(p, _)| p).collect();
+                for p in &parents {
+                    assert_eq!(
+                        snap.closest_children(p, a, b),
+                        doc.closest_children(p, a, b),
+                        "join {p} {a:?}->{b:?}"
+                    );
+                }
+                let snap_batch = snap.closest_children_batch(&parents, a, b).map(|(_, r)| r);
+                let doc_batch = doc.closest_children_batch(&parents, a, b).map(|(_, r)| r);
+                assert_eq!(snap_batch, doc_batch, "batch {a:?}->{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn republication_carries_forward_unmoved_columns() {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let title = ty(&doc, "data.book.title");
+        let pub_name = ty(&doc, "data.book.publisher.name");
+        let s1 = doc.snapshot();
+        let warm = s1.column(pub_name); // resolved on the old snapshot only
+        doc.update_text(&"1.1.1".parse().unwrap(), "Z").unwrap();
+        let s2 = doc.snapshot();
+        // publisher.name didn't move: the new snapshot inherits the
+        // very Arc the old one resolved. title moved: it must not.
+        assert!(Arc::ptr_eq(&warm, &s2.column(pub_name)));
+        let texts: Vec<String> = s2.scan_type(title).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["Z", "Y"]);
+        assert_eq!(
+            s1.scan_type(title)
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect::<Vec<_>>(),
+            ["X", "Y"]
+        );
+    }
+
+    #[test]
+    fn scoped_cache_invalidation_keeps_disjoint_pairs() {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let title = ty(&doc, "data.book.title");
+        let book = ty(&doc, "data.book");
+        let pub_name = ty(&doc, "data.book.publisher.name");
+        let publisher = ty(&doc, "data.book.publisher");
+        // Warm both pairs, then mutate only the title.
+        assert_eq!(doc.type_distance_exact(book, title), Some(1));
+        assert_eq!(doc.type_distance_exact(publisher, pub_name), Some(1));
+        doc.update_text(&"1.1.1".parse().unwrap(), "Z").unwrap();
+        // Disjoint pair survives; pairs touching `title` recompute and
+        // still agree with a fresh document.
+        assert_eq!(doc.type_distance_exact(publisher, pub_name), Some(1));
+        assert_eq!(doc.type_distance_exact(book, title), Some(1));
+        assert!(doc.has_closest_child(&"1.1".parse().unwrap(), book, title));
+    }
+
+    #[test]
+    fn snapshot_survives_document_drop() {
+        let store = Store::in_memory();
+        let mut doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let title = ty(&doc, "data.book.title");
+        doc.update_text(&"1.1.1".parse().unwrap(), "Z").unwrap();
+        let snap = doc.snapshot();
+        drop(doc);
+        let texts: Vec<String> = snap.scan_type(title).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["Z", "Y"]);
     }
 }

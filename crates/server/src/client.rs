@@ -7,8 +7,9 @@
 //! surfaces as [`Reply::Busy`] for the caller to back off on.
 
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, ErrorPayload, OpCode, ProtoError, QueryPayload,
-    ResultPayload, StorePayload, WireStats, DEFAULT_MAX_PAYLOAD, FLAG_NO_WRAPPER, FLAG_WANT_STATS,
+    read_frame, write_frame, AppliedPayload, DeletePayload, ErrorCode, ErrorPayload, InsertPayload,
+    OpCode, ProtoError, QueryPayload, ResultPayload, StorePayload, UpdatePayload, WireStats,
+    DEFAULT_MAX_PAYLOAD, FLAG_NO_WRAPPER, FLAG_WANT_STATS, INSERT_MODE_APPEND, INSERT_MODE_BEFORE,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -65,6 +66,19 @@ pub enum Reply {
         xml: String,
         /// Per-query counters (present iff stats were requested).
         stats: Option<WireStats>,
+    },
+    /// A write was applied. `kind` is `APPLIED_UPDATED` /
+    /// `APPLIED_INSERTED` / `APPLIED_DELETED`; `epoch` is the store's
+    /// publication epoch after the write (a fresh query sees it);
+    /// `detail` is the inserted root's Dewey path or the deleted
+    /// vertex count.
+    Applied {
+        /// What the write did.
+        kind: u8,
+        /// Store epoch after publication.
+        epoch: u64,
+        /// Kind-specific detail.
+        detail: String,
     },
     /// Admission control: the server is at capacity, retry later. The
     /// value is the limit that was full.
@@ -197,6 +211,77 @@ impl Client {
                     typing: result.typing,
                     xml: result.xml,
                     stats,
+                })
+            }
+            _ => self.non_result_reply(frame.opcode, &frame.payload),
+        }
+    }
+
+    /// Replace the text of the vertex at dotted Dewey `path`.
+    pub fn update(&mut self, store: &str, path: &str, text: &str) -> Result<Reply, ClientError> {
+        let payload = UpdatePayload {
+            store: store.to_string(),
+            path: path.to_string(),
+            text: text.to_string(),
+        }
+        .encode();
+        self.write_op(OpCode::Update, &payload)
+    }
+
+    /// Shred `xml` and append it under the parent at dotted Dewey
+    /// `path`.
+    pub fn insert(&mut self, store: &str, path: &str, xml: &str) -> Result<Reply, ClientError> {
+        self.insert_mode(store, INSERT_MODE_APPEND, path, xml)
+    }
+
+    /// Shred `xml` and place it before the sibling at dotted Dewey
+    /// `path`.
+    pub fn insert_before(
+        &mut self,
+        store: &str,
+        path: &str,
+        xml: &str,
+    ) -> Result<Reply, ClientError> {
+        self.insert_mode(store, INSERT_MODE_BEFORE, path, xml)
+    }
+
+    fn insert_mode(
+        &mut self,
+        store: &str,
+        mode: u8,
+        path: &str,
+        xml: &str,
+    ) -> Result<Reply, ClientError> {
+        let payload = InsertPayload {
+            store: store.to_string(),
+            mode,
+            path: path.to_string(),
+            xml: xml.to_string(),
+        }
+        .encode();
+        self.write_op(OpCode::Insert, &payload)
+    }
+
+    /// Delete the subtree rooted at dotted Dewey `path`.
+    pub fn delete(&mut self, store: &str, path: &str) -> Result<Reply, ClientError> {
+        let payload = DeletePayload {
+            store: store.to_string(),
+            path: path.to_string(),
+        }
+        .encode();
+        self.write_op(OpCode::Delete, &payload)
+    }
+
+    fn write_op(&mut self, opcode: OpCode, payload: &[u8]) -> Result<Reply, ClientError> {
+        write_frame(&mut self.stream, opcode, payload)?;
+        let frame = read_frame(&mut self.stream, self.max_payload)?;
+        match frame.opcode {
+            OpCode::Applied => {
+                let applied = AppliedPayload::decode(&frame.payload)?;
+                Ok(Reply::Applied {
+                    kind: applied.kind,
+                    epoch: applied.epoch,
+                    detail: applied.detail,
                 })
             }
             _ => self.non_result_reply(frame.opcode, &frame.payload),

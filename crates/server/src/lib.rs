@@ -37,6 +37,11 @@
 //!     Reply::Result { xml, .. } => println!("{xml}"),
 //!     Reply::Busy(_) => eprintln!("server at capacity, retry"),
 //!     Reply::Error { code, message } => eprintln!("{code:?}: {message}"),
+//!     other => unreachable!("{other:?}"),
+//! }
+//! // Writes go over the same wire; readers keep their snapshots.
+//! if let Reply::Applied { epoch, .. } = client.update("library", "1.1.1", "W2")? {
+//!     println!("published epoch {epoch}");
 //! }
 //! handle.shutdown()?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -20,10 +20,14 @@
 //! ```
 //!
 //! Request opcodes: `PING`, `QUERY` (an XMorph guard), `XQUERY` (an
-//! XQuery, served by guard inference), `STATS`, `LIST_STORES`.
-//! Response opcodes: `PONG`, `RESULT`, `STATS_REPLY`, `ERROR`, `BUSY`,
-//! `STORES`. A `QUERY`/`XQUERY` with the `WANT_STATS` flag is answered
-//! by a `RESULT` frame immediately followed by a `STATS_REPLY` frame;
+//! XQuery, served by guard inference), `STATS`, `LIST_STORES`, and the
+//! write triple `UPDATE` / `INSERT` / `DELETE` (served under the
+//! store's single-writer gate while readers keep their pinned
+//! snapshots — see `DESIGN.md` §4i). Response opcodes: `PONG`,
+//! `RESULT`, `STATS_REPLY`, `ERROR`, `BUSY`, `STORES`, and `APPLIED`
+//! (the write acknowledgement, carrying the store's new epoch). A
+//! `QUERY`/`XQUERY` with the `WANT_STATS` flag is answered by a
+//! `RESULT` frame immediately followed by a `STATS_REPLY` frame;
 //! everything else is one frame per request. `BUSY` is the admission
 //! controller's overload answer — see `DESIGN.md` §4h for the
 //! contract.
@@ -65,6 +69,12 @@ pub enum OpCode {
     Stats = 4,
     /// List registered store names; empty payload.
     ListStores = 5,
+    /// Replace one vertex's text ([`UpdatePayload`]).
+    Update = 6,
+    /// Shred an XML fragment into a store ([`InsertPayload`]).
+    Insert = 7,
+    /// Delete a subtree ([`DeletePayload`]).
+    Delete = 8,
     /// Answer to [`OpCode::Ping`]; empty payload.
     Pong = 128,
     /// Rendered XML + typing class ([`ResultPayload`]).
@@ -79,6 +89,9 @@ pub enum OpCode {
     /// Answer to [`OpCode::ListStores`]: `u16` count, then per store a
     /// `u16` length + UTF-8 name.
     Stores = 133,
+    /// Answer to a write opcode ([`AppliedPayload`]): what happened and
+    /// the store's epoch after the mutation published.
+    Applied = 134,
 }
 
 impl OpCode {
@@ -90,12 +103,16 @@ impl OpCode {
             3 => OpCode::XQuery,
             4 => OpCode::Stats,
             5 => OpCode::ListStores,
+            6 => OpCode::Update,
+            7 => OpCode::Insert,
+            8 => OpCode::Delete,
             128 => OpCode::Pong,
             129 => OpCode::Result,
             130 => OpCode::StatsReply,
             131 => OpCode::Error,
             132 => OpCode::Busy,
             133 => OpCode::Stores,
+            134 => OpCode::Applied,
             _ => return None,
         })
     }
@@ -124,6 +141,10 @@ pub enum ErrorCode {
     Query = 8,
     /// The server is draining for shutdown.
     Shutdown = 9,
+    /// The server was started read-only; writes are refused.
+    ReadOnly = 10,
+    /// The mutation failed (bad path, unparsable fragment, …).
+    Mutate = 11,
 }
 
 impl ErrorCode {
@@ -139,6 +160,8 @@ impl ErrorCode {
             7 => ErrorCode::Rejected,
             8 => ErrorCode::Query,
             9 => ErrorCode::Shutdown,
+            10 => ErrorCode::ReadOnly,
+            11 => ErrorCode::Mutate,
             _ => return None,
         })
     }
@@ -340,6 +363,179 @@ impl QueryPayload {
             threads,
             flags,
             text,
+        })
+    }
+}
+
+/// An `UPDATE` request: replace the text of the vertex at `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdatePayload {
+    /// Registered store name.
+    pub store: String,
+    /// Dotted Dewey path of the target vertex (e.g. `"1.2.1"`).
+    pub path: String,
+    /// Replacement text content.
+    pub text: String,
+}
+
+impl UpdatePayload {
+    /// Wire encoding: `u16`-prefixed store, `u16`-prefixed path, then
+    /// the text to end of payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.store.len() + self.path.len() + self.text.len());
+        out.extend_from_slice(&(self.store.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.store.as_bytes());
+        out.extend_from_slice(&(self.path.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.path.as_bytes());
+        out.extend_from_slice(self.text.as_bytes());
+        out
+    }
+
+    /// Total decode.
+    pub fn decode(bytes: &[u8]) -> Result<UpdatePayload, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let store = c.take_short_string("store name")?;
+        let path = c.take_short_string("dewey path")?;
+        let text = std::str::from_utf8(c.rest())
+            .map_err(|_| ProtoError::BadPayload("update text is not UTF-8"))?
+            .to_string();
+        Ok(UpdatePayload { store, path, text })
+    }
+}
+
+/// Where an `INSERT` places the shredded fragment.
+pub const INSERT_MODE_APPEND: u8 = 0;
+/// `INSERT` mode: before the sibling at `path` instead of under it.
+pub const INSERT_MODE_BEFORE: u8 = 1;
+
+/// An `INSERT` request: shred an XML fragment into the store, either
+/// appended under the parent at `path` or ordered before the sibling
+/// at `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertPayload {
+    /// Registered store name.
+    pub store: String,
+    /// [`INSERT_MODE_APPEND`] or [`INSERT_MODE_BEFORE`].
+    pub mode: u8,
+    /// Dotted Dewey path of the parent (append) or sibling (before).
+    pub path: String,
+    /// The XML fragment to shred.
+    pub xml: String,
+}
+
+impl InsertPayload {
+    /// Wire encoding: `u16`-prefixed store, `u8` mode, `u16`-prefixed
+    /// path, then the fragment to end of payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.store.len() + self.path.len() + self.xml.len());
+        out.extend_from_slice(&(self.store.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.store.as_bytes());
+        out.push(self.mode);
+        out.extend_from_slice(&(self.path.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.path.as_bytes());
+        out.extend_from_slice(self.xml.as_bytes());
+        out
+    }
+
+    /// Total decode.
+    pub fn decode(bytes: &[u8]) -> Result<InsertPayload, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let store = c.take_short_string("store name")?;
+        let mode = c.take_u8("insert mode")?;
+        if mode > INSERT_MODE_BEFORE {
+            return Err(ProtoError::BadPayload("insert mode out of range"));
+        }
+        let path = c.take_short_string("dewey path")?;
+        let xml = std::str::from_utf8(c.rest())
+            .map_err(|_| ProtoError::BadPayload("insert fragment is not UTF-8"))?
+            .to_string();
+        Ok(InsertPayload {
+            store,
+            mode,
+            path,
+            xml,
+        })
+    }
+}
+
+/// A `DELETE` request: remove the subtree rooted at `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeletePayload {
+    /// Registered store name.
+    pub store: String,
+    /// Dotted Dewey path of the subtree root.
+    pub path: String,
+}
+
+impl DeletePayload {
+    /// Wire encoding: `u16`-prefixed store, `u16`-prefixed path.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.store.len() + self.path.len());
+        out.extend_from_slice(&(self.store.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.store.as_bytes());
+        out.extend_from_slice(&(self.path.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.path.as_bytes());
+        out
+    }
+
+    /// Total decode.
+    pub fn decode(bytes: &[u8]) -> Result<DeletePayload, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let store = c.take_short_string("store name")?;
+        let path = c.take_short_string("dewey path")?;
+        c.expect_end()?;
+        Ok(DeletePayload { store, path })
+    }
+}
+
+/// `APPLIED` kind: an `UPDATE` replaced a vertex's text.
+pub const APPLIED_UPDATED: u8 = 0;
+/// `APPLIED` kind: an `INSERT` shredded a fragment; detail is the new
+/// root's Dewey path.
+pub const APPLIED_INSERTED: u8 = 1;
+/// `APPLIED` kind: a `DELETE` removed a subtree; detail is the vertex
+/// count removed.
+pub const APPLIED_DELETED: u8 = 2;
+
+/// An `APPLIED` response: acknowledgement of a write, carrying the
+/// store's epoch after the mutation published. Readers pinning older
+/// epochs keep their snapshots; a fresh query sees this epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedPayload {
+    /// [`APPLIED_UPDATED`], [`APPLIED_INSERTED`], or [`APPLIED_DELETED`].
+    pub kind: u8,
+    /// The store's publication epoch after the write.
+    pub epoch: u64,
+    /// Kind-specific detail: inserted root's Dewey path, deleted
+    /// vertex count, or empty.
+    pub detail: String,
+}
+
+impl AppliedPayload {
+    /// Wire encoding: `u8` kind, `u64` epoch, detail to end of payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.detail.len());
+        out.push(self.kind);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(self.detail.as_bytes());
+        out
+    }
+
+    /// Total decode.
+    pub fn decode(bytes: &[u8]) -> Result<AppliedPayload, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let kind = c.take_u8("applied kind")?;
+        if kind > APPLIED_DELETED {
+            return Err(ProtoError::BadPayload("applied kind out of range"));
+        }
+        let epoch = c.take_u64("epoch")?;
+        let detail = std::str::from_utf8(c.rest())
+            .map_err(|_| ProtoError::BadPayload("applied detail is not UTF-8"))?
+            .to_string();
+        Ok(AppliedPayload {
+            kind,
+            epoch,
+            detail,
         })
     }
 }
@@ -607,12 +803,16 @@ mod tests {
             OpCode::XQuery,
             OpCode::Stats,
             OpCode::ListStores,
+            OpCode::Update,
+            OpCode::Insert,
+            OpCode::Delete,
             OpCode::Pong,
             OpCode::Result,
             OpCode::StatsReply,
             OpCode::Error,
             OpCode::Busy,
             OpCode::Stores,
+            OpCode::Applied,
         ] {
             let payload = format!("payload for {op:?}").into_bytes();
             let bytes = encode_frame(op, &payload);
@@ -665,5 +865,71 @@ mod tests {
     fn stores_roundtrip() {
         let names = vec!["a".to_string(), "library".to_string()];
         assert_eq!(decode_stores(&encode_stores(&names)).unwrap(), names);
+    }
+
+    #[test]
+    fn update_payload_roundtrip() {
+        let p = UpdatePayload {
+            store: "xmark".into(),
+            path: "1.2.1".into(),
+            text: "new text".into(),
+        };
+        assert_eq!(UpdatePayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn insert_payload_roundtrip_both_modes() {
+        for mode in [INSERT_MODE_APPEND, INSERT_MODE_BEFORE] {
+            let p = InsertPayload {
+                store: "xmark".into(),
+                mode,
+                path: "1.2".into(),
+                xml: "<person><name>N</name></person>".into(),
+            };
+            assert_eq!(InsertPayload::decode(&p.encode()).unwrap(), p);
+        }
+        assert!(matches!(
+            InsertPayload::decode(
+                &InsertPayload {
+                    store: "s".into(),
+                    mode: 7,
+                    path: "1".into(),
+                    xml: String::new(),
+                }
+                .encode()
+            ),
+            Err(ProtoError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn delete_payload_roundtrip_rejects_trailing_bytes() {
+        let p = DeletePayload {
+            store: "xmark".into(),
+            path: "1.4".into(),
+        };
+        assert_eq!(DeletePayload::decode(&p.encode()).unwrap(), p);
+        let mut enc = p.encode();
+        enc.push(0);
+        assert!(matches!(
+            DeletePayload::decode(&enc),
+            Err(ProtoError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn applied_payload_roundtrip() {
+        for (kind, detail) in [
+            (APPLIED_UPDATED, ""),
+            (APPLIED_INSERTED, "1.9"),
+            (APPLIED_DELETED, "12"),
+        ] {
+            let p = AppliedPayload {
+                kind,
+                epoch: 42,
+                detail: detail.into(),
+            };
+            assert_eq!(AppliedPayload::decode(&p.encode()).unwrap(), p);
+        }
     }
 }

@@ -28,17 +28,19 @@
 //! the next open replays nothing.
 
 use crate::proto::{
-    self, encode_stores, parse_header, read_payload, write_frame, ErrorCode, ErrorPayload, Frame,
-    OpCode, ProtoError, QueryPayload, ResultPayload, StorePayload, WireStats, FLAG_NO_WRAPPER,
-    FLAG_WANT_STATS, HEADER_LEN,
+    self, encode_stores, parse_header, read_payload, write_frame, AppliedPayload, DeletePayload,
+    ErrorCode, ErrorPayload, Frame, InsertPayload, OpCode, ProtoError, QueryPayload, ResultPayload,
+    StorePayload, UpdatePayload, WireStats, APPLIED_DELETED, APPLIED_INSERTED, APPLIED_UPDATED,
+    FLAG_NO_WRAPPER, FLAG_WANT_STATS, HEADER_LEN, INSERT_MODE_BEFORE,
 };
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-use xmorph_core::{Engine, MorphError, QueryRequest, Session};
+use xmorph_core::{Dewey, Engine, MorphError, Mutation, MutationOutcome, QueryRequest, Session};
 
 /// Serving knobs. The defaults suit tests and benches; the CLI maps
 /// flags onto these.
@@ -54,6 +56,9 @@ pub struct ServerConfig {
     /// Default render threads for requests that say `0`. `0` here
     /// means one per available CPU.
     pub default_threads: usize,
+    /// Refuse `UPDATE`/`INSERT`/`DELETE` with [`ErrorCode::ReadOnly`].
+    /// Reads are unaffected.
+    pub read_only: bool,
     /// How often an idle handler wakes to poll the shutdown flag.
     pub idle_poll: Duration,
     /// Artificial hold inside each query's in-flight window. Test-only
@@ -71,6 +76,7 @@ impl Default for ServerConfig {
                 .unwrap_or(4),
             max_payload: proto::DEFAULT_MAX_PAYLOAD,
             default_threads: 0,
+            read_only: false,
             idle_poll: Duration::from_millis(50),
             query_hold: Duration::ZERO,
         }
@@ -94,6 +100,10 @@ pub struct ServerMetrics {
     pub queries_failed: u64,
     /// Queries answered `BUSY` by the in-flight gate.
     pub queries_busy: u64,
+    /// Writes acknowledged with an `APPLIED`.
+    pub writes_ok: u64,
+    /// Writes answered with a typed `ERROR` (including `READ_ONLY`).
+    pub writes_failed: u64,
     /// Frames that failed protocol validation (answered `ERROR`).
     pub protocol_errors: u64,
 }
@@ -105,6 +115,8 @@ struct MetricCells {
     queries_ok: AtomicU64,
     queries_failed: AtomicU64,
     queries_busy: AtomicU64,
+    writes_ok: AtomicU64,
+    writes_failed: AtomicU64,
     protocol_errors: AtomicU64,
 }
 
@@ -116,6 +128,8 @@ impl MetricCells {
             queries_ok: self.queries_ok.load(Ordering::Relaxed),
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
             queries_busy: self.queries_busy.load(Ordering::Relaxed),
+            writes_ok: self.writes_ok.load(Ordering::Relaxed),
+            writes_failed: self.writes_failed.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
         }
     }
@@ -253,6 +267,12 @@ impl ServerBuilder {
     /// Cap frame payload size.
     pub fn max_payload(mut self, bytes: u64) -> Self {
         self.config.max_payload = bytes;
+        self
+    }
+
+    /// Refuse write opcodes with `READ_ONLY`.
+    pub fn read_only(mut self, yes: bool) -> Self {
+        self.config.read_only = yes;
         self
     }
 
@@ -589,6 +609,9 @@ fn dispatch<'a>(
         OpCode::Query | OpCode::XQuery => {
             handle_query(stream, shared, sessions, frame.opcode, &frame.payload)
         }
+        OpCode::Update | OpCode::Insert | OpCode::Delete => {
+            handle_write(stream, shared, frame.opcode, &frame.payload)
+        }
         // A response opcode arriving at the server is a client bug;
         // answer typed and keep the connection.
         OpCode::Pong
@@ -596,7 +619,8 @@ fn dispatch<'a>(
         | OpCode::StatsReply
         | OpCode::Error
         | OpCode::Busy
-        | OpCode::Stores => {
+        | OpCode::Stores
+        | OpCode::Applied => {
             shared
                 .metrics
                 .protocol_errors
@@ -738,6 +762,107 @@ fn handle_query<'a>(
             send_error(stream, error_code(&e), e.to_string())
         }
     }
+}
+
+/// Handle one write frame: decode, admit, mutate under the engine's
+/// writer lock, answer `APPLIED` with the new epoch. Readers holding
+/// pinned snapshots are untouched — the engine's copy-on-write
+/// publication means a write never blocks an in-flight render, only
+/// other writes.
+fn handle_write(stream: &mut TcpStream, shared: &Shared, opcode: OpCode, payload: &[u8]) -> bool {
+    let decoded: Result<(String, Mutation), ProtoError> = match opcode {
+        OpCode::Update => UpdatePayload::decode(payload).and_then(|p| {
+            let target = parse_path(&p.path)?;
+            Ok((
+                p.store,
+                Mutation::UpdateText {
+                    target,
+                    text: p.text,
+                },
+            ))
+        }),
+        OpCode::Insert => InsertPayload::decode(payload).and_then(|p| {
+            let path = parse_path(&p.path)?;
+            let m = if p.mode == INSERT_MODE_BEFORE {
+                Mutation::InsertBefore {
+                    sibling: path,
+                    xml: p.xml,
+                }
+            } else {
+                Mutation::InsertSubtree {
+                    parent: path,
+                    xml: p.xml,
+                }
+            };
+            Ok((p.store, m))
+        }),
+        _ => DeletePayload::decode(payload).and_then(|p| {
+            let target = parse_path(&p.path)?;
+            Ok((p.store, Mutation::DeleteSubtree { target }))
+        }),
+    };
+    let (store, mutation) = match decoded {
+        Ok(pair) => pair,
+        Err(e) => {
+            shared
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return send_error(stream, ErrorCode::BadPayload, e.to_string());
+        }
+    };
+    if shared.config.read_only {
+        shared.metrics.writes_failed.fetch_add(1, Ordering::Relaxed);
+        return send_error(
+            stream,
+            ErrorCode::ReadOnly,
+            "server is read-only".to_string(),
+        );
+    }
+    // Writes share the in-flight gate with queries: overload answers
+    // BUSY, it never queues.
+    let Some(_permit) = shared.inflight.try_acquire() else {
+        shared.metrics.queries_busy.fetch_add(1, Ordering::Relaxed);
+        return write_frame(
+            stream,
+            OpCode::Busy,
+            &(shared.config.max_inflight as u32).to_le_bytes(),
+        )
+        .is_ok();
+    };
+    let Some(engine) = shared.registry.get(&store) else {
+        shared.metrics.writes_failed.fetch_add(1, Ordering::Relaxed);
+        return send_error(
+            stream,
+            ErrorCode::UnknownStore,
+            format!("no store named {store:?}"),
+        );
+    };
+    match engine.mutate(&mutation) {
+        Ok(outcome) => {
+            shared.metrics.writes_ok.fetch_add(1, Ordering::Relaxed);
+            let (kind, detail) = match outcome {
+                MutationOutcome::Updated => (APPLIED_UPDATED, String::new()),
+                MutationOutcome::Inserted(dewey) => (APPLIED_INSERTED, dewey.to_string()),
+                MutationOutcome::Deleted(count) => (APPLIED_DELETED, count.to_string()),
+            };
+            let applied = AppliedPayload {
+                kind,
+                epoch: engine.epoch(),
+                detail,
+            };
+            write_frame(stream, OpCode::Applied, &applied.encode()).is_ok()
+        }
+        Err(e) => {
+            shared.metrics.writes_failed.fetch_add(1, Ordering::Relaxed);
+            send_error(stream, ErrorCode::Mutate, e.to_string())
+        }
+    }
+}
+
+/// Parse a dotted Dewey path from the wire.
+fn parse_path(path: &str) -> Result<Dewey, ProtoError> {
+    Dewey::from_str(path).map_err(|_| ProtoError::BadPayload("malformed dewey path"))
 }
 
 /// Translate an XQuery into a guard the engine can run: extract the

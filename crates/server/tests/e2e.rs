@@ -246,6 +246,7 @@ fn busy_when_inflight_limit_is_full() {
                         busy_seen.fetch_add(1, Ordering::Relaxed)
                     }
                     Reply::Error { code, message } => panic!("{code:?}: {message}"),
+                    other => panic!("{other:?}"),
                 };
             });
         }
@@ -315,6 +316,7 @@ fn concurrent_clients_all_get_identical_results() {
                         }
                         Reply::Busy(_) => { /* admission is allowed to push back */ }
                         Reply::Error { code, message } => panic!("{code:?}: {message}"),
+                        other => panic!("{other:?}"),
                     }
                 }
             });
@@ -323,6 +325,213 @@ fn concurrent_clients_all_get_identical_results() {
     let metrics = handle.shutdown().unwrap();
     assert!(metrics.queries_ok >= 1);
     assert_eq!(metrics.protocol_errors, 0);
+}
+
+#[test]
+fn writes_over_the_wire_publish_new_epochs() {
+    let (handle, reference) = serve(ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Find the first author name's Dewey on the twin: same document,
+    // same shredder, so the paths coincide.
+    let name_dewey = {
+        let doc = reference.doc();
+        let t = doc
+            .types()
+            .lookup(&[
+                "library".to_string(),
+                "author".to_string(),
+                "name".to_string(),
+            ])
+            .expect("author name type");
+        doc.scan_type(t).remove(0).0.to_string()
+    };
+
+    // UPDATE: new text visible to the next query, epoch advanced.
+    match client.update("library", &name_dewey, "Milverton").unwrap() {
+        Reply::Applied { kind, epoch, .. } => {
+            assert_eq!(kind, xmorph_server::proto::APPLIED_UPDATED);
+            assert!(epoch >= 1);
+        }
+        other => panic!("{other:?}"),
+    }
+    match client
+        .query("library", GOOD_GUARD, QueryOpts::default())
+        .unwrap()
+    {
+        Reply::Result { xml, .. } => assert!(
+            xml.contains("<name>Milverton</name>"),
+            "update must be visible to a post-write query: {xml}"
+        ),
+        other => panic!("{other:?}"),
+    }
+
+    // INSERT: a new author appended under the library root.
+    match client
+        .insert(
+            "library",
+            "1",
+            "<author><name>Hudson</name><book><title>Rent</title>\
+             <publisher><name>Baker</name></publisher></book></author>",
+        )
+        .unwrap()
+    {
+        Reply::Applied { kind, detail, .. } => {
+            assert_eq!(kind, xmorph_server::proto::APPLIED_INSERTED);
+            assert!(!detail.is_empty(), "detail carries the new root's path");
+        }
+        other => panic!("{other:?}"),
+    }
+    match client
+        .query("library", GOOD_GUARD, QueryOpts::default())
+        .unwrap()
+    {
+        Reply::Result { xml, .. } => assert!(xml.contains("<name>Hudson</name>")),
+        other => panic!("{other:?}"),
+    }
+
+    // DELETE: drop the inserted subtree again; detail is the count.
+    let inserted = match client
+        .insert("library", "1", "<author><name>Doomed</name></author>")
+        .unwrap()
+    {
+        Reply::Applied { detail, .. } => detail,
+        other => panic!("{other:?}"),
+    };
+    match client.delete("library", &inserted).unwrap() {
+        Reply::Applied { kind, detail, .. } => {
+            assert_eq!(kind, xmorph_server::proto::APPLIED_DELETED);
+            assert_eq!(detail, "2", "author + name vertices removed");
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // A mutation failure is a typed error and the connection survives.
+    match client.update("library", "9.9.9", "nope").unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Mutate),
+        other => panic!("{other:?}"),
+    }
+    match client.delete("library", "not-a-path").unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::BadPayload),
+        other => panic!("{other:?}"),
+    }
+    match client.update("nope", "1.1", "x").unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownStore),
+        other => panic!("{other:?}"),
+    }
+
+    let metrics = handle.shutdown().unwrap();
+    assert_eq!(metrics.writes_ok, 4);
+    assert_eq!(metrics.writes_failed, 2, "bad path + unknown store");
+}
+
+#[test]
+fn read_only_server_refuses_writes_but_serves_reads() {
+    let (handle, _reference) = serve(ServerConfig {
+        read_only: true,
+        ..Default::default()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.update("library", "1.1.1", "x").unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::ReadOnly),
+        other => panic!("{other:?}"),
+    }
+    match client.insert("library", "1", "<author/>").unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::ReadOnly),
+        other => panic!("{other:?}"),
+    }
+    match client.delete("library", "1.1").unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::ReadOnly),
+        other => panic!("{other:?}"),
+    }
+    match client
+        .query("library", GOOD_GUARD, QueryOpts::default())
+        .unwrap()
+    {
+        Reply::Result { .. } => {}
+        other => panic!("{other:?}"),
+    }
+    let metrics = handle.shutdown().unwrap();
+    assert_eq!(metrics.writes_failed, 3);
+    assert_eq!(metrics.writes_ok, 0);
+}
+
+#[test]
+fn reader_connections_see_consistent_states_during_writes() {
+    let (handle, reference) = serve(ServerConfig::default());
+    let addr = handle.addr();
+    let name_dewey = {
+        let doc = reference.doc();
+        let t = doc
+            .types()
+            .lookup(&[
+                "library".to_string(),
+                "author".to_string(),
+                "name".to_string(),
+            ])
+            .expect("author name type");
+        doc.scan_type(t).remove(0).0.to_string()
+    };
+    // Every reachable state's render: prefix k has the name "W{k}"
+    // (k = 0 is the unmutated document).
+    let mut expected = std::collections::HashSet::new();
+    expected.insert(
+        reference
+            .query(&QueryRequest::builder(GOOD_GUARD).build())
+            .unwrap()
+            .xml,
+    );
+    let dewey: xmorph_core::Dewey = name_dewey.parse().unwrap();
+    for k in 1..=8 {
+        reference
+            .mutate(&xmorph_core::Mutation::UpdateText {
+                target: dewey.clone(),
+                text: format!("W{k}"),
+            })
+            .unwrap();
+        expected.insert(
+            reference
+                .query(&QueryRequest::builder(GOOD_GUARD).build())
+                .unwrap()
+                .xml,
+        );
+    }
+    std::thread::scope(|scope| {
+        let expected = &expected;
+        for _ in 0..4 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..20 {
+                    match client
+                        .query("library", GOOD_GUARD, QueryOpts::default())
+                        .unwrap()
+                    {
+                        Reply::Result { xml, .. } => assert!(
+                            expected.contains(&xml),
+                            "reader observed a state matching no write prefix: {xml}"
+                        ),
+                        Reply::Busy(_) => {}
+                        other => panic!("{other:?}"),
+                    }
+                }
+            });
+        }
+        scope.spawn(move || {
+            let mut writer = Client::connect(addr).unwrap();
+            for k in 1..=8 {
+                match writer
+                    .update("library", &name_dewey, &format!("W{k}"))
+                    .unwrap()
+                {
+                    Reply::Applied { .. } => {}
+                    Reply::Busy(_) => {}
+                    other => panic!("{other:?}"),
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+    });
+    handle.shutdown().unwrap();
 }
 
 #[test]

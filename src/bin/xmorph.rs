@@ -52,6 +52,7 @@ OPTIONS:
     --name <store-name>   name clients address the store by (serve; default 'default')
     --max-sessions <n>    concurrent connections before BUSY (serve; default 64)
     --max-inflight <n>    concurrent queries before BUSY (serve; default = CPUs)
+    --read-only           refuse UPDATE/INSERT/DELETE frames (serve)
 ";
 
 struct Args {
@@ -65,6 +66,7 @@ struct Args {
     name: String,
     max_sessions: Option<usize>,
     max_inflight: Option<usize>,
+    read_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -81,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         name: "default".to_string(),
         max_sessions: None,
         max_inflight: None,
+        read_only: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -99,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--max-inflight needs a value")?;
                 args.max_inflight = Some(v.parse().map_err(|_| "--max-inflight needs a number")?);
             }
+            "--read-only" => args.read_only = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n\n{USAGE}")),
         }
@@ -244,15 +248,17 @@ fn run() -> Result<(), String> {
             if let Some(n) = args.max_inflight {
                 config.max_inflight = n;
             }
+            config.read_only = args.read_only;
             let handle = Server::builder()
                 .register(args.name.clone(), engine)
                 .config(config)
                 .bind(args.addr.as_str())
                 .map_err(|e| format!("binding {}: {e}", args.addr))?;
             eprintln!(
-                "serving store {:?} on {} (framed protocol v1; kill the process to stop)",
+                "serving store {:?} on {} (framed protocol v1{}; kill the process to stop)",
                 args.name,
-                handle.addr()
+                handle.addr(),
+                if args.read_only { ", read-only" } else { "" }
             );
             // No signal handling without external crates: serve until
             // the process is killed. The WAL makes an unclosed store
