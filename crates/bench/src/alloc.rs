@@ -57,3 +57,9 @@ pub fn allocated_bytes() -> usize {
 pub fn peak_bytes() -> usize {
     PEAK.load(Ordering::Relaxed)
 }
+
+/// Reset the peak to the current live allocation, so the next
+/// [`peak_bytes`] reading isolates whatever phase runs after this call.
+pub fn reset_peak() {
+    PEAK.store(ALLOCATED.load(Ordering::Relaxed), Ordering::Relaxed);
+}

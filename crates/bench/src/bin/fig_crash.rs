@@ -37,6 +37,7 @@ fn store_err(e: StoreError) -> MorphError {
 
 #[derive(Default, Clone, Copy)]
 struct Marks {
+    shred_done: u64,
     flush_done: u64,
     vacuum_start: u64,
 }
@@ -55,8 +56,16 @@ fn pipeline(
         .shards(1)
         .with_storage(storage)
         .map_err(store_err)?;
-    let opts = ShredOptions::builder().persist_columns(true);
+    // A tiny memory budget forces the streaming shred to spill sorted
+    // runs to store segments *during* the shred, so the sweep's crash
+    // points include torn run-segment writes mid-shred.
+    let opts = ShredOptions::builder()
+        .persist_columns(true)
+        .memory_budget(1);
     let mut doc = ShreddedDoc::shred_str_with(&store, xml, &opts)?;
+    if let Some(h) = handle {
+        marks.shred_done = h.writes();
+    }
     store.flush().map_err(store_err)?;
     if let Some(h) = handle {
         marks.flush_done = h.writes();
@@ -177,8 +186,9 @@ fn main() {
     let total_writes = handle.writes();
     let total_syncs = handle.syncs();
     println!(
-        "recording run: {total_writes} writes, {total_syncs} syncs ({} before mutation, {} before vacuum)",
-        marks.flush_done, marks.vacuum_start
+        "recording run: {total_writes} writes, {total_syncs} syncs ({} during shred, {} before \
+         mutation, {} before vacuum)",
+        marks.shred_done, marks.flush_done, marks.vacuum_start
     );
 
     let mut violations: Vec<String> = Vec::new();
@@ -239,6 +249,7 @@ fn main() {
     let points = [
         1,
         total_writes / 4,
+        marks.shred_done / 2,
         marks.flush_done.saturating_sub(1),
         marks.flush_done + 1,
         marks.vacuum_start + 1,

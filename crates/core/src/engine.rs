@@ -169,6 +169,12 @@ pub struct QueryStats {
     /// faulted into the column cache — nonzero exactly when it touched
     /// types whose columns were not yet resident.
     pub column_bytes_delta: u64,
+    /// Bytes of column data live snapshots keep resident beyond the
+    /// document's own cache ([`ShreddedDoc::snapshot_pinned_bytes`]),
+    /// measured as the query finishes. The column-cache budget counts
+    /// these as already spent, since evicting cache entries cannot
+    /// free them.
+    pub snapshot_pinned_bytes: u64,
 }
 
 /// The transformed document plus what producing it revealed.
@@ -255,6 +261,28 @@ impl Engine {
     /// Shred `xml` into `store` with explicit shred options.
     pub fn shred(store: Store, xml: &str, opts: &ShredOptions) -> MorphResult<Engine> {
         let doc = ShreddedDoc::shred_str_with(&store, xml, opts)?;
+        Ok(Engine::from_parts(store, doc))
+    }
+
+    /// Shred a document file straight from disk into `store` without
+    /// reading it into memory first: the parser keeps a bounded byte
+    /// window, and with [`ShredOptions::memory_budget`] set the
+    /// sort/load stage spills runs to temporary store segments instead
+    /// of holding the entry set in memory — documents much larger than
+    /// RAM shred in bounded space.
+    pub fn shred_path(store: Store, path: &Path, opts: &ShredOptions) -> MorphResult<Engine> {
+        let doc = ShreddedDoc::shred_file_with(&store, path, opts)?;
+        Ok(Engine::from_parts(store, doc))
+    }
+
+    /// Shred a document pulled incrementally from any
+    /// [`std::io::Read`] into `store`.
+    pub fn shred_reader<R: std::io::Read>(
+        store: Store,
+        reader: R,
+        opts: &ShredOptions,
+    ) -> MorphResult<Engine> {
+        let doc = ShreddedDoc::shred_reader_with(&store, reader, opts)?;
         Ok(Engine::from_parts(store, doc))
     }
 
@@ -375,6 +403,7 @@ impl Engine {
                 .column_bytes()
                 .total()
                 .saturating_sub(before_cols.unwrap_or(0)) as u64,
+            snapshot_pinned_bytes: self.doc.read().unwrap().snapshot_pinned_bytes() as u64,
         });
         Ok(QueryResponse {
             xml,

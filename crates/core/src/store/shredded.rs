@@ -34,18 +34,19 @@
 //! implementations for cross-checking and ablation.
 
 use crate::error::{MorphError, MorphResult, StoreOpExt};
-use crate::model::shape::AdornedShape;
+use crate::model::shape::{AdornedShape, ShapeBuilder};
 use crate::model::types::{TypeId, TypeTable};
 use crate::semantics::eval::DistOracle;
 use crate::store::colseg;
+use std::cell::{Cell, RefCell};
 use std::cmp::Ordering as Cmp;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
-use xmorph_pagestore::{SegmentData, Store, Tree, DEFAULT_FILL};
+use xmorph_pagestore::{SegmentData, Store, StoreError, Tree, DEFAULT_FILL};
 use xmorph_xml::dewey::{decode_components_into, Dewey};
-use xmorph_xml::reader::{XmlEvent, XmlReader};
+use xmorph_xml::reader::{EventSource, XmlEvent, XmlReader, XmlStreamReader};
 
 /// Multiply-xor hasher for the small integer keys on the probe hot
 /// path. Every `closest_group` probe hashes into the distance cache
@@ -103,6 +104,7 @@ pub struct ShredOptions {
     fill_factor: f64,
     eager_columns: bool,
     persist_columns: bool,
+    memory_budget: Option<usize>,
 }
 
 impl Default for ShredOptions {
@@ -112,6 +114,7 @@ impl Default for ShredOptions {
             fill_factor: DEFAULT_FILL,
             eager_columns: false,
             persist_columns: true,
+            memory_budget: None,
         }
     }
 }
@@ -153,6 +156,19 @@ impl ShredOptions {
     /// cold reopen to accelerate). Default: `true`.
     pub fn persist_columns(mut self, on: bool) -> Self {
         self.persist_columns = on;
+        self
+    }
+
+    /// Cap, in bytes, on the shredder's working memory (bulk path
+    /// only). With a budget set, entry pairs accumulate in fixed-size
+    /// run buffers that are sorted and spilled to temporary store
+    /// segments as they fill, then k-way merged straight into the
+    /// B+tree bulk loader — so documents far larger than memory shred
+    /// without ever materializing the sorted entry set. `None` (the
+    /// default) keeps the all-in-memory sort, which is fastest when the
+    /// document comfortably fits.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 }
@@ -968,6 +984,425 @@ fn decode_typeseq_column(typeseq: &Tree, width: usize, t: TypeId) -> TypeColumn 
     }
 }
 
+// ---- streaming shred machinery (external sort over store segments) ----
+
+/// Name prefix of the temporary segments the external sort spills
+/// sorted runs into. They exist only for the duration of one streaming
+/// shred; [`RunGuard`] deletes them on both the success and the abort
+/// path, and a fresh shred clears any a crash left behind.
+const RUN_SEG_PREFIX: &str = "__shredrun.";
+
+/// Per-entry bookkeeping overhead charged against the run budget: two
+/// `Vec` headers plus allocator slack.
+const RUN_ENTRY_OVERHEAD: usize = 48;
+
+/// Deletes every registered spill segment when dropped — after the
+/// merge on success, and on any abort path, so a failed streaming
+/// shred never leaks `__shredrun.*` segments.
+struct RunGuard<'a> {
+    store: &'a Store,
+    names: RefCell<Vec<String>>,
+}
+
+impl Drop for RunGuard<'_> {
+    fn drop(&mut self) {
+        for name in self.names.borrow().iter() {
+            let _ = self.store.delete_segment(name);
+        }
+    }
+}
+
+/// One sorted stream of the external sort: entries accumulate in a
+/// fixed-size buffer; when the buffer's byte estimate crosses `budget`
+/// it is sorted and spilled to a store segment as one run. The
+/// in-memory tail left at end of input becomes the final run without
+/// ever being serialized.
+struct RunSpiller<'a> {
+    store: &'a Store,
+    guard: &'a RunGuard<'a>,
+    tag: &'static str,
+    budget: usize,
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    bytes: usize,
+    runs: Vec<String>,
+    count: u64,
+}
+
+impl<'a> RunSpiller<'a> {
+    fn new(store: &'a Store, guard: &'a RunGuard<'a>, tag: &'static str, budget: usize) -> Self {
+        RunSpiller {
+            store,
+            guard,
+            tag,
+            budget,
+            entries: Vec::new(),
+            bytes: 0,
+            runs: Vec::new(),
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, key: Vec<u8>, value: Vec<u8>) -> MorphResult<()> {
+        self.bytes += key.len() + value.len() + RUN_ENTRY_OVERHEAD;
+        self.count += 1;
+        self.entries.push((key, value));
+        if self.bytes >= self.budget {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> MorphResult<()> {
+        if self.entries.is_empty() {
+            return Ok(());
+        }
+        self.entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        // Records are length-prefixed and drained as they serialize,
+        // so the peak is one run buffer plus its flat image.
+        let mut blob: Vec<u8> = Vec::with_capacity(self.bytes);
+        for (k, v) in self.entries.drain(..) {
+            blob.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            blob.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            blob.extend_from_slice(&k);
+            blob.extend_from_slice(&v);
+        }
+        let name = format!("{RUN_SEG_PREFIX}{}.{}", self.tag, self.runs.len());
+        self.store
+            .put_segment(&name, &blob)
+            .in_op("spill shred run")?;
+        self.guard.names.borrow_mut().push(name.clone());
+        self.runs.push(name);
+        self.bytes = 0;
+        Ok(())
+    }
+
+    /// Finish the stream: sort the tail, map every spilled run back in
+    /// (read-only, page-aligned — not heap on a file-backed store),
+    /// and return the k-way merge cursor. `produced` counts the pairs
+    /// the merge yields so the caller can verify none were lost to a
+    /// torn run.
+    fn into_merge(mut self, produced: &Cell<u64>) -> MorphResult<MergeStream<'_>> {
+        self.entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut sources = Vec::with_capacity(self.runs.len() + 1);
+        for name in &self.runs {
+            let data = self
+                .store
+                .get_segment(name, true)
+                .in_op("map shred run")?
+                .ok_or(MorphError::Internal("shred run segment vanished"))?;
+            sources.push(RunSource::Seg { data, pos: 0 });
+        }
+        sources.push(RunSource::Mem {
+            iter: std::mem::take(&mut self.entries).into_iter(),
+        });
+        let heap = sources
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.next().map(|(k, v)| std::cmp::Reverse((k, v, i))))
+            .collect();
+        Ok(MergeStream {
+            sources,
+            heap,
+            produced,
+        })
+    }
+}
+
+/// One input to the k-way merge.
+enum RunSource {
+    /// A spilled, sorted run mapped back from a store segment.
+    Seg { data: SegmentData, pos: usize },
+    /// The in-memory tail buffered when input ended.
+    Mem {
+        iter: std::vec::IntoIter<(Vec<u8>, Vec<u8>)>,
+    },
+}
+
+impl RunSource {
+    fn next(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+        match self {
+            RunSource::Mem { iter } => iter.next(),
+            RunSource::Seg { data, pos } => {
+                let rest = &data[*pos..];
+                if rest.is_empty() {
+                    return None;
+                }
+                // A truncated record ends the run early; the caller's
+                // produced-count check turns that into an error.
+                if rest.len() < 8 {
+                    *pos = data.len();
+                    return None;
+                }
+                let klen = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+                let vlen = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
+                let Some(body) = rest.get(8..8 + klen + vlen) else {
+                    *pos = data.len();
+                    return None;
+                };
+                let pair = (body[..klen].to_vec(), body[klen..].to_vec());
+                *pos += 8 + klen + vlen;
+                Some(pair)
+            }
+        }
+    }
+}
+
+/// A run head in the merge heap: key, value, and source index. Keys
+/// are unique across runs, so tuple order never reaches the index.
+type MergeHead = std::cmp::Reverse<(Vec<u8>, Vec<u8>, usize)>;
+
+/// K-way merge over sorted runs. A min-heap of run heads keeps each
+/// pop at O(log k) key comparisons, so the merge stays cheap even when
+/// an out-of-core document spills hundreds of runs.
+struct MergeStream<'p> {
+    sources: Vec<RunSource>,
+    heap: std::collections::BinaryHeap<MergeHead>,
+    produced: &'p Cell<u64>,
+}
+
+impl Iterator for MergeStream<'_> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let std::cmp::Reverse((k, v, i)) = self.heap.pop()?;
+        if let Some((nk, nv)) = self.sources[i].next() {
+            self.heap.push(std::cmp::Reverse((nk, nv, i)));
+        }
+        self.produced.set(self.produced.get() + 1);
+        Some((k, v))
+    }
+}
+
+/// Error and overflow signals latched by [`ColumnTee`] while it runs
+/// inside the bulk loader's iterator (which cannot carry a `Result`).
+struct TeeState {
+    error: Option<MorphError>,
+    overflowed: Vec<TypeId>,
+}
+
+/// One type's column under construction inside the tee.
+struct ColBuild {
+    t: TypeId,
+    width: usize,
+    comps: Vec<u32>,
+    offsets: Vec<u32>,
+    texts: String,
+    dropped: bool,
+}
+
+/// Wraps the sorted `typeseq` merge and builds each type's column from
+/// the same pass, persisting its segment the moment the type's key
+/// range ends — the streaming analogue of `persist_all_columns`. The
+/// decode mirrors [`decode_typeseq_column`] entry for entry (including
+/// its malformed-entry skips), so the persisted bytes are identical to
+/// what a post-shred decode would produce. A column that outgrows
+/// `cap` is abandoned mid-build and recorded for a bounded per-type
+/// fallback after the merge.
+struct ColumnTee<'a, I> {
+    inner: I,
+    cur: Option<ColBuild>,
+    state: &'a RefCell<TeeState>,
+    store: &'a Store,
+    types: &'a TypeTable,
+    generation: u64,
+    persist: bool,
+    cap: usize,
+}
+
+impl<I> ColumnTee<'_, I> {
+    fn finalize(&mut self) {
+        let Some(b) = self.cur.take() else { return };
+        if b.dropped {
+            self.state.borrow_mut().overflowed.push(b.t);
+            return;
+        }
+        if !self.persist {
+            return;
+        }
+        let col = TypeColumn::from_parts(b.width, b.comps, b.offsets, b.texts);
+        if let Err(e) = self
+            .store
+            .put_segment(
+                &colseg::segment_name(b.t),
+                &col.encode_segment(self.generation),
+            )
+            .in_op("persist column segment")
+        {
+            let mut st = self.state.borrow_mut();
+            if st.error.is_none() {
+                st.error = Some(e);
+            }
+        }
+    }
+
+    fn absorb(&mut self, k: &[u8], v: &[u8]) {
+        if self.state.borrow().error.is_some() {
+            return;
+        }
+        let Some(tb) = k.get(0..4) else { return };
+        let t = TypeId(u32::from_be_bytes(tb.try_into().unwrap()));
+        match &self.cur {
+            Some(b) if b.t == t => {}
+            _ => {
+                self.finalize();
+                self.cur = Some(ColBuild {
+                    t,
+                    width: self.types.dewey_len(t),
+                    comps: Vec::new(),
+                    offsets: vec![0],
+                    texts: String::new(),
+                    dropped: false,
+                });
+            }
+        }
+        let b = self.cur.as_mut().expect("column build installed above");
+        if b.dropped {
+            return;
+        }
+        let mark = b.comps.len();
+        if !decode_components_into(&k[4..], &mut b.comps) || b.comps.len() - mark != b.width {
+            b.comps.truncate(mark);
+            return;
+        }
+        match std::str::from_utf8(v) {
+            Ok(text) => b.texts.push_str(text),
+            Err(_) => {
+                b.comps.truncate(mark);
+                return;
+            }
+        }
+        b.offsets.push(b.texts.len() as u32);
+        if b.comps.len() * 4 + b.offsets.len() * 4 + b.texts.len() > self.cap {
+            b.comps = Vec::new();
+            b.offsets = Vec::new();
+            b.texts = String::new();
+            b.dropped = true;
+        }
+    }
+}
+
+impl<I: Iterator<Item = (Vec<u8>, Vec<u8>)>> Iterator for ColumnTee<'_, I> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.inner.next() {
+            Some((k, v)) => {
+                self.absorb(&k, &v);
+                Some((k, v))
+            }
+            None => {
+                self.finalize();
+                None
+            }
+        }
+    }
+}
+
+/// One pass over a SAX-style event stream: assign Dewey numbers, grow
+/// the adorned shape, and emit each vertex's `nodes` and `typeseq`
+/// entries through the two sinks. O(depth) state of its own — the
+/// sinks decide whether entries accumulate, spill, or insert directly.
+fn drive_parse<E: EventSource>(
+    reader: &mut E,
+    builder: &mut ShapeBuilder,
+    mut node: impl FnMut(Vec<u8>, Vec<u8>) -> MorphResult<()>,
+    mut tyseq: impl FnMut(Vec<u8>, Vec<u8>) -> MorphResult<()>,
+) -> MorphResult<()> {
+    struct Frame {
+        dewey: Dewey,
+        type_id: TypeId,
+        next_ordinal: u32,
+        text: String,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    loop {
+        match reader.next_event()? {
+            XmlEvent::StartElement { name, attrs } => {
+                let type_id = builder.open(&name);
+                let dewey = match stack.last_mut() {
+                    Some(parent) => {
+                        parent.next_ordinal += 1;
+                        parent.dewey.child(parent.next_ordinal)
+                    }
+                    None => Dewey::root(),
+                };
+                let mut frame = Frame {
+                    dewey,
+                    type_id,
+                    next_ordinal: 0,
+                    text: String::new(),
+                };
+                // Attributes become child vertices, numbered first.
+                for (aname, avalue) in &attrs {
+                    let at = builder.attribute(aname);
+                    frame.next_ordinal += 1;
+                    let ad = frame.dewey.child(frame.next_ordinal);
+                    node(ad.encode(), node_value(at, avalue))?;
+                    tyseq(typeseq_key(at, &ad), avalue.as_bytes().to_vec())?;
+                }
+                stack.push(frame);
+            }
+            XmlEvent::Text(t) => {
+                if let Some(frame) = stack.last_mut() {
+                    frame.text.push_str(&t);
+                }
+            }
+            XmlEvent::EndElement { .. } => {
+                let frame = stack.pop().expect("balanced events");
+                builder.close();
+                let text = frame.text.trim();
+                node(frame.dewey.encode(), node_value(frame.type_id, text))?;
+                tyseq(
+                    typeseq_key(frame.type_id, &frame.dewey),
+                    text.as_bytes().to_vec(),
+                )?;
+            }
+            XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
+            XmlEvent::Eof => return Ok(()),
+        }
+    }
+}
+
+/// Compute the column generation a (re-)shred publishes, plus the
+/// stale per-type overrides it must drop. Reads only — callers decide
+/// when the writes land relative to the data load (`commit_meta`).
+fn plan_generation(meta: &Tree) -> MorphResult<(u64, Vec<TypeId>)> {
+    let stale_tygens = load_tygens(meta);
+    // Bump the column generation unconditionally: even when this
+    // shred doesn't persist columns, segments left by an earlier
+    // shred of the same store must go stale. A re-shred supersedes
+    // every per-type override too: take the new store-wide
+    // generation past them all, then drop them.
+    let generation = meta
+        .get(META_COLGEN_KEY)
+        .in_op("read column generation")?
+        .and_then(|v| Some(u64::from_le_bytes(v.try_into().ok()?)))
+        .unwrap_or(0)
+        .max(stale_tygens.values().copied().max().unwrap_or(0))
+        + 1;
+    Ok((generation, stale_tygens.keys().copied().collect()))
+}
+
+/// Publish shred metadata: the adorned shape, the new store-wide
+/// column generation, and the removal of every superseded per-type
+/// override (see [`plan_generation`]).
+fn commit_meta(
+    meta: &Tree,
+    shape: &AdornedShape,
+    generation: u64,
+    stale: &[TypeId],
+) -> MorphResult<()> {
+    meta.insert(META_SHAPE_KEY, &shape.to_bytes())
+        .in_op("insert adorned shape")?;
+    meta.insert(META_COLGEN_KEY, &generation.to_le_bytes())
+        .in_op("write column generation")?;
+    for &t in stale {
+        meta.delete(&tygen_key(t))
+            .in_op("clear per-type generation")?;
+    }
+    Ok(())
+}
+
 impl ShreddedDoc {
     /// Shred an XML document (as text) into the store with the default
     /// [`ShredOptions`].
@@ -981,140 +1416,277 @@ impl ShreddedDoc {
         xml: &str,
         opts: &ShredOptions,
     ) -> MorphResult<ShreddedDoc> {
+        Self::shred_events_with(store, &mut XmlReader::new(xml), opts)
+    }
+
+    /// Shred a document pulled incrementally from any [`std::io::Read`]
+    /// with the default [`ShredOptions`]. The parser keeps only a
+    /// bounded window of raw bytes; add a
+    /// [`ShredOptions::memory_budget`] and the whole pipeline runs in
+    /// memory independent of document size.
+    pub fn shred_reader<R: std::io::Read>(store: &Store, reader: R) -> MorphResult<ShreddedDoc> {
+        Self::shred_reader_with(store, reader, &ShredOptions::default())
+    }
+
+    /// Shred from any [`std::io::Read`] with explicit [`ShredOptions`].
+    pub fn shred_reader_with<R: std::io::Read>(
+        store: &Store,
+        reader: R,
+        opts: &ShredOptions,
+    ) -> MorphResult<ShreddedDoc> {
+        Self::shred_events_with(store, &mut XmlStreamReader::new(reader), opts)
+    }
+
+    /// Shred a document straight from a file, without reading it into
+    /// memory first, with the default [`ShredOptions`].
+    pub fn shred_file(store: &Store, path: &std::path::Path) -> MorphResult<ShreddedDoc> {
+        Self::shred_file_with(store, path, &ShredOptions::default())
+    }
+
+    /// Shred a file with explicit [`ShredOptions`].
+    pub fn shred_file_with(
+        store: &Store,
+        path: &std::path::Path,
+        opts: &ShredOptions,
+    ) -> MorphResult<ShreddedDoc> {
+        let file = std::fs::File::open(path).map_err(|e| MorphError::Store {
+            op: format!("open document {}", path.display()),
+            source: StoreError::Io(Arc::new(e)),
+        })?;
+        Self::shred_reader_with(store, file, opts)
+    }
+
+    /// The single entry point the string/reader/file fronts funnel
+    /// into: pick the load strategy from the options.
+    fn shred_events_with<E: EventSource>(
+        store: &Store,
+        reader: &mut E,
+        opts: &ShredOptions,
+    ) -> MorphResult<ShreddedDoc> {
+        if !opts.bulk_load {
+            Self::shred_incremental(store, reader, opts)
+        } else if let Some(budget) = opts.memory_budget {
+            Self::shred_bulk_streaming(store, reader, opts, budget)
+        } else {
+            Self::shred_bulk_in_memory(store, reader, opts)
+        }
+    }
+
+    /// The insert-at-a-time path (`bulk_load(false)`), wrapped in a
+    /// single store transaction: a parse or insert error rolls the
+    /// whole shred back, leaving the store byte-identical to its
+    /// pre-shred image instead of half-populated trees.
+    fn shred_incremental<E: EventSource>(
+        store: &Store,
+        reader: &mut E,
+        opts: &ShredOptions,
+    ) -> MorphResult<ShreddedDoc> {
+        // Trees are opened inside the transaction so a rollback
+        // removes their catalog entries along with their pages.
+        let txn = store.begin().in_op("begin shred transaction")?;
         let nodes = store.open_tree("nodes").in_op("open tree \"nodes\"")?;
         let typeseq = store.open_tree("typeseq").in_op("open tree \"typeseq\"")?;
         let meta = store.open_tree("meta").in_op("open tree \"meta\"")?;
-
         let mut builder = AdornedShape::builder();
-        let mut reader = XmlReader::new(xml);
+        drive_parse(
+            reader,
+            &mut builder,
+            |k, v| {
+                nodes.insert(&k, &v).in_op("insert into tree \"nodes\"")?;
+                Ok(())
+            },
+            |k, v| {
+                typeseq
+                    .insert(&k, &v)
+                    .in_op("insert into tree \"typeseq\"")?;
+                Ok(())
+            },
+        )?;
+        let shape = builder.finish();
+        let (generation, stale) = plan_generation(&meta)?;
+        commit_meta(&meta, &shape, generation, &stale)?;
+        txn.commit().in_op("commit shred transaction")?;
+        let doc = Self::fresh_doc(store, nodes, typeseq, meta, shape, generation);
+        // Column persistence flushes, which must wait for the commit.
+        if opts.persist_columns && store.is_persistent() {
+            doc.persist_all_columns()?;
+        }
+        if opts.eager_columns {
+            doc.preload_all();
+        }
+        Ok(doc)
+    }
 
-        // With bulk loading on, entries are collected (streamed out of
-        // the parser), key-sorted once, and packed bottom-up; otherwise
-        // each entry descends root-to-leaf as it appears.
+    /// The all-in-memory bulk path: collect every entry pair, sort
+    /// once, pack both trees bottom-up. Fastest when the document
+    /// comfortably fits; [`ShredOptions::memory_budget`] switches to
+    /// the external sort instead. Trees are opened only after the
+    /// parse succeeds, so a malformed document leaves the store
+    /// untouched.
+    fn shred_bulk_in_memory<E: EventSource>(
+        store: &Store,
+        reader: &mut E,
+        opts: &ShredOptions,
+    ) -> MorphResult<ShreddedDoc> {
+        let mut builder = AdornedShape::builder();
         let mut node_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         let mut typeseq_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        let put = |tree: &Tree,
-                   op: &'static str,
-                   buf: &mut Vec<(Vec<u8>, Vec<u8>)>,
-                   key: Vec<u8>,
-                   value: Vec<u8>|
-         -> MorphResult<()> {
-            if opts.bulk_load {
-                buf.push((key, value));
-            } else {
-                tree.insert(&key, &value).in_op(op)?;
-            }
-            Ok(())
-        };
-
-        struct Frame {
-            dewey: Dewey,
-            type_id: TypeId,
-            next_ordinal: u32,
-            text: String,
-        }
-        let mut stack: Vec<Frame> = Vec::new();
-
-        loop {
-            match reader.next_event()? {
-                XmlEvent::StartElement { name, attrs } => {
-                    let type_id = builder.open(&name);
-                    let dewey = match stack.last_mut() {
-                        Some(parent) => {
-                            parent.next_ordinal += 1;
-                            parent.dewey.child(parent.next_ordinal)
-                        }
-                        None => Dewey::root(),
-                    };
-                    let mut frame = Frame {
-                        dewey,
-                        type_id,
-                        next_ordinal: 0,
-                        text: String::new(),
-                    };
-                    // Attributes become child vertices, numbered first.
-                    for (aname, avalue) in &attrs {
-                        let at = builder.attribute(aname);
-                        frame.next_ordinal += 1;
-                        let ad = frame.dewey.child(frame.next_ordinal);
-                        put(
-                            &nodes,
-                            "insert into tree \"nodes\"",
-                            &mut node_entries,
-                            ad.encode(),
-                            node_value(at, avalue),
-                        )?;
-                        put(
-                            &typeseq,
-                            "insert into tree \"typeseq\"",
-                            &mut typeseq_entries,
-                            typeseq_key(at, &ad),
-                            avalue.as_bytes().to_vec(),
-                        )?;
-                    }
-                    stack.push(frame);
-                }
-                XmlEvent::Text(t) => {
-                    if let Some(frame) = stack.last_mut() {
-                        frame.text.push_str(&t);
-                    }
-                }
-                XmlEvent::EndElement { .. } => {
-                    let frame = stack.pop().expect("balanced events");
-                    builder.close();
-                    let text = frame.text.trim();
-                    put(
-                        &nodes,
-                        "insert into tree \"nodes\"",
-                        &mut node_entries,
-                        frame.dewey.encode(),
-                        node_value(frame.type_id, text),
-                    )?;
-                    put(
-                        &typeseq,
-                        "insert into tree \"typeseq\"",
-                        &mut typeseq_entries,
-                        typeseq_key(frame.type_id, &frame.dewey),
-                        text.as_bytes().to_vec(),
-                    )?;
-                }
-                XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
-                XmlEvent::Eof => break,
-            }
-        }
-        if opts.bulk_load {
-            node_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            typeseq_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            nodes
-                .bulk_load(node_entries, opts.fill_factor)
-                .in_op("bulk-load tree \"nodes\"")?;
-            typeseq
-                .bulk_load(typeseq_entries, opts.fill_factor)
-                .in_op("bulk-load tree \"typeseq\"")?;
-        }
+        drive_parse(
+            reader,
+            &mut builder,
+            |k, v| {
+                node_entries.push((k, v));
+                Ok(())
+            },
+            |k, v| {
+                typeseq_entries.push((k, v));
+                Ok(())
+            },
+        )?;
         let shape = builder.finish();
-        meta.insert(META_SHAPE_KEY, &shape.to_bytes())
-            .in_op("insert adorned shape")?;
-        // Bump the column generation unconditionally: even when this
-        // shred doesn't persist columns, segments left by an earlier
-        // shred of the same store must go stale. A re-shred supersedes
-        // every per-type override too: take the new store-wide
-        // generation past them all, then drop them.
-        let stale_tygens = load_tygens(&meta);
-        let generation = meta
-            .get(META_COLGEN_KEY)
-            .in_op("read column generation")?
-            .and_then(|v| Some(u64::from_le_bytes(v.try_into().ok()?)))
-            .unwrap_or(0)
-            .max(stale_tygens.values().copied().max().unwrap_or(0))
-            + 1;
-        meta.insert(META_COLGEN_KEY, &generation.to_le_bytes())
-            .in_op("write column generation")?;
-        for &t in stale_tygens.keys() {
-            meta.delete(&tygen_key(t))
-                .in_op("clear per-type generation")?;
+        let nodes = store.open_tree("nodes").in_op("open tree \"nodes\"")?;
+        let typeseq = store.open_tree("typeseq").in_op("open tree \"typeseq\"")?;
+        let meta = store.open_tree("meta").in_op("open tree \"meta\"")?;
+        node_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        typeseq_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        nodes
+            .bulk_load(node_entries, opts.fill_factor)
+            .in_op("bulk-load tree \"nodes\"")?;
+        typeseq
+            .bulk_load(typeseq_entries, opts.fill_factor)
+            .in_op("bulk-load tree \"typeseq\"")?;
+        let (generation, stale) = plan_generation(&meta)?;
+        commit_meta(&meta, &shape, generation, &stale)?;
+        let doc = Self::fresh_doc(store, nodes, typeseq, meta, shape, generation);
+        if opts.persist_columns && store.is_persistent() {
+            doc.persist_all_columns()?;
         }
-        let doc = ShreddedDoc {
+        if opts.eager_columns {
+            doc.preload_all();
+        }
+        Ok(doc)
+    }
+
+    /// The external-sort bulk path ([`ShredOptions::memory_budget`]):
+    /// entries accumulate in fixed-size run buffers, full runs are
+    /// sorted and spilled to temporary store segments, and a k-way
+    /// merge feeds the sorted stream straight into the bottom-up tree
+    /// packer — with the `typeseq` pass teed through the column
+    /// builder so persisted segments come out of the same scan. Peak
+    /// tracked memory is proportional to the budget, not the document.
+    fn shred_bulk_streaming<E: EventSource>(
+        store: &Store,
+        reader: &mut E,
+        opts: &ShredOptions,
+        budget: usize,
+    ) -> MorphResult<ShreddedDoc> {
+        // A crashed earlier shred may have left runs behind; clear
+        // them so their names are free and their pages reclaimed.
+        for (name, _) in store.segment_entries().in_op("list segments")? {
+            if name.starts_with(RUN_SEG_PREFIX) {
+                store.delete_segment(&name).in_op("drop stale shred run")?;
+            }
+        }
+        let guard = RunGuard {
+            store,
+            names: RefCell::new(Vec::new()),
+        };
+        // Halve the budget across the two sorted streams, and halve
+        // again so a full run buffer plus its transient spill image
+        // (or, later, the merge tail plus one column under
+        // construction) stay inside each stream's share. The floor
+        // keeps a degenerate budget from spilling per-entry runs.
+        let per = (budget / 4).max(4 * 1024);
+        let mut node_runs = RunSpiller::new(store, &guard, "n", per);
+        let mut tyseq_runs = RunSpiller::new(store, &guard, "t", per);
+        let mut builder = AdornedShape::builder();
+        drive_parse(
+            reader,
+            &mut builder,
+            |k, v| node_runs.push(k, v),
+            |k, v| tyseq_runs.push(k, v),
+        )?;
+        let shape = builder.finish();
+
+        let nodes = store.open_tree("nodes").in_op("open tree \"nodes\"")?;
+        let typeseq = store.open_tree("typeseq").in_op("open tree \"typeseq\"")?;
+        let meta = store.open_tree("meta").in_op("open tree \"meta\"")?;
+        // The tee stamps segments with the new generation, so plan it
+        // before the merge; the meta writes land after, in the same
+        // order as the in-memory path.
+        let (generation, stale) = plan_generation(&meta)?;
+
+        let expect_nodes = node_runs.count;
+        let produced = Cell::new(0u64);
+        let merge = node_runs.into_merge(&produced)?;
+        nodes
+            .bulk_load(merge, opts.fill_factor)
+            .in_op("bulk-load tree \"nodes\"")?;
+        if produced.get() != expect_nodes {
+            return Err(MorphError::Internal("shred run lost entries in merge"));
+        }
+
+        let persist = opts.persist_columns && store.is_persistent();
+        let expect_tyseq = tyseq_runs.count;
+        let produced = Cell::new(0u64);
+        let state = RefCell::new(TeeState {
+            error: None,
+            overflowed: Vec::new(),
+        });
+        let tee = ColumnTee {
+            inner: tyseq_runs.into_merge(&produced)?,
+            cur: None,
+            state: &state,
+            store,
+            types: shape.types(),
+            generation,
+            persist,
+            cap: per,
+        };
+        typeseq
+            .bulk_load(tee, opts.fill_factor)
+            .in_op("bulk-load tree \"typeseq\"")?;
+        if produced.get() != expect_tyseq {
+            return Err(MorphError::Internal("shred run lost entries in merge"));
+        }
+        let state = state.into_inner();
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+
+        commit_meta(&meta, &shape, generation, &stale)?;
+        drop(guard); // success: delete the spilled runs
+        let doc = Self::fresh_doc(store, nodes, typeseq, meta, shape, generation);
+        if persist {
+            // Columns too large for the tee's slice of the budget fall
+            // back to a per-type decode — bounded by the largest
+            // single column, not the document — and are not cached.
+            for t in state.overflowed {
+                let width = doc.shape.types().dewey_len(t);
+                let col = decode_typeseq_column(&doc.typeseq, width, t);
+                store
+                    .put_segment(&colseg::segment_name(t), &col.encode_segment(generation))
+                    .in_op("persist column segment")?;
+            }
+            store.flush().in_op("flush column segments")?;
+        }
+        if opts.eager_columns {
+            doc.preload_all();
+        }
+        Ok(doc)
+    }
+
+    /// A freshly shredded handle over the given trees: empty caches,
+    /// write-capable, epoch zero.
+    fn fresh_doc(
+        store: &Store,
+        nodes: Tree,
+        typeseq: Tree,
+        meta: Tree,
+        shape: AdornedShape,
+        generation: u64,
+    ) -> ShreddedDoc {
+        ShreddedDoc {
             store: store.clone(),
             nodes,
             typeseq,
@@ -1139,14 +1711,7 @@ impl ShreddedDoc {
             epoch: 0,
             shared: DocShared::new(),
             published: Mutex::new(None),
-        };
-        if opts.persist_columns && store.is_persistent() {
-            doc.persist_all_columns()?;
         }
-        if opts.eager_columns {
-            doc.preload_all();
-        }
-        Ok(doc)
     }
 
     /// Open an already-shredded document with the default
@@ -1399,9 +1964,17 @@ impl ShreddedDoc {
         let mut map = self.columns.write().unwrap();
         let col = Arc::clone(map.entry(t).or_insert(built));
         let budget = self.column_budget.load(Ordering::Relaxed);
-        if budget != usize::MAX && Self::enforce_budget(&mut map, budget, t) {
-            // Evicted columns must not stay pinned by cached plans.
-            self.plan_cache.write().unwrap().clear();
+        if budget != usize::MAX {
+            // The budget bounds *all* column memory this document keeps
+            // alive, and bytes pinned by live snapshots cannot be freed
+            // by evicting cache entries — so the cache only gets what
+            // the snapshots leave over.
+            let pinned = Self::pinned_beyond(&map, &self.shared);
+            let effective = budget.saturating_sub(pinned);
+            if Self::enforce_budget(&mut map, effective, t) {
+                // Evicted columns must not stay pinned by cached plans.
+                self.plan_cache.write().unwrap().clear();
+            }
         }
         col
     }
@@ -1449,6 +2022,45 @@ impl ShreddedDoc {
             };
         }
         evicted
+    }
+
+    /// Column bytes live snapshots keep alive *beyond* the entries in
+    /// `map` (the document cache): each distinct column `Arc` held by a
+    /// live snapshot but absent from the cache, counted once however
+    /// many snapshots share it. These bytes are invisible to the cache
+    /// totals yet just as resident — the memory-accounting half of the
+    /// snapshot protocol.
+    fn pinned_beyond(map: &HashMap<TypeId, Arc<TypeColumn>, FxBuild>, shared: &DocShared) -> usize {
+        let live: Vec<Arc<Snapshot>> = {
+            let mut reg = shared.live.lock().unwrap();
+            reg.retain(|w| w.strong_count() > 0);
+            reg.iter().filter_map(Weak::upgrade).collect()
+        };
+        if live.is_empty() {
+            return 0;
+        }
+        let mut seen: Vec<*const TypeColumn> = map.values().map(Arc::as_ptr).collect();
+        let mut total = 0usize;
+        for snap in live {
+            for col in snap.columns.read().unwrap().values() {
+                let p = Arc::as_ptr(col);
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    total += col.heap_bytes() + col.mapped_bytes();
+                }
+            }
+        }
+        total
+    }
+
+    /// Bytes of column data outstanding [`Snapshot`]s hold resident
+    /// beyond what the document's own cache accounts for (see
+    /// [`ShreddedDoc::column_bytes`]): copy-on-write pins and lazily
+    /// resolved snapshot columns whose `Arc`s the cache no longer (or
+    /// never did) share. Each distinct column counts once. The cache
+    /// budget treats these as spent — eviction cannot free them.
+    pub fn snapshot_pinned_bytes(&self) -> usize {
+        Self::pinned_beyond(&self.columns.read().unwrap(), &self.shared)
     }
 
     /// The generation a valid persisted segment of `t` must carry: the
@@ -2940,5 +3552,138 @@ mod tests {
         drop(doc);
         let texts: Vec<String> = snap.scan_type(title).into_iter().map(|(_, t)| t).collect();
         assert_eq!(texts, ["Z", "Y"]);
+    }
+
+    /// A document large enough that a 64 KiB run budget forces several
+    /// spilled runs per stream.
+    fn spill_sized_xml() -> String {
+        let mut xml = String::from("<lib>");
+        for i in 0..2000 {
+            xml.push_str(&format!(
+                "<book id=\"b{i}\"><title>T{i}</title><author><name>A{}</name></author></book>",
+                i % 7
+            ));
+        }
+        xml.push_str("</lib>");
+        xml
+    }
+
+    #[test]
+    fn streaming_shred_matches_in_memory() {
+        let xml = spill_sized_xml();
+        let mem = shredded(&xml);
+        let store = Store::in_memory();
+        let opts = ShredOptions::builder().memory_budget(64 * 1024);
+        let st = ShreddedDoc::shred_str_with(&store, &xml, &opts).unwrap();
+
+        let dump = |d: &ShreddedDoc| {
+            (
+                d.nodes.scan_prefix(&[]).collect::<Vec<_>>(),
+                d.typeseq.scan_prefix(&[]).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(dump(&mem), dump(&st));
+        let title = ty(&mem, "lib.book.title");
+        assert_eq!(mem.scan_type(title), st.scan_type(title));
+        assert_eq!(mem.shape().to_bytes(), st.shape().to_bytes());
+        // The spilled runs are gone once the shred completes.
+        assert!(store
+            .segment_entries()
+            .unwrap()
+            .iter()
+            .all(|(n, _)| !n.starts_with(RUN_SEG_PREFIX)));
+    }
+
+    #[test]
+    fn streaming_shred_persists_identical_segments() {
+        let xml = spill_sized_xml();
+        let p1 = temp_path("stream-mem.db");
+        let p2 = temp_path("stream-ext.db");
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+        {
+            let s1 = Store::open(&p1).unwrap();
+            ShreddedDoc::shred_str(&s1, &xml).unwrap();
+            let s2 = Store::open(&p2).unwrap();
+            let opts = ShredOptions::builder().memory_budget(64 * 1024);
+            ShreddedDoc::shred_str_with(&s2, &xml, &opts).unwrap();
+            for (name, _) in s1.segment_entries().unwrap() {
+                let a = s1.get_segment(&name, false).unwrap().unwrap();
+                let b = s2
+                    .get_segment(&name, false)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("streaming shred missing segment {name}"));
+                assert_eq!(&a[..], &b[..], "segment {name} differs");
+            }
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn shred_reader_and_file_match_shred_str() {
+        let mem = shredded(FIG1A);
+        let title = ty(&mem, "data.book.title");
+
+        let s1 = Store::in_memory();
+        let d1 = ShreddedDoc::shred_reader(&s1, FIG1A.as_bytes()).unwrap();
+        assert_eq!(mem.scan_type(title), d1.scan_type(title));
+
+        let p = temp_path("reader-src.xml");
+        std::fs::write(&p, FIG1A).unwrap();
+        let s2 = Store::in_memory();
+        let d2 = ShreddedDoc::shred_file(&s2, &p).unwrap();
+        assert_eq!(mem.scan_type(title), d2.scan_type(title));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn snapshot_pins_are_accounted() {
+        let store = Store::in_memory();
+        let doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let title = ty(&doc, "data.book.title");
+        assert_eq!(doc.snapshot_pinned_bytes(), 0);
+
+        // A column the snapshot resolves on its own is resident beyond
+        // the document cache and must show up in the accounting.
+        let snap = doc.snapshot();
+        let col = snap.column(title);
+        let bytes = col.heap_bytes() + col.mapped_bytes();
+        assert!(bytes > 0);
+        assert_eq!(doc.snapshot_pinned_bytes(), bytes);
+        drop(col);
+        drop(snap);
+
+        // Columns whose `Arc` the snapshot shares with the cache are
+        // already counted by `column_bytes` and must not double-count.
+        let store2 = Store::in_memory();
+        let doc2 = ShreddedDoc::shred_str(&store2, FIG1A).unwrap();
+        let t2 = ty(&doc2, "data.book.title");
+        let _ = doc2.column(t2);
+        let snap2 = doc2.snapshot();
+        let _ = snap2.column(t2);
+        assert_eq!(doc2.snapshot_pinned_bytes(), 0);
+    }
+
+    #[test]
+    fn column_budget_counts_snapshot_pins_as_spent() {
+        let store = Store::in_memory();
+        let doc = ShreddedDoc::shred_str(&store, FIG1A).unwrap();
+        let title = ty(&doc, "data.book.title");
+        let name = ty(&doc, "data.book.author.name");
+        let snap = doc.snapshot();
+        let pinned = {
+            let c = snap.column(title);
+            c.heap_bytes() + c.mapped_bytes()
+        };
+        assert!(pinned > 0);
+        // The snapshot has already spent the whole budget, so the
+        // cache shrinks to the single entry eviction never drops —
+        // the column just touched.
+        doc.set_column_budget(Some(pinned));
+        let _ = doc.column(title);
+        let _ = doc.column(name);
+        let cached: Vec<TypeId> = doc.columns.read().unwrap().keys().copied().collect();
+        assert_eq!(cached, vec![name]);
     }
 }

@@ -644,3 +644,189 @@ fn v1_segments_still_open_byte_identically() {
     drop((v1doc, store));
     std::fs::remove_file(&path).ok();
 }
+
+// ---------------------------------------------------------------------
+// Streaming (external-sort) shred equivalence and abort atomicity: a
+// shred under a memory budget — any budget, including ones forcing
+// zero, one, or many spilled runs per stream — must describe exactly
+// the document an unbounded in-memory shred does, down to rendered
+// bytes and persisted column segments; and a shred that fails must
+// leave nothing behind.
+// ---------------------------------------------------------------------
+
+/// Documents exercising the features the shredder must stream
+/// faithfully — attributes, mixed content, CDATA, comments, deep
+/// nesting — fat enough that the smallest budget spills several runs.
+fn streaming_corpus() -> impl Strategy<Value = String> {
+    let entry = (0u32..4, 0usize..3, proptest::bool::ANY, proptest::bool::ANY);
+    (proptest::collection::vec(entry, 8..48), 2usize..6).prop_map(|(entries, depth)| {
+        let mut s = String::from("<corpus version=\"1\">");
+        for (i, (kind, attrs, cdata, mixed)) in entries.iter().enumerate() {
+            s.push_str("<entry");
+            for a in 0..*attrs {
+                s.push_str(&format!(" a{a}=\"v{i}-{a}\""));
+            }
+            s.push('>');
+            match kind {
+                0 => s.push_str(&format!("plain text {i} padded to fatten the sorted runs")),
+                1 => {
+                    for _ in 0..depth {
+                        s.push_str("<deep>");
+                    }
+                    s.push_str("bottom");
+                    for _ in 0..depth {
+                        s.push_str("</deep>");
+                    }
+                }
+                2 => {
+                    s.push_str("<!-- note -->");
+                    s.push_str(&format!("<a>x{i}</a> tail {i} <b>y{i}</b> more"));
+                }
+                _ => s.push_str(&format!("<a>only {i}</a>")),
+            }
+            if *cdata {
+                s.push_str("<![CDATA[raw <not-a-tag> & bytes]]>");
+            }
+            if *mixed {
+                s.push_str(&format!(" trailing {i} <em>mix</em> end"));
+            }
+            s.push_str("</entry>");
+        }
+        s.push_str("</corpus>");
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn streaming_shred_equals_in_memory_shred(
+        xml in streaming_corpus(),
+        // Budgets at the floor (many runs), mid (zero or one spill),
+        // and far above the corpus (never spills).
+        budget in prop_oneof![Just(1usize), Just(16 * 1024), Just(1 << 20)],
+    ) {
+        let (_ms, mem) = shred(&xml);
+        let st_store = Store::in_memory();
+        let st = ShreddedDoc::shred_str_with(
+            &st_store,
+            &xml,
+            &ShredOptions::builder().memory_budget(budget),
+        )
+        .unwrap();
+
+        prop_assert_eq!(mem.shape().to_bytes(), st.shape().to_bytes());
+        let types: Vec<TypeId> = mem.types().ids().collect();
+        for &t in &types {
+            prop_assert_eq!(mem.scan_type(t), st.scan_type(t));
+            prop_assert_eq!(mem.scan_type_btree(t), st.scan_type_btree(t));
+            for (d, _) in mem.scan_type(t) {
+                prop_assert_eq!(mem.node_text(&d).unwrap(), st.node_text(&d).unwrap());
+                prop_assert_eq!(mem.node_type(&d).unwrap(), st.node_type(&d).unwrap());
+            }
+        }
+        // No spill segments survive the shred.
+        prop_assert!(st_store
+            .segment_entries()
+            .unwrap()
+            .iter()
+            .all(|(n, _)| !n.starts_with("__shredrun.")));
+
+        // Rendered output — end-to-end byte identity (or identical
+        // typing errors where a guard does not apply).
+        for guard in ["MORPH entry", "MORPH deep", "MORPH entry [ a b ]"] {
+            let g = Guard::parse(guard).unwrap();
+            let a = g.apply(&mem).map(|o| o.xml);
+            let b = g.apply(&st).map(|o| o.xml);
+            prop_assert_eq!(format!("{:?}", a), format!("{:?}", b), "guard {}", guard);
+        }
+    }
+
+    #[test]
+    fn streaming_shred_persists_identical_segments_to_in_memory(xml in streaming_corpus()) {
+        let p1 = temp_path("seg-mem");
+        let p2 = temp_path("seg-ext");
+        {
+            let s1 = Store::create(&p1).unwrap();
+            ShreddedDoc::shred_str(&s1, &xml).unwrap();
+            let s2 = Store::create(&p2).unwrap();
+            ShreddedDoc::shred_str_with(
+                &s2,
+                &xml,
+                &ShredOptions::builder().memory_budget(1),
+            )
+            .unwrap();
+
+            let mut names: Vec<String> =
+                s1.segment_entries().unwrap().into_iter().map(|(n, _)| n).collect();
+            prop_assert!(!names.is_empty());
+            names.sort();
+            let mut names2: Vec<String> =
+                s2.segment_entries().unwrap().into_iter().map(|(n, _)| n).collect();
+            names2.sort();
+            prop_assert_eq!(&names, &names2);
+            for name in &names {
+                let a = s1.get_segment(name, false).unwrap().unwrap();
+                let b = s2.get_segment(name, false).unwrap().unwrap();
+                prop_assert_eq!(&a[..], &b[..], "segment {} differs", name);
+            }
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+}
+
+/// Satellite regression: an incremental (`bulk_load(false)`) shred that
+/// fails mid-document must roll its transaction back and leave the
+/// store file byte-identical to the pre-shred image — no half-populated
+/// trees, no stray catalog entries.
+#[test]
+fn failed_incremental_shred_rolls_back_cleanly() {
+    let path = temp_path("abort");
+    {
+        let store = Store::create(&path).unwrap();
+        ShreddedDoc::shred_str(&store, "<lib><book><title>X</title></book></lib>").unwrap();
+        store.close().unwrap();
+    }
+    // Control open/close, to factor out any maintenance the store
+    // performs on open regardless of the shred.
+    {
+        let store = Store::open(&path).unwrap();
+        store.close().unwrap();
+    }
+    let before = std::fs::read(&path).unwrap();
+    {
+        let store = Store::open(&path).unwrap();
+        let res = ShreddedDoc::shred_str_with(
+            &store,
+            "<lib><book><title>Y</title>", // truncated mid-element
+            &ShredOptions::builder().bulk_load(false),
+        );
+        assert!(res.is_err(), "truncated document must fail to shred");
+        store.close().unwrap();
+    }
+    let after = std::fs::read(&path).unwrap();
+    assert_eq!(
+        before, after,
+        "aborted shred must leave the store byte-identical"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A failed streaming shred must clean up every spilled run segment.
+#[test]
+fn failed_streaming_shred_leaves_no_run_segments() {
+    let store = Store::in_memory();
+    let res = ShreddedDoc::shred_str_with(
+        &store,
+        "<corpus><entry>half", // parse fails after some entries spill
+        &ShredOptions::builder().memory_budget(1),
+    );
+    assert!(res.is_err());
+    assert!(store
+        .segment_entries()
+        .unwrap()
+        .iter()
+        .all(|(n, _)| !n.starts_with("__shredrun.")));
+}

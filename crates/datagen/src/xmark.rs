@@ -46,15 +46,48 @@ impl XmarkConfig {
         }
     }
 
+    fn units(&self) -> usize {
+        // Empirically ~750 bytes per item-unit across all sections.
+        let target = (self.factor * self.bytes_per_factor as f64) as usize;
+        (target / 750).max(6)
+    }
+
     /// Generate the document.
     pub fn generate(&self) -> String {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        // Empirically ~750 bytes per item-unit across all sections.
         let target = (self.factor * self.bytes_per_factor as f64) as usize;
-        let units = (target / 750).max(6);
         let mut w = StreamWriter::with_capacity(target + target / 8);
-        site(&mut w, &mut rng, units);
+        site(&mut w, &mut rng, self.units(), &mut |_| Ok(())).expect("no-op sink cannot fail");
         w.finish()
+    }
+
+    /// Stream the document to a writer in bounded memory: completed
+    /// fragments drain to `out` as the generator passes safe points
+    /// (never mid-tag), so peak buffering is one fragment, not the
+    /// document. Byte-identical to [`XmarkConfig::generate`] for the
+    /// same config. Returns the number of bytes written.
+    pub fn generate_to<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<u64> {
+        const FLUSH_AT: usize = 64 * 1024;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut w = StreamWriter::with_capacity(2 * FLUSH_AT);
+        let mut written = 0u64;
+        site(
+            &mut w,
+            &mut rng,
+            self.units(),
+            &mut |w: &mut StreamWriter| {
+                if w.len() >= FLUSH_AT {
+                    let chunk = w.drain();
+                    written += chunk.len() as u64;
+                    out.write_all(chunk.as_bytes())?;
+                }
+                Ok(())
+            },
+        )?;
+        let tail = w.finish();
+        written += tail.len() as u64;
+        out.write_all(tail.as_bytes())?;
+        Ok(written)
     }
 }
 
@@ -67,7 +100,16 @@ const REGIONS: &[&str] = &[
     "samerica",
 ];
 
-fn site(w: &mut StreamWriter, rng: &mut SmallRng, units: usize) {
+/// Emit the whole document. `sink` is called at safe points — right
+/// after a completed item/category/person/auction, never while an open
+/// tag is pending — so a draining sink observes exactly the bytes a
+/// non-draining run would produce.
+fn site<S: FnMut(&mut StreamWriter) -> std::io::Result<()>>(
+    w: &mut StreamWriter,
+    rng: &mut SmallRng,
+    units: usize,
+    sink: &mut S,
+) -> std::io::Result<()> {
     // Section weights roughly follow XMark's document composition.
     let items = units / 2;
     let categories = (units / 20).max(1);
@@ -82,6 +124,7 @@ fn site(w: &mut StreamWriter, rng: &mut SmallRng, units: usize) {
         let share = items / REGIONS.len() + usize::from(i < items % REGIONS.len());
         for n in 0..share {
             item(w, rng, region, i * 1000 + n);
+            sink(w)?;
         }
         w.end();
     }
@@ -96,6 +139,7 @@ fn site(w: &mut StreamWriter, rng: &mut SmallRng, units: usize) {
         parlist(w, rng, 2);
         w.end();
         w.end();
+        sink(w)?;
     }
     w.end();
 
@@ -105,28 +149,33 @@ fn site(w: &mut StreamWriter, rng: &mut SmallRng, units: usize) {
         w.attr("from", &format!("category{}", c - 1));
         w.attr("to", &format!("category{c}"));
         w.end();
+        sink(w)?;
     }
     w.end();
 
     w.start("people");
     for p in 0..people {
         person(w, rng, p);
+        sink(w)?;
     }
     w.end();
 
     w.start("open_auctions");
     for a in 0..open {
         open_auction(w, rng, a, people.max(1), items.max(1));
+        sink(w)?;
     }
     w.end();
 
     w.start("closed_auctions");
     for a in 0..closed {
         closed_auction(w, rng, a, people.max(1), items.max(1));
+        sink(w)?;
     }
     w.end();
 
     w.end(); // site
+    Ok(())
 }
 
 fn simple(w: &mut StreamWriter, name: &str, value: &str) {
@@ -449,6 +498,19 @@ mod tests {
         .generate();
         let doc = Document::parse_str(&xml).unwrap();
         assert_eq!(doc.name(doc.root_element().unwrap()), "site");
+    }
+
+    #[test]
+    fn generate_to_is_byte_identical() {
+        let cfg = XmarkConfig {
+            factor: 0.02,
+            ..Default::default()
+        };
+        let whole = cfg.generate();
+        let mut streamed: Vec<u8> = Vec::new();
+        let written = cfg.generate_to(&mut streamed).unwrap();
+        assert_eq!(written as usize, streamed.len());
+        assert_eq!(streamed, whole.as_bytes());
     }
 
     #[test]

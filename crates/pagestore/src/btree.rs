@@ -310,12 +310,21 @@ impl<'a> BTree<'a> {
 
     /// Build a tree bottom-up from key-sorted `(key, value)` pairs: one
     /// sequential pass packs leaf pages to `fill_factor` of their usable
-    /// space (left to right, sibling-chained), then interior levels are
-    /// stacked over the leaves' fence keys until a single root remains.
-    /// Loading n entries costs O(n) page writes with zero splits, versus
-    /// n root-to-leaf descents (with ~n/fanout splits) for repeated
-    /// [`BTree::insert`] — and the leaves come out clustered in key
-    /// order, so later range scans walk sequentially allocated pages.
+    /// space (left to right, sibling-chained), stacking interior levels
+    /// over the leaves' fence keys as it goes until a single root
+    /// remains. Loading n entries costs O(n) page writes with zero
+    /// splits, versus n root-to-leaf descents (with ~n/fanout splits)
+    /// for repeated [`BTree::insert`] — and the leaves come out
+    /// clustered in key order, so later range scans walk sequentially
+    /// allocated pages.
+    ///
+    /// The build is **streaming**: each leaf is written the moment the
+    /// next entry no longer fits it (its successor's page id is
+    /// allocated first, so the sibling chain links forward), and each
+    /// interior node the moment its child set is complete. Peak memory
+    /// is one open node per tree level — the pairs iterator can
+    /// therefore be an out-of-core merge producing far more entries
+    /// than fit in memory.
     ///
     /// Keys must be strictly increasing (duplicates included) or the
     /// load aborts with [`StoreError::Corrupt`]. `fill_factor` is
@@ -325,21 +334,81 @@ impl<'a> BTree<'a> {
         I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
     {
         let budget = (((PAGE_SIZE - HDR) as f64) * fill_factor.clamp(0.5, 1.0)) as usize;
-        // Greedily pack raw leaf cells into per-leaf groups. Cells are
-        // serialized into one flat buffer per leaf (plus per-cell
-        // sizes) so the loop allocates per leaf, not per entry, and
-        // each leaf lands on its page as a single copy.
+        // One open node per interior level; `levels[0]` parents the
+        // leaves. A node buffers its leftmost child and routing cells
+        // until the next child no longer fits, then lands on a fresh
+        // page in one copy (interior pages carry no sibling pointer, so
+        // they can be written as soon as they are full).
+        struct Node {
+            first: Vec<u8>,
+            leftmost: PageId,
+            cells: Vec<Vec<u8>>,
+            used: usize,
+        }
+        fn push_child(
+            pool: &BufferPool,
+            levels: &mut Vec<Option<Node>>,
+            budget: usize,
+            depth: usize,
+            sep: Vec<u8>,
+            child: PageId,
+        ) -> StoreResult<()> {
+            if levels.len() == depth {
+                levels.push(None);
+            }
+            let size = interior_cell_size(sep.len()) + 2;
+            match &mut levels[depth] {
+                open @ None => {
+                    *open = Some(Node {
+                        first: sep,
+                        leftmost: child,
+                        cells: Vec::new(),
+                        used: 0,
+                    });
+                }
+                Some(node) if node.used + size <= budget => {
+                    let mut cell = Vec::with_capacity(interior_cell_size(sep.len()));
+                    cell.extend_from_slice(&(sep.len() as u16).to_le_bytes());
+                    cell.extend_from_slice(&child.to_le_bytes());
+                    cell.extend_from_slice(&sep);
+                    node.used += size;
+                    node.cells.push(cell);
+                }
+                Some(_) => {
+                    let node = levels[depth].take().expect("open node");
+                    let page = pool.allocate()?;
+                    pool.write_with(page, |p| {
+                        init_interior(p);
+                        set_leftmost_child(p, node.leftmost);
+                        rebuild_interior(p, &node.cells);
+                    })?;
+                    push_child(pool, levels, budget, depth + 1, node.first, page)?;
+                    levels[depth] = Some(Node {
+                        first: sep,
+                        leftmost: child,
+                        cells: Vec::new(),
+                        used: 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+        // The open leaf: raw cells serialized into one flat buffer
+        // (plus per-cell sizes) so the loop allocates per leaf, not per
+        // entry, and each leaf lands on its page as a single copy.
         struct LeafRun {
             first: Vec<u8>,
             flat: Vec<u8>,
             sizes: Vec<u16>,
         }
-        let mut leaves: Vec<LeafRun> = Vec::new();
+        let mut levels: Vec<Option<Node>> = Vec::new();
         let mut cur = LeafRun {
             first: Vec::new(),
             flat: Vec::new(),
             sizes: Vec::new(),
         };
+        // Page reserved for `cur` by the previous leaf's sibling link.
+        let mut cur_page: Option<PageId> = None;
         let mut last_key: Option<Vec<u8>> = None;
         for (key, value) in pairs {
             if key.len() > MAX_KEY_LEN {
@@ -359,14 +428,29 @@ impl<'a> BTree<'a> {
             };
             let size = leaf_cell_size(key.len(), stored.len());
             if !cur.sizes.is_empty() && cur.flat.len() + size + 2 * (cur.sizes.len() + 1) > budget {
-                leaves.push(std::mem::replace(
+                // This entry opens the next leaf, so the full one can be
+                // written now, sibling-chained to its successor's
+                // freshly allocated page.
+                let page = match cur_page.take() {
+                    Some(p) => p,
+                    None => pool.allocate()?,
+                };
+                let next = pool.allocate()?;
+                let run = std::mem::replace(
                     &mut cur,
                     LeafRun {
                         first: Vec::new(),
                         flat: Vec::new(),
                         sizes: Vec::new(),
                     },
-                ));
+                );
+                pool.write_with(page, |p| {
+                    init_leaf(p);
+                    set_next_leaf(p, next);
+                    rebuild_leaf_flat(p, &run.flat, &run.sizes);
+                })?;
+                push_child(pool, &mut levels, budget, 0, run.first, page)?;
+                cur_page = Some(next);
             }
             if cur.sizes.is_empty() {
                 cur.first = key.clone();
@@ -380,66 +464,45 @@ impl<'a> BTree<'a> {
             cur.sizes.push(size as u16);
             last_key = Some(key);
         }
-        if !cur.sizes.is_empty() {
-            leaves.push(cur);
-        }
-        if leaves.is_empty() {
+        if cur.sizes.is_empty() {
+            // Empty input (a flush is always followed by the entry that
+            // forced it, so a non-empty stream ends with an open leaf).
             return Self::create(pool);
         }
-        // Write the leaf level, sibling-chained left to right.
-        let pages: Vec<PageId> = (0..leaves.len())
-            .map(|_| pool.allocate())
-            .collect::<StoreResult<_>>()?;
-        let mut level: Vec<(Vec<u8>, PageId)> = Vec::with_capacity(leaves.len());
-        for (i, run) in leaves.into_iter().enumerate() {
-            let next = pages.get(i + 1).copied().unwrap_or(NIL);
-            pool.write_with(pages[i], |p| {
-                init_leaf(p);
-                set_next_leaf(p, next);
-                rebuild_leaf_flat(p, &run.flat, &run.sizes);
-            })?;
-            level.push((run.first, pages[i]));
-        }
-        // Stack interior levels: within each parent, the first child
-        // becomes `leftmost_child` and every later child contributes a
-        // (its-first-key, child) routing cell — exactly the invariant
-        // `child_for_key` expects.
-        while level.len() > 1 {
-            let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
-            let mut idx = 0usize;
-            while idx < level.len() {
-                let (node_first, leftmost) = level[idx].clone();
-                idx += 1;
-                let mut cells: Vec<Vec<u8>> = Vec::new();
-                let mut used = 0usize;
-                while idx < level.len() {
-                    let (sep, child) = &level[idx];
-                    let size = interior_cell_size(sep.len()) + 2;
-                    if used + size > budget {
-                        break;
-                    }
-                    let mut cell = Vec::with_capacity(interior_cell_size(sep.len()));
-                    cell.extend_from_slice(&(sep.len() as u16).to_le_bytes());
-                    cell.extend_from_slice(&child.to_le_bytes());
-                    cell.extend_from_slice(sep);
-                    used += size;
-                    cells.push(cell);
-                    idx += 1;
-                }
-                let page = pool.allocate()?;
-                pool.write_with(page, |p| {
-                    init_interior(p);
-                    set_leftmost_child(p, leftmost);
-                    rebuild_interior(p, &cells);
-                })?;
-                next_level.push((node_first, page));
+        let page = match cur_page.take() {
+            Some(p) => p,
+            None => pool.allocate()?,
+        };
+        pool.write_with(page, |p| {
+            init_leaf(p);
+            set_next_leaf(p, NIL);
+            rebuild_leaf_flat(p, &cur.flat, &cur.sizes);
+        })?;
+        push_child(pool, &mut levels, budget, 0, cur.first, page)?;
+        // Fold the open nodes upward; each level's remainder becomes a
+        // child of the level above, and the top of the fold is the root.
+        let mut depth = 0usize;
+        loop {
+            let node = levels[depth].take().expect("open node per level");
+            if node.cells.is_empty() && depth + 1 >= levels.len() {
+                // A single child at the top: it is the root itself.
+                return Ok(BTree {
+                    pool,
+                    root: node.leftmost,
+                });
             }
-            level = next_level;
+            let page = pool.allocate()?;
+            pool.write_with(page, |p| {
+                init_interior(p);
+                set_leftmost_child(p, node.leftmost);
+                rebuild_interior(p, &node.cells);
+            })?;
+            if depth + 1 >= levels.len() {
+                return Ok(BTree { pool, root: page });
+            }
+            push_child(pool, &mut levels, budget, depth + 1, node.first, page)?;
+            depth += 1;
         }
-        Ok(BTree {
-            pool,
-            root: level[0].1,
-        })
     }
 
     /// Current root page id.

@@ -45,6 +45,9 @@ pub enum ErrorKind {
     InvalidName(String),
     /// Input was not valid UTF-8.
     InvalidUtf8,
+    /// The underlying byte source failed mid-document (streaming reads
+    /// only; the message is the I/O error's display form).
+    Io(String),
 }
 
 impl XmlError {
@@ -78,6 +81,7 @@ impl fmt::Display for XmlError {
             ErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
             ErrorKind::InvalidName(n) => write!(f, "invalid XML name {n:?}"),
             ErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
+            ErrorKind::Io(msg) => write!(f, "read failed: {msg}"),
         }
     }
 }

@@ -45,4 +45,4 @@ pub mod writer;
 pub use dewey::Dewey;
 pub use dom::{Document, NodeId};
 pub use error::{XmlError, XmlResult};
-pub use reader::{XmlEvent, XmlReader};
+pub use reader::{EventSource, XmlEvent, XmlReader, XmlStreamReader};

@@ -5,9 +5,23 @@
 //! [`XmlEvent`] and the reader advances through the input without
 //! building a tree. Well-formedness (tag balance, attribute uniqueness,
 //! single root) is enforced.
+//!
+//! Two front ends share one parser core:
+//!
+//! * [`XmlReader`] parses a `&str` already in memory (the historical
+//!   API, unchanged).
+//! * [`XmlStreamReader`] pulls bytes from any [`std::io::Read`] in
+//!   chunks, holding only a bounded window of the document — the
+//!   foundation of the out-of-core shred path. Consumed bytes are
+//!   dropped from the window as parsing advances, so memory stays
+//!   proportional to the largest single token (tag, text run, comment),
+//!   not to document size.
 
 use crate::error::{ErrorKind, XmlError, XmlResult};
 use crate::escape::resolve_entity;
+
+/// Default refill granularity for [`XmlStreamReader`].
+const CHUNK: usize = 64 * 1024;
 
 /// One parsing event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,11 +54,80 @@ pub enum XmlEvent {
     Eof,
 }
 
-/// Streaming pull parser over a UTF-8 string slice.
-pub struct XmlReader<'a> {
-    input: &'a [u8],
-    src: &'a str,
+/// Anything that can pull [`XmlEvent`]s — both reader front ends
+/// implement this, so consumers (the shredder, the DOM builder) can be
+/// written once against either.
+pub trait EventSource {
+    /// Pull the next event.
+    fn next_event(&mut self) -> XmlResult<XmlEvent>;
+    /// Byte offset of the parse cursor within the document.
+    fn offset(&self) -> usize;
+    /// Current depth of open elements.
+    fn depth(&self) -> usize;
+}
+
+/// A source of document bytes for the parser core. `read_more` appends
+/// at least one byte to `buf` or returns `Ok(0)` for end of input.
+trait ByteSource {
+    fn read_more(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize>;
+}
+
+/// The whole document as one in-memory slice, delivered in a single
+/// `read_more` call (one memcpy; no window compaction afterwards).
+struct SliceSource<'a> {
+    rest: &'a [u8],
+}
+
+impl ByteSource for SliceSource<'_> {
+    fn read_more(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+        let n = self.rest.len();
+        buf.extend_from_slice(self.rest);
+        self.rest = &[];
+        Ok(n)
+    }
+}
+
+/// Chunked reads from an [`std::io::Read`].
+struct IoSource<R> {
+    inner: R,
+    chunk: usize,
+}
+
+impl<R: std::io::Read> ByteSource for IoSource<R> {
+    fn read_more(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+        let old = buf.len();
+        buf.resize(old + self.chunk, 0);
+        loop {
+            match self.inner.read(&mut buf[old..]) {
+                Ok(n) => {
+                    buf.truncate(old + n);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    buf.truncate(old);
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// The parser core, generic over where bytes come from. Offsets
+/// (`pos`, token starts) are absolute document offsets; `buf` holds the
+/// byte window `[base, base + buf.len())`.
+struct Core<S> {
+    src: S,
+    buf: Vec<u8>,
+    /// Absolute document offset of `buf[0]`.
+    base: usize,
+    /// Absolute document offset of the parse cursor.
     pos: usize,
+    /// The source reported end-of-input (or failed; see `io_error`).
+    src_eof: bool,
+    /// A read failure, surfaced as [`ErrorKind::Io`] instead of a
+    /// misleading well-formedness error at the truncation point.
+    io_error: Option<String>,
     line: u32,
     col: u32,
     stack: Vec<String>,
@@ -54,13 +137,30 @@ pub struct XmlReader<'a> {
     pending_end: Option<String>,
 }
 
-impl<'a> XmlReader<'a> {
-    /// Create a reader over the given document text.
-    pub fn new(input: &'a str) -> Self {
-        XmlReader {
-            input: input.as_bytes(),
-            src: input,
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(0);
+    }
+    let first = needle[0];
+    let mut i = 0;
+    while i + needle.len() <= hay.len() {
+        if hay[i] == first && &hay[i..i + needle.len()] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+impl<S: ByteSource> Core<S> {
+    fn new(src: S) -> Self {
+        Core {
+            src,
+            buf: Vec::new(),
+            base: 0,
             pos: 0,
+            src_eof: false,
+            io_error: None,
             line: 1,
             col: 1,
             stack: Vec::new(),
@@ -70,22 +170,62 @@ impl<'a> XmlReader<'a> {
         }
     }
 
-    /// Current depth of open elements.
-    pub fn depth(&self) -> usize {
+    fn depth(&self) -> usize {
         self.stack.len()
     }
 
-    /// Byte offset of the parse cursor.
-    pub fn offset(&self) -> usize {
+    fn offset(&self) -> usize {
         self.pos
     }
 
     fn err(&self, kind: ErrorKind) -> XmlError {
+        // A truncated read must not masquerade as a malformed document.
+        let kind = match &self.io_error {
+            Some(msg) => ErrorKind::Io(msg.clone()),
+            None => kind,
+        };
         XmlError::new(kind, self.pos, self.line, self.col)
     }
 
-    fn peek(&self) -> Option<u8> {
-        self.input.get(self.pos).copied()
+    /// Pull one more chunk from the source; failures latch `io_error`
+    /// and end the stream.
+    fn fill(&mut self) {
+        match self.src.read_more(&mut self.buf) {
+            Ok(0) => self.src_eof = true,
+            Ok(_) => {}
+            Err(e) => {
+                self.io_error = Some(e.to_string());
+                self.src_eof = true;
+            }
+        }
+    }
+
+    /// Ensure `n` bytes are buffered at the cursor; false at end of input.
+    fn have(&mut self, n: usize) -> bool {
+        while self.pos - self.base + n > self.buf.len() && !self.src_eof {
+            self.fill();
+        }
+        self.pos - self.base + n <= self.buf.len()
+    }
+
+    /// Drop consumed bytes from the window. Only useful while the source
+    /// still streams (a fully-buffered slice never needs it), and only
+    /// called between events, when no token offsets are outstanding.
+    fn compact(&mut self) {
+        let consumed = self.pos - self.base;
+        if self.src_eof || consumed < CHUNK {
+            return;
+        }
+        self.buf.drain(..consumed);
+        self.base = self.pos;
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        if self.have(1) {
+            Some(self.buf[self.pos - self.base])
+        } else {
+            None
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -106,8 +246,13 @@ impl<'a> XmlReader<'a> {
         }
     }
 
-    fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s.as_bytes())
+    fn starts_with(&mut self, s: &str) -> bool {
+        let sb = s.as_bytes();
+        if !self.have(sb.len()) {
+            return false;
+        }
+        let at = self.pos - self.base;
+        &self.buf[at..at + sb.len()] == sb
     }
 
     fn skip_ws(&mut self) {
@@ -116,9 +261,38 @@ impl<'a> XmlReader<'a> {
         }
     }
 
-    /// Find `needle` at or after the cursor; returns its start offset.
-    fn find(&self, needle: &str) -> Option<usize> {
-        self.src[self.pos..].find(needle).map(|i| self.pos + i)
+    /// Find `needle` at or after the cursor, refilling the window as
+    /// needed; returns its absolute start offset.
+    fn find(&mut self, needle: &str) -> Option<usize> {
+        let nb = needle.as_bytes();
+        let mut from = self.pos;
+        loop {
+            let at = from - self.base;
+            if at <= self.buf.len() {
+                if let Some(i) = find_sub(&self.buf[at..], nb) {
+                    return Some(from + i);
+                }
+            }
+            if self.src_eof {
+                return None;
+            }
+            // Restart just far enough back to catch a needle split
+            // across the refill boundary.
+            from = self
+                .pos
+                .max((self.base + self.buf.len() + 1).saturating_sub(nb.len()));
+            self.fill();
+        }
+    }
+
+    /// A parsed slice as UTF-8 text. Token boundaries are ASCII
+    /// delimiters, so multi-byte characters are never split; validation
+    /// matters for the byte-stream front end, where input is not
+    /// guaranteed to be UTF-8.
+    fn str_range(&self, start: usize, end: usize) -> XmlResult<&str> {
+        let s = &self.buf[start - self.base..end - self.base];
+        std::str::from_utf8(s)
+            .map_err(|_| XmlError::new(ErrorKind::InvalidUtf8, start, self.line, self.col))
     }
 
     fn is_name_start(b: u8) -> bool {
@@ -144,7 +318,7 @@ impl<'a> XmlReader<'a> {
         while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
             self.bump();
         }
-        Ok(self.src[start..self.pos].to_string())
+        Ok(self.str_range(start, self.pos)?.to_string())
     }
 
     /// Resolve entities in a raw slice of text or attribute content.
@@ -177,7 +351,7 @@ impl<'a> XmlReader<'a> {
     }
 
     /// Pull the next event.
-    pub fn next_event(&mut self) -> XmlResult<XmlEvent> {
+    fn next_event(&mut self) -> XmlResult<XmlEvent> {
         if let Some(name) = self.pending_end.take() {
             self.stack.pop();
             return Ok(XmlEvent::EndElement { name });
@@ -185,8 +359,12 @@ impl<'a> XmlReader<'a> {
         if self.eof {
             return Ok(XmlEvent::Eof);
         }
+        self.compact();
         loop {
-            if self.pos >= self.input.len() {
+            if !self.have(1) {
+                if self.io_error.is_some() {
+                    return Err(self.err(ErrorKind::UnexpectedEof("input")));
+                }
                 if !self.stack.is_empty() {
                     return Err(self.err(ErrorKind::UnclosedElements(self.stack.len())));
                 }
@@ -225,7 +403,7 @@ impl<'a> XmlReader<'a> {
         while self.peek().is_some() && self.peek() != Some(b'<') {
             self.bump();
         }
-        let raw = &self.src[start..self.pos];
+        let raw = self.str_range(start, self.pos)?;
         if self.stack.is_empty() {
             // Only whitespace is allowed outside the document element.
             if raw
@@ -259,10 +437,11 @@ impl<'a> XmlReader<'a> {
                 }
                 Some(b'/') => {
                     self.bump();
-                    if self.peek() != Some(b'>') {
+                    let found = self.peek();
+                    if found != Some(b'>') {
                         return Err(self.err(ErrorKind::UnexpectedChar {
                             expected: "'>' after '/'",
-                            found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                            found: found.map(|b| b as char).unwrap_or('\0'),
                         }));
                     }
                     self.bump();
@@ -274,10 +453,11 @@ impl<'a> XmlReader<'a> {
                 Some(b) if Self::is_name_start(b) => {
                     let aname = self.read_name()?;
                     self.skip_ws();
-                    if self.peek() != Some(b'=') {
+                    let found = self.peek();
+                    if found != Some(b'=') {
                         return Err(self.err(ErrorKind::UnexpectedChar {
                             expected: "'=' in attribute",
-                            found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                            found: found.map(|b| b as char).unwrap_or('\0'),
                         }));
                     }
                     self.bump();
@@ -308,7 +488,7 @@ impl<'a> XmlReader<'a> {
                     if self.peek().is_none() {
                         return Err(self.err(ErrorKind::UnexpectedEof("attribute value")));
                     }
-                    let raw = self.src[vstart..self.pos].to_string();
+                    let raw = self.str_range(vstart, self.pos)?.to_string();
                     self.bump(); // closing quote
                     let value = self.decode_entities(&raw)?;
                     if attrs.iter().any(|(n, _)| *n == aname) {
@@ -331,10 +511,11 @@ impl<'a> XmlReader<'a> {
         self.advance(2); // "</"
         let name = self.read_name()?;
         self.skip_ws();
-        if self.peek() != Some(b'>') {
+        let found = self.peek();
+        if found != Some(b'>') {
             return Err(self.err(ErrorKind::UnexpectedChar {
                 expected: "'>' in close tag",
-                found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                found: found.map(|b| b as char).unwrap_or('\0'),
             }));
         }
         self.bump();
@@ -350,7 +531,7 @@ impl<'a> XmlReader<'a> {
         let end = self
             .find("-->")
             .ok_or_else(|| self.err(ErrorKind::UnexpectedEof("comment")))?;
-        let text = self.src[self.pos..end].to_string();
+        let text = self.str_range(self.pos, end)?.to_string();
         while self.pos < end + 3 {
             self.bump();
         }
@@ -365,7 +546,7 @@ impl<'a> XmlReader<'a> {
         let end = self
             .find("]]>")
             .ok_or_else(|| self.err(ErrorKind::UnexpectedEof("CDATA section")))?;
-        let text = self.src[self.pos..end].to_string();
+        let text = self.str_range(self.pos, end)?.to_string();
         while self.pos < end + 3 {
             self.bump();
         }
@@ -378,7 +559,7 @@ impl<'a> XmlReader<'a> {
         let end = self
             .find("?>")
             .ok_or_else(|| self.err(ErrorKind::UnexpectedEof("processing instruction")))?;
-        let data = self.src[self.pos..end].trim().to_string();
+        let data = self.str_range(self.pos, end)?.trim().to_string();
         while self.pos < end + 2 {
             self.bump();
         }
@@ -408,6 +589,107 @@ impl<'a> XmlReader<'a> {
             let _ = in_subset;
         }
         Ok(())
+    }
+}
+
+/// Streaming pull parser over a UTF-8 string slice.
+pub struct XmlReader<'a> {
+    core: Core<SliceSource<'a>>,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Create a reader over the given document text.
+    pub fn new(input: &'a str) -> Self {
+        XmlReader {
+            core: Core::new(SliceSource {
+                rest: input.as_bytes(),
+            }),
+        }
+    }
+
+    /// Current depth of open elements.
+    pub fn depth(&self) -> usize {
+        self.core.depth()
+    }
+
+    /// Byte offset of the parse cursor.
+    pub fn offset(&self) -> usize {
+        self.core.offset()
+    }
+
+    /// Pull the next event.
+    pub fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        self.core.next_event()
+    }
+}
+
+impl EventSource for XmlReader<'_> {
+    fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        self.core.next_event()
+    }
+    fn offset(&self) -> usize {
+        self.core.offset()
+    }
+    fn depth(&self) -> usize {
+        self.core.depth()
+    }
+}
+
+/// Streaming pull parser over any [`std::io::Read`], buffering only a
+/// bounded window of the document. Read failures surface as
+/// [`ErrorKind::Io`]; invalid UTF-8 as [`ErrorKind::InvalidUtf8`].
+pub struct XmlStreamReader<R> {
+    core: Core<IoSource<R>>,
+}
+
+impl<R: std::io::Read> XmlStreamReader<R> {
+    /// Create a reader pulling 64 KB chunks from `reader`.
+    pub fn new(reader: R) -> Self {
+        Self::with_chunk_size(reader, CHUNK)
+    }
+
+    /// Create a reader with an explicit refill granularity (tests use
+    /// tiny chunks to exercise every token-across-boundary case).
+    pub fn with_chunk_size(reader: R, chunk: usize) -> Self {
+        XmlStreamReader {
+            core: Core::new(IoSource {
+                inner: reader,
+                chunk: chunk.max(1),
+            }),
+        }
+    }
+
+    /// Current depth of open elements.
+    pub fn depth(&self) -> usize {
+        self.core.depth()
+    }
+
+    /// Byte offset of the parse cursor.
+    pub fn offset(&self) -> usize {
+        self.core.offset()
+    }
+
+    /// Bytes currently buffered in the parse window (bounded by the
+    /// largest single token plus one refill chunk).
+    pub fn window_bytes(&self) -> usize {
+        self.core.buf.len()
+    }
+
+    /// Pull the next event.
+    pub fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        self.core.next_event()
+    }
+}
+
+impl<R: std::io::Read> EventSource for XmlStreamReader<R> {
+    fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        self.core.next_event()
+    }
+    fn offset(&self) -> usize {
+        self.core.offset()
+    }
+    fn depth(&self) -> usize {
+        self.core.depth()
     }
 }
 
@@ -617,5 +899,104 @@ mod tests {
         let evs = events("<ü>héllo ☃</ü>");
         assert_eq!(evs[0], start("ü"));
         assert_eq!(evs[1], XmlEvent::Text("héllo ☃".into()));
+    }
+
+    // ---- XmlStreamReader (chunked io::Read front end) ----
+
+    fn stream_events(input: &str, chunk: usize) -> Vec<XmlEvent> {
+        let mut r = XmlStreamReader::with_chunk_size(input.as_bytes(), chunk);
+        let mut out = Vec::new();
+        loop {
+            let ev = r.next_event().unwrap();
+            if ev == XmlEvent::Eof {
+                break;
+            }
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn stream_matches_slice_reader_at_every_chunk_size() {
+        let doc = "<?xml version=\"1.0\"?><r a=\"x &amp; y\">t1<b><![CDATA[c < d]]></b>\
+                   <!-- note --><?pi data?><e/>héllo ☃</r>";
+        let want = events(doc);
+        for chunk in [1, 2, 3, 5, 7, 16, 64, 4096] {
+            assert_eq!(stream_events(doc, chunk), want, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_window_stays_bounded() {
+        // A document much larger than the chunk size: the parse window
+        // must stay near the chunk size, not grow with the document.
+        let mut doc = String::from("<r>");
+        for i in 0..5000 {
+            doc.push_str(&format!("<item id=\"{i}\">some text content {i}</item>"));
+        }
+        doc.push_str("</r>");
+        let mut r = XmlStreamReader::with_chunk_size(doc.as_bytes(), 1024);
+        let mut max_window = 0;
+        loop {
+            if r.next_event().unwrap() == XmlEvent::Eof {
+                break;
+            }
+            max_window = max_window.max(r.window_bytes());
+        }
+        assert!(
+            max_window < 512 * 1024 && max_window < doc.len() / 2,
+            "window grew to {max_window} bytes for a {} byte doc",
+            doc.len()
+        );
+    }
+
+    #[test]
+    fn stream_io_error_surfaces_as_io_kind() {
+        struct Failing {
+            served: usize,
+        }
+        impl std::io::Read for Failing {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.served == 0 {
+                    self.served = 1;
+                    let src = b"<r><a>text";
+                    buf[..src.len()].copy_from_slice(src);
+                    Ok(src.len())
+                } else {
+                    Err(std::io::Error::other("disk on fire"))
+                }
+            }
+        }
+        let mut r = XmlStreamReader::new(Failing { served: 0 });
+        let err = loop {
+            match r.next_event() {
+                Ok(XmlEvent::Eof) => panic!("truncated read must not parse cleanly"),
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(&err.kind, ErrorKind::Io(msg) if msg.contains("disk on fire")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stream_invalid_utf8_rejected() {
+        let bytes: &[u8] = b"<r>\xff\xfe</r>";
+        let mut r = XmlStreamReader::new(bytes);
+        r.next_event().unwrap();
+        let e = r.next_event().unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::InvalidUtf8), "{e:?}");
+    }
+
+    #[test]
+    fn stream_token_split_across_refill() {
+        // Comment terminator and CDATA terminator split across chunk
+        // boundaries exercise the overlapped `find` restart.
+        let doc = "<r><!--abc--><![CDATA[xy]]></r>";
+        for chunk in 1..=doc.len() {
+            assert_eq!(stream_events(doc, chunk), events(doc), "chunk {chunk}");
+        }
     }
 }
